@@ -1,0 +1,22 @@
+"""Bench: regenerate Fig. 1 (latency vs feasible-capacity scatter)."""
+
+from repro.experiments import fig01_tradeoff
+from benchmarks.conftest import run_once
+
+
+def test_fig01_tradeoff(benchmark, utilization_sweep):
+    result = run_once(benchmark, fig01_tradeoff.run, sweep=utilization_sweep)
+    print()
+    print(fig01_tradeoff.format_report(result))
+
+    points = result.points
+    # The headline claim: Halfback has lower common-case FCT than every
+    # TCP-family scheme and at least JumpStart's feasible capacity.
+    hb_capacity, hb_fct = points["halfback"]
+    assert hb_fct < points["tcp"][1]
+    assert hb_fct < points["tcp-10"][1]
+    assert hb_fct < points["proactive"][1]
+    assert hb_capacity >= points["jumpstart"][0]
+    assert hb_capacity > points["proactive"][0]
+    # Conservative schemes keep the capacity crown.
+    assert points["tcp"][0] >= hb_capacity

@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig. 2 (traffic carried by flow size)."""
+
+from repro.units import kb
+from repro.experiments import fig02_traffic_cdf
+from benchmarks.conftest import run_once
+
+
+def test_fig02_traffic_cdf(benchmark):
+    result = run_once(benchmark, fig02_traffic_cdf.run)
+    print()
+    print(fig02_traffic_cdf.format_report(result))
+
+    # §2.1's quantitative anchors.
+    assert 0.25 <= result.below_cutoff["internet"] <= 0.42   # paper 34.7%
+    assert result.below_cutoff["vl2"] < 0.01
+    assert result.below_cutoff["benson"] < 0.01
+    # Curves normalized and monotone.
+    for curve in result.curves.values():
+        assert curve[-1][1] > 0.999
+        fractions = [f for _, f in curve]
+        assert all(b >= a for a, b in zip(fractions, fractions[1:]))

@@ -1,0 +1,19 @@
+"""Bench: regenerate Fig. 3 (the 10-segment Halfback walk-through)."""
+
+from repro.experiments import fig03_example
+from benchmarks.conftest import run_once
+
+
+def test_fig03_example(benchmark):
+    result = run_once(benchmark, fig03_example.run)
+    print()
+    print(fig03_example.format_report(result))
+
+    # The paper's exact sequence: ROPR resends 10,9,8,7,6 (0-indexed
+    # 9,8,7,6,5) — half the flow — and transmission ends by ~2 RTTs.
+    assert result.ropr_order == [9, 8, 7, 6, 5]
+    assert result.fct_in_rtts < 2.6
+    paced = [seq for _, seq, kind in result.transmissions if kind == "paced"]
+    assert paced == list(range(10))
+    phases = [name for _, name in result.phases]
+    assert phases[:3] == ["pacing", "ropr_wait", "ropr"]

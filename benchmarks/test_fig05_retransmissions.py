@@ -1,0 +1,22 @@
+"""Bench: regenerate Fig. 5 (normal retransmissions per short flow)."""
+
+from repro.experiments import fig05_retransmissions
+from benchmarks.conftest import run_once
+
+
+def test_fig05_retransmissions(benchmark, planetlab_trials):
+    result = run_once(benchmark, fig05_retransmissions.run,
+                      trials=planetlab_trials)
+    print()
+    print(fig05_retransmissions.format_report(result))
+
+    # Paper: ~90% of aggressive-scheme trials see no loss; the TCP
+    # family (conservative start) is cleaner still in the body.
+    assert result.zero_loss_fraction["halfback"] >= 0.7
+    assert result.zero_loss_fraction["jumpstart"] >= 0.7
+    assert result.zero_loss_fraction["tcp"] >= result.zero_loss_fraction["jumpstart"] - 0.05
+    # JumpStart's bursty recovery costs extra retransmissions of the
+    # same packets; Halfback's ROPR does not inflate the normal count.
+    mean_js = sum(result.counts["jumpstart"]) / len(result.counts["jumpstart"])
+    mean_hb = sum(result.counts["halfback"]) / len(result.counts["halfback"])
+    assert mean_hb <= mean_js

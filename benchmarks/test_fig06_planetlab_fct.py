@@ -1,0 +1,22 @@
+"""Bench: regenerate Fig. 6 (FCT over the Internet-path population)."""
+
+from repro.experiments import fig06_planetlab_fct
+from benchmarks.conftest import run_once
+
+
+def test_fig06_planetlab_fct(benchmark, planetlab_trials):
+    result = run_once(benchmark, fig06_planetlab_fct.run,
+                      trials=planetlab_trials)
+    print()
+    print(fig06_planetlab_fct.format_report(result))
+
+    mean = result.mean_fct
+    # The paper's ordering: halfback <= jumpstart << tcp-10 < tcp,
+    # with reactive/proactive close to tcp.
+    assert mean["halfback"] <= mean["jumpstart"] * 1.02
+    assert mean["jumpstart"] < mean["tcp-10"]
+    assert mean["tcp-10"] < mean["tcp"]
+    # Halfback's 52%-vs-TCP reduction, loosely (our paths are synthetic).
+    assert result.reduction_vs("halfback", "tcp") > 0.30
+    # p99 tail: halfback's is a small fraction of TCP's (paper: 27.8%).
+    assert result.p99_fct["halfback"] < 0.7 * result.p99_fct["tcp"]

@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig. 7 (transmission time in RTTs)."""
+
+from repro.metrics.stats import median
+from repro.experiments import fig07_rtt_counts
+from benchmarks.conftest import run_once
+
+
+def test_fig07_rtt_counts(benchmark, planetlab_trials):
+    result = run_once(benchmark, fig07_rtt_counts.run,
+                      trials=planetlab_trials)
+    print()
+    print(fig07_rtt_counts.format_report(result))
+
+    # Paper: ~60% of aggressive flows finish within ~2 RTTs, one third
+    # of TCP's count; TCP needs ~6-9 RTTs for a 100 KB flow.
+    assert result.within_two_rtts["halfback"] >= 0.5
+    assert result.within_two_rtts["jumpstart"] >= 0.5
+    assert result.within_two_rtts["tcp"] < 0.1
+    assert (median(result.rtt_counts["tcp"])
+            > 2.5 * median(result.rtt_counts["halfback"]))

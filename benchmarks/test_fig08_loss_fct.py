@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig. 8 (FCT where packet loss happened)."""
+
+from repro.experiments import fig08_loss_fct
+from benchmarks.conftest import run_once
+
+
+def test_fig08_loss_fct(benchmark, planetlab_trials):
+    result = run_once(benchmark, fig08_loss_fct.run, trials=planetlab_trials)
+    print()
+    print(fig08_loss_fct.format_report(result))
+
+    # A meaningful minority of trials saw loss (paper: ~25%).
+    assert 0.05 <= result.lossy_fraction["halfback"] <= 0.5
+    # The ROPR gap concentrates here (paper: 21% median reduction vs
+    # JumpStart under loss).
+    assert result.median_reduction("halfback", "jumpstart") > 0.05
+    assert result.median_fct["halfback"] < result.median_fct["tcp"]

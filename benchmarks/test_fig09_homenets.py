@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig. 9 (home access networks, Halfback vs TCP)."""
+
+from repro.experiments import fig09_homenets
+from benchmarks.conftest import SCALE, run_once
+
+
+def test_fig09_homenets(benchmark):
+    result = run_once(benchmark, fig09_homenets.run,
+                      n_servers=max(10, int(30 * SCALE)), seed=7)
+    print()
+    print(fig09_homenets.format_report(result))
+
+    # Halfback's median FCT beats TCP's on every profile (paper: 18-68%
+    # reductions), with the smallest win on the slow AT&T DSL link.
+    reductions = {profile: result.median_reduction(profile)
+                  for profile in ("att-dsl-wireless", "comcast-wired",
+                                  "connectivityu-wireless",
+                                  "connectivityu-wired")}
+    for profile, reduction in reductions.items():
+        assert reduction > 0.05, profile
+    assert reductions["att-dsl-wireless"] == min(reductions.values())

@@ -1,0 +1,35 @@
+"""Bench: regenerate Fig. 10 (FCT and retransmissions vs buffer size)."""
+
+from repro.experiments import fig10_bufferbloat
+from benchmarks.conftest import SCALE, run_once
+
+
+def test_fig10_bufferbloat(benchmark):
+    result = run_once(
+        benchmark, fig10_bufferbloat.run,
+        duration=max(10.0, 12.0 * SCALE), mean_interval=1.2, seed=0,
+        buffers=fig10_bufferbloat.DEFAULT_BUFFERS[:5],
+    )
+    print()
+    print(fig10_bufferbloat.format_report(result))
+
+    # Bufferbloat inflates TCP's FCT (queueing delay grows with the
+    # buffer — compare the bloated end against the BDP-sized buffer),
+    # and at the bloated end the few-RTT Halfback stays below
+    # slow-start TCP in absolute terms (paper Fig. 10a).  Cell means
+    # carry sampling noise at bench scale, hence the slack factors.
+    bdp_index = result.buffers.index(115_000)
+    assert result.mean_fct["tcp"][-1] > 0.75 * result.mean_fct["tcp"][bdp_index]
+    assert (result.mean_fct["halfback"][-1]
+            < 1.1 * result.mean_fct["tcp"][-1])
+    # With small buffers, ROPR keeps Halfback's FCT well below
+    # JumpStart's (paper: up to 45% lower) and its *normal*
+    # retransmissions are a fraction of JumpStart's burst storms
+    # (paper: ~10x fewer).
+    assert result.mean_fct["halfback"][0] < result.mean_fct["jumpstart"][0]
+    assert (result.mean_retransmissions["halfback"][0]
+            < 0.7 * result.mean_retransmissions["jumpstart"][0])
+    # PCP's conservative probing has the fewest retransmissions.
+    mean_rtx = {p: sum(curve) / len(curve)
+                for p, curve in result.mean_retransmissions.items()}
+    assert mean_rtx["pcp"] <= min(mean_rtx["jumpstart"], mean_rtx["halfback"])

@@ -1,0 +1,37 @@
+"""Bench: regenerate Fig. 13 (short aggressive vs long TCP)."""
+
+from repro.experiments import fig13_short_long
+from benchmarks.conftest import SCALE, run_once
+
+
+def test_fig13_short_long(benchmark):
+    result = run_once(
+        benchmark, fig13_short_long.run,
+        protocols=("tcp-10", "proactive", "jumpstart", "halfback"),
+        utilizations=(0.3, 0.5, 0.7),
+        duration=max(15.0, 18.0 * SCALE),
+        seed=0,
+        n_pairs=10,
+    )
+    print()
+    print(fig13_short_long.format_report(result))
+
+    hb_short, hb_long = result.mean_normalized("halfback")
+    js_short, js_long = result.mean_normalized("jumpstart")
+    t10_short, _ = result.mean_normalized("tcp-10")
+    pro_short, pro_long = result.mean_normalized("proactive")
+
+    # Paper: halfback ~0.44x, jumpstart ~0.49x, tcp-10 ~0.71x baseline
+    # short-flow FCT; proactive buys nothing (>= ~1).
+    assert hb_short < 0.75
+    assert js_short < 0.90
+    assert hb_short < t10_short
+    assert pro_short > 0.8
+    # Long flows: halfback's overhead stays bounded (paper: 3%; we
+    # measure ~10% — our drop-tail bias shields long flows from
+    # proactive's duplicates more than the paper's testbed did, so the
+    # halfback/proactive ordering on this axis doesn't reproduce; see
+    # EXPERIMENTS.md).
+    assert hb_long < 1.25
+    assert js_long < 1.35
+    assert pro_long < 1.35

@@ -1,0 +1,25 @@
+"""Bench: regenerate Fig. 15 (throughput impact on an ongoing flow)."""
+
+from repro.experiments import fig15_throughput
+from benchmarks.conftest import run_once
+
+
+def test_fig15_throughput(benchmark):
+    result = run_once(benchmark, fig15_throughput.run,
+                      start_time=10.0, horizon=16.0, seed=0)
+    print()
+    print(fig15_throughput.format_report(result))
+
+    # The short flow finishes far faster with Halfback than with one or
+    # two TCP connections (paper's core point for §4.3.4).
+    hb_fct = result.short_fcts["halfback"][0]
+    assert hb_fct < result.short_fcts["one-tcp"][0]
+    assert hb_fct < max(result.short_fcts["two-tcp"])
+    # Halfback's paced burst dents the background flow (visible dip)...
+    assert result.dip_depth("halfback") < 0.75
+    # ...but the background flow recovers within a few seconds (paper:
+    # ~2 s to full bandwidth).
+    recovery = result.recovery_time("halfback")
+    assert recovery is not None and recovery < 4.0
+    # Nothing beats the analytic optimal reference.
+    assert result.short_fcts["optimal"][0] <= hb_fct

@@ -1,0 +1,37 @@
+"""Bench: regenerate Fig. 16 (web response time vs utilization)."""
+
+from repro.experiments import fig16_web
+from benchmarks.conftest import SCALE, run_once
+
+
+def test_fig16_web(benchmark):
+    result = run_once(
+        benchmark, fig16_web.run,
+        protocols=("tcp", "tcp-10", "jumpstart", "halfback"),
+        utilizations=(0.15, 0.30, 0.45),
+        duration=max(30.0, 45.0 * SCALE),
+        seed=3,
+        n_pairs=16,
+    )
+    print()
+    print(fig16_web.format_report(result))
+
+    curves = result.curves
+    # §4.4's surprise: flow-level winner JumpStart loses at the
+    # application level — its response time crosses above TCP's by
+    # ~30% utilization (concurrent page flows + bursty recovery).
+    crossover = result.crossover_with("jumpstart")
+    assert crossover is not None and crossover <= 0.45
+    # Halfback tracks-or-beats JumpStart through the sweep (paper:
+    # 592 ms / 22% better at 30%; our per-point margin is inside run
+    # noise at bench scale — see EXPERIMENTS.md), and never collapses
+    # first.
+    for i, utilization in enumerate(result.utilizations):
+        slack = 1.15 if utilization <= 0.30 else 1.25
+        assert curves["halfback"][i] < curves["jumpstart"][i] * slack
+    # TCP-10 is the low-load application-level sweet spot ("JumpStart is
+    # now worse than TCP-10").
+    assert curves["tcp-10"][0] < curves["jumpstart"][0]
+    # Every page completes at these loads.
+    for protocol in curves:
+        assert min(result.completion[protocol]) > 0.9

@@ -1,0 +1,30 @@
+"""Bench: regenerate Fig. 17 (ROPR design ablation)."""
+
+from repro.experiments import fig17_ablation
+from benchmarks.conftest import run_once
+
+
+def test_fig17_ablation(benchmark, utilization_sweep):
+    result = run_once(benchmark, lambda: utilization_sweep)
+    print()
+    print(fig17_ablation.format_report(result))
+
+    feasible = result.feasible
+    curves = result.points
+
+    # §5's three design-decision checks, read off the same sweep:
+    # (1) additional bandwidth — more overhead, earlier collapse:
+    assert feasible["proactive"] <= feasible["halfback"]
+    assert feasible["halfback"] <= feasible["tcp"]
+    # (2) retransmission direction — forward order wastes the proactive
+    # budget; at moderate load its FCT exceeds reverse-order Halfback's:
+    mid = len(curves["halfback"]) // 2
+    assert (curves["halfback-forward"][mid].mean_fct
+            >= 0.9 * curves["halfback"][mid].mean_fct)
+    assert feasible["halfback-forward"] <= feasible["halfback"]
+    # (3) retransmission rate — line-rate proactive bursts hurt:
+    assert feasible["halfback-burst"] <= feasible["halfback"]
+    # The full ablation: plain Halfback dominates both variants on the
+    # low-load latency axis too.
+    assert (result.low_load_fct("halfback")
+            <= result.low_load_fct("halfback-burst") * 1.15)

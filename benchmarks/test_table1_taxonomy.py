@@ -1,0 +1,16 @@
+"""Bench: regenerate Table 1 (design-space taxonomy, code-verified)."""
+
+from repro.experiments import table1_taxonomy
+from benchmarks.conftest import run_once
+
+
+def test_table1_taxonomy(benchmark):
+    taxonomy = run_once(benchmark, table1_taxonomy.run)
+    print()
+    print(table1_taxonomy.format_report(taxonomy))
+
+    assert table1_taxonomy.verify_against_code() == []
+    assert taxonomy["halfback"].rtx_order == "reverse"
+    assert taxonomy["halfback"].rtx_rate == "ack-clock"
+    assert taxonomy["proactive"].extra_bandwidth == 1.0
+    assert taxonomy["jumpstart"].rtx_rate == "line-rate"

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Extension study: Halfback under CoDel AQM (§6's "the improvements
+multiply").
+
+The paper argues AQM attacks bufferbloat's *per-RTT delay* while
+Halfback attacks the *number of RTTs*, so they compose.  This example
+puts a bulk TCP flow on a bloated 600 KB buffer and measures a short
+flow's FCT for TCP vs Halfback, with and without CoDel on the
+bottleneck — four cells whose ratios show the two optimizations
+multiplying.
+
+Run:  python examples/aqm_interaction.py
+"""
+
+from repro.experiments import launch_flow
+from repro.net import access_network
+from repro.net.aqm import CoDelQueue
+from repro.sim import Simulator
+from repro.transport import TransportConfig
+from repro.units import kb, mbps, ms, to_ms
+
+
+def measure(protocol: str, use_codel: bool, seed: int = 4) -> float:
+    sim = Simulator(seed=seed)
+    net = access_network(sim, n_pairs=2, bottleneck_rate=mbps(15),
+                         rtt=ms(60), buffer_bytes=kb(600))
+    if use_codel:
+        net.bottleneck.queue = CoDelQueue(kb(600), lambda: sim.now)
+    # A bulk flow with a big advertised window keeps the buffer full.
+    launch_flow(sim, net, "tcp", 40_000_000, pair_index=0, kind="long",
+                config=TransportConfig(flow_control_window=4_000_000))
+    record = launch_flow(sim, net, protocol, kb(100), pair_index=1,
+                         start_time=8.0)
+    sim.run(until=40.0)
+    if record.fct is None:
+        raise RuntimeError(f"{protocol} did not finish")
+    return record.fct
+
+
+def main():
+    print("Short-flow FCT behind a bulk flow on a bloated 600 KB buffer\n")
+    cells = {}
+    for protocol in ("tcp", "halfback"):
+        for use_codel in (False, True):
+            cells[(protocol, use_codel)] = measure(protocol, use_codel)
+    print(f"{'':12s} {'drop-tail':>10s} {'CoDel':>10s} {'AQM gain':>9s}")
+    for protocol in ("tcp", "halfback"):
+        plain = cells[(protocol, False)]
+        managed = cells[(protocol, True)]
+        print(f"{protocol:12s} {to_ms(plain):>8.0f}ms {to_ms(managed):>8.0f}ms "
+              f"{plain / managed:>8.1f}x")
+    combined = cells[("tcp", False)] / cells[("halfback", True)]
+    print(f"\nTCP on drop-tail vs Halfback on CoDel: {combined:.1f}x faster —")
+    print("fewer RTTs (Halfback) times shorter RTTs (CoDel): the paper's")
+    print("'the improvements multiply' claim, demonstrated.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Quickstart: compare every scheme's FCT for one short flow.
+
+Builds the paper's Emulab topology (15 Mbps bottleneck, 60 ms RTT,
+115 KB drop-tail buffer), sends one 100 KB flow per scheme over a clean
+path and over a constrained path where the aggressive start-up loses
+packets, and prints the completion times — a miniature of the paper's
+headline comparison.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.experiments import launch_flow
+from repro.net import access_network
+from repro.protocols import available_protocols
+from repro.sim import Simulator
+from repro.units import kb, mbps, ms, to_ms
+
+
+def one_flow(protocol: str, bottleneck_rate: float, buffer_bytes: int,
+             size: int = kb(100), seed: int = 7):
+    """Run one flow on a fresh single-pair path; returns its record."""
+    sim = Simulator(seed=seed)
+    net = access_network(
+        sim, n_pairs=1, bottleneck_rate=bottleneck_rate,
+        rtt=ms(60), buffer_bytes=buffer_bytes,
+    )
+    record = launch_flow(sim, net, protocol, size)
+    sim.run(until=60.0)
+    record.extra["drops"] = sim.flow_drops.get(record.spec.flow_id, 0)
+    return record
+
+
+def print_comparison(title: str, bottleneck_rate: float, buffer_bytes: int):
+    print(f"\n{title}")
+    print(f"{'scheme':18s} {'FCT':>9s} {'rtx':>5s} {'proactive':>9s} "
+          f"{'timeouts':>8s} {'drops':>5s}")
+    for protocol in available_protocols():
+        record = one_flow(protocol, bottleneck_rate, buffer_bytes)
+        fct = f"{to_ms(record.fct):.0f}ms" if record.fct else "DNF"
+        print(f"{protocol:18s} {fct:>9s} {record.normal_retransmissions:>5d} "
+              f"{record.proactive_retransmissions:>9d} "
+              f"{record.timeouts:>8d} {record.extra['drops']:>5d}")
+
+
+def main():
+    print("Halfback reproduction — quickstart")
+    print("One 100 KB flow per scheme on the paper's topology (Fig. 4).")
+    print_comparison(
+        "Clean path (15 Mbps bottleneck, 115 KB buffer): pacing wins, "
+        "no loss", mbps(15), kb(115),
+    )
+    print_comparison(
+        "Constrained path (5 Mbps bottleneck, 20 KB buffer): the "
+        "aggressive start-up overflows — watch who recovers",
+        mbps(5), kb(20),
+    )
+    print("\nHalfback's proactive column is ~half the flow (69 segments) —"
+          "\nthe reverse-ordered sweep that gives the scheme its name; on"
+          "\nthe constrained path it converts JumpStart's timeout into an"
+          "\nin-stride recovery.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Web-browsing scenario: page load times under increasing load.
+
+The paper's motivating application (§1, §4.4): a browser fetches a
+page's objects over up to six concurrent short flows.  This example
+loads pages from the synthetic top-100 catalog at a few utilizations
+and shows why flow-level rankings do not carry over to page loads —
+JumpStart's bursty recovery falls apart once a page's own flows collide,
+while Halfback keeps masking the losses.
+
+Run:  python examples/web_page_load.py [--fast]
+"""
+
+import argparse
+
+from repro.experiments import fig16_web
+from repro.workloads.web import build_catalog
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true",
+                        help="smaller catalog and shorter runs")
+    args = parser.parse_args()
+
+    if args.fast:
+        catalog = build_catalog(n_pages=10, min_objects=8, max_objects=20)
+        duration, utilizations = 20.0, (0.2, 0.4)
+    else:
+        catalog = build_catalog()
+        duration, utilizations = 60.0, (0.15, 0.30, 0.45)
+
+    mean_page = sum(p.total_bytes for p in catalog) / len(catalog)
+    mean_objects = sum(p.object_count for p in catalog) / len(catalog)
+    print("Synthetic top-site catalog: "
+          f"{len(catalog)} pages, mean {mean_page / 1e6:.2f} MB over "
+          f"{mean_objects:.0f} objects")
+
+    result = fig16_web.run(
+        protocols=("tcp", "tcp-10", "jumpstart", "halfback"),
+        utilizations=utilizations,
+        duration=duration,
+        catalog=catalog,
+        seed=3,
+    )
+    print()
+    print(fig16_web.format_report(result))
+    print()
+    jumpstart_crossover = result.crossover_with("jumpstart")
+    halfback_crossover = result.crossover_with("halfback")
+    print("JumpStart crosses above TCP at "
+          f"{'never' if jumpstart_crossover is None else f'{jumpstart_crossover:.0%}'}"
+          " utilization (paper: ~30%); Halfback at "
+          f"{'never' if halfback_crossover is None else f'{halfback_crossover:.0%}'}"
+          " (paper: ~55%).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Analytical models (the conclusion's "theoretical modeling" future
+work): closed-form clean-path FCT for slow-start and pacing schemes."""
+
+from repro.analysis.model import (
+    PathModel,
+    crossover_size,
+    paced_model_fct,
+    slow_start_rounds,
+    tcp_model_fct,
+)
+
+__all__ = [
+    "PathModel",
+    "crossover_size",
+    "paced_model_fct",
+    "slow_start_rounds",
+    "tcp_model_fct",
+]

@@ -1,0 +1,143 @@
+"""Analytical flow-completion-time models.
+
+The paper's conclusion lists "theoretical modeling and analysis of
+Halfback" as future work; this module provides first-order closed-form
+models of the schemes on a clean single-bottleneck path, used three
+ways:
+
+* sanity-checking the simulator (tests assert simulation ~= model on
+  clean paths);
+* explaining the Fig. 11 crossover (when does pacing's one-RTT spread
+  beat slow start?);
+* quick what-if exploration without running packets.
+
+All models measure the paper's FCT: from SYN transmission until the
+receiver holds every byte (handshake included), ignoring queueing and
+loss — they are *clean-path, lightly-loaded* models.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.transport.config import TransportConfig
+from repro.units import SEGMENT_SIZE
+
+__all__ = ["PathModel", "slow_start_rounds", "tcp_model_fct",
+           "paced_model_fct", "crossover_size"]
+
+
+@dataclass(frozen=True)
+class PathModel:
+    """A clean single-bottleneck path."""
+
+    rtt: float                 # seconds
+    bottleneck_rate: float     # bytes/second
+
+    def __post_init__(self) -> None:
+        if self.rtt <= 0 or self.bottleneck_rate <= 0:
+            raise ConfigurationError("rtt and rate must be positive")
+
+    @property
+    def bdp_segments(self) -> float:
+        """Bandwidth-delay product in segments."""
+        return self.bottleneck_rate * self.rtt / SEGMENT_SIZE
+
+
+def slow_start_rounds(n_segments: int, initial_window: int) -> int:
+    """Number of RTT rounds slow start needs to deliver ``n_segments``.
+
+    Round k (0-based) carries ``initial_window * 2**k`` segments, so the
+    cumulative delivery after r rounds is ``initial_window*(2**r - 1)``.
+    """
+    if n_segments <= 0:
+        raise ConfigurationError("n_segments must be positive")
+    if initial_window < 1:
+        raise ConfigurationError("initial_window must be >= 1")
+    rounds = 0
+    delivered = 0
+    window = initial_window
+    while delivered < n_segments:
+        delivered += window
+        window *= 2
+        rounds += 1
+    return rounds
+
+
+def tcp_model_fct(
+    flow_bytes: int,
+    path: PathModel,
+    config: TransportConfig = None,
+    initial_window: int = None,
+) -> float:
+    """Clean-path FCT of slow-start TCP (window below path BDP).
+
+    1 RTT handshake, then 0.5 RTT for each round's data to reach the
+    receiver plus 0.5 RTT for its ACKs to return, i.e. one RTT per
+    round, minus the final half-RTT already counted in the last data
+    delivery.  Only valid while windows stay below the BDP (true for
+    short flows on the paper's paths).
+    """
+    if config is None:
+        config = TransportConfig()
+    if initial_window is None:
+        initial_window = config.initial_cwnd
+    n_segments = math.ceil(flow_bytes / config.mss)
+    rounds = slow_start_rounds(n_segments, initial_window)
+    # Segments carried by the final round (what the receiver still
+    # waits on) must also drain through the bottleneck.
+    delivered_before = initial_window * (2 ** (rounds - 1) - 1)
+    final_round_segments = n_segments - delivered_before
+    final_drain = final_round_segments * config.segment_size / path.bottleneck_rate
+    # Handshake (1 RTT) + (rounds - 1) full RTTs + final half RTT +
+    # the final burst's serialization at the bottleneck.
+    return path.rtt * (1.0 + (rounds - 1) + 0.5) + final_drain
+
+
+def paced_model_fct(
+    flow_bytes: int,
+    path: PathModel,
+    config: TransportConfig = None,
+) -> float:
+    """Clean-path FCT of a one-RTT pacing scheme (JumpStart/Halfback).
+
+    1 RTT handshake + the pacing spread (one RTT, but the last segment
+    leaves at ``(n-1)/n`` of it) + half an RTT propagation, plus the
+    extra serialization when the bottleneck is slower than the pacing
+    rate.
+    """
+    if config is None:
+        config = TransportConfig()
+    n_segments = math.ceil(flow_bytes / config.mss)
+    wire_bytes = flow_bytes + n_segments * config.header_size
+    pacing_spread = path.rtt * (n_segments - 1) / max(n_segments, 1)
+    drain_time = wire_bytes / path.bottleneck_rate
+    # The receiver finishes when the later of "last paced send + 0.5 RTT"
+    # and "first send + bottleneck drain + 0.5 RTT" elapses.
+    transfer = max(pacing_spread, drain_time)
+    return path.rtt * 1.0 + transfer + 0.5 * path.rtt
+
+
+def crossover_size(
+    path: PathModel,
+    config: TransportConfig = None,
+    initial_window: int = 10,
+    max_bytes: int = 2_000_000,
+) -> int:
+    """Smallest flow size (bytes) where pacing beats an
+    ``initial_window``-segment slow start — the Fig. 11 crossover.
+
+    Returns ``max_bytes`` if pacing never wins below that bound.
+    """
+    if config is None:
+        config = TransportConfig()
+    step = config.mss
+    size = step
+    while size <= max_bytes:
+        if (paced_model_fct(size, path, config)
+                < tcp_model_fct(size, path, config, initial_window)):
+            return size
+        size += step
+    return max_bytes

@@ -1,0 +1,32 @@
+"""The paper's primary contribution: Halfback's mechanisms.
+
+These modules are pure policy — the Pacing-phase planner, the ROPR
+state machine, and the fallback bandwidth estimator — wired into the
+transport framework by :mod:`repro.protocols.halfback`.
+"""
+
+from repro.core.bandwidth import AckRateEstimator
+from repro.core.config import (
+    HalfbackConfig,
+    RATE_ACK_CLOCK,
+    RATE_LINE,
+    ROPR_FORWARD,
+    ROPR_REVERSE,
+)
+from repro.core.pacing_phase import PacingPlan, plan_pacing
+from repro.core.ropr import RoprScheduler
+from repro.core.threshold import ThroughputCache, ThroughputObservation
+
+__all__ = [
+    "AckRateEstimator",
+    "HalfbackConfig",
+    "PacingPlan",
+    "RATE_ACK_CLOCK",
+    "RATE_LINE",
+    "ROPR_FORWARD",
+    "ROPR_REVERSE",
+    "RoprScheduler",
+    "ThroughputCache",
+    "ThroughputObservation",
+    "plan_pacing",
+]

@@ -1,0 +1,65 @@
+"""ACK-rate bandwidth estimation (paper §3.3).
+
+During the ROPR phase the sender watches the rate at which bytes are
+acknowledged; when a long flow falls back to TCP, its initial congestion
+window is seeded with ``s * RTT`` where ``s`` is this estimate.  The
+estimator is deliberately simple — total newly-ACKed bytes over the
+observation span — because that is what an ACK clock measures: the
+bottleneck's drain rate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = ["AckRateEstimator"]
+
+
+class AckRateEstimator:
+    """Estimates delivered bandwidth from ACK arrivals.
+
+    Feed :meth:`observe` with every ACK that acknowledged new data; read
+    :meth:`rate` (bytes/second) once at least two observations span a
+    non-zero interval.
+    """
+
+    def __init__(self) -> None:
+        self._first_time: Optional[float] = None
+        self._last_time: Optional[float] = None
+        self._bytes = 0
+        self._first_bytes = 0
+        self.observations = 0
+
+    def observe(self, time: float, newly_acked_bytes: int) -> None:
+        """Record that ``newly_acked_bytes`` were acknowledged at ``time``."""
+        if newly_acked_bytes < 0:
+            raise ConfigurationError("acked bytes cannot be negative")
+        if self._first_time is None:
+            self._first_time = time
+            # The first ACK's bytes were delivered before the window we
+            # can measure, so they seed the count but not the rate span.
+            self._first_bytes = newly_acked_bytes
+        else:
+            if time < self._first_time:
+                raise ConfigurationError("time went backwards")
+            self._bytes += newly_acked_bytes
+        self._last_time = time
+        self.observations += 1
+
+    def rate(self) -> Optional[float]:
+        """Estimated bandwidth in bytes/second, or None if unmeasurable."""
+        if (self._first_time is None or self._last_time is None
+                or self._last_time <= self._first_time):
+            return None
+        return self._bytes / (self._last_time - self._first_time)
+
+    def window_for(self, rtt: float, segment_size: int,
+                   fallback_segments: int = 2) -> int:
+        """Congestion window (segments) worth ``rate * rtt`` — the §3.3
+        fallback cwnd.  Returns ``fallback_segments`` when unmeasurable."""
+        estimate = self.rate()
+        if estimate is None or rtt <= 0:
+            return fallback_segments
+        return max(fallback_segments, int(estimate * rtt / segment_size))

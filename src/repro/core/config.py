@@ -1,0 +1,82 @@
+"""Halfback configuration.
+
+Collects every knob §3 and §5 of the paper discuss: the Pacing
+Threshold, the ROPR retransmission order and rate (the §5 ablations
+flip these), the proactive-retransmissions-per-ACK ratio (the "one for
+each ACK" default, with the paper's suggested future extension of e.g.
+two per three ACKs), and the §4.2.4 refinement of bursting an initial
+window before pacing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import PACING_THRESHOLD
+
+__all__ = ["HalfbackConfig", "ROPR_REVERSE", "ROPR_FORWARD",
+           "RATE_ACK_CLOCK", "RATE_LINE"]
+
+#: Retransmit from the end of the flow toward the ACK frontier (Halfback).
+ROPR_REVERSE = "reverse"
+#: Retransmit from the start of the flow (the Halfback-Forward ablation).
+ROPR_FORWARD = "forward"
+
+#: One proactive retransmission per received ACK (Halfback).
+RATE_ACK_CLOCK = "ack-clock"
+#: Burst all proactive retransmissions immediately (Halfback-Burst).
+RATE_LINE = "line-rate"
+
+
+@dataclass
+class HalfbackConfig:
+    """Knobs for the Pacing and ROPR phases.
+
+    Attributes
+    ----------
+    pacing_threshold:
+        Maximum bytes transmitted aggressively (§3.1); beyond this the
+        flow falls back to TCP.  Paper default: the flow-control window
+        (141 KB).
+    ropr_order:
+        :data:`ROPR_REVERSE` (Halfback) or :data:`ROPR_FORWARD`
+        (ablation).
+    ropr_rate:
+        :data:`RATE_ACK_CLOCK` (Halfback) or :data:`RATE_LINE`
+        (Halfback-Burst ablation).
+    retransmissions_per_ack:
+        Proactive retransmissions issued per received ACK during ROPR.
+        1.0 reproduces the paper; fractional values implement the
+        "two retransmissions for every three ACKs" future-work idea
+        (§5, *Additional bandwidth*).
+    initial_burst_segments:
+        Segments sent back-to-back *before* the pacing phase — the
+        §4.2.4 refinement for very small flows (0 disables; 10 mimics
+        TCP-10's first flight).
+    adaptive_threshold:
+        The §3.1 alternative: cap the pacing budget at the largest
+        throughput recently observed toward this destination times the
+        handshake RTT (requires a shared
+        :class:`~repro.core.threshold.ThroughputCache` in the protocol
+        context).
+    """
+
+    pacing_threshold: int = PACING_THRESHOLD
+    ropr_order: str = ROPR_REVERSE
+    ropr_rate: str = RATE_ACK_CLOCK
+    retransmissions_per_ack: float = 1.0
+    initial_burst_segments: int = 0
+    adaptive_threshold: bool = False
+
+    def __post_init__(self) -> None:
+        if self.pacing_threshold <= 0:
+            raise ConfigurationError("pacing_threshold must be positive")
+        if self.ropr_order not in (ROPR_REVERSE, ROPR_FORWARD):
+            raise ConfigurationError(f"unknown ropr_order {self.ropr_order!r}")
+        if self.ropr_rate not in (RATE_ACK_CLOCK, RATE_LINE):
+            raise ConfigurationError(f"unknown ropr_rate {self.ropr_rate!r}")
+        if self.retransmissions_per_ack <= 0:
+            raise ConfigurationError("retransmissions_per_ack must be positive")
+        if self.initial_burst_segments < 0:
+            raise ConfigurationError("initial_burst_segments must be >= 0")

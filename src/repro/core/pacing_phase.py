@@ -1,0 +1,80 @@
+"""The Pacing phase planner (paper §3.1).
+
+Given a flow and the handshake RTT, decide how many segments to send
+aggressively and at what rate: Halfback (and JumpStart, which shares
+this start-up) paces ``min(flow size, flow-control window, Pacing
+Threshold)`` bytes evenly across one RTT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.transport.config import TransportConfig
+
+__all__ = ["PacingPlan", "plan_pacing"]
+
+
+@dataclass(frozen=True)
+class PacingPlan:
+    """The resolved pacing-phase parameters for one flow.
+
+    Attributes
+    ----------
+    segments:
+        Number of segments covered by the aggressive phase (the flow's
+        prefix ``[0, segments)``).
+    bytes:
+        Wire bytes those segments occupy.
+    rate:
+        Pacing rate in bytes/second (``bytes / rtt``).
+    covers_flow:
+        True when the whole flow fits in the aggressive phase — the
+        common short-flow case; False means the sender must fall back
+        to TCP for the remainder (§3.3).
+    """
+
+    segments: int
+    bytes: int
+    rate: float
+    covers_flow: bool
+
+    @property
+    def interval(self) -> float:
+        """Mean spacing between paced segments, in seconds."""
+        return (self.bytes / self.segments) / self.rate
+
+
+def plan_pacing(
+    flow_bytes: int,
+    rtt: float,
+    transport: TransportConfig,
+    pacing_threshold: int,
+) -> PacingPlan:
+    """Resolve the pacing plan for a flow of ``flow_bytes`` payload bytes.
+
+    The upper bound on aggressively-sent data is the minimum of the flow
+    size, the flow-control window, and the Pacing Threshold (§3.1),
+    rounded down to whole segments (at least one).
+    """
+    if flow_bytes <= 0:
+        raise ConfigurationError("flow_bytes must be positive")
+    if rtt <= 0:
+        raise ConfigurationError("rtt must be positive")
+    mss = transport.mss
+    total_segments = -(-flow_bytes // mss)  # ceil division
+    # The window and threshold bound *wire* bytes; the flow size bounds
+    # payload.  Work in whole segments to avoid mixing the two units.
+    cap_segments = min(transport.flow_control_window,
+                       pacing_threshold) // transport.segment_size
+    segments = min(total_segments, max(1, cap_segments))
+    covers = segments == total_segments
+    if covers:
+        tail = flow_bytes - (total_segments - 1) * mss
+        wire_bytes = (segments - 1) * transport.segment_size + transport.header_size + tail
+    else:
+        wire_bytes = segments * transport.segment_size
+    rate = wire_bytes / rtt
+    return PacingPlan(segments=segments, bytes=wire_bytes, rate=rate,
+                      covers_flow=covers)

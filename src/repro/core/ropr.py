@@ -1,0 +1,106 @@
+"""Reverse-Ordered Proactive Retransmission (ROPR) — the paper's §3.2.
+
+:class:`RoprScheduler` is a pure state machine deciding *which* segment
+to proactively retransmit next; the Halfback sender decides *when*
+(one per received ACK — the ACK clock) and performs the transmission.
+Keeping it simulator-free makes the central invariants directly
+testable:
+
+* every segment is proposed at most once;
+* ACKed segments are never proposed;
+* reverse order proposes strictly decreasing indices, forward strictly
+  increasing;
+* the phase ends exactly when every so-far-unACKed segment has been
+  proposed — in the typical no-loss case the ACK frontier (moving
+  forward) meets the retransmission pointer (moving backward) in the
+  middle, so only ~50 % of the flow is retransmitted: hence "Halfback".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.config import ROPR_FORWARD, ROPR_REVERSE
+from repro.errors import ConfigurationError
+
+__all__ = ["RoprScheduler"]
+
+
+class RoprScheduler:
+    """Proposes proactive-retransmission candidates over ``[0, n)``.
+
+    Parameters
+    ----------
+    n_segments:
+        Number of segments covered by the aggressive start-up phase
+        (the paced prefix of the flow, not necessarily the whole flow).
+    order:
+        :data:`~repro.core.config.ROPR_REVERSE` or
+        :data:`~repro.core.config.ROPR_FORWARD`.
+    """
+
+    def __init__(self, n_segments: int, order: str = ROPR_REVERSE) -> None:
+        if n_segments <= 0:
+            raise ConfigurationError("ROPR needs at least one segment")
+        if order not in (ROPR_REVERSE, ROPR_FORWARD):
+            raise ConfigurationError(f"unknown ROPR order {order!r}")
+        self.n_segments = n_segments
+        self.order = order
+        self._pointer = n_segments - 1 if order == ROPR_REVERSE else 0
+        self._finished = False
+        self.proposed: List[int] = []
+
+    # ------------------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        """True once every unACKed segment has been proposed."""
+        return self._finished
+
+    @property
+    def proposed_count(self) -> int:
+        """Number of candidates proposed so far."""
+        return len(self.proposed)
+
+    def next_candidate(self, is_acked: Callable[[int], bool]) -> Optional[int]:
+        """Propose the next segment to proactively retransmit.
+
+        ``is_acked`` reports the sender's current scoreboard view.  The
+        scheduler skips (and permanently passes over) segments that are
+        already ACKed; once the pointer crosses the end of its sweep the
+        phase is finished and ``None`` is returned forever after.
+        """
+        if self._finished:
+            return None
+        if self.order == ROPR_REVERSE:
+            while self._pointer >= 0 and is_acked(self._pointer):
+                self._pointer -= 1
+            if self._pointer < 0:
+                self._finished = True
+                return None
+            candidate = self._pointer
+            self._pointer -= 1
+        else:
+            while self._pointer < self.n_segments and is_acked(self._pointer):
+                self._pointer += 1
+            if self._pointer >= self.n_segments:
+                self._finished = True
+                return None
+            candidate = self._pointer
+            self._pointer += 1
+        self.proposed.append(candidate)
+        if self.order == ROPR_REVERSE and self._pointer < 0:
+            self._finished = True
+        if self.order == ROPR_FORWARD and self._pointer >= self.n_segments:
+            self._finished = True
+        return candidate
+
+    def drain(self, is_acked: Callable[[int], bool]) -> List[int]:
+        """Propose every remaining candidate at once (Halfback-Burst)."""
+        batch: List[int] = []
+        while True:
+            candidate = self.next_candidate(is_acked)
+            if candidate is None:
+                break
+            batch.append(candidate)
+        return batch

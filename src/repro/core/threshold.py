@@ -1,0 +1,69 @@
+"""Adaptive Pacing Threshold (§3.1, second option).
+
+"Another option ... is to set the threshold to the largest throughput
+observed on recent connections, times the RTT derived from the
+three-way handshake.  This setting efficiently avoids a too-aggressive
+startup phase."
+
+:class:`ThroughputCache` remembers, per destination, the largest
+recently-observed delivery rate; a Halfback sender configured with
+``HalfbackConfig(adaptive_threshold=True)`` caps its pacing budget at
+``observed_rate * handshake_rtt`` (never above the static threshold).
+Entries age out, falling back to the static behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ThroughputObservation", "ThroughputCache"]
+
+
+@dataclass(frozen=True)
+class ThroughputObservation:
+    """One remembered delivery-rate measurement."""
+
+    rate: float        # bytes/second
+    observed_at: float
+
+
+class ThroughputCache:
+    """Per-destination largest-recent-throughput memory."""
+
+    def __init__(self, ttl: float = 600.0) -> None:
+        if ttl <= 0:
+            raise ConfigurationError("ttl must be positive")
+        self.ttl = ttl
+        self._entries: Dict[Tuple[str, str], ThroughputObservation] = {}
+
+    def observe(self, src: str, dst: str, rate: float, now: float) -> None:
+        """Record a delivery rate; keeps the max of fresh observations."""
+        if rate <= 0:
+            return
+        current = self._entries.get((src, dst))
+        if (current is not None and now - current.observed_at <= self.ttl
+                and current.rate >= rate):
+            return
+        self._entries[(src, dst)] = ThroughputObservation(rate, now)
+
+    def lookup(self, src: str, dst: str, now: float) -> Optional[float]:
+        """Fresh remembered rate for the pair, or None."""
+        entry = self._entries.get((src, dst))
+        if entry is None or now - entry.observed_at > self.ttl:
+            return None
+        return entry.rate
+
+    def threshold_for(self, src: str, dst: str, rtt: float, now: float,
+                      ceiling: int) -> int:
+        """The adaptive pacing budget: ``rate * rtt`` capped at
+        ``ceiling`` (the static threshold); ``ceiling`` when unknown."""
+        rate = self.lookup(src, dst, now)
+        if rate is None or rtt <= 0:
+            return ceiling
+        return max(1, min(ceiling, int(rate * rtt)))
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the Halfback reproduction library.
+
+All exceptions raised by :mod:`repro` derive from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """A violation of simulator invariants (e.g. scheduling into the past)."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter or inconsistent component configuration."""
+
+
+class TopologyError(ReproError):
+    """An invalid network topology operation (unknown node, no route...)."""
+
+
+class TransportError(ReproError):
+    """A violation of transport-layer invariants (bad segment, bad state)."""
+
+
+class ProtocolError(TransportError):
+    """A protocol-specific failure (unknown protocol name, bad hook use)."""
+
+
+class WorkloadError(ReproError):
+    """An invalid workload specification (bad distribution, bad rate)."""
+
+
+class ExperimentError(ReproError):
+    """A failure while assembling or running an experiment scenario."""

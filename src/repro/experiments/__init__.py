@@ -1,0 +1,40 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+See DESIGN.md's per-experiment index.  Every module follows the same
+shape: ``run(...)`` returns a typed result, ``format_report(result)``
+renders the rows/series the paper reports.  ``python -m repro
+<experiment>`` (or the ``halfback-repro`` script) drives them from the
+command line.
+"""
+
+from repro.experiments.runner import ScheduledFlow, TrafficRunner, launch_flow
+from repro.experiments.scenarios import (
+    EMULAB,
+    LONG_FLOW_BYTES,
+    PROTOCOLS_ALL,
+    PROTOCOLS_MAIN,
+    SHORT_FLOW_BYTES,
+    build_emulab,
+    mixed_schedule,
+    run_single_path_flow,
+    run_utilization_point,
+    run_workload,
+    short_flow_schedule,
+)
+
+__all__ = [
+    "EMULAB",
+    "LONG_FLOW_BYTES",
+    "PROTOCOLS_ALL",
+    "PROTOCOLS_MAIN",
+    "SHORT_FLOW_BYTES",
+    "ScheduledFlow",
+    "TrafficRunner",
+    "build_emulab",
+    "launch_flow",
+    "mixed_schedule",
+    "run_single_path_flow",
+    "run_utilization_point",
+    "run_workload",
+    "short_flow_schedule",
+]

@@ -1,0 +1,163 @@
+"""Command-line entry point: ``python -m repro <experiment>``.
+
+Runs one experiment at a chosen scale and prints the paper-style
+report.  ``halfback-repro list`` enumerates everything available.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Tuple
+
+__all__ = ["main", "EXPERIMENTS"]
+
+Runner = Callable[..., object]
+Formatter = Callable[[object], str]
+
+
+def _fig01(scale: float, seed: int):
+    from repro.experiments import fig01_tradeoff as m
+    utils = tuple(round(0.1 * i, 2) for i in range(1, 10))
+    return m.run(utilizations=utils, duration=max(5.0, 10 * scale), seed=seed), m.format_report
+
+
+def _fig02(scale: float, seed: int):
+    from repro.experiments import fig02_traffic_cdf as m
+    return m.run(), m.format_report
+
+
+def _fig03(scale: float, seed: int):
+    from repro.experiments import fig03_example as m
+    return m.run(seed=seed), m.format_report
+
+
+def _table1(scale: float, seed: int):
+    from repro.experiments import table1_taxonomy as m
+    return m.run(), m.format_report
+
+
+def _fig05(scale: float, seed: int):
+    from repro.experiments import fig05_retransmissions as m
+    return m.run(n_paths=int(260 * scale), seed=seed), m.format_report
+
+
+def _fig06(scale: float, seed: int):
+    from repro.experiments import fig06_planetlab_fct as m
+    return m.run(n_paths=int(260 * scale), seed=seed), m.format_report
+
+
+def _fig07(scale: float, seed: int):
+    from repro.experiments import fig07_rtt_counts as m
+    return m.run(n_paths=int(260 * scale), seed=seed), m.format_report
+
+
+def _fig08(scale: float, seed: int):
+    from repro.experiments import fig08_loss_fct as m
+    return m.run(n_paths=int(260 * scale), seed=seed), m.format_report
+
+
+def _fig09(scale: float, seed: int):
+    from repro.experiments import fig09_homenets as m
+    return m.run(n_servers=max(4, int(40 * scale)), seed=seed), m.format_report
+
+
+def _fig10(scale: float, seed: int):
+    from repro.experiments import fig10_bufferbloat as m
+    return m.run(duration=max(20.0, 60 * scale), seed=seed), m.format_report
+
+
+def _fig11(scale: float, seed: int):
+    from repro.experiments import fig11_flowsize as m
+    return m.run(duration=max(10.0, 30 * scale), seed=seed), m.format_report
+
+
+def _fig12(scale: float, seed: int):
+    from repro.experiments import fig12_utilization as m
+    return m.run(duration=max(5.0, 15 * scale), seed=seed), m.format_report
+
+
+def _fig13(scale: float, seed: int):
+    from repro.experiments import fig13_short_long as m
+    return m.run(duration=max(20.0, 40 * scale), seed=seed), m.format_report
+
+
+def _fig14(scale: float, seed: int):
+    from repro.experiments import fig14_friendliness as m
+    return m.run(duration=max(10.0, 30 * scale), seed=seed), m.format_report
+
+
+def _fig15(scale: float, seed: int):
+    from repro.experiments import fig15_throughput as m
+    return m.run(seed=seed), m.format_report
+
+
+def _fig16(scale: float, seed: int):
+    from repro.experiments import fig16_web as m
+    return m.run(duration=max(15.0, 40 * scale), seed=seed), m.format_report
+
+
+def _fig17(scale: float, seed: int):
+    from repro.experiments import fig17_ablation as m
+    return m.run(duration=max(5.0, 15 * scale), seed=seed), m.format_report
+
+
+EXPERIMENTS: Dict[str, Tuple[str, Callable[[float, int], Tuple[object, Formatter]]]] = {
+    "fig1": ("latency vs feasible-capacity tradeoff scatter", _fig01),
+    "fig2": ("traffic carried by flow size (3 environments)", _fig02),
+    "fig3": ("10-segment Halfback walk-through", _fig03),
+    "table1": ("startup/recovery design-space taxonomy", _table1),
+    "fig5": ("normal retransmissions, Internet paths", _fig05),
+    "fig6": ("FCT CDF, Internet paths", _fig06),
+    "fig7": ("FCT in RTTs, Internet paths", _fig07),
+    "fig8": ("FCT under loss, Internet paths", _fig08),
+    "fig9": ("home access networks, Halfback vs TCP", _fig09),
+    "fig10": ("bufferbloat: FCT and rtx vs buffer size", _fig10),
+    "fig11": ("FCT vs flow size, 3 distributions", _fig11),
+    "fig12": ("all-short-flow utilization sweep", _fig12),
+    "fig13": ("short aggressive vs long TCP", _fig13),
+    "fig14": ("TCP-friendliness scatter", _fig14),
+    "fig15": ("throughput impact on ongoing flow", _fig15),
+    "fig16": ("web response time vs utilization", _fig16),
+    "fig17": ("ROPR design ablation sweep", _fig17),
+}
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="halfback-repro",
+        description="Regenerate tables/figures from the Halfback paper "
+                    "(CoNEXT 2015) on the bundled simulator.",
+    )
+    parser.add_argument("experiment",
+                        help="experiment id (e.g. fig12), or 'list' / 'all'")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale factor (1.0 = default laptop "
+                             "scale; 10.0 approximates paper scale)")
+    parser.add_argument("--seed", type=int, default=42,
+                        help="master random seed")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name, (description, __) in EXPERIMENTS.items():
+            print(f"{name:8s} {description}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        if name not in EXPERIMENTS:
+            print(f"unknown experiment {name!r}; try 'list'", file=sys.stderr)
+            return 2
+        description, runner = EXPERIMENTS[name]
+        print(f"== {name}: {description} (scale={args.scale}) ==")
+        started = time.time()
+        result, formatter = runner(args.scale, args.seed)
+        print(formatter(result))
+        print(f"[{name} finished in {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""Fig. 7: transmission time in RTTs (PlanetLab runs).
+
+The paper: ~60 % of JumpStart/Halfback flows finish within 2 RTTs
+(handshake + one paced RTT) — a third of TCP's count — with the gap
+from the nominal 75 % no-loss fraction explained by RTT-estimation
+inaccuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.metrics.stats import cdf_points, ccdf_points, median
+from repro.experiments.planetlab_runs import PlanetlabTrials, run_planetlab_trials
+from repro.experiments.report import render_table
+from repro.experiments.scenarios import PROTOCOLS_MAIN
+
+__all__ = ["Fig7Result", "run", "format_report"]
+
+#: "Finished within the aggressive start-up" threshold the paper quotes.
+TWO_RTT_THRESHOLD = 2.5
+
+
+@dataclass
+class Fig7Result:
+    """Per-protocol FCT/RTT distributions."""
+
+    rtt_counts: Dict[str, List[float]]
+    cdf: Dict[str, List[Tuple[float, float]]]
+    ccdf: Dict[str, List[Tuple[float, float]]]
+    within_two_rtts: Dict[str, float]   # fraction of flows <= ~2 RTTs
+
+
+def run(
+    n_paths: int = 260,
+    protocols: Sequence[str] = PROTOCOLS_MAIN,
+    seed: int = 42,
+    trials: Optional[PlanetlabTrials] = None,
+) -> Fig7Result:
+    """Build Fig. 7's distributions from the shared trial set."""
+    if trials is None:
+        trials = run_planetlab_trials(n_paths=n_paths, protocols=protocols,
+                                      seed=seed)
+    counts: Dict[str, List[float]] = {}
+    for protocol in trials.protocols():
+        counts[protocol] = trials.collector(protocol).rtt_counts()
+    return Fig7Result(
+        rtt_counts=counts,
+        cdf={p: cdf_points(v) for p, v in counts.items()},
+        ccdf={p: ccdf_points(v) for p, v in counts.items()},
+        within_two_rtts={
+            p: (sum(1 for v in c if v <= TWO_RTT_THRESHOLD) / len(c)
+                if c else 0.0)
+            for p, c in counts.items()
+        },
+    )
+
+
+def format_report(result: Fig7Result) -> str:
+    """Median RTT count and the <=2-RTT fraction per scheme."""
+    rows = []
+    for protocol, values in result.rtt_counts.items():
+        rows.append([
+            protocol,
+            f"{median(values):.1f}" if values else "-",
+            f"{result.within_two_rtts[protocol] * 100:.1f}%",
+        ])
+    return render_table(
+        ["scheme", "median RTTs", "flows <= ~2 RTTs"], rows,
+        title="Fig. 7 — transmission time in RTTs",
+    )

@@ -1,0 +1,117 @@
+"""Fig. 11: FCT as a function of flow size under measured distributions.
+
+Flows drawn from the Internet / Benson / VL2 size distributions
+(truncated at 1 MB, §4.2.4) arrive at 25 % utilization; completed flows
+are bucketed by size.  The paper's shape: TCP-Cache (and narrowly
+TCP-10) win for very small flows — pacing a tiny flow over a whole RTT
+is pure delay — while beyond ~75 KB Halfback and JumpStart are best.
+The §4.2.4 refinement (an initial burst before pacing) is exposed via
+``halfback_burst_segments`` so the crossover can be studied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import HalfbackConfig
+from repro.metrics.fct import FctCollector
+from repro.protocols.registry import ProtocolContext
+from repro.sim.randomness import derive_seed
+from repro.experiments.report import render_table
+from repro.experiments.scenarios import run_workload, short_flow_schedule
+from repro.units import kb, mb
+from repro.workloads.distributions import truncated_environment
+
+__all__ = ["Fig11Result", "run", "format_report", "DEFAULT_BUCKETS"]
+
+DEFAULT_PROTOCOLS = ("tcp", "tcp-10", "tcp-cache", "jumpstart", "halfback")
+#: Size-bucket upper edges in bytes.
+DEFAULT_BUCKETS = (kb(20), kb(50), kb(75), kb(100), kb(150), kb(250),
+                   kb(400), mb(1))
+
+
+@dataclass
+class Fig11Result:
+    """Mean FCT per (environment, protocol, size bucket)."""
+
+    buckets: List[int]
+    #: (environment, protocol) -> per-bucket mean FCT (None = no flows).
+    curves: Dict[Tuple[str, str], List[Optional[float]]]
+
+    def best_in_bucket(self, environment: str, bucket_index: int) -> Optional[str]:
+        """The scheme with the lowest mean FCT in one bucket."""
+        best_name, best_value = None, None
+        for (env, protocol), curve in self.curves.items():
+            if env != environment:
+                continue
+            value = curve[bucket_index]
+            if value is not None and (best_value is None or value < best_value):
+                best_name, best_value = protocol, value
+        return best_name
+
+
+def _bucketize(collector: FctCollector, buckets: Sequence[int]) -> List[Optional[float]]:
+    sums = [0.0] * len(buckets)
+    counts = [0] * len(buckets)
+    for record in collector.records:
+        if record.fct is None:
+            continue
+        for i, edge in enumerate(buckets):
+            if record.spec.size <= edge:
+                sums[i] += record.fct
+                counts[i] += 1
+                break
+    return [sums[i] / counts[i] if counts[i] else None
+            for i in range(len(buckets))]
+
+
+def run(
+    environments: Sequence[str] = ("internet", "benson", "vl2"),
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    utilization: float = 0.25,
+    duration: float = 30.0,
+    seed: int = 0,
+    buckets: Sequence[int] = DEFAULT_BUCKETS,
+    halfback_burst_segments: int = 0,
+) -> Fig11Result:
+    """Run the three environment workloads for each scheme."""
+    curves: Dict[Tuple[str, str], List[Optional[float]]] = {}
+    for environment in environments:
+        sizes = truncated_environment(environment, mb(1))
+        for protocol in protocols:
+            schedule = short_flow_schedule(
+                protocol, utilization, duration,
+                derive_seed(seed, f"fig11:{environment}"), sizes=sizes,
+            )
+            context = ProtocolContext(
+                halfback=HalfbackConfig(
+                    initial_burst_segments=halfback_burst_segments
+                )
+            )
+            collector = run_workload(
+                schedule, seed=derive_seed(seed, f"fig11:{environment}:{protocol}"),
+                n_pairs=16, context=context,
+            )
+            curves[(environment, protocol)] = _bucketize(collector, buckets)
+    return Fig11Result(buckets=list(buckets), curves=curves)
+
+
+def format_report(result: Fig11Result) -> str:
+    """One table per environment: mean FCT (ms) per size bucket."""
+    environments = sorted({env for env, _ in result.curves})
+    headers = ["scheme"] + [f"<={edge // 1000}KB" for edge in result.buckets]
+    blocks = []
+    for environment in environments:
+        rows = []
+        for (env, protocol), curve in result.curves.items():
+            if env != environment:
+                continue
+            rows.append([protocol] + [
+                f"{v * 1000:.0f}" if v is not None else "-" for v in curve
+            ])
+        blocks.append(render_table(
+            headers, rows,
+            title=f"Fig. 11 — mean FCT (ms) by flow size [{environment}]",
+        ))
+    return "\n\n".join(blocks)

@@ -1,0 +1,121 @@
+"""Fig. 13: short aggressive flows vs long TCP flows.
+
+10 % of the traffic is short flows running the scheme under test; 90 %
+is 100 MB TCP long flows.  Both classes' mean FCTs are normalized by
+the baseline run where the short flows also use TCP.  Paper shapes:
+short flows — Halfback ~44 % of baseline, JumpStart ~49 %, TCP-10
+~71 %, Proactive slightly *above* 1; long flows — Proactive inflates
+them up to 25 %, JumpStart ~10 %, Halfback only ~3 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ExperimentError
+from repro.metrics.fct import FctCollector
+from repro.sim.randomness import derive_seed
+from repro.experiments.report import render_table
+from repro.experiments.scenarios import mixed_schedule, run_workload
+
+__all__ = ["Fig13Result", "run", "format_report"]
+
+DEFAULT_PROTOCOLS = ("tcp-10", "tcp-cache", "reactive", "proactive",
+                     "jumpstart", "halfback")
+DEFAULT_UTILIZATIONS = (0.3, 0.5, 0.7, 0.85)
+
+
+@dataclass
+class Fig13Result:
+    """Normalized mean FCTs per (scheme, utilization)."""
+
+    utilizations: List[float]
+    #: scheme -> per-utilization normalized short-flow FCT.
+    short_curves: Dict[str, List[float]]
+    #: scheme -> per-utilization normalized long-flow FCT.
+    long_curves: Dict[str, List[float]]
+    #: Baseline (short=TCP) absolute means: (short s, long s) per util.
+    baselines: List[Tuple[float, float]]
+
+    def mean_normalized(self, protocol: str) -> Tuple[float, float]:
+        """Average normalized (short, long) FCT across utilizations."""
+        shorts = self.short_curves[protocol]
+        longs = self.long_curves[protocol]
+        return (sum(shorts) / len(shorts), sum(longs) / len(longs))
+
+
+def _run_mix(protocol: str, utilization: float, duration: float,
+             seed: int, n_pairs: int, long_size: int) -> FctCollector:
+    schedule = mixed_schedule(protocol, utilization, duration, seed,
+                              long_size=long_size)
+    if not any(f.kind == "long" for f in schedule):
+        raise ExperimentError(
+            "no long flows drawn — increase duration or shrink long_size"
+        )
+    return run_workload(
+        schedule, seed=derive_seed(seed, f"fig13:{protocol}"),
+        n_pairs=n_pairs, drain_time=60.0,
+    )
+
+
+def run(
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    utilizations: Sequence[float] = DEFAULT_UTILIZATIONS,
+    duration: float = 40.0,
+    seed: int = 0,
+    n_pairs: int = 12,
+    long_size: int = 20_000_000,
+) -> Fig13Result:
+    """Run the mixed workload per (scheme, utilization), plus baselines.
+
+    ``long_size`` defaults to 20 MB rather than the paper's 100 MB so a
+    default run draws several long flows per sweep point; pass
+    ``long_size=100_000_000`` (and a few-hundred-second duration) for
+    paper scale — the normalized comparison is insensitive to the exact
+    elephant size as long as long flows span many short-flow lifetimes.
+    """
+    baselines: List[Tuple[float, float]] = []
+    for utilization in utilizations:
+        base = _run_mix("tcp", utilization, duration, seed, n_pairs,
+                        long_size)
+        baselines.append((
+            base.filtered(kind="short").mean_fct(penalty=120.0),
+            base.filtered(kind="long").mean_fct(penalty=600.0),
+        ))
+    short_curves: Dict[str, List[float]] = {}
+    long_curves: Dict[str, List[float]] = {}
+    for protocol in protocols:
+        shorts: List[float] = []
+        longs: List[float] = []
+        for i, utilization in enumerate(utilizations):
+            mix = _run_mix(protocol, utilization, duration, seed, n_pairs,
+                           long_size)
+            shorts.append(
+                mix.filtered(kind="short").mean_fct(penalty=120.0)
+                / baselines[i][0]
+            )
+            longs.append(
+                mix.filtered(kind="long").mean_fct(penalty=600.0)
+                / baselines[i][1]
+            )
+        short_curves[protocol] = shorts
+        long_curves[protocol] = longs
+    return Fig13Result(utilizations=list(utilizations),
+                       short_curves=short_curves, long_curves=long_curves,
+                       baselines=baselines)
+
+
+def format_report(result: Fig13Result) -> str:
+    """Both panels: normalized FCTs per utilization."""
+    headers = ["scheme"] + [f"{u * 100:.0f}%" for u in result.utilizations]
+    short_rows = [[p] + [f"{v:.2f}" for v in curve]
+                  for p, curve in result.short_curves.items()]
+    long_rows = [[p] + [f"{v:.2f}" for v in curve]
+                 for p, curve in result.long_curves.items()]
+    return "\n\n".join([
+        render_table(headers, short_rows,
+                     title="Fig. 13(a) — short-flow FCT / TCP baseline"),
+        render_table(headers, long_rows,
+                     title="Fig. 13(b) — long-flow FCT / TCP baseline"),
+    ])

@@ -1,0 +1,113 @@
+"""Fig. 14: TCP-friendliness scatter.
+
+For each (non-TCP scheme, utilization in 5-30 %): half the flows run
+TCP, half the scheme.  Each scenario becomes a point
+
+* x = mean FCT of the TCP flows in the mix / mean FCT when *all* flows
+  run TCP,
+* y = mean FCT of the non-TCP flows in the mix / mean FCT when all
+  flows run the non-TCP scheme.
+
+Points near (1, 1) are friendly.  Paper: Halfback, TCP-10, TCP-Cache
+and Reactive cluster at (1, 1); JumpStart and Proactive push TCP's FCT
+up (x > 1); PCP hurts itself (y > 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.sim.randomness import derive_seed
+from repro.experiments.report import render_table
+from repro.experiments.runner import ScheduledFlow
+from repro.experiments.scenarios import run_workload, short_flow_schedule
+
+__all__ = ["Fig14Result", "run", "format_report"]
+
+DEFAULT_PROTOCOLS = ("tcp-10", "tcp-cache", "reactive", "proactive",
+                     "jumpstart", "pcp", "halfback")
+DEFAULT_UTILIZATIONS = (0.10, 0.20, 0.30)
+
+
+@dataclass
+class Fig14Result:
+    """Scatter points per (scheme, utilization)."""
+
+    #: (scheme, utilization) -> (x, y) as defined in the module docstring.
+    points: Dict[Tuple[str, float], Tuple[float, float]]
+
+    def centroid(self, protocol: str) -> Tuple[float, float]:
+        """Mean point for one scheme across utilizations."""
+        xs = [p[0] for (name, _), p in self.points.items() if name == protocol]
+        ys = [p[1] for (name, _), p in self.points.items() if name == protocol]
+        return (sum(xs) / len(xs), sum(ys) / len(ys))
+
+    def is_friendly(self, protocol: str, tolerance: float = 0.10) -> bool:
+        """Whether the scheme's centroid is within ``tolerance`` of (1,1)."""
+        x, y = self.centroid(protocol)
+        return abs(x - 1.0) <= tolerance and abs(y - 1.0) <= tolerance
+
+
+def _mixed_half_schedule(protocol: str, utilization: float, duration: float,
+                         seed: int) -> List[ScheduledFlow]:
+    # Identical arrivals to the pure runs; every other flow swaps to TCP.
+    base = short_flow_schedule(protocol, utilization, duration, seed)
+    return [
+        ScheduledFlow(f.time, f.size, "tcp" if i % 2 else protocol, f.kind)
+        for i, f in enumerate(base)
+    ]
+
+
+def run(
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    utilizations: Sequence[float] = DEFAULT_UTILIZATIONS,
+    duration: float = 30.0,
+    seed: int = 0,
+    n_pairs: int = 16,
+) -> Fig14Result:
+    """Run the pure and mixed scenarios and form the scatter."""
+    points: Dict[Tuple[str, float], Tuple[float, float]] = {}
+    pure_tcp_means: Dict[float, float] = {}
+    for utilization in utilizations:
+        pure_tcp = run_workload(
+            short_flow_schedule("tcp", utilization, duration, seed),
+            seed=derive_seed(seed, "fig14:pure-tcp"), n_pairs=n_pairs,
+        )
+        pure_tcp_means[utilization] = pure_tcp.mean_fct(penalty=60.0)
+    for protocol in protocols:
+        for utilization in utilizations:
+            pure = run_workload(
+                short_flow_schedule(protocol, utilization, duration, seed),
+                seed=derive_seed(seed, f"fig14:pure-{protocol}"),
+                n_pairs=n_pairs,
+            )
+            pure_mean = pure.mean_fct(penalty=60.0)
+            mix = run_workload(
+                _mixed_half_schedule(protocol, utilization, duration, seed),
+                seed=derive_seed(seed, f"fig14:mix-{protocol}"),
+                n_pairs=n_pairs,
+            )
+            tcp_in_mix = mix.filtered(protocol="tcp").mean_fct(penalty=60.0)
+            proto_in_mix = mix.filtered(protocol=protocol).mean_fct(penalty=60.0)
+            points[(protocol, utilization)] = (
+                tcp_in_mix / pure_tcp_means[utilization],
+                proto_in_mix / pure_mean,
+            )
+    return Fig14Result(points=points)
+
+
+def format_report(result: Fig14Result) -> str:
+    """Centroids and friendliness verdicts."""
+    protocols = sorted({name for name, _ in result.points})
+    rows = []
+    for protocol in protocols:
+        x, y = result.centroid(protocol)
+        rows.append([
+            protocol, f"{x:.3f}", f"{y:.3f}",
+            "friendly" if result.is_friendly(protocol) else "unfriendly",
+        ])
+    return render_table(
+        ["scheme", "TCP slowdown (x)", "self slowdown (y)", "verdict"],
+        rows, title="Fig. 14 — TCP-friendliness (1.0 = unaffected)",
+    )

@@ -1,0 +1,185 @@
+"""Fig. 15: effect of a short flow on an ongoing flow's throughput.
+
+A background TCP flow reaches full bandwidth; a short flow then starts.
+Throughput is counted in 60 ms bins at the receiver, per the paper.
+Four panels:
+
+* (a) the *optimal* reference — the background flow instantly yields
+  half the bottleneck while the short flow transfers, then instantly
+  recovers (computed analytically, no protocol can beat it);
+* (b) the short flow runs Halfback — the background flow dips (its
+  paced burst fills the queue) and takes seconds of AIMD to regain
+  full rate, but the short flow finishes very fast;
+* (c) one TCP short flow — the background dip is milder but the short
+  flow takes much longer;
+* (d) two TCP short flows with half the size each — what applications
+  actually do today, disturbing the background flow comparably to
+  Halfback while still finishing later.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.net.monitor import FlowThroughputMonitor
+from repro.sim.randomness import derive_seed
+from repro.sim.simulator import Simulator
+from repro.experiments.report import render_table
+from repro.experiments.runner import ScheduledFlow, TrafficRunner
+from repro.experiments.scenarios import SHORT_FLOW_BYTES, build_emulab
+
+__all__ = ["Fig15Result", "run", "format_report", "SCENARIOS"]
+
+SCENARIOS = ("optimal", "halfback", "one-tcp", "two-tcp")
+
+#: Paper bin width (§4.3.4): 60 ms.
+BIN_WIDTH = 0.060
+
+
+@dataclass
+class Fig15Result:
+    """Binned throughput series per scenario."""
+
+    bin_width: float
+    start_time: float                      # when the short flow(s) start
+    bottleneck_rate: float                 # bytes/second
+    #: scenario -> {"background": series, "short": series, ...} in bytes/s.
+    series: Dict[str, Dict[str, List[float]]]
+    #: scenario -> short-flow FCT(s) in seconds.
+    short_fcts: Dict[str, List[float]]
+
+    def dip_depth(self, scenario: str) -> float:
+        """The background flow's lowest throughput after the short flow
+        starts, as a fraction of the bottleneck rate (1.0 = no dip)."""
+        background = self.series[scenario]["background"]
+        start_bin = int(self.start_time / self.bin_width)
+        tail = background[start_bin:]
+        if not tail:
+            return 1.0
+        return min(tail) / self.bottleneck_rate
+
+    def recovery_time(self, scenario: str, threshold: float = 0.9) -> Optional[float]:
+        """Seconds from the background flow's post-disturbance *dip* until
+        it again sustains ``threshold`` of the bottleneck for two
+        consecutive bins.  0.0 means it never dipped below the threshold."""
+        background = self.series[scenario]["background"]
+        start_bin = int(self.start_time / self.bin_width)
+        target = threshold * self.bottleneck_rate
+        dip_bin = None
+        for i in range(start_bin, len(background)):
+            if background[i] < target:
+                dip_bin = i
+                break
+        if dip_bin is None:
+            return 0.0
+        for i in range(dip_bin, len(background) - 1):
+            if background[i] >= target and background[i + 1] >= target:
+                return (i - dip_bin) * self.bin_width
+        return None
+
+
+def _run_scenario(
+    scenario: str,
+    start_time: float,
+    horizon: float,
+    seed: int,
+    flow_size: int,
+) -> Dict[str, object]:
+    sim = Simulator(seed=derive_seed(seed, f"fig15:{scenario}"))
+    net = build_emulab(sim, n_pairs=3)
+    monitor = FlowThroughputMonitor(bin_width=BIN_WIDTH)
+    runner = TrafficRunner(sim, net, drain_time=horizon,
+                           throughput_monitor=monitor)
+    background_size = int(net.bottleneck_rate * (horizon + 20.0))
+    background = runner.schedule(
+        [ScheduledFlow(0.0, background_size, "tcp", kind="long")]
+    )[0]
+    if scenario == "halfback":
+        shorts = runner.schedule(
+            [ScheduledFlow(start_time, flow_size, "halfback")]
+        )
+    elif scenario == "one-tcp":
+        shorts = runner.schedule(
+            [ScheduledFlow(start_time, flow_size, "tcp")]
+        )
+    elif scenario == "two-tcp":
+        shorts = runner.schedule([
+            ScheduledFlow(start_time, flow_size // 2, "tcp"),
+            ScheduledFlow(start_time, flow_size - flow_size // 2, "tcp"),
+        ])
+    else:
+        shorts = []
+    sim.run(until=horizon)
+    series: Dict[str, List[float]] = {
+        "background": monitor.series(background.spec.flow_id, horizon),
+    }
+    for i, record in enumerate(shorts):
+        name = "short" if len(shorts) == 1 else f"short{i + 1}"
+        series[name] = monitor.series(record.spec.flow_id, horizon)
+    fcts = [r.fct for r in shorts if r.fct is not None]
+    return {"series": series, "fcts": fcts, "rate": net.bottleneck_rate}
+
+
+def _optimal_series(start_time: float, horizon: float, rate: float,
+                    flow_size: int) -> Dict[str, List[float]]:
+    """The ideal panel: instant fair sharing, instant recovery."""
+    n_bins = int(horizon / BIN_WIDTH) + 1
+    share_duration = flow_size / (rate / 2.0)
+    background: List[float] = []
+    short: List[float] = []
+    for i in range(n_bins):
+        t = i * BIN_WIDTH
+        if start_time <= t < start_time + share_duration:
+            background.append(rate / 2.0)
+            short.append(rate / 2.0)
+        else:
+            background.append(rate)
+            short.append(0.0)
+    return {"background": background, "short": short}
+
+
+def run(
+    scenarios: Sequence[str] = SCENARIOS,
+    start_time: float = 10.0,
+    horizon: float = 16.0,
+    seed: int = 0,
+    flow_size: int = SHORT_FLOW_BYTES,
+) -> Fig15Result:
+    """Run the four panels."""
+    series: Dict[str, Dict[str, List[float]]] = {}
+    fcts: Dict[str, List[float]] = {}
+    rate = 0.0
+    for scenario in scenarios:
+        if scenario == "optimal":
+            continue
+        outcome = _run_scenario(scenario, start_time, horizon, seed, flow_size)
+        series[scenario] = outcome["series"]          # type: ignore[assignment]
+        fcts[scenario] = outcome["fcts"]              # type: ignore[assignment]
+        rate = outcome["rate"]                        # type: ignore[assignment]
+    if "optimal" in scenarios:
+        if rate == 0.0:
+            from repro.experiments.scenarios import EMULAB
+            rate = EMULAB.bottleneck_rate
+        series["optimal"] = _optimal_series(start_time, horizon, rate, flow_size)
+        fcts["optimal"] = [flow_size / (rate / 2.0)]
+    return Fig15Result(bin_width=BIN_WIDTH, start_time=start_time,
+                       bottleneck_rate=rate, series=series, short_fcts=fcts)
+
+
+def format_report(result: Fig15Result) -> str:
+    """Recovery time and short-flow FCT per scenario."""
+    rows = []
+    for scenario in result.series:
+        recovery = result.recovery_time(scenario)
+        fcts = result.short_fcts.get(scenario, [])
+        rows.append([
+            scenario,
+            f"{result.dip_depth(scenario) * 100:.0f}%",
+            f"{recovery:.2f}s" if recovery is not None else ">horizon",
+            ", ".join(f"{f * 1000:.0f}ms" for f in fcts) if fcts else "-",
+        ])
+    return render_table(
+        ["scenario", "background dip", "recovery to 90%", "short-flow FCT"],
+        rows, title="Fig. 15 — throughput impact on an ongoing flow",
+    )

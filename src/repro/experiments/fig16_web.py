@@ -1,0 +1,221 @@
+"""Fig. 16: application-level web response time vs utilization.
+
+Clients request the front page of a random catalog site; the server
+sends every object over short flows through a browser-like connection
+pool (base document first, then up to six concurrent object fetches).
+Response time is first-request to last-object-delivered.  Paper shape:
+JumpStart — flow-level FCT winner — *loses* at the application level,
+crossing above TCP near 30 % utilization (592 ms / 27 % worse than
+Halfback there) because a page's concurrent flows create transient
+overload its bursty recovery cannot handle; Halfback crosses TCP only
+around 55 %.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence
+
+from repro.metrics.stats import mean
+from repro.protocols.registry import ProtocolContext
+from repro.sim.randomness import derive_seed
+from repro.sim.simulator import Simulator
+from repro.transport.config import TransportConfig
+from repro.transport.flow import FlowRecord
+from repro.experiments.report import render_table
+from repro.experiments.runner import launch_flow
+from repro.experiments.scenarios import build_emulab
+from repro.workloads.arrivals import PoissonArrivals, wire_bytes_for_payload
+from repro.workloads.web import BrowserModel, WebPage, build_catalog
+import random
+
+__all__ = ["PageLoad", "Fig16Result", "run", "format_report"]
+
+DEFAULT_PROTOCOLS = ("tcp", "tcp-10", "jumpstart", "halfback")
+DEFAULT_UTILIZATIONS = (0.10, 0.20, 0.30, 0.40, 0.50, 0.60)
+
+
+class PageLoad:
+    """Orchestrates one page request over a connection pool.
+
+    The base document is fetched first (a page cannot reference its
+    sub-resources before the HTML arrives); the remaining objects then
+    stream through up to ``browser.max_connections`` concurrent flows.
+    """
+
+    def __init__(self, sim, net, pair_index, page: WebPage, protocol: str,
+                 browser: BrowserModel, config, context,
+                 on_done=None) -> None:
+        self.sim = sim
+        self.net = net
+        self.pair_index = pair_index
+        self.page = page
+        self.protocol = protocol
+        self.browser = browser
+        self.config = config
+        self.context = context
+        self.on_done = on_done
+        self.start_time = sim.now
+        self.finish_time: Optional[float] = None
+        self.records: List[FlowRecord] = []
+        self._pending: Deque = deque()
+        self._active = 0
+        self._failed = False
+        for obj in browser.initial_batch(page):
+            self._fetch(obj)
+        self._base_outstanding = browser.fetch_base_first
+
+    # ------------------------------------------------------------------
+
+    @property
+    def response_time(self) -> Optional[float]:
+        """Seconds from request to last object, or None if unfinished."""
+        if self.finish_time is None:
+            return None
+        return self.finish_time - self.start_time
+
+    @property
+    def complete(self) -> bool:
+        """True once every object was delivered."""
+        return self.finish_time is not None
+
+    # ------------------------------------------------------------------
+
+    def _fetch(self, obj) -> None:
+        self._active += 1
+        settled = {"done": False}
+
+        def finish(_record) -> None:
+            if not settled["done"]:
+                settled["done"] = True
+                self._flow_done()
+
+        record = launch_flow(
+            self.sim, self.net, self.protocol, obj.size,
+            pair_index=self.pair_index, kind="web-object",
+            config=self.config, context=self.context,
+            on_complete=finish,
+        )
+        self.records.append(record)
+        # Abandoned flows (collapse regime) must not wedge the page:
+        # declare failure at the transport's give-up deadline.
+        deadline = record.spec.start_time + self.config.max_flow_duration
+
+        def give_up() -> None:
+            if not settled["done"]:
+                settled["done"] = True
+                self._failed = True
+                self._flow_done()
+
+        self.sim.schedule_at(deadline + 0.001, give_up)
+
+    def _flow_done(self) -> None:
+        self._active -= 1
+        if self._base_outstanding:
+            self._base_outstanding = False
+            self._pending.extend(self.browser.after_base(self.page))
+        while self._active < self.browser.max_connections and self._pending:
+            self._fetch(self._pending.popleft())
+        if self._active == 0 and not self._pending:
+            if not self._failed:
+                self.finish_time = self.sim.now
+            if self.on_done is not None:
+                self.on_done(self)
+
+
+@dataclass
+class Fig16Result:
+    """Mean response time per (scheme, utilization)."""
+
+    utilizations: List[float]
+    #: scheme -> per-utilization mean response time (seconds; penalized).
+    curves: Dict[str, List[float]]
+    #: scheme -> per-utilization completed-page fraction.
+    completion: Dict[str, List[float]]
+
+    def crossover_with(self, protocol: str, baseline: str = "tcp") -> Optional[float]:
+        """Lowest utilization where ``protocol`` is slower than
+        ``baseline`` (the paper's JumpStart-vs-TCP crossing)."""
+        for i, utilization in enumerate(self.utilizations):
+            if self.curves[protocol][i] > self.curves[baseline][i]:
+                return utilization
+        return None
+
+
+def _run_cell(protocol: str, utilization: float, duration: float, seed: int,
+              n_pairs: int, catalog: Sequence[WebPage],
+              browser: BrowserModel, penalty: float) -> Dict[str, float]:
+    sim = Simulator(seed=derive_seed(seed, f"fig16:{protocol}:{utilization}"))
+    net = build_emulab(sim, n_pairs=n_pairs)
+    config = TransportConfig()
+    context = ProtocolContext()
+    mean_page_bytes = mean([float(p.total_bytes) for p in catalog])
+    request_rate = (utilization * net.bottleneck_rate
+                    / wire_bytes_for_payload(mean_page_bytes))
+    rng = random.Random(derive_seed(seed, f"fig16-arrivals:{utilization}"))
+    arrivals = list(PoissonArrivals(request_rate).times(rng, duration))
+    pages = [catalog[rng.randrange(len(catalog))] for _ in arrivals]
+    loads: List[PageLoad] = []
+
+    def start(index: int) -> None:
+        loads.append(PageLoad(
+            sim, net, index, pages[index], protocol, browser, config, context,
+        ))
+
+    for index, when in enumerate(arrivals):
+        sim.schedule_at(when, start, index)
+    sim.run(until=duration + 60.0)
+    times = [load.response_time if load.response_time is not None else penalty
+             for load in loads]
+    done = [load.complete for load in loads]
+    return {
+        "mean": (sum(times) / len(times)) if times else 0.0,
+        "completion": (sum(done) / len(done)) if done else 0.0,
+    }
+
+
+def run(
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    utilizations: Sequence[float] = DEFAULT_UTILIZATIONS,
+    duration: float = 40.0,
+    seed: int = 0,
+    n_pairs: int = 16,
+    catalog: Optional[Sequence[WebPage]] = None,
+    max_connections: int = 6,
+    penalty: float = 60.0,
+) -> Fig16Result:
+    """Sweep utilization per scheme with the synthetic page catalog."""
+    if catalog is None:
+        catalog = build_catalog()
+    browser = BrowserModel(max_connections=max_connections)
+    curves: Dict[str, List[float]] = {p: [] for p in protocols}
+    completion: Dict[str, List[float]] = {p: [] for p in protocols}
+    for protocol in protocols:
+        for utilization in utilizations:
+            cell = _run_cell(protocol, utilization, duration, seed, n_pairs,
+                             catalog, browser, penalty)
+            curves[protocol].append(cell["mean"])
+            completion[protocol].append(cell["completion"])
+    return Fig16Result(utilizations=list(utilizations), curves=curves,
+                       completion=completion)
+
+
+def format_report(result: Fig16Result) -> str:
+    """Mean response times plus the TCP crossovers."""
+    headers = ["scheme"] + [f"{u * 100:.0f}%" for u in result.utilizations]
+    rows = [[p] + [f"{v:.2f}s" for v in curve]
+            for p, curve in result.curves.items()]
+    table = render_table(headers, rows,
+                         title="Fig. 16 — mean web response time")
+    extras = []
+    for protocol in result.curves:
+        if protocol == "tcp":
+            continue
+        crossover = result.crossover_with(protocol)
+        extras.append(
+            f"{protocol} crosses above TCP at: "
+            + (f"{crossover * 100:.0f}%" if crossover is not None
+               else "never (within sweep)")
+        )
+    return "\n".join([table] + extras)

@@ -1,0 +1,67 @@
+"""The shared PlanetLab trial set behind Figs. 5-8.
+
+The paper's §4.2.1 experiment is one run set reused by four figures:
+100 KB flows over ~2.6 K Internet paths, per protocol.  This module
+runs that set once (scaled by ``n_paths``) and the figure modules
+post-process the same trials.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.metrics.fct import FctCollector
+from repro.experiments.scenarios import (
+    PROTOCOLS_MAIN,
+    SHORT_FLOW_BYTES,
+    run_single_path_flow,
+)
+from repro.planetlab.paths import PathPopulation, PathSpec
+
+__all__ = ["PlanetlabTrials", "run_planetlab_trials"]
+
+#: Full-scale path count matching the paper.
+FULL_SCALE_PAIRS = 2600
+
+
+@dataclass
+class PlanetlabTrials:
+    """All protocols' trials over one path population."""
+
+    paths: List[PathSpec]
+    by_protocol: Dict[str, FctCollector]
+
+    def protocols(self) -> List[str]:
+        """Protocol names in insertion order."""
+        return list(self.by_protocol)
+
+    def collector(self, protocol: str) -> FctCollector:
+        """Trials for one protocol."""
+        return self.by_protocol[protocol]
+
+
+def run_planetlab_trials(
+    n_paths: int = 260,
+    protocols: Sequence[str] = PROTOCOLS_MAIN,
+    seed: int = 42,
+    flow_size: int = SHORT_FLOW_BYTES,
+    population: Optional[PathPopulation] = None,
+) -> PlanetlabTrials:
+    """Run one flow per (path, protocol).
+
+    ``n_paths=2600`` reproduces the paper's scale; the default is a
+    tenth of that for laptop-friendly benchmark runs.  Identical seeds
+    give identical paths and loss processes across protocols.
+    """
+    if population is None:
+        population = PathPopulation(n_pairs=n_paths, seed=seed)
+    paths = population.subset(min(n_paths, len(population)))
+    by_protocol: Dict[str, FctCollector] = {}
+    for protocol in protocols:
+        collector = FctCollector()
+        for spec in paths:
+            collector.add(run_single_path_flow(spec, protocol,
+                                               size=flow_size, seed=seed))
+        by_protocol[protocol] = collector
+    return PlanetlabTrials(paths=paths, by_protocol=by_protocol)

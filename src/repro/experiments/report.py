@@ -1,0 +1,111 @@
+"""Plain-text rendering of experiment results.
+
+Every experiment module produces typed result objects; these helpers
+turn them into the aligned text tables the benchmarks print and
+EXPERIMENTS.md quotes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+__all__ = ["render_table", "format_ms", "format_pct", "cdf_summary_rows",
+           "render_ascii_curves"]
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_ms(seconds: float) -> str:
+    """Seconds -> millisecond string."""
+    return f"{seconds * 1000:.1f}ms"
+
+
+def format_pct(fraction: float) -> str:
+    """Fraction -> percent string."""
+    return f"{fraction * 100:.1f}%"
+
+
+def render_ascii_curves(
+    series: Sequence[Tuple[str, Sequence[Tuple[float, float]]]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render (x, y) curves as an ASCII plot (one marker per scheme).
+
+    Good enough to eyeball a CDF or sweep curve straight from the
+    terminal; the benchmarks print these so ``bench_output.txt`` shows
+    the figure shapes, not just numbers.
+    """
+    points = [(x, y) for _, curve in series for x, y in curve]
+    if not points:
+        return title or "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "o+x*#@%&$~"
+    for index, (name, curve) in enumerate(series):
+        mark = markers[index % len(markers)]
+        for x, y in curve:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = mark
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if y_label:
+        lines.append(f"{y_label} (top={y_hi:.4g}, bottom={y_lo:.4g})")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    footer = f" {x_lo:.4g} .. {x_hi:.4g}"
+    if x_label:
+        footer += f" ({x_label})"
+    lines.append(footer)
+    legend = "  ".join(f"{markers[i % len(markers)]}={name}"
+                       for i, (name, _) in enumerate(series))
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def cdf_summary_rows(
+    series: Sequence[Tuple[str, Sequence[float]]],
+    unit_scale: float = 1000.0,
+    unit: str = "ms",
+) -> List[List[str]]:
+    """Summarize per-scheme distributions as p25/p50/p90/p99 rows."""
+    from repro.metrics.stats import percentile
+
+    rows: List[List[str]] = []
+    for name, values in series:
+        if not values:
+            rows.append([name, "-", "-", "-", "-", "-"])
+            continue
+        rows.append([
+            name,
+            str(len(values)),
+            f"{percentile(values, 25) * unit_scale:.1f}{unit}",
+            f"{percentile(values, 50) * unit_scale:.1f}{unit}",
+            f"{percentile(values, 90) * unit_scale:.1f}{unit}",
+            f"{percentile(values, 99) * unit_scale:.1f}{unit}",
+        ])
+    return rows

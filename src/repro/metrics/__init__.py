@@ -1,0 +1,33 @@
+"""Measurement and analysis helpers."""
+
+from repro.metrics.collapse import (
+    SweepPoint,
+    collapse_factor_curve,
+    feasible_capacity,
+)
+from repro.metrics.fct import FctCollector
+from repro.metrics.stats import (
+    SummaryStats,
+    ccdf_points,
+    cdf_points,
+    mean,
+    median,
+    percentile,
+    stddev,
+    summarize,
+)
+
+__all__ = [
+    "FctCollector",
+    "SummaryStats",
+    "SweepPoint",
+    "ccdf_points",
+    "cdf_points",
+    "collapse_factor_curve",
+    "feasible_capacity",
+    "mean",
+    "median",
+    "percentile",
+    "stddev",
+    "summarize",
+]

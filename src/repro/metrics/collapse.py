@@ -1,0 +1,88 @@
+"""Feasible-capacity (collapse-point) detection.
+
+The paper defines *feasible network utilization* as "the maximum
+network utilization achievable before the throughput collapses" and
+reads it off utilization-sweep curves like Fig. 12: the point where a
+scheme's mean FCT (or failure rate) spikes.
+
+:func:`feasible_capacity` formalizes that: given (utilization, mean
+FCT) points, find the highest utilization such that every point at or
+below it stays within ``factor`` times the low-load baseline FCT and
+meets a completion-rate floor.  This is intentionally a *conservative*
+reading — the first violation caps the feasible region even if a later
+point dips back down (noise above the collapse knee is not "feasible").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SweepPoint", "feasible_capacity", "collapse_factor_curve"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One utilization-sweep measurement for one scheme."""
+
+    utilization: float          # offered load as a fraction of capacity
+    mean_fct: float             # seconds (penalized for incompletions)
+    completion_rate: float = 1.0
+
+
+def feasible_capacity(
+    points: Sequence[SweepPoint],
+    factor: float = 3.0,
+    min_completion: float = 0.95,
+    baseline_fct: Optional[float] = None,
+) -> float:
+    """Highest sustainable utilization before collapse.
+
+    Parameters
+    ----------
+    points:
+        Sweep measurements; sorted internally by utilization.
+    factor:
+        Collapse threshold: mean FCT above ``factor * baseline`` marks
+        the knee.
+    min_completion:
+        A completion rate below this also marks collapse (flows piling
+        up unfinished is throughput collapse even if the finished ones
+        look fast).
+    baseline_fct:
+        Reference FCT; defaults to the lowest-utilization point's mean
+        (the scheme's own unloaded behaviour, so conservative schemes
+        are not penalized for being slow everywhere).
+    """
+    if not points:
+        raise ConfigurationError("feasible_capacity needs at least one point")
+    if factor <= 1.0:
+        raise ConfigurationError("collapse factor must exceed 1.0")
+    ordered = sorted(points, key=lambda p: p.utilization)
+    baseline = baseline_fct if baseline_fct is not None else ordered[0].mean_fct
+    if baseline <= 0:
+        raise ConfigurationError("baseline FCT must be positive")
+    feasible = 0.0
+    for point in ordered:
+        if point.mean_fct > factor * baseline:
+            break
+        if point.completion_rate < min_completion:
+            break
+        feasible = point.utilization
+    return feasible
+
+
+def collapse_factor_curve(
+    points: Sequence[SweepPoint],
+    baseline_fct: Optional[float] = None,
+) -> List[float]:
+    """Each point's FCT as a multiple of the baseline (diagnostics)."""
+    if not points:
+        return []
+    ordered = sorted(points, key=lambda p: p.utilization)
+    baseline = baseline_fct if baseline_fct is not None else ordered[0].mean_fct
+    if baseline <= 0:
+        raise ConfigurationError("baseline FCT must be positive")
+    return [p.mean_fct / baseline for p in ordered]

@@ -1,0 +1,133 @@
+"""Flow-completion-time collection over runs.
+
+:class:`FctCollector` aggregates :class:`~repro.transport.flow.FlowRecord`
+objects and answers the questions every figure asks: mean/percentile
+FCT, completion rate, retransmission counts, with filtering by flow
+kind and protocol.  Incomplete flows (those that never finished inside
+the experiment horizon) are *censored*: they are excluded from FCT
+statistics but reported via :meth:`completion_rate`, and optionally
+assigned a penalty FCT for collapse detection.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.metrics.stats import SummaryStats, summarize
+from repro.transport.flow import FlowRecord
+
+__all__ = ["FctCollector"]
+
+
+class FctCollector:
+    """Aggregates flow records and computes FCT statistics."""
+
+    def __init__(self, records: Optional[Iterable[FlowRecord]] = None) -> None:
+        self.records: List[FlowRecord] = list(records) if records else []
+
+    def add(self, record: FlowRecord) -> None:
+        """Append one finished (or abandoned) flow record."""
+        self.records.append(record)
+
+    # ------------------------------------------------------------------
+    # Filtering
+    # ------------------------------------------------------------------
+
+    def filtered(
+        self,
+        protocol: Optional[str] = None,
+        kind: Optional[str] = None,
+        predicate: Optional[Callable[[FlowRecord], bool]] = None,
+    ) -> "FctCollector":
+        """A new collector restricted to matching records."""
+        selected = [
+            r for r in self.records
+            if (protocol is None or r.spec.protocol == protocol)
+            and (kind is None or r.spec.kind == kind)
+            and (predicate is None or predicate(r))
+        ]
+        return FctCollector(selected)
+
+    def lossy(self) -> "FctCollector":
+        """Only flows where packet loss happened — the paper's Fig. 8
+        subset.  Uses the simulator's ground-truth drop counts when the
+        runner recorded them (``record.extra["drops"]``), falling back to
+        sender-observed loss signals."""
+        def saw_loss(r: FlowRecord) -> bool:
+            drops = r.extra.get("drops")
+            if drops is not None:
+                return drops > 0
+            return r.normal_retransmissions > 0 or r.timeouts > 0
+
+        return self.filtered(predicate=saw_loss)
+
+    def lossless(self) -> "FctCollector":
+        """Complement of :meth:`lossy`."""
+        lossy_ids = {id(r) for r in self.lossy().records}
+        return FctCollector([r for r in self.records if id(r) not in lossy_ids])
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    def fcts(self, penalty: Optional[float] = None) -> List[float]:
+        """Completed flows' FCTs (seconds); incomplete flows contribute
+        ``penalty`` when given, otherwise they are censored."""
+        values: List[float] = []
+        for record in self.records:
+            fct = record.fct
+            if fct is not None:
+                values.append(fct)
+            elif penalty is not None:
+                values.append(penalty)
+        return values
+
+    def mean_fct(self, penalty: Optional[float] = None) -> float:
+        """Mean FCT in seconds."""
+        values = self.fcts(penalty=penalty)
+        if not values:
+            raise ConfigurationError("no completed flows to average")
+        return sum(values) / len(values)
+
+    def summary(self, penalty: Optional[float] = None) -> SummaryStats:
+        """Full FCT summary statistics."""
+        return summarize(self.fcts(penalty=penalty))
+
+    def completion_rate(self) -> float:
+        """Fraction of flows that completed inside the horizon."""
+        if not self.records:
+            return 0.0
+        done = sum(1 for r in self.records if r.completed)
+        return done / len(self.records)
+
+    def rtt_counts(self) -> List[float]:
+        """FCT normalized by handshake RTT per flow (Fig. 7)."""
+        values = []
+        for record in self.records:
+            count = record.rtts_used()
+            if count is not None:
+                values.append(count)
+        return values
+
+    def normal_retransmissions(self) -> List[int]:
+        """Per-flow normal retransmission counts (Figs. 5 and 10b)."""
+        return [r.normal_retransmissions for r in self.records]
+
+    def mean_normal_retransmissions(self) -> float:
+        """Mean normal retransmissions per flow."""
+        counts = self.normal_retransmissions()
+        return sum(counts) / len(counts) if counts else 0.0
+
+    def proactive_retransmissions(self) -> List[int]:
+        """Per-flow proactive retransmission counts."""
+        return [r.proactive_retransmissions for r in self.records]
+
+    def loss_fraction(self) -> float:
+        """Fraction of flows that saw any loss signal."""
+        if not self.records:
+            return 0.0
+        return len(self.lossy().records) / len(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,37 @@
+"""Packet network substrate (substrate 2): packets, links, queues,
+nodes, topologies and monitors."""
+
+from repro.net.aqm import CoDelQueue
+from repro.net.link import Link, LinkStats
+from repro.net.monitor import (
+    FlowThroughputMonitor,
+    LinkUtilizationMonitor,
+    QueueDepthMonitor,
+    UtilizationSample,
+)
+from repro.net.node import Host, Node, Router
+from repro.net.packet import Packet, PacketType
+from repro.net.queue import DropTailQueue, QueueStats, REDQueue
+from repro.net.topology import AccessNetwork, Topology, access_network, dumbbell
+
+__all__ = [
+    "AccessNetwork",
+    "CoDelQueue",
+    "DropTailQueue",
+    "FlowThroughputMonitor",
+    "Host",
+    "Link",
+    "LinkStats",
+    "LinkUtilizationMonitor",
+    "Node",
+    "Packet",
+    "PacketType",
+    "QueueDepthMonitor",
+    "QueueStats",
+    "REDQueue",
+    "Router",
+    "Topology",
+    "UtilizationSample",
+    "access_network",
+    "dumbbell",
+]

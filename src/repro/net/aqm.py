@@ -1,0 +1,114 @@
+"""CoDel active queue management (extension).
+
+§6 notes that AQM (CoDel [27], PIE [29]) attacks bufferbloat by
+reducing queueing *delay* and is "fully complementary" to reducing the
+number of RTTs — "the improvements multiply".  This module provides a
+simplified CoDel so that claim can be exercised in simulation (see
+``tests/net/test_aqm.py`` and the AQM sensitivity example).
+
+The control law follows the CoDel sketch: track each packet's sojourn
+time; once sojourn exceeds ``target`` continuously for ``interval``,
+enter a dropping state that drops one packet and then again after
+``interval / sqrt(count)``, leaving the state when sojourn falls below
+target.  Sojourn is evaluated at dequeue, which is where CoDel acts.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from repro.errors import ConfigurationError
+from repro.net.packet import Packet
+from repro.net.queue import DropTailQueue
+
+__all__ = ["CoDelQueue"]
+
+#: CoDel's recommended target sojourn time (5 ms).
+DEFAULT_TARGET = 0.005
+#: CoDel's recommended sliding interval (100 ms).
+DEFAULT_INTERVAL = 0.100
+
+
+class CoDelQueue(DropTailQueue):
+    """Drop-tail capacity + CoDel dequeue-time dropping.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Hard byte bound (CoDel still needs a physical buffer).
+    clock:
+        Callable returning current simulated time (pass ``lambda:
+        sim.now``); queues are below the simulator layer so they take
+        the clock explicitly.
+    target, interval:
+        The CoDel constants.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        clock: Callable[[], float],
+        target: float = DEFAULT_TARGET,
+        interval: float = DEFAULT_INTERVAL,
+    ) -> None:
+        super().__init__(capacity_bytes)
+        if target <= 0 or interval <= 0:
+            raise ConfigurationError("target and interval must be positive")
+        self.clock = clock
+        self.target = target
+        self.interval = interval
+        self._entry_times: Deque[float] = deque()
+        self._first_above: Optional[float] = None
+        self._dropping = False
+        self._drop_next = 0.0
+        self._drop_count = 0
+        self.codel_drops = 0
+
+    # ------------------------------------------------------------------
+
+    def enqueue(self, packet: Packet) -> bool:
+        admitted = super().enqueue(packet)
+        if admitted:
+            self._entry_times.append(self.clock())
+        return admitted
+
+    def dequeue(self) -> Optional[Packet]:
+        while True:
+            packet = super().dequeue()
+            if packet is None:
+                self._first_above = None
+                self._dropping = False
+                return None
+            sojourn = self.clock() - self._entry_times.popleft()
+            if self._should_drop(sojourn):
+                self.codel_drops += 1
+                self.stats.dropped += 1
+                self.stats.bytes_dropped += packet.size
+                continue  # drop and look at the next packet
+            return packet
+
+    # ------------------------------------------------------------------
+
+    def _should_drop(self, sojourn: float) -> bool:
+        now = self.clock()
+        if sojourn < self.target:
+            self._first_above = None
+            self._dropping = False
+            return False
+        if self._first_above is None:
+            self._first_above = now + self.interval
+            return False
+        if self._dropping:
+            if now >= self._drop_next:
+                self._drop_count += 1
+                self._drop_next = now + self.interval / math.sqrt(self._drop_count)
+                return True
+            return False
+        if now >= self._first_above:
+            self._dropping = True
+            self._drop_count = 1
+            self._drop_next = now + self.interval
+            return True
+        return False

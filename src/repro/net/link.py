@@ -1,0 +1,151 @@
+"""Unidirectional links.
+
+A :class:`Link` models one direction of a wire: an egress queue at the
+sending side, a serializer limited to ``rate`` bytes/second (one packet
+at a time), a fixed propagation ``delay``, and an optional random loss
+process applied in flight (used for wireless access profiles).
+
+Full-duplex connectivity is built from two links; see
+:meth:`repro.net.topology.Topology.connect`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.net.packet import Packet
+from repro.net.queue import DropTailQueue
+
+__all__ = ["Link", "LinkStats"]
+
+
+class LinkStats:
+    """Delivery counters for one link direction."""
+
+    __slots__ = ("packets_sent", "bytes_sent", "packets_delivered",
+                 "bytes_delivered", "packets_lost_inflight")
+
+    def __init__(self) -> None:
+        self.packets_sent = 0
+        self.bytes_sent = 0
+        self.packets_delivered = 0
+        self.bytes_delivered = 0
+        self.packets_lost_inflight = 0
+
+
+class Link:
+    """One direction of a point-to-point link.
+
+    Parameters
+    ----------
+    sim:
+        The simulator this link schedules on.
+    name:
+        Diagnostic name, e.g. ``"r1->r2"``.
+    dst:
+        The receiving node (anything with a ``receive(packet)`` method).
+    rate:
+        Serialization rate in **bytes per second**.
+    delay:
+        One-way propagation delay in seconds.
+    queue:
+        Egress queue; defaults to a large drop-tail queue (effectively
+        unbounded for edge links).
+    loss_rate:
+        Probability each serialized packet is lost in flight.
+    """
+
+    def __init__(
+        self,
+        sim,
+        name: str,
+        dst,
+        rate: float,
+        delay: float,
+        queue: Optional[DropTailQueue] = None,
+        loss_rate: float = 0.0,
+    ) -> None:
+        if rate <= 0:
+            raise ConfigurationError(f"link {name!r}: rate must be positive")
+        if delay < 0:
+            raise ConfigurationError(f"link {name!r}: delay must be non-negative")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ConfigurationError(f"link {name!r}: loss_rate must be in [0,1)")
+        self.sim = sim
+        self.name = name
+        self.dst = dst
+        self.rate = rate
+        self.delay = delay
+        self.queue = queue if queue is not None else DropTailQueue(1 << 30)
+        self.loss_rate = loss_rate
+        self._loss_rng = sim.streams.get(f"link-loss:{name}") if loss_rate else None
+        self._busy = False
+        self.stats = LinkStats()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def busy(self) -> bool:
+        """True while a packet is being serialized."""
+        return self._busy
+
+    def set_loss(self, loss_rate: float) -> None:
+        """Install (or change) this link's random in-flight loss rate."""
+        if not 0.0 <= loss_rate < 1.0:
+            raise ConfigurationError(f"link {self.name!r}: loss_rate must be in [0,1)")
+        self.loss_rate = loss_rate
+        self._loss_rng = (
+            self.sim.streams.get(f"link-loss:{self.name}") if loss_rate else None
+        )
+
+    def transmission_time(self, packet: Packet) -> float:
+        """Seconds needed to serialize ``packet`` at this link's rate."""
+        return packet.size / self.rate
+
+    def send(self, packet: Packet) -> None:
+        """Offer ``packet`` to this link (queue, then serialize in order)."""
+        if not self.queue.enqueue(packet):
+            self.sim.note_drop(packet.flow_id)
+            self.sim.trace.record(
+                self.sim.now, "queue.drop", self.name,
+                packet=packet.describe(), uid=packet.uid,
+            )
+            return
+        if not self._busy:
+            self._start_transmission()
+
+    # ------------------------------------------------------------------
+
+    def _start_transmission(self) -> None:
+        packet = self.queue.dequeue()
+        if packet is None:
+            self._busy = False
+            return
+        self._busy = True
+        self.stats.packets_sent += 1
+        self.stats.bytes_sent += packet.size
+        self.sim.schedule(self.transmission_time(packet), self._finish_transmission, packet)
+
+    def _finish_transmission(self, packet: Packet) -> None:
+        if self._loss_rng is not None and self._loss_rng.random() < self.loss_rate:
+            self.stats.packets_lost_inflight += 1
+            self.sim.note_drop(packet.flow_id)
+            self.sim.trace.record(
+                self.sim.now, "link.loss", self.name,
+                packet=packet.describe(), uid=packet.uid,
+            )
+        else:
+            self.sim.schedule(self.delay, self._deliver, packet)
+        # Keep the pipe full: start the next packet immediately.
+        self._busy = False
+        if len(self.queue):
+            self._start_transmission()
+
+    def _deliver(self, packet: Packet) -> None:
+        self.stats.packets_delivered += 1
+        self.stats.bytes_delivered += packet.size
+        self.dst.receive(packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Link {self.name} rate={self.rate:.0f}B/s delay={self.delay * 1e3:.1f}ms>"

@@ -1,0 +1,121 @@
+"""Packets.
+
+One packet class covers control (SYN / SYN-ACK / handshake ACK), data
+segments and data ACKs.  Data is modelled at segment granularity: a flow
+of ``n`` payload bytes becomes ``ceil(n / MSS)`` segments indexed
+``0..n-1``; ACKs carry the cumulative next-expected segment index plus up
+to three SACK ranges, mirroring the UDT-with-Selective-ACK transport the
+paper built on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Tuple
+
+from repro.units import HEADER_SIZE
+
+__all__ = ["PacketType", "Packet", "SackRanges"]
+
+#: Up to three SACK ranges per ACK, as in classic TCP SACK option space.
+SackRanges = Tuple[Tuple[int, int], ...]
+
+_packet_ids = itertools.count(1)
+
+
+class PacketType(Enum):
+    """Wire-level packet categories."""
+
+    SYN = "syn"
+    SYN_ACK = "syn_ack"
+    HANDSHAKE_ACK = "handshake_ack"
+    DATA = "data"
+    ACK = "ack"
+    PROBE = "probe"  # PCP probe-train packets
+
+
+@dataclass
+class Packet:
+    """A simulated packet.
+
+    Attributes
+    ----------
+    src, dst:
+        Host names; routing is by ``dst``.
+    flow_id:
+        Demultiplexing key at the destination host.
+    kind:
+        See :class:`PacketType`.
+    size:
+        Total bytes on the wire (header included) — what links serialize
+        and queues count.
+    seq:
+        Segment index for DATA/PROBE; -1 otherwise.
+    ack:
+        Cumulative ACK: the *next expected* segment index; -1 when absent.
+    sack:
+        Up to three ``(start, end)`` half-open ranges of segments received
+        above the cumulative point.
+    echo_time:
+        Timestamp echoed back by the receiver, used for RTT sampling
+        (Karn-safe: senders only stamp first transmissions).
+    retransmit:
+        True for any retransmission (normal or proactive).
+    proactive:
+        True for proactive retransmissions (Halfback ROPR, Proactive TCP
+        duplicates) — excluded from the paper's "normal retransmission"
+        counts.
+    """
+
+    src: str
+    dst: str
+    flow_id: int
+    kind: PacketType
+    size: int
+    seq: int = -1
+    ack: int = -1
+    sack: SackRanges = ()
+    echo_time: float = -1.0
+    retransmit: bool = False
+    proactive: bool = False
+    #: Total flow payload bytes, carried on the SYN so the receiver knows
+    #: when the flow is complete (the simulator's stand-in for an
+    #: application-level content length).
+    flow_bytes: int = -1
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+    #: Hop count, incremented at each router (loop diagnostics).
+    hops: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size < HEADER_SIZE:
+            raise ValueError(
+                f"packet size {self.size} smaller than header ({HEADER_SIZE})"
+            )
+
+    @property
+    def payload(self) -> int:
+        """Payload bytes carried by this packet."""
+        return self.size - HEADER_SIZE
+
+    @property
+    def is_data(self) -> bool:
+        """True for payload-carrying segments (DATA or PROBE)."""
+        return self.kind in (PacketType.DATA, PacketType.PROBE)
+
+    @property
+    def is_control(self) -> bool:
+        """True for handshake packets and ACKs."""
+        return not self.is_data
+
+    def describe(self) -> str:
+        """Short human-readable summary (used in traces and examples)."""
+        parts = [f"{self.kind.value}", f"flow={self.flow_id}"]
+        if self.seq >= 0:
+            parts.append(f"seq={self.seq}")
+        if self.ack >= 0:
+            parts.append(f"ack={self.ack}")
+        if self.retransmit:
+            parts.append("proactive-rtx" if self.proactive else "rtx")
+        return " ".join(parts)

@@ -1,0 +1,120 @@
+"""Home access-network profiles (§4.2.2).
+
+The paper measured four real home connections in Champaign, IL against
+170 PlanetLab servers.  We model each as an access profile — downlink
+bandwidth, extra access RTT, residual (wireless) loss, and a home-router
+buffer — composed with a server population whose RTTs follow the
+PlanetLab spread.  The mechanics the experiment exercises survive the
+substitution: low access bandwidth makes the one-RTT pacing rate exceed
+the downlink (so aggressive start-up overflows the home router's
+buffer), and wireless profiles add residual loss.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import WorkloadError
+from repro.net.topology import AccessNetwork, access_network
+from repro.planetlab.paths import PathSpec
+from repro.sim.simulator import Simulator
+from repro.units import kb, mbps, ms
+
+__all__ = ["HomeNetworkProfile", "HOME_PROFILES", "home_profile",
+           "server_rtts", "build_home_path"]
+
+
+@dataclass(frozen=True)
+class HomeNetworkProfile:
+    """One home access network."""
+
+    name: str
+    downlink: float        # bytes/second
+    access_rtt: float      # extra RTT added by the access segment
+    loss_rate: float       # residual loss (wireless)
+    buffer_bytes: int      # home-router queue (bufferbloat-prone)
+    wireless: bool
+
+
+#: The four §4.2.2 profiles.  Bandwidths follow the paper's description
+#: (AT&T DSL ~6 Mbps, Comcast wired 25 Mbps); ConnectivityU's shared
+#: building WiFi gets moderate bandwidth with loss, its wired service is
+#: clean and fast.
+HOME_PROFILES: Dict[str, HomeNetworkProfile] = {
+    "att-dsl-wireless": HomeNetworkProfile(
+        name="att-dsl-wireless", downlink=mbps(6), access_rtt=ms(30),
+        loss_rate=0.010, buffer_bytes=kb(150), wireless=True,
+    ),
+    "comcast-wired": HomeNetworkProfile(
+        name="comcast-wired", downlink=mbps(25), access_rtt=ms(8),
+        loss_rate=0.0, buffer_bytes=kb(120), wireless=False,
+    ),
+    "connectivityu-wireless": HomeNetworkProfile(
+        name="connectivityu-wireless", downlink=mbps(15), access_rtt=ms(15),
+        loss_rate=0.020, buffer_bytes=kb(100), wireless=True,
+    ),
+    "connectivityu-wired": HomeNetworkProfile(
+        name="connectivityu-wired", downlink=mbps(100), access_rtt=ms(2),
+        loss_rate=0.0, buffer_bytes=kb(200), wireless=False,
+    ),
+}
+
+
+def home_profile(name: str) -> HomeNetworkProfile:
+    """Look up a profile by name."""
+    try:
+        return HOME_PROFILES[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown home profile {name!r}; choose from {sorted(HOME_PROFILES)}"
+        ) from None
+
+
+def server_rtts(n_servers: int = 170, seed: int = 7) -> List[float]:
+    """Server-side RTT components for the PlanetLab server population
+    (seeded; log-normal around ~60 ms, clipped to [5 ms, 350 ms])."""
+    if n_servers <= 0:
+        raise WorkloadError("n_servers must be positive")
+    rng = random.Random(seed)
+    rtts = []
+    for _ in range(n_servers):
+        rtt = rng.lognormvariate(mu=-2.8, sigma=0.7)
+        rtts.append(min(max(rtt, ms(5)), ms(350)))
+    return rtts
+
+
+def build_home_path(
+    sim: Simulator,
+    profile: HomeNetworkProfile,
+    server_rtt: float,
+) -> AccessNetwork:
+    """One server -> home-client path under ``profile``.
+
+    The downlink is the bottleneck; its buffer is the home router's.
+    Residual wireless loss applies to the bottleneck (downstream) link.
+    """
+    net = access_network(
+        sim,
+        n_pairs=1,
+        bottleneck_rate=profile.downlink,
+        rtt=server_rtt + profile.access_rtt,
+        buffer_bytes=profile.buffer_bytes,
+    )
+    if profile.loss_rate > 0:
+        net.bottleneck.set_loss(profile.loss_rate)
+        net.reverse_bottleneck.set_loss(profile.loss_rate / 2.0)
+    return net
+
+
+def to_path_spec(profile: HomeNetworkProfile, server_rtt: float,
+                 pair_id: int = 0) -> PathSpec:
+    """View a (profile, server) combination as a generic path spec."""
+    return PathSpec(
+        pair_id=pair_id,
+        rtt=server_rtt + profile.access_rtt,
+        bottleneck_rate=profile.downlink,
+        buffer_bytes=profile.buffer_bytes,
+        loss_rate=profile.loss_rate,
+    )

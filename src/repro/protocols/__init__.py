@@ -1,0 +1,40 @@
+"""The eight schemes the paper evaluates, plus the §5 ablations."""
+
+from repro.protocols.halfback import HalfbackPhase, HalfbackSender
+from repro.protocols.halfback_variants import (
+    HalfbackBurstSender,
+    HalfbackForwardSender,
+)
+from repro.protocols.jumpstart import JumpStartSender
+from repro.protocols.pcp import PcpSender
+from repro.protocols.proactive import ProactiveTcpSender
+from repro.protocols.reactive import ReactiveTcpSender
+from repro.protocols.registry import (
+    ProtocolContext,
+    available_protocols,
+    create_sender,
+    register_protocol,
+)
+from repro.protocols.tcp import TcpSender
+from repro.protocols.tcp10 import Tcp10Sender
+from repro.protocols.tcp_cache import CachedWindow, TcpCacheSender, WindowCache
+
+__all__ = [
+    "CachedWindow",
+    "HalfbackBurstSender",
+    "HalfbackForwardSender",
+    "HalfbackPhase",
+    "HalfbackSender",
+    "JumpStartSender",
+    "PcpSender",
+    "ProactiveTcpSender",
+    "ProtocolContext",
+    "ReactiveTcpSender",
+    "Tcp10Sender",
+    "TcpCacheSender",
+    "TcpSender",
+    "WindowCache",
+    "available_protocols",
+    "create_sender",
+    "register_protocol",
+]

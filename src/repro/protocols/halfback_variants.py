@@ -1,0 +1,47 @@
+"""The §5 ablation variants of Halfback.
+
+* **Halfback-Forward** — identical to Halfback except ROPR retransmits
+  in *forward* order.  The paper measures feasible capacity dropping
+  from 70 % to 35 %: the front of the flow rarely gets lost, so the
+  proactive transmissions are wasted utilization.
+* **Halfback-Burst** — identical except proactive retransmissions go
+  out at line rate instead of on the ACK clock, so they overflow the
+  bottleneck exactly as JumpStart's reactive bursts do.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import HalfbackConfig, RATE_LINE, ROPR_FORWARD
+from repro.protocols.halfback import HalfbackSender
+
+__all__ = ["HalfbackForwardSender", "HalfbackBurstSender"]
+
+
+class HalfbackForwardSender(HalfbackSender):
+    """Ablation: proactive retransmission in forward order."""
+
+    protocol_name = "halfback-forward"
+
+    def __init__(self, sim, host, flow, record=None, config=None,
+                 halfback: Optional[HalfbackConfig] = None,
+                 throughput_cache=None) -> None:
+        if halfback is None:
+            halfback = HalfbackConfig(ropr_order=ROPR_FORWARD)
+        super().__init__(sim, host, flow, record=record, config=config,
+                         halfback=halfback, throughput_cache=throughput_cache)
+
+
+class HalfbackBurstSender(HalfbackSender):
+    """Ablation: proactive retransmission at line rate."""
+
+    protocol_name = "halfback-burst"
+
+    def __init__(self, sim, host, flow, record=None, config=None,
+                 halfback: Optional[HalfbackConfig] = None,
+                 throughput_cache=None) -> None:
+        if halfback is None:
+            halfback = HalfbackConfig(ropr_rate=RATE_LINE)
+        super().__init__(sim, host, flow, record=record, config=config,
+                         halfback=halfback, throughput_cache=throughput_cache)

@@ -1,0 +1,99 @@
+"""JumpStart [25]: pace the whole flow out in the first RTT.
+
+After the handshake, JumpStart transmits up to a flow-control window of
+data paced evenly across one RTT — "congestion control without a
+startup phase".  After that first batch it falls back to normal TCP:
+loss recovery is purely reactive and, critically, **bursty** — when
+SACK information reveals holes, every lost segment is retransmitted
+back-to-back at line rate (and likewise after a timeout).  The paper
+identifies this bursty retransmission as JumpStart's weakness: the
+burst often overflows the same bottleneck queue again, retransmissions
+are lost, the sender times out, and flow-level safety collapses around
+50 % utilization.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.pacing_phase import PacingPlan, plan_pacing
+from repro.transport.pacing import Pacer
+from repro.transport.sender import SenderBase, SenderState
+
+__all__ = ["JumpStartSender"]
+
+
+class JumpStartSender(SenderBase):
+    """Pace everything in one RTT, then plain (bursty) TCP recovery."""
+
+    protocol_name = "jumpstart"
+
+    # JumpStart's recovery is reactive-only and naive: lost packets are
+    # re-declared lost (and re-burst) on stale dupack evidence, so "each
+    # lost packet may require multiple retransmissions" (§2.2, §4.3.2).
+    tracks_retransmissions = False
+
+    def __init__(self, sim, host, flow, record=None, config=None) -> None:
+        super().__init__(sim, host, flow, record=record, config=config)
+        self._pacer: Optional[Pacer] = None
+        self._pacing = False
+        self.plan: Optional[PacingPlan] = None
+
+    # ------------------------------------------------------------------
+    # Start-up: the paced first batch
+    # ------------------------------------------------------------------
+
+    def on_established(self) -> None:
+        rtt = self.smoothed_rtt()
+        # JumpStart's batch is bounded by the flow-control window only
+        # (it has no separate pacing threshold).
+        self.plan = plan_pacing(
+            self.flow.size, rtt, self.config,
+            pacing_threshold=self.config.flow_control_window,
+        )
+        self.sim.trace.record(
+            self.sim.now, "jumpstart.pacing", self.protocol_name,
+            flow=self.flow.flow_id, segments=self.plan.segments,
+            rate=self.plan.rate,
+        )
+        self._pacing = True
+        self._pacer = Pacer(
+            self.sim, self.plan.rate, self._release, on_idle=self._pacing_done
+        )
+        for seq in range(self.plan.segments):
+            size = self.config.segment_wire_size(
+                seq, self.flow.n_segments, self.flow.size
+            )
+            self._pacer.enqueue(seq, size)
+
+    def _release(self, seq: int) -> None:
+        if self.state == SenderState.ESTABLISHED:
+            self.send_segment(seq)
+
+    def _pacing_done(self) -> None:
+        if not self._pacing:
+            return
+        self._pacing = False
+        # Fall back to TCP.  The congestion window picks up from the
+        # amount the paced batch put in flight so any remainder of a
+        # long flow keeps flowing; AIMD takes over from here.
+        self.cwnd = max(self.cwnd, float(self.scoreboard.pipe))
+        self.send_window()
+
+    # ------------------------------------------------------------------
+    # Policy gates
+    # ------------------------------------------------------------------
+
+    def allow_new_data(self, seq: int) -> bool:
+        # While pacing, the pacer owns new-data transmission.
+        return not self._pacing
+
+    def congestion_window_gate(self) -> bool:
+        # Bursty recovery: lost segments are always allowed out
+        # immediately, regardless of the congestion window — this is
+        # JumpStart's line-rate retransmission burst.
+        if self.scoreboard.first_lost() is not None:
+            return True
+        if self._pacing:
+            return False
+        return super().congestion_window_gate()

@@ -1,0 +1,168 @@
+"""PCP [7] (simplified): probe-based, delay-sensing paced transmission.
+
+PCP ("Probe Control Protocol") sends paced packet trains, watches the
+ACK feedback for queueing-delay growth, and only ramps its rate when
+the path looks idle; on any sign of queueing it holds or backs off, and
+on loss it halves.  This reproduction keeps that control loop at epoch
+granularity (one smoothed RTT per epoch):
+
+* epoch budget = ``rate * epoch`` bytes, released through a pacer
+  (the "packet train" of that epoch);
+* rate doubles after a clean epoch (no loss, no delay inflation) —
+  binary-search ramping;
+* rate holds (slight decay) when the measured RTT is inflated above
+  the minimum observed — the "queuing delay is increasing during the
+  probing" condition that makes PCP lose against persistent TCP queues
+  (§4.2.3);
+* rate halves after loss.
+
+The paper used the PCP authors' user-level code; this is a behavioural
+stand-in — the properties that matter downstream (lowest retransmission
+counts, conservative against competing TCP, long FCT, decent feasible
+capacity) emerge from the same control rules.  See DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.net.packet import Packet
+from repro.transport.pacing import Pacer
+from repro.transport.sacks import SegmentState
+from repro.transport.sender import SenderBase, SenderState
+
+__all__ = ["PcpSender"]
+
+#: Initial rate: two segments per RTT (mirrors a conservative first train).
+INITIAL_SEGMENTS_PER_RTT = 2
+#: Multiplicative ramp after a clean epoch.
+RAMP_FACTOR = 2.0
+#: Decay while the path shows queueing.
+HOLD_FACTOR = 0.9
+#: Back-off after loss.
+LOSS_FACTOR = 0.5
+#: RTT inflation ratio treated as "queue building".
+DELAY_INFLATION = 1.15
+
+
+class PcpSender(SenderBase):
+    """Simplified PCP: delay-probing paced sender."""
+
+    protocol_name = "pcp"
+
+    def __init__(self, sim, host, flow, record=None, config=None) -> None:
+        super().__init__(sim, host, flow, record=record, config=config)
+        self._pacer: Optional[Pacer] = None
+        self._rate: Optional[float] = None  # bytes/second
+        self._min_rtt: Optional[float] = None
+        self._recent_rtt: Optional[float] = None
+        self._loss_marker = 0  # retransmissions+timeouts at last epoch
+        self._pending: Set[int] = set()
+        self._next_new = 0
+        self.epochs = 0
+
+    # ------------------------------------------------------------------
+    # Epoch loop
+    # ------------------------------------------------------------------
+
+    def on_established(self) -> None:
+        rtt = self.smoothed_rtt()
+        self._min_rtt = rtt
+        self._rate = INITIAL_SEGMENTS_PER_RTT * self.config.segment_size / rtt
+        self._pacer = Pacer(self.sim, self._rate, self._release)
+        self._run_epoch()
+
+    def _epoch_length(self) -> float:
+        return max(self.smoothed_rtt(), 1e-3)
+
+    def _run_epoch(self) -> None:
+        if self.state != SenderState.ESTABLISHED:
+            return
+        assert self._pacer is not None and self._rate is not None
+        self.epochs += 1
+        self._adjust_rate()
+        self._pacer.set_rate(self._rate)
+        budget = self._rate * self._epoch_length()
+        budget = self._enqueue_losses(budget)
+        self._enqueue_new_data(budget)
+        self.sim.schedule(self._epoch_length(), self._run_epoch)
+
+    def _adjust_rate(self) -> None:
+        assert self._rate is not None
+        if self.epochs == 1:
+            return  # first train runs at the initial rate
+        losses = self.record.normal_retransmissions + self.record.timeouts
+        lossy = losses > self._loss_marker
+        self._loss_marker = losses
+        inflated = (
+            self._min_rtt is not None
+            and self._recent_rtt is not None
+            and self._recent_rtt > self._min_rtt * DELAY_INFLATION
+        )
+        if lossy:
+            self._rate *= LOSS_FACTOR
+        elif inflated:
+            self._rate *= HOLD_FACTOR
+        else:
+            self._rate *= RAMP_FACTOR
+        floor = self.config.segment_size / self._epoch_length()
+        ceiling = self.config.flow_control_window / self._epoch_length()
+        self._rate = min(max(self._rate, floor), ceiling)
+
+    def _enqueue_losses(self, budget: float) -> float:
+        for seq in self.scoreboard.lost_segments():
+            if budget <= 0:
+                break
+            if seq in self._pending:
+                continue
+            size = self._wire_size(seq)
+            self._pending.add(seq)
+            assert self._pacer is not None
+            self._pacer.enqueue(seq, size)
+            budget -= size
+        return budget
+
+    def _enqueue_new_data(self, budget: float) -> None:
+        window_end = self.scoreboard.cum_ack + self.config.window_segments
+        while (budget > 0
+               and self._next_new < self.flow.n_segments
+               and self._next_new < window_end):
+            size = self._wire_size(self._next_new)
+            self._pending.add(self._next_new)
+            assert self._pacer is not None
+            self._pacer.enqueue(self._next_new, size)
+            budget -= size
+            self._next_new += 1
+
+    def _release(self, seq: int) -> None:
+        self._pending.discard(seq)
+        if self.state != SenderState.ESTABLISHED:
+            return
+        retransmit = self.scoreboard.state(seq) != SegmentState.UNSENT
+        self.send_segment(seq, retransmit=retransmit)
+
+    # ------------------------------------------------------------------
+    # Feedback
+    # ------------------------------------------------------------------
+
+    def on_ack_hook(self, packet: Packet, newly_acked: List[int]) -> None:
+        if packet.echo_time >= 0:
+            sample = self.sim.now - packet.echo_time
+            self._recent_rtt = sample
+            if self._min_rtt is None or sample < self._min_rtt:
+                self._min_rtt = sample
+
+    # ------------------------------------------------------------------
+    # Policy gates: everything flows through the pacer.
+    # ------------------------------------------------------------------
+
+    def allow_new_data(self, seq: int) -> bool:
+        return False
+
+    def congestion_window_gate(self) -> bool:
+        return False
+
+    def _wire_size(self, seq: int) -> int:
+        return self.config.segment_wire_size(
+            seq, self.flow.n_segments, self.flow.size
+        )

@@ -1,0 +1,28 @@
+"""Proactive TCP [18]: transmit two copies of every packet.
+
+From "Reducing web latency: the virtue of gentle aggression": every
+data segment of a short flow is sent twice back-to-back, so a single
+loss of either copy is masked without any retransmission delay.  The
+duplicate copies are pure overhead (the 100 % "additional bandwidth"
+row of Table 1), which is why the paper measures performance collapse
+at ~45 % network utilization.
+
+The duplicates do not consume congestion window (they ride along with
+the original), and are counted as *proactive* retransmissions so they
+stay out of the paper's "normal retransmissions" metric.
+"""
+
+from __future__ import annotations
+
+from repro.transport.sender import SenderBase
+
+__all__ = ["ProactiveTcpSender"]
+
+
+class ProactiveTcpSender(SenderBase):
+    """TCP that duplicates every data transmission."""
+
+    protocol_name = "proactive"
+
+    def wants_duplicate(self, seq: int) -> bool:
+        return True

@@ -1,0 +1,92 @@
+"""Reactive TCP [18]: TCP plus a probe timeout (PTO).
+
+From "Reducing web latency: the virtue of gentle aggression": when data
+is outstanding and no ACK arrives for roughly two RTTs, the sender
+retransmits the *last* unacknowledged segment as a probe instead of
+waiting for the much longer RTO.  The probe elicits SACK information,
+converting a would-be timeout into fast recovery for tail loss.
+
+The start-up phase is unchanged (conservative slow start), which is why
+the paper finds Reactive TCP "can only mitigate the effect of packet
+loss in the case of tail loss" — its FCT stays near TCP's.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.net.packet import Packet
+from repro.transport.sender import SenderBase, SenderState
+
+__all__ = ["ReactiveTcpSender"]
+
+#: Minimum probe timeout, mirroring the TLP floor.
+MIN_PTO = 0.010
+#: PTO as a multiple of SRTT.
+PTO_SRTT_FACTOR = 2.0
+#: Probes allowed per quiet period before deferring to the RTO.
+MAX_CONSECUTIVE_PROBES = 1
+
+
+class ReactiveTcpSender(SenderBase):
+    """TCP with a tail-loss probe timer."""
+
+    protocol_name = "reactive"
+
+    def __init__(self, sim, host, flow, record=None, config=None) -> None:
+        super().__init__(sim, host, flow, record=record, config=config)
+        self._pto_timer = sim.timer(self._on_pto, name=f"pto:{flow.flow_id}")
+        self._probes_since_ack = 0
+        self.probes_sent = 0
+
+    # ------------------------------------------------------------------
+
+    def _pto(self) -> float:
+        return max(PTO_SRTT_FACTOR * self.smoothed_rtt(), MIN_PTO)
+
+    def _rearm_pto(self) -> None:
+        if (self.scoreboard.pipe > 0
+                and not self.in_recovery
+                and self._probes_since_ack < MAX_CONSECUTIVE_PROBES):
+            # Never fire after the RTO would; the RTO is the backstop.
+            delay = min(self._pto(), self.rtt.rto * 0.9)
+            self._pto_timer.restart(delay)
+        else:
+            self._pto_timer.cancel()
+
+    def send_segment(self, seq: int, retransmit: bool = False,
+                     proactive: bool = False) -> None:
+        super().send_segment(seq, retransmit=retransmit, proactive=proactive)
+        if self.state == SenderState.ESTABLISHED:
+            self._rearm_pto()
+
+    def on_ack_hook(self, packet: Packet, newly_acked: List[int]) -> None:
+        if newly_acked:
+            self._probes_since_ack = 0
+        self._rearm_pto()
+
+    def _on_pto(self) -> None:
+        if self.state != SenderState.ESTABLISHED or self.scoreboard.all_acked:
+            return
+        if self.in_recovery:
+            # SACK-driven recovery is already working on the loss; the
+            # probe exists for *tail* loss, where no feedback arrives.
+            return
+        # Probe with the highest unacknowledged segment: it regenerates
+        # the tail ACK/SACK that dupack-based recovery needs.
+        candidates = self.scoreboard.unacked_segments()
+        if not candidates:
+            return
+        probe = candidates[-1]
+        self._probes_since_ack += 1
+        self.probes_sent += 1
+        self.record.extra["probes"] = self.probes_sent
+        self.sim.trace.record(
+            self.sim.now, "reactive.probe", self.protocol_name,
+            flow=self.flow.flow_id, seq=probe,
+        )
+        self.send_segment(probe, retransmit=True)
+
+    def _teardown(self) -> None:
+        self._pto_timer.cancel()
+        super()._teardown()

@@ -1,0 +1,131 @@
+"""Protocol registry: name -> sender factory.
+
+Experiments refer to schemes by the names the paper uses (``"tcp"``,
+``"tcp-10"``, ``"tcp-cache"``, ``"reactive"``, ``"proactive"``,
+``"jumpstart"``, ``"pcp"``, ``"halfback"`` plus the two ablations).
+:func:`create_sender` instantiates the right class, threading shared
+state (the TCP-Cache window cache) through a per-experiment
+:class:`ProtocolContext`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.config import HalfbackConfig
+from repro.core.threshold import ThroughputCache
+from repro.errors import ProtocolError
+from repro.protocols.halfback import HalfbackSender
+from repro.protocols.halfback_variants import (
+    HalfbackBurstSender,
+    HalfbackForwardSender,
+)
+from repro.protocols.jumpstart import JumpStartSender
+from repro.protocols.pcp import PcpSender
+from repro.protocols.proactive import ProactiveTcpSender
+from repro.protocols.reactive import ReactiveTcpSender
+from repro.protocols.tcp import TcpSender
+from repro.protocols.tcp10 import Tcp10Sender
+from repro.protocols.tcp_cache import TcpCacheSender, WindowCache
+from repro.transport.config import TransportConfig
+from repro.transport.flow import FlowRecord, FlowSpec
+from repro.transport.sender import SenderBase
+
+__all__ = [
+    "ProtocolContext",
+    "available_protocols",
+    "create_sender",
+    "register_protocol",
+]
+
+
+class ProtocolContext:
+    """Per-experiment shared protocol state.
+
+    Holds the TCP-Cache window cache, the Halfback throughput cache
+    (for the §3.1 adaptive threshold) and an optional Halfback
+    configuration override; extensions can stash arbitrary keys in
+    :attr:`extras`.
+    """
+
+    def __init__(
+        self,
+        halfback: Optional[HalfbackConfig] = None,
+        window_cache: Optional[WindowCache] = None,
+        throughput_cache: Optional[ThroughputCache] = None,
+    ) -> None:
+        self.halfback = halfback
+        self.window_cache = window_cache if window_cache is not None else WindowCache()
+        self.throughput_cache = (throughput_cache if throughput_cache is not None
+                                 else ThroughputCache())
+        self.extras: Dict[str, object] = {}
+
+
+SenderFactory = Callable[..., SenderBase]
+
+
+def _make_simple(cls) -> SenderFactory:
+    def factory(sim, host, flow, record, config, context):
+        return cls(sim, host, flow, record=record, config=config)
+
+    return factory
+
+
+def _make_halfback(cls) -> SenderFactory:
+    def factory(sim, host, flow, record, config, context):
+        return cls(sim, host, flow, record=record, config=config,
+                   halfback=context.halfback,
+                   throughput_cache=context.throughput_cache)
+
+    return factory
+
+
+def _make_tcp_cache(sim, host, flow, record, config, context):
+    return TcpCacheSender(sim, host, flow, record=record, config=config,
+                          cache=context.window_cache)
+
+
+_REGISTRY: Dict[str, SenderFactory] = {
+    TcpSender.protocol_name: _make_simple(TcpSender),
+    Tcp10Sender.protocol_name: _make_simple(Tcp10Sender),
+    TcpCacheSender.protocol_name: _make_tcp_cache,
+    ReactiveTcpSender.protocol_name: _make_simple(ReactiveTcpSender),
+    ProactiveTcpSender.protocol_name: _make_simple(ProactiveTcpSender),
+    JumpStartSender.protocol_name: _make_simple(JumpStartSender),
+    PcpSender.protocol_name: _make_simple(PcpSender),
+    HalfbackSender.protocol_name: _make_halfback(HalfbackSender),
+    HalfbackForwardSender.protocol_name: _make_halfback(HalfbackForwardSender),
+    HalfbackBurstSender.protocol_name: _make_halfback(HalfbackBurstSender),
+}
+
+
+def available_protocols() -> List[str]:
+    """All registered protocol names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def register_protocol(name: str, factory: SenderFactory) -> None:
+    """Register a custom scheme (e.g. a new ablation) under ``name``."""
+    if name in _REGISTRY:
+        raise ProtocolError(f"protocol {name!r} already registered")
+    _REGISTRY[name] = factory
+
+
+def create_sender(
+    sim,
+    host,
+    flow: FlowSpec,
+    record: Optional[FlowRecord] = None,
+    config: Optional[TransportConfig] = None,
+    context: Optional[ProtocolContext] = None,
+) -> SenderBase:
+    """Instantiate the sender class registered for ``flow.protocol``."""
+    factory = _REGISTRY.get(flow.protocol)
+    if factory is None:
+        raise ProtocolError(
+            f"unknown protocol {flow.protocol!r}; "
+            f"available: {', '.join(available_protocols())}"
+        )
+    if context is None:
+        context = ProtocolContext()
+    return factory(sim, host, flow, record, config, context)

@@ -1,0 +1,19 @@
+"""Vanilla TCP (Reno-style with SACK, 2-segment initial window).
+
+This is the paper's baseline: conservative slow start from a 2-segment
+initial congestion window, AIMD congestion avoidance, SACK-based fast
+retransmission and RTO recovery — exactly what :class:`SenderBase`
+provides, so the subclass only pins the name.
+"""
+
+from __future__ import annotations
+
+from repro.transport.sender import SenderBase
+
+__all__ = ["TcpSender"]
+
+
+class TcpSender(SenderBase):
+    """Standard TCP with the paper's default 2-segment ICW."""
+
+    protocol_name = "tcp"

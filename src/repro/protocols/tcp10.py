@@ -1,0 +1,22 @@
+"""TCP-10: TCP with a 10-segment initial congestion window [6, 15].
+
+The only change from vanilla TCP is the larger first flight — the
+"increase the initial congestion window" proposal the paper benchmarks
+as TCP-10.
+"""
+
+from __future__ import annotations
+
+from repro.transport.sender import SenderBase
+from repro.units import LARGE_INITIAL_WINDOW
+
+__all__ = ["Tcp10Sender"]
+
+
+class Tcp10Sender(SenderBase):
+    """TCP with its initial congestion window raised to 10 segments."""
+
+    protocol_name = "tcp-10"
+
+    def initial_cwnd(self) -> int:
+        return LARGE_INITIAL_WINDOW

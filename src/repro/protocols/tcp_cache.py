@@ -1,0 +1,91 @@
+"""TCP-Cache: seed new connections from cached congestion state (§4).
+
+The scheme ("caching older values of the cwnd and ssthresh") remembers,
+per (sender, receiver) pair, the congestion window and slow-start
+threshold a finished connection ended with, and starts the next
+connection to the same peer from those values instead of the 2-segment
+default — the Fast-Start [28] family of approaches.
+
+Entries age out: after :attr:`WindowCache.ttl` seconds without refresh a
+cached value is discarded and the connection slow-starts normally, the
+"draw back to Slow-Start when the variables are aged" behaviour §6
+describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.transport.sender import SenderBase
+
+__all__ = ["CachedWindow", "WindowCache", "TcpCacheSender"]
+
+
+@dataclass(frozen=True)
+class CachedWindow:
+    """Congestion state a previous connection left behind."""
+
+    cwnd: float
+    ssthresh: float
+    stored_at: float
+
+
+class WindowCache:
+    """Per-(src, dst) cache of final congestion state.
+
+    Shared across all TCP-Cache senders of one experiment; experiments
+    pass it through the protocol context (see
+    :mod:`repro.protocols.registry`).
+    """
+
+    def __init__(self, ttl: float = 600.0) -> None:
+        self.ttl = ttl
+        self._entries: Dict[Tuple[str, str], CachedWindow] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, src: str, dst: str, now: float) -> Optional[CachedWindow]:
+        """Fresh cached state for the pair, or None."""
+        entry = self._entries.get((src, dst))
+        if entry is None or now - entry.stored_at > self.ttl:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def store(self, src: str, dst: str, cwnd: float, ssthresh: float,
+              now: float) -> None:
+        """Remember the state a finished connection ended with."""
+        self._entries[(src, dst)] = CachedWindow(cwnd, ssthresh, now)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class TcpCacheSender(SenderBase):
+    """TCP whose initial cwnd/ssthresh come from the window cache."""
+
+    protocol_name = "tcp-cache"
+
+    def __init__(self, sim, host, flow, record=None, config=None,
+                 cache: Optional[WindowCache] = None) -> None:
+        self.cache = cache if cache is not None else WindowCache()
+        self._cached = self.cache.lookup(flow.src, flow.dst, sim.now)
+        super().__init__(sim, host, flow, record=record, config=config)
+        if self._cached is not None:
+            self.ssthresh = self._cached.ssthresh
+            self.record.extra["cache_hit"] = True
+        else:
+            self.record.extra["cache_hit"] = False
+
+    def initial_cwnd(self) -> int:
+        if self._cached is not None:
+            return max(self.config.initial_cwnd, int(self._cached.cwnd))
+        return self.config.initial_cwnd
+
+    def on_complete_hook(self) -> None:
+        self.cache.store(
+            self.flow.src, self.flow.dst, self.cwnd, self.ssthresh,
+            self.sim.now,
+        )

@@ -1,0 +1,25 @@
+"""Discrete-event simulation engine (substrate 1).
+
+Public surface::
+
+    from repro.sim import Simulator, Timer, TraceRecorder
+
+"""
+
+from repro.sim.event import Event, EventHandle
+from repro.sim.randomness import RandomStreams, derive_seed
+from repro.sim.scheduler import EventScheduler
+from repro.sim.simulator import Simulator, Timer
+from repro.sim.trace import TraceRecord, TraceRecorder
+
+__all__ = [
+    "Event",
+    "EventHandle",
+    "EventScheduler",
+    "RandomStreams",
+    "Simulator",
+    "Timer",
+    "TraceRecord",
+    "TraceRecorder",
+    "derive_seed",
+]

@@ -1,0 +1,55 @@
+"""Seeded, named random streams.
+
+Experiments must be reproducible and *comparable*: the paper repeats the
+same flow-arrival schedule across protocols ("all the experiments for
+different schemes use the same schedule of flow arrivals", §4.3.2).  To
+make that easy, every consumer of randomness asks for a **named stream**;
+two simulators built with the same master seed hand out identical streams
+for identical names regardless of the order in which other components
+drew randomness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+__all__ = ["RandomStreams", "derive_seed"]
+
+
+def derive_seed(master_seed: int, name: str) -> int:
+    """Derive a 64-bit child seed from a master seed and a stream name.
+
+    Uses SHA-256 rather than ``hash()`` so the derivation is stable across
+    interpreter runs and PYTHONHASHSEED values.
+    """
+    digest = hashlib.sha256(f"{master_seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RandomStreams:
+    """A factory of independent, deterministically-seeded RNGs."""
+
+    def __init__(self, master_seed: int = 0) -> None:
+        self.master_seed = master_seed
+        self._streams: Dict[str, random.Random] = {}
+
+    def get(self, name: str) -> random.Random:
+        """Return the RNG for ``name``, creating it on first use.
+
+        Repeated calls with the same name return the same object, so a
+        component can re-fetch its stream without resetting it.
+        """
+        stream = self._streams.get(name)
+        if stream is None:
+            stream = random.Random(derive_seed(self.master_seed, name))
+            self._streams[name] = stream
+        return stream
+
+    def fork(self, name: str) -> "RandomStreams":
+        """Create a child namespace, e.g. one per flow or per trial."""
+        return RandomStreams(derive_seed(self.master_seed, f"fork:{name}"))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._streams

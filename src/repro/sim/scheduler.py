@@ -1,0 +1,69 @@
+"""The event queue backing the simulator.
+
+A thin wrapper around :mod:`heapq` that understands lazily-cancelled
+events.  Separated from :class:`~repro.sim.simulator.Simulator` so the
+queue can be unit- and property-tested in isolation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional
+
+from repro.sim.event import Event
+
+__all__ = ["EventScheduler"]
+
+
+class EventScheduler:
+    """A min-heap of :class:`Event` ordered by (time, priority, seq)."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._live = 0
+
+    def push(self, event: Event) -> None:
+        """Insert an event into the queue."""
+        heapq.heappush(self._heap, event)
+        self._live += 1
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next live event, or None if empty.
+
+        Cancelled events encountered on the way are discarded.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        self._live = 0
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the firing time of the next live event without popping."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            self._live = 0
+            return None
+        return self._heap[0].time
+
+    def note_cancelled(self) -> None:
+        """Record that one queued event was cancelled (for __len__)."""
+        if self._live > 0:
+            self._live -= 1
+
+    def clear(self) -> None:
+        """Drop every queued event."""
+        self._heap.clear()
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Approximate number of live events (exact if callers use
+        :meth:`note_cancelled` for every cancellation, as Simulator does)."""
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self.peek_time() is not None

@@ -1,0 +1,233 @@
+"""The discrete-event simulator.
+
+:class:`Simulator` owns the clock and the event queue.  Components
+(links, queues, transport endpoints) hold a reference to the simulator
+and schedule callbacks on it; nothing in the library uses wall-clock
+time, threads, or asyncio — a run is a deterministic function of the
+initial configuration and the RNG seeds.
+
+A restartable :class:`Timer` is provided for retransmission timers and
+similar patterns where the same logical timer is re-armed many times.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import SimulationError
+from repro.sim.event import Event, EventHandle
+from repro.sim.scheduler import EventScheduler
+from repro.sim.randomness import RandomStreams
+from repro.sim.trace import TraceRecorder
+
+__all__ = ["Simulator", "Timer"]
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for all randomness drawn during the run (see
+        :class:`~repro.sim.randomness.RandomStreams`).
+    trace:
+        Optional trace recorder; when omitted a disabled recorder is
+        installed so components can call ``sim.trace.record(...)``
+        unconditionally.
+    """
+
+    def __init__(self, seed: int = 0, trace: Optional[TraceRecorder] = None) -> None:
+        self._now = 0.0
+        self._queue = EventScheduler()
+        self._running = False
+        self._stopped = False
+        self.streams = RandomStreams(seed)
+        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        #: Number of events executed so far (diagnostic).
+        self.events_run = 0
+        #: Ground-truth per-flow packet drops (queue overflow + in-flight
+        #: loss), keyed by flow id.  Links update this; experiments read
+        #: it to classify trials as lossy (paper Fig. 8).
+        self.flow_drops: Dict[int, int] = {}
+
+    def note_drop(self, flow_id: int) -> None:
+        """Record one dropped packet for ``flow_id``."""
+        self.flow_drops[flow_id] = self.flow_drops.get(flow_id, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        Raises :class:`SimulationError` if ``delay`` is negative.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay:.9f}s into the past")
+        return self.schedule_at(self._now + delay, callback, *args, priority=priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time:.9f} before now={self._now:.9f}"
+            )
+        event = Event(time, callback, args, priority=priority)
+        self._queue.push(event)
+        return _TrackedHandle(event, self._queue)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` have fired.  Returns the final simulated time.
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        even if the queue drains earlier, so back-to-back ``run`` calls
+        compose predictably.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        self._stopped = False
+        fired = 0
+        try:
+            while True:
+                if self._stopped:
+                    break
+                if max_events is not None and fired >= max_events:
+                    break
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                event = self._queue.pop()
+                if event is None:  # pragma: no cover - raced cancellation
+                    break
+                self._now = event.time
+                event.fire()
+                self.events_run += 1
+                fired += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until and not self._stopped:
+            self._now = until
+        return self._now
+
+    def step(self) -> bool:
+        """Run exactly one event.  Returns False if the queue was empty."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        self._now = event.time
+        event.fire()
+        self.events_run += 1
+        return True
+
+    def stop(self) -> None:
+        """Stop the current :meth:`run` after the executing event returns."""
+        self._stopped = True
+
+    def pending(self) -> int:
+        """Approximate number of live queued events."""
+        return len(self._queue)
+
+    def timer(self, callback: Callable[[], Any], name: str = "") -> "Timer":
+        """Create a restartable :class:`Timer` bound to this simulator."""
+        return Timer(self, callback, name=name)
+
+
+class _TrackedHandle(EventHandle):
+    """Event handle that keeps the scheduler's live-count accurate."""
+
+    __slots__ = ("_scheduler",)
+
+    def __init__(self, event: Event, scheduler: EventScheduler) -> None:
+        super().__init__(event)
+        self._scheduler = scheduler
+
+    def cancel(self) -> None:
+        if not self._event.cancelled:
+            self._scheduler.note_cancelled()
+        super().cancel()
+
+
+class Timer:
+    """A restartable one-shot timer.
+
+    Used for retransmission timeouts: ``restart(rto)`` cancels any pending
+    expiry and arms a new one.  The callback takes no arguments.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[[], Any], name: str = "") -> None:
+        self._sim = sim
+        self._callback = callback
+        self._handle: Optional[EventHandle] = None
+        self.name = name
+        #: Number of times the timer has expired (diagnostic).
+        self.expirations = 0
+
+    @property
+    def armed(self) -> bool:
+        """True while an expiry is pending."""
+        return self._handle is not None and self._handle.active
+
+    @property
+    def expiry_time(self) -> Optional[float]:
+        """Absolute time of the pending expiry, or None when idle."""
+        if self.armed:
+            assert self._handle is not None
+            return self._handle.time
+        return None
+
+    def start(self, delay: float) -> None:
+        """Arm the timer ``delay`` seconds from now; error if already armed."""
+        if self.armed:
+            raise SimulationError(f"timer {self.name!r} already armed")
+        self._handle = self._sim.schedule(delay, self._fire)
+
+    def restart(self, delay: float) -> None:
+        """Cancel any pending expiry and arm a new one."""
+        self.cancel()
+        self.start(delay)
+
+    def cancel(self) -> None:
+        """Disarm the timer; safe to call when idle."""
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _fire(self) -> None:
+        self._handle = None
+        self.expirations += 1
+        self._callback()

@@ -1,0 +1,80 @@
+"""Structured trace recording.
+
+Components emit trace records (packet sent, packet dropped, queue depth,
+phase transitions) through ``sim.trace``.  Tracing defaults to disabled
+and costs a single attribute check per call site; experiments that need
+per-packet detail (the Fig. 3 walk-through, the Fig. 15 throughput
+timelines) enable it and filter afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["TraceRecord", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace event.
+
+    Attributes
+    ----------
+    time:
+        Simulated time of the event.
+    kind:
+        Event category, e.g. ``"link.tx"``, ``"queue.drop"``,
+        ``"halfback.phase"``.
+    source:
+        Name of the emitting component.
+    detail:
+        Free-form key/value payload.
+    """
+
+    time: float
+    kind: str
+    source: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+
+class TraceRecorder:
+    """Collects :class:`TraceRecord` objects in memory.
+
+    Parameters
+    ----------
+    enabled:
+        When False every :meth:`record` call is a cheap no-op.
+    kinds:
+        Optional whitelist of ``kind`` prefixes to keep; records whose kind
+        does not start with any prefix are discarded.
+    """
+
+    def __init__(self, enabled: bool = True, kinds: Optional[List[str]] = None) -> None:
+        self.enabled = enabled
+        self._kinds = tuple(kinds) if kinds else None
+        self._records: List[TraceRecord] = []
+
+    def record(self, time: float, kind: str, source: str, **detail: Any) -> None:
+        """Record one event (no-op when disabled or filtered out)."""
+        if not self.enabled:
+            return
+        if self._kinds is not None and not kind.startswith(self._kinds):
+            return
+        self._records.append(TraceRecord(time, kind, source, detail))
+
+    def records(self, kind: Optional[str] = None) -> List[TraceRecord]:
+        """All records, optionally restricted to a kind prefix."""
+        if kind is None:
+            return list(self._records)
+        return [r for r in self._records if r.kind.startswith(kind)]
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def clear(self) -> None:
+        """Drop all collected records."""
+        self._records.clear()

@@ -1,0 +1,34 @@
+"""Transport framework (substrate 3): the reliable-transport machinery
+all eight schemes are built on."""
+
+from repro.transport.config import TransportConfig
+from repro.transport.flow import FlowRecord, FlowSpec, next_flow_id, segments_for
+from repro.transport.pacing import Pacer, pacing_rate_for
+from repro.transport.receiver import Receiver, ReceiverState
+from repro.transport.rtt import RttEstimator
+from repro.transport.sacks import (
+    IntervalSet,
+    ReceiveTracker,
+    SegmentState,
+    SendScoreboard,
+)
+from repro.transport.sender import SenderBase, SenderState
+
+__all__ = [
+    "FlowRecord",
+    "FlowSpec",
+    "IntervalSet",
+    "Pacer",
+    "ReceiveTracker",
+    "Receiver",
+    "ReceiverState",
+    "RttEstimator",
+    "SegmentState",
+    "SendScoreboard",
+    "SenderBase",
+    "SenderState",
+    "TransportConfig",
+    "next_flow_id",
+    "pacing_rate_for",
+    "segments_for",
+]

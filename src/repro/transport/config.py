@@ -1,0 +1,91 @@
+"""Transport-level configuration shared by every protocol."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.units import (
+    DEFAULT_INITIAL_WINDOW,
+    FLOW_CONTROL_WINDOW,
+    HEADER_SIZE,
+    SEGMENT_SIZE,
+)
+
+__all__ = ["TransportConfig"]
+
+
+@dataclass
+class TransportConfig:
+    """Knobs common to all senders (paper §4.1 defaults).
+
+    Attributes
+    ----------
+    segment_size:
+        Bytes on the wire per full data segment, header included (1500).
+    header_size:
+        Header bytes per packet; ACKs and handshake packets are this size.
+    flow_control_window:
+        Receiver-advertised window in bytes (141 KB).
+    initial_cwnd:
+        Initial congestion window in segments (2 for TCP-family).
+    initial_rto, min_rto, max_rto:
+        RTO parameters fed to :class:`~repro.transport.rtt.RttEstimator`.
+        The 1 s floor follows RFC 6298; it is what makes a timeout the
+        catastrophic event the paper describes (set 0.2 for a
+        Linux-flavoured floor in sensitivity studies).
+    max_syn_retries:
+        Handshake attempts before the flow is abandoned.
+    max_flow_duration:
+        Safety net: a sender that has not finished within this many
+        seconds gives up (records an incomplete flow).  Collapse-regime
+        runs rely on this to terminate.
+    """
+
+    segment_size: int = SEGMENT_SIZE
+    header_size: int = HEADER_SIZE
+    flow_control_window: int = FLOW_CONTROL_WINDOW
+    initial_cwnd: int = DEFAULT_INITIAL_WINDOW
+    initial_rto: float = 1.0
+    min_rto: float = 1.0
+    max_rto: float = 60.0
+    max_syn_retries: int = 6
+    max_flow_duration: float = 300.0
+    #: TCP-Fast-Open / ASAP-style 0-RTT start (§6: handshake
+    #: optimizations are orthogonal drop-ins): data transmission starts
+    #: immediately after the SYN, without waiting for the SYN-ACK.
+    fast_open: bool = False
+    #: RTT estimate from a previous connection, used to seed the
+    #: estimator (and hence pacing) when ``fast_open`` skips the
+    #: handshake measurement.
+    rtt_hint: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.segment_size <= self.header_size:
+            raise ConfigurationError("segment_size must exceed header_size")
+        if self.flow_control_window < self.segment_size:
+            raise ConfigurationError(
+                "flow_control_window must hold at least one segment"
+            )
+        if self.initial_cwnd < 1:
+            raise ConfigurationError("initial_cwnd must be >= 1 segment")
+        if self.max_flow_duration <= 0:
+            raise ConfigurationError("max_flow_duration must be positive")
+
+    @property
+    def mss(self) -> int:
+        """Payload bytes per full segment."""
+        return self.segment_size - self.header_size
+
+    @property
+    def window_segments(self) -> int:
+        """Flow-control window expressed in whole segments."""
+        return max(1, self.flow_control_window // self.segment_size)
+
+    def segment_wire_size(self, seq: int, n_segments: int, flow_bytes: int) -> int:
+        """Wire size of segment ``seq`` of a flow (the last may be short)."""
+        if seq < n_segments - 1:
+            return self.segment_size
+        tail_payload = flow_bytes - (n_segments - 1) * self.mss
+        return self.header_size + tail_payload

@@ -1,0 +1,114 @@
+"""Packet pacing.
+
+:class:`Pacer` releases queued items at a byte rate: consecutive
+releases of sizes ``s1, s2, ...`` are separated by ``s_i / rate``
+seconds.  JumpStart and Halfback use it to spread a whole short flow
+evenly across one RTT; PCP uses it for probe trains.
+
+The pacer releases the first queued item immediately when started from
+idle (pacing bounds the *rate*, it does not add initial delay).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Pacer", "pacing_rate_for"]
+
+
+def pacing_rate_for(total_bytes: int, interval: float) -> float:
+    """Rate (bytes/second) that spreads ``total_bytes`` over ``interval``.
+
+    This is how JumpStart/Halfback derive their pacing rate: the flow's
+    paced bytes divided by the handshake RTT.
+    """
+    if total_bytes <= 0:
+        raise ConfigurationError("total_bytes must be positive")
+    if interval <= 0:
+        raise ConfigurationError("interval must be positive")
+    return total_bytes / interval
+
+
+class Pacer:
+    """Releases queued (item, size) pairs at ``rate`` bytes/second.
+
+    Parameters
+    ----------
+    sim:
+        Simulator used for scheduling.
+    rate:
+        Initial release rate in bytes/second.
+    release:
+        Callback invoked with each item as it is released.
+    on_idle:
+        Optional callback invoked when the queue drains (after the final
+        release's spacing has elapsed — i.e. when the pacer would have
+        been able to send more).
+    """
+
+    def __init__(
+        self,
+        sim,
+        rate: float,
+        release: Callable[[Any], None],
+        on_idle: Optional[Callable[[], None]] = None,
+    ) -> None:
+        if rate <= 0:
+            raise ConfigurationError("pacing rate must be positive")
+        self.sim = sim
+        self.rate = rate
+        self.release = release
+        self.on_idle = on_idle
+        self._queue: Deque[Tuple[Any, int]] = deque()
+        self._busy = False
+        self.released = 0
+        self.released_bytes = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def busy(self) -> bool:
+        """True while releases are pending or spacing is elapsing."""
+        return self._busy
+
+    @property
+    def backlog(self) -> int:
+        """Items queued and not yet released."""
+        return len(self._queue)
+
+    def set_rate(self, rate: float) -> None:
+        """Change the release rate; affects spacing from the next release."""
+        if rate <= 0:
+            raise ConfigurationError("pacing rate must be positive")
+        self.rate = rate
+
+    def enqueue(self, item: Any, size: int) -> None:
+        """Queue ``item`` (``size`` bytes) for paced release."""
+        if size <= 0:
+            raise ConfigurationError("item size must be positive")
+        self._queue.append((item, size))
+        if not self._busy:
+            self._busy = True
+            self._release_next()
+
+    def _release_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            if self.on_idle is not None:
+                self.on_idle()
+            return
+        item, size = self._queue.popleft()
+        self.released += 1
+        self.released_bytes += size
+        self.release(item)
+        # Space the *next* release by this item's serialization time.
+        self.sim.schedule(size / self.rate, self._release_next)
+
+    def flush(self) -> int:
+        """Discard the backlog without releasing; returns items dropped."""
+        dropped = len(self._queue)
+        self._queue.clear()
+        return dropped

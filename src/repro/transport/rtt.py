@@ -1,0 +1,91 @@
+"""RTT estimation and retransmission-timeout computation (RFC 6298 style).
+
+The estimator keeps SRTT and RTTVAR with the classic EWMA gains and
+derives ``RTO = SRTT + 4 * RTTVAR`` clamped to configurable bounds.
+Exponential backoff on consecutive timeouts is handled here too, because
+every protocol in the paper shares it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = ["RttEstimator"]
+
+ALPHA = 0.125  # gain for SRTT
+BETA = 0.25    # gain for RTTVAR
+
+
+class RttEstimator:
+    """SRTT/RTTVAR tracker with RTO backoff.
+
+    Parameters
+    ----------
+    initial_rto:
+        RTO used before the first RTT sample (RFC 6298 says 1 s).
+    min_rto, max_rto:
+        Clamp bounds for the computed RTO.  The 1 s floor follows RFC
+        6298 and makes timeouts the expensive event the paper describes;
+        pass 0.2 for a Linux-flavoured floor.
+    """
+
+    def __init__(
+        self,
+        initial_rto: float = 1.0,
+        min_rto: float = 1.0,
+        max_rto: float = 60.0,
+    ) -> None:
+        if not 0 < min_rto <= max_rto:
+            raise ConfigurationError("need 0 < min_rto <= max_rto")
+        if initial_rto <= 0:
+            raise ConfigurationError("initial_rto must be positive")
+        self.initial_rto = initial_rto
+        self.min_rto = min_rto
+        self.max_rto = max_rto
+        self.srtt: Optional[float] = None
+        self.rttvar: Optional[float] = None
+        self._backoff = 1.0
+        self.samples = 0
+
+    # ------------------------------------------------------------------
+
+    def sample(self, rtt: float) -> None:
+        """Feed one RTT measurement (seconds).
+
+        Senders must only sample unambiguous measurements (Karn's rule:
+        never from a retransmitted segment); the transport enforces that
+        by echoing timestamps only stamped on first transmissions.
+        """
+        if rtt < 0:
+            raise ConfigurationError(f"negative RTT sample: {rtt}")
+        if self.srtt is None:
+            self.srtt = rtt
+            self.rttvar = rtt / 2.0
+        else:
+            assert self.rttvar is not None
+            self.rttvar = (1 - BETA) * self.rttvar + BETA * abs(self.srtt - rtt)
+            self.srtt = (1 - ALPHA) * self.srtt + ALPHA * rtt
+        self.samples += 1
+        # A valid sample ends any backoff episode.
+        self._backoff = 1.0
+
+    @property
+    def rto(self) -> float:
+        """Current retransmission timeout, with backoff applied."""
+        if self.srtt is None:
+            base = self.initial_rto
+        else:
+            assert self.rttvar is not None
+            base = self.srtt + 4.0 * self.rttvar
+        return min(max(base * self._backoff, self.min_rto), self.max_rto)
+
+    def on_timeout(self) -> None:
+        """Double the RTO (bounded by ``max_rto``) after an expiry."""
+        self._backoff = min(self._backoff * 2.0, self.max_rto / self.min_rto)
+
+    @property
+    def backoff_factor(self) -> float:
+        """Current exponential-backoff multiplier."""
+        return self._backoff

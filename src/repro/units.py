@@ -1,0 +1,104 @@
+"""Unit helpers and protocol constants shared across the library.
+
+Internally the simulator uses **seconds** for time, **bytes** for data
+volume, and **bytes per second** for rates.  These helpers exist so that
+experiment code can be written in the units the paper uses (milliseconds,
+kilobytes, megabits per second) without sprinkling conversion factors
+around.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Time
+# ---------------------------------------------------------------------------
+
+MILLISECOND = 1e-3
+MICROSECOND = 1e-6
+
+
+def ms(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value * MILLISECOND
+
+
+def us(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return value * MICROSECOND
+
+
+def to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds / MILLISECOND
+
+
+# ---------------------------------------------------------------------------
+# Data volume
+# ---------------------------------------------------------------------------
+
+KB = 1000
+MB = 1000 * 1000
+KIB = 1024
+MIB = 1024 * 1024
+
+
+def kb(value: float) -> int:
+    """Convert kilobytes (decimal, as used in the paper) to bytes."""
+    return int(value * KB)
+
+
+def mb(value: float) -> int:
+    """Convert megabytes (decimal) to bytes."""
+    return int(value * MB)
+
+
+# ---------------------------------------------------------------------------
+# Rates
+# ---------------------------------------------------------------------------
+
+
+def mbps(value: float) -> float:
+    """Convert megabits per second to bytes per second."""
+    return value * 1e6 / 8.0
+
+
+def gbps(value: float) -> float:
+    """Convert gigabits per second to bytes per second."""
+    return value * 1e9 / 8.0
+
+
+def kbps(value: float) -> float:
+    """Convert kilobits per second to bytes per second."""
+    return value * 1e3 / 8.0
+
+
+def to_mbps(bytes_per_second: float) -> float:
+    """Convert bytes per second to megabits per second."""
+    return bytes_per_second * 8.0 / 1e6
+
+
+# ---------------------------------------------------------------------------
+# Protocol constants (paper §4.1)
+# ---------------------------------------------------------------------------
+
+#: Segment size on the wire, including the header (paper: 1500 B).
+SEGMENT_SIZE = 1500
+
+#: Transport/network header bytes carried by every packet.
+HEADER_SIZE = 40
+
+#: Payload bytes per full data segment.
+MSS = SEGMENT_SIZE - HEADER_SIZE
+
+#: Flow-control window advertised by receivers (paper: 141 KB, Windows XP).
+FLOW_CONTROL_WINDOW = kb(141)
+
+#: Default initial congestion window for TCP-family schemes (segments).
+DEFAULT_INITIAL_WINDOW = 2
+
+#: TCP-10's initial congestion window (segments).
+LARGE_INITIAL_WINDOW = 10
+
+#: Pacing Threshold: Halfback paces at most this many bytes (paper uses the
+#: flow-control window / 141 KB, covering >95% of web transfers).
+PACING_THRESHOLD = FLOW_CONTROL_WINDOW

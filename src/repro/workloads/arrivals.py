@@ -1,0 +1,99 @@
+"""Flow arrival processes and utilization targeting.
+
+The paper's Emulab workloads schedule flows with "exponential
+interarrival-time distribution" at a rate chosen to hit a target
+average utilization of the bottleneck.  :func:`rate_for_utilization`
+solves for that arrival rate and :class:`PoissonArrivals` generates the
+schedule; the same schedule (same seed) can then be replayed for each
+protocol so curves are comparable point-by-point (§4.3.2: "all the
+experiments for different schemes use the same schedule of flow
+arrivals").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import WorkloadError
+from repro.units import HEADER_SIZE, MSS
+from repro.workloads.sizes import SizeDistribution
+
+__all__ = [
+    "PoissonArrivals",
+    "FlowArrival",
+    "rate_for_utilization",
+    "wire_bytes_for_payload",
+    "generate_arrivals",
+]
+
+
+@dataclass(frozen=True)
+class FlowArrival:
+    """One scheduled flow: when it starts and how big it is."""
+
+    time: float
+    size: int
+
+
+def wire_bytes_for_payload(payload: float) -> float:
+    """Approximate bytes on the wire for ``payload`` application bytes
+    (per-segment header overhead included; handshake/ACK overhead on the
+    forward path is negligible next to data)."""
+    if payload <= 0:
+        raise WorkloadError("payload must be positive")
+    segments = max(1.0, payload / MSS)
+    return payload + segments * HEADER_SIZE
+
+
+def rate_for_utilization(
+    utilization: float,
+    link_rate: float,
+    mean_flow_size: float,
+) -> float:
+    """Arrival rate (flows/second) so offered load is ``utilization``.
+
+    ``utilization * link_rate`` bytes/second must be offered; each flow
+    offers its payload plus header overhead.
+    """
+    if not 0 < utilization:
+        raise WorkloadError("utilization must be positive")
+    if link_rate <= 0:
+        raise WorkloadError("link_rate must be positive")
+    return utilization * link_rate / wire_bytes_for_payload(mean_flow_size)
+
+
+class PoissonArrivals:
+    """Exponential interarrival times at a fixed mean rate."""
+
+    def __init__(self, rate: float) -> None:
+        if rate <= 0:
+            raise WorkloadError("arrival rate must be positive")
+        self.rate = rate
+
+    def times(self, rng: random.Random, horizon: float) -> Iterator[float]:
+        """Arrival instants in ``(0, horizon]``, ascending."""
+        if horizon <= 0:
+            raise WorkloadError("horizon must be positive")
+        t = 0.0
+        while True:
+            t += rng.expovariate(self.rate)
+            if t > horizon:
+                return
+            yield t
+
+
+def generate_arrivals(
+    rng: random.Random,
+    horizon: float,
+    rate: float,
+    sizes: SizeDistribution,
+) -> List[FlowArrival]:
+    """A full schedule of flows over ``[0, horizon]``.
+
+    Uses two independent draws (times first, then sizes) from the same
+    RNG, so a fixed seed fixes the whole schedule.
+    """
+    times = list(PoissonArrivals(rate).times(rng, horizon))
+    return [FlowArrival(time=t, size=sizes.sample(rng)) for t in times]

@@ -1,0 +1,191 @@
+"""Flow-size distributions.
+
+The sweeps draw flow sizes either fixed (the 100 KB default of §4.1) or
+from empirical distributions approximating the measured CDFs the paper
+uses (§4.2.4); :class:`EmpiricalSize` interpolates log-linearly between
+anchor points, and :class:`TruncatedSize` applies the paper's 1 MB cap
+("longer flows would use TCP").
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Protocol, Sequence, Tuple
+
+from repro.errors import WorkloadError
+
+__all__ = [
+    "SizeDistribution",
+    "FixedSize",
+    "UniformSize",
+    "LogNormalSize",
+    "EmpiricalSize",
+    "TruncatedSize",
+]
+
+
+class SizeDistribution(Protocol):
+    """Anything that samples a flow size in bytes."""
+
+    def sample(self, rng: random.Random) -> int:  # pragma: no cover
+        ...
+
+    def mean(self) -> float:  # pragma: no cover
+        ...
+
+
+class FixedSize:
+    """Every flow has the same size."""
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise WorkloadError("size must be positive")
+        self.size = size
+
+    def sample(self, rng: random.Random) -> int:
+        return self.size
+
+    def mean(self) -> float:
+        return float(self.size)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"FixedSize({self.size})"
+
+
+class UniformSize:
+    """Uniform over ``[low, high]`` bytes."""
+
+    def __init__(self, low: int, high: int) -> None:
+        if not 0 < low <= high:
+            raise WorkloadError("need 0 < low <= high")
+        self.low = low
+        self.high = high
+
+    def sample(self, rng: random.Random) -> int:
+        return rng.randint(self.low, self.high)
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+
+class LogNormalSize:
+    """Log-normal sizes (used by the synthetic web-object catalog)."""
+
+    def __init__(self, median: float, sigma: float,
+                 minimum: int = 200, maximum: int = 10_000_000) -> None:
+        if median <= 0 or sigma <= 0:
+            raise WorkloadError("median and sigma must be positive")
+        if not 0 < minimum <= maximum:
+            raise WorkloadError("need 0 < minimum <= maximum")
+        self.mu = math.log(median)
+        self.sigma = sigma
+        self.minimum = minimum
+        self.maximum = maximum
+
+    def sample(self, rng: random.Random) -> int:
+        value = int(rng.lognormvariate(self.mu, self.sigma))
+        return min(max(value, self.minimum), self.maximum)
+
+    def mean(self) -> float:
+        # Mean of the clipped distribution is not closed-form; the
+        # unclipped log-normal mean is a good planning approximation.
+        return min(
+            float(self.maximum),
+            max(float(self.minimum), math.exp(self.mu + self.sigma ** 2 / 2)),
+        )
+
+
+class EmpiricalSize:
+    """Piecewise log-linear inverse-CDF sampling from anchor points.
+
+    ``points`` are ``(size_bytes, cumulative_fraction)`` pairs with
+    strictly increasing sizes and fractions, ending at fraction 1.0.
+    Between anchors, sizes are interpolated geometrically (log-linear),
+    which matches how flow-size CDFs are drawn on log axes.
+    """
+
+    def __init__(self, points: Sequence[Tuple[float, float]], name: str = "") -> None:
+        if len(points) < 2:
+            raise WorkloadError("need at least two CDF points")
+        sizes = [p[0] for p in points]
+        fracs = [p[1] for p in points]
+        if any(s <= 0 for s in sizes):
+            raise WorkloadError("sizes must be positive")
+        if any(b <= a for a, b in zip(sizes, sizes[1:])):
+            raise WorkloadError("sizes must be strictly increasing")
+        if any(b < a for a, b in zip(fracs, fracs[1:])):
+            raise WorkloadError("fractions must be non-decreasing")
+        if fracs[0] < 0:
+            raise WorkloadError("fractions must be non-negative")
+        if abs(fracs[-1] - 1.0) > 1e-9:
+            raise WorkloadError("final fraction must be 1.0")
+        self.points: List[Tuple[float, float]] = [(float(s), float(f))
+                                                  for s, f in points]
+        self.name = name
+
+    def quantile(self, fraction: float) -> float:
+        """Inverse CDF at ``fraction`` in [0, 1]."""
+        if not 0.0 <= fraction <= 1.0:
+            raise WorkloadError("fraction outside [0, 1]")
+        points = self.points
+        if fraction <= points[0][1]:
+            return points[0][0]
+        for (s0, f0), (s1, f1) in zip(points, points[1:]):
+            if fraction <= f1:
+                if f1 == f0:
+                    return s1
+                weight = (fraction - f0) / (f1 - f0)
+                return math.exp(
+                    math.log(s0) + weight * (math.log(s1) - math.log(s0))
+                )
+        return points[-1][0]
+
+    def sample(self, rng: random.Random) -> int:
+        return max(1, int(self.quantile(rng.random())))
+
+    def mean(self) -> float:
+        """Mean size estimated by numerical integration of the inverse
+        CDF (midpoint rule on 1000 quantiles)."""
+        steps = 1000
+        total = sum(self.quantile((i + 0.5) / steps) for i in range(steps))
+        return total / steps
+
+    def cdf(self, size: float) -> float:
+        """Forward CDF at ``size`` (log-linear between anchors)."""
+        points = self.points
+        if size <= points[0][0]:
+            return points[0][1]
+        for (s0, f0), (s1, f1) in zip(points, points[1:]):
+            if size <= s1:
+                weight = (math.log(size) - math.log(s0)) / (math.log(s1) - math.log(s0))
+                return f0 + weight * (f1 - f0)
+        return 1.0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"EmpiricalSize({self.name or len(self.points)})"
+
+
+class TruncatedSize:
+    """Clamp another distribution to ``maximum`` bytes (§4.2.4's 1 MB cap)."""
+
+    def __init__(self, inner: SizeDistribution, maximum: int) -> None:
+        if maximum <= 0:
+            raise WorkloadError("maximum must be positive")
+        self.inner = inner
+        self.maximum = maximum
+
+    def sample(self, rng: random.Random) -> int:
+        return min(self.inner.sample(rng), self.maximum)
+
+    def mean(self) -> float:
+        # Estimate by sampling-free bound: inner mean clipped.  For the
+        # empirical distributions the harness uses the quantile integral.
+        if isinstance(self.inner, EmpiricalSize):
+            steps = 1000
+            total = sum(
+                min(self.inner.quantile((i + 0.5) / steps), self.maximum)
+                for i in range(steps)
+            )
+            return total / steps
+        return min(self.inner.mean(), float(self.maximum))

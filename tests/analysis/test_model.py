@@ -1,0 +1,86 @@
+"""Tests for the analytical FCT models — including cross-validation
+against the packet simulator on clean paths."""
+
+import pytest
+
+from repro.analysis.model import (
+    PathModel,
+    crossover_size,
+    paced_model_fct,
+    slow_start_rounds,
+    tcp_model_fct,
+)
+from repro.errors import ConfigurationError
+from repro.units import MSS, kb, mbps, ms
+from tests.conftest import run_one_flow
+
+PATH = PathModel(rtt=ms(60), bottleneck_rate=mbps(15))
+
+
+class TestSlowStartRounds:
+    def test_fits_in_initial_window(self):
+        assert slow_start_rounds(2, 2) == 1
+        assert slow_start_rounds(10, 10) == 1
+
+    def test_doubling(self):
+        # ICW 2: 2, 4, 8, 16, 32, 64 -> cumulative 2, 6, 14, 30, 62, 126.
+        assert slow_start_rounds(6, 2) == 2
+        assert slow_start_rounds(7, 2) == 3
+        assert slow_start_rounds(62, 2) == 5
+        assert slow_start_rounds(69, 2) == 6
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            slow_start_rounds(0, 2)
+        with pytest.raises(ConfigurationError):
+            slow_start_rounds(5, 0)
+
+
+class TestAgainstSimulator:
+    """The models must match the simulator on clean paths within a few
+    percent — this validates both directions."""
+
+    def test_tcp_model_matches_simulation(self):
+        for size in (10_000, 50_000, 100_000):
+            model = tcp_model_fct(size, PATH)
+            sim = run_one_flow("tcp", size=size).fct
+            assert sim == pytest.approx(model, rel=0.10), size
+
+    def test_tcp10_model_matches_simulation(self):
+        model = tcp_model_fct(100_000, PATH, initial_window=10)
+        sim = run_one_flow("tcp-10", size=100_000).fct
+        assert sim == pytest.approx(model, rel=0.10)
+
+    def test_paced_model_matches_simulation(self):
+        for size in (20_000, 100_000):
+            model = paced_model_fct(size, PATH)
+            sim = run_one_flow("jumpstart", size=size).fct
+            assert sim == pytest.approx(model, rel=0.12), size
+
+    def test_paced_model_with_slow_bottleneck(self):
+        slow_path = PathModel(rtt=ms(60), bottleneck_rate=mbps(5))
+        model = paced_model_fct(100_000, slow_path)
+        # Drain-limited: the bottleneck needs ~165 ms for 100 kB+headers.
+        assert model > paced_model_fct(100_000, PATH)
+
+
+class TestCrossover:
+    def test_pacing_wins_for_large_flows(self):
+        size = crossover_size(PATH, initial_window=10)
+        # Fig. 11: pacing overtakes TCP-10 somewhere below ~100 KB.
+        assert MSS < size < kb(120)
+
+    def test_tiny_flows_prefer_burst(self):
+        tiny = 3 * MSS
+        assert (tcp_model_fct(tiny, PATH, initial_window=10)
+                < paced_model_fct(tiny, PATH))
+
+    def test_crossover_monotone_in_initial_window(self):
+        assert (crossover_size(PATH, initial_window=2)
+                <= crossover_size(PATH, initial_window=10))
+
+
+def test_path_model_validation():
+    with pytest.raises(ConfigurationError):
+        PathModel(rtt=0.0, bottleneck_rate=1.0)
+    assert PATH.bdp_segments == pytest.approx(75.0)

@@ -1,0 +1,79 @@
+"""Shared test helpers: tiny end-to-end flow runs with controllable loss."""
+
+from dataclasses import dataclass
+from typing import Optional
+
+import pytest
+
+from repro.net.topology import AccessNetwork, access_network
+from repro.protocols.registry import ProtocolContext, create_sender
+from repro.sim.simulator import Simulator
+from repro.transport.config import TransportConfig
+from repro.transport.flow import FlowRecord, FlowSpec, next_flow_id
+from repro.transport.receiver import Receiver
+from repro.units import gbps, kb, mbps, ms
+
+
+@dataclass
+class FlowRun:
+    """Everything a test needs to inspect after one flow."""
+
+    sim: Simulator
+    net: AccessNetwork
+    sender: object
+    receiver: Receiver
+    record: FlowRecord
+
+    @property
+    def fct(self) -> Optional[float]:
+        return self.record.fct
+
+
+def run_one_flow(
+    protocol: str = "tcp",
+    size: int = 100_000,
+    seed: int = 1,
+    bottleneck_rate: float = mbps(15),
+    rtt: float = ms(60),
+    buffer_bytes: int = kb(115),
+    loss_rate: float = 0.0,
+    reverse_loss_rate: float = 0.0,
+    horizon: float = 120.0,
+    config: Optional[TransportConfig] = None,
+    context: Optional[ProtocolContext] = None,
+    edge_rate: float = gbps(1),
+) -> FlowRun:
+    """Run one flow over a fresh single-pair bottleneck path."""
+    sim = Simulator(seed=seed)
+    net = access_network(sim, n_pairs=1, bottleneck_rate=bottleneck_rate,
+                         rtt=rtt, buffer_bytes=buffer_bytes,
+                         edge_rate=edge_rate)
+    if loss_rate:
+        net.bottleneck.set_loss(loss_rate)
+    if reverse_loss_rate:
+        net.reverse_bottleneck.set_loss(reverse_loss_rate)
+    sender_host, receiver_host = net.pair(0)
+    spec = FlowSpec(next_flow_id(), sender_host.name, receiver_host.name,
+                    size=size, protocol=protocol)
+    record = FlowRecord(spec)
+
+    def finish(receiver: Receiver) -> None:
+        record.complete_time = sim.now
+        record.duplicate_receptions = receiver.duplicates
+
+    receiver = Receiver(sim, receiver_host, spec.flow_id, config=config,
+                        on_complete=finish)
+    sender = create_sender(sim, sender_host, spec, record=record,
+                           config=config,
+                           context=context if context is not None else ProtocolContext())
+    sender.start()
+    sim.run(until=horizon)
+    record.extra["drops"] = sim.flow_drops.get(spec.flow_id, 0)
+    return FlowRun(sim=sim, net=net, sender=sender, receiver=receiver,
+                   record=record)
+
+
+@pytest.fixture
+def flow_runner():
+    """Fixture exposing :func:`run_one_flow`."""
+    return run_one_flow

@@ -1,0 +1,57 @@
+"""Unit tests for the ACK-rate bandwidth estimator."""
+
+import pytest
+
+from repro.core.bandwidth import AckRateEstimator
+from repro.errors import ConfigurationError
+
+
+def test_unmeasurable_until_two_spaced_observations():
+    est = AckRateEstimator()
+    assert est.rate() is None
+    est.observe(1.0, 1500)
+    assert est.rate() is None
+    est.observe(1.0, 1500)  # zero span
+    assert est.rate() is None
+
+
+def test_rate_excludes_first_burst():
+    est = AckRateEstimator()
+    est.observe(0.0, 1500)   # seeds the window, not the rate
+    est.observe(1.0, 3000)
+    assert est.rate() == pytest.approx(3000.0)
+
+
+def test_steady_ack_clock_measures_drain_rate():
+    est = AckRateEstimator()
+    for i in range(11):
+        est.observe(i * 0.001, 1500)
+    # 10 intervals of 1 ms carrying 1500 B each after the first.
+    assert est.rate() == pytest.approx(1_500_000.0)
+
+
+def test_window_for_converts_to_segments():
+    est = AckRateEstimator()
+    est.observe(0.0, 0)
+    est.observe(1.0, 150_000)  # 150 kB/s
+    assert est.window_for(rtt=0.1, segment_size=1500) == 10
+
+
+def test_window_for_floors_at_fallback():
+    est = AckRateEstimator()
+    assert est.window_for(rtt=0.1, segment_size=1500, fallback_segments=2) == 2
+    est.observe(0.0, 0)
+    est.observe(1.0, 1500)  # tiny rate -> floor
+    assert est.window_for(rtt=0.01, segment_size=1500, fallback_segments=3) == 3
+
+
+def test_time_going_backwards_rejected():
+    est = AckRateEstimator()
+    est.observe(1.0, 10)
+    with pytest.raises(ConfigurationError):
+        est.observe(0.5, 10)
+
+
+def test_negative_bytes_rejected():
+    with pytest.raises(ConfigurationError):
+        AckRateEstimator().observe(0.0, -1)

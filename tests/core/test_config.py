@@ -1,0 +1,70 @@
+"""Unit tests for Halfback and transport configuration validation."""
+
+import pytest
+
+from repro.core.config import (
+    HalfbackConfig,
+    RATE_ACK_CLOCK,
+    RATE_LINE,
+    ROPR_FORWARD,
+    ROPR_REVERSE,
+)
+from repro.errors import ConfigurationError
+from repro.transport.config import TransportConfig
+from repro.units import kb
+
+
+class TestHalfbackConfig:
+    def test_paper_defaults(self):
+        config = HalfbackConfig()
+        assert config.pacing_threshold == kb(141)
+        assert config.ropr_order == ROPR_REVERSE
+        assert config.ropr_rate == RATE_ACK_CLOCK
+        assert config.retransmissions_per_ack == 1.0
+        assert config.initial_burst_segments == 0
+
+    def test_ablation_values_accepted(self):
+        HalfbackConfig(ropr_order=ROPR_FORWARD)
+        HalfbackConfig(ropr_rate=RATE_LINE)
+        HalfbackConfig(retransmissions_per_ack=2 / 3)
+        HalfbackConfig(initial_burst_segments=10)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(pacing_threshold=0),
+        dict(ropr_order="diagonal"),
+        dict(ropr_rate="warp"),
+        dict(retransmissions_per_ack=0.0),
+        dict(initial_burst_segments=-1),
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            HalfbackConfig(**kwargs)
+
+
+class TestTransportConfig:
+    def test_paper_defaults(self):
+        config = TransportConfig()
+        assert config.segment_size == 1500
+        assert config.header_size == 40
+        assert config.mss == 1460
+        assert config.flow_control_window == kb(141)
+        assert config.window_segments == 94
+        assert config.initial_cwnd == 2
+        assert config.min_rto == 1.0  # RFC 6298 floor
+
+    def test_segment_wire_size_tail(self):
+        config = TransportConfig()
+        # 100 KB = 68 full + 1 tail segment.
+        assert config.segment_wire_size(0, 69, 100_000) == 1500
+        tail_payload = 100_000 - 68 * config.mss
+        assert config.segment_wire_size(68, 69, 100_000) == 40 + tail_payload
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(segment_size=40),
+        dict(flow_control_window=100),
+        dict(initial_cwnd=0),
+        dict(max_flow_duration=0.0),
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TransportConfig(**kwargs)

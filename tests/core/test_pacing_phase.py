@@ -1,0 +1,65 @@
+"""Unit tests for the pacing-phase planner."""
+
+import pytest
+
+from repro.core.pacing_phase import plan_pacing
+from repro.errors import ConfigurationError
+from repro.transport.config import TransportConfig
+from repro.units import kb, ms
+
+
+CONFIG = TransportConfig()
+
+
+def test_short_flow_fully_covered():
+    plan = plan_pacing(100_000, ms(60), CONFIG, kb(141))
+    assert plan.segments == 69
+    assert plan.covers_flow
+    # 68 full wire segments + header + tail payload.
+    tail = 100_000 - 68 * CONFIG.mss
+    assert plan.bytes == 68 * 1500 + 40 + tail
+    assert plan.rate == pytest.approx(plan.bytes / ms(60))
+
+
+def test_ten_full_segments_all_paced():
+    plan = plan_pacing(10 * CONFIG.mss, ms(60), CONFIG, kb(141))
+    assert plan.segments == 10
+    assert plan.covers_flow
+
+
+def test_long_flow_capped_by_threshold():
+    plan = plan_pacing(1_000_000, ms(60), CONFIG, kb(141))
+    assert plan.segments == kb(141) // 1500  # 94
+    assert not plan.covers_flow
+    assert plan.bytes == plan.segments * 1500
+
+
+def test_window_caps_when_smaller_than_threshold():
+    config = TransportConfig(flow_control_window=kb(30))
+    plan = plan_pacing(1_000_000, ms(60), config, kb(141))
+    assert plan.segments == kb(30) // 1500
+
+
+def test_tiny_flow_single_segment():
+    plan = plan_pacing(100, ms(60), CONFIG, kb(141))
+    assert plan.segments == 1
+    assert plan.covers_flow
+    assert plan.bytes == 140  # header + 100 payload
+
+
+def test_rate_scales_inversely_with_rtt():
+    fast = plan_pacing(100_000, ms(20), CONFIG, kb(141))
+    slow = plan_pacing(100_000, ms(200), CONFIG, kb(141))
+    assert fast.rate == pytest.approx(slow.rate * 10)
+
+
+def test_interval_is_mean_spacing():
+    plan = plan_pacing(10 * CONFIG.mss, ms(60), CONFIG, kb(141))
+    assert plan.interval == pytest.approx(ms(60) / 10, rel=1e-6)
+
+
+def test_invalid_inputs_rejected():
+    with pytest.raises(ConfigurationError):
+        plan_pacing(0, ms(60), CONFIG, kb(141))
+    with pytest.raises(ConfigurationError):
+        plan_pacing(1000, 0.0, CONFIG, kb(141))

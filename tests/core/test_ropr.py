@@ -1,0 +1,135 @@
+"""Unit and property tests for the ROPR state machine — the heart of
+Halfback's contribution."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import ROPR_FORWARD, ROPR_REVERSE
+from repro.core.ropr import RoprScheduler
+from repro.errors import ConfigurationError
+
+
+def never_acked(seq):
+    return False
+
+
+class TestReverse:
+    def test_proposes_in_strictly_decreasing_order(self):
+        ropr = RoprScheduler(5)
+        order = [ropr.next_candidate(never_acked) for _ in range(5)]
+        assert order == [4, 3, 2, 1, 0]
+        assert ropr.finished
+        assert ropr.next_candidate(never_acked) is None
+
+    def test_skips_acked_segments(self):
+        acked = {1, 3}
+        ropr = RoprScheduler(5)
+        order = []
+        while True:
+            candidate = ropr.next_candidate(lambda s: s in acked)
+            if candidate is None:
+                break
+            order.append(candidate)
+        assert order == [4, 2, 0]
+
+    def test_paper_example_ten_segments(self):
+        """Fig. 3: ACK k arrives; segments 0..k-1 acked; retransmit from
+        the end.  ROPR resends exactly 10, 9, 8, 7, 6 then finishes."""
+        ropr = RoprScheduler(10)
+        acked = set()
+        resent = []
+        for ack in range(10):
+            acked.add(ack)
+            candidate = ropr.next_candidate(lambda s: s in acked)
+            if candidate is None:
+                break
+            resent.append(candidate)
+        assert resent == [9, 8, 7, 6, 5]
+        assert ropr.finished
+
+    def test_each_segment_proposed_at_most_once(self):
+        ropr = RoprScheduler(8)
+        proposed = []
+        while True:
+            candidate = ropr.next_candidate(never_acked)
+            if candidate is None:
+                break
+            proposed.append(candidate)
+        assert len(proposed) == len(set(proposed)) == 8
+
+
+class TestForward:
+    def test_proposes_in_increasing_order(self):
+        ropr = RoprScheduler(4, order=ROPR_FORWARD)
+        order = [ropr.next_candidate(never_acked) for _ in range(4)]
+        assert order == [0, 1, 2, 3]
+        assert ropr.finished
+
+    def test_forward_wastes_on_about_to_be_acked(self):
+        """The §5 pathology: with the frontier chasing the pointer, the
+        forward variant resends almost the whole flow."""
+        ropr = RoprScheduler(10, order=ROPR_FORWARD)
+        acked = set()
+        resent = []
+        for ack in range(10):
+            acked.add(ack)
+            candidate = ropr.next_candidate(lambda s: s in acked)
+            if candidate is None:
+                break
+            resent.append(candidate)
+        # Forward resends nearly everything, unlike reverse's half.
+        assert len(resent) >= 8
+
+
+def test_drain_proposes_everything_unacked():
+    ropr = RoprScheduler(6)
+    acked = {0, 2}
+    batch = ropr.drain(lambda s: s in acked)
+    assert batch == [5, 4, 3, 1]
+    assert ropr.finished
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ConfigurationError):
+        RoprScheduler(0)
+    with pytest.raises(ConfigurationError):
+        RoprScheduler(5, order="sideways")
+
+
+@settings(max_examples=100)
+@given(
+    n=st.integers(min_value=1, max_value=50),
+    order=st.sampled_from([ROPR_REVERSE, ROPR_FORWARD]),
+    acked_draw=st.sets(st.integers(min_value=0, max_value=49)),
+)
+def test_invariants_under_any_static_ack_state(n, order, acked_draw):
+    acked = {s for s in acked_draw if s < n}
+    ropr = RoprScheduler(n, order=order)
+    proposed = ropr.drain(lambda s: s in acked)
+    # Never proposes an acked segment; proposes every unacked exactly once.
+    assert set(proposed) == set(range(n)) - acked
+    assert len(proposed) == len(set(proposed))
+    assert ropr.finished
+    assert ropr.proposed_count == len(proposed)
+
+
+@settings(max_examples=60)
+@given(n=st.integers(min_value=2, max_value=60))
+def test_reverse_meets_advancing_frontier_halfway(n):
+    """The 'Halfback' property: with the frontier advancing one segment
+    per proposal, reverse order resends ~half the flow."""
+    ropr = RoprScheduler(n)
+    acked = set()
+    frontier = 0
+    resent = 0
+    while True:
+        acked.add(frontier)
+        frontier += 1
+        candidate = ropr.next_candidate(lambda s: s in acked)
+        if candidate is None:
+            break
+        resent += 1
+        if frontier >= n:
+            break
+    assert resent <= n // 2 + 1
+    assert resent >= (n - 1) // 2 - 1

@@ -1,0 +1,69 @@
+"""Tests for the adaptive Pacing Threshold (§3.1) machinery."""
+
+import pytest
+
+from repro.core.config import HalfbackConfig
+from repro.core.threshold import ThroughputCache
+from repro.errors import ConfigurationError
+from repro.protocols.registry import ProtocolContext
+from repro.units import kb, mbps
+from tests.conftest import run_one_flow
+
+
+class TestThroughputCache:
+    def test_keeps_largest_fresh_rate(self):
+        cache = ThroughputCache()
+        cache.observe("a", "b", 1000.0, now=0.0)
+        cache.observe("a", "b", 500.0, now=1.0)   # smaller: ignored
+        assert cache.lookup("a", "b", now=2.0) == 1000.0
+        cache.observe("a", "b", 2000.0, now=3.0)
+        assert cache.lookup("a", "b", now=4.0) == 2000.0
+
+    def test_stale_entries_replaced_and_expire(self):
+        cache = ThroughputCache(ttl=10.0)
+        cache.observe("a", "b", 1000.0, now=0.0)
+        assert cache.lookup("a", "b", now=11.0) is None
+        cache.observe("a", "b", 100.0, now=12.0)  # smaller but fresher
+        assert cache.lookup("a", "b", now=13.0) == 100.0
+
+    def test_threshold_for_caps_and_floors(self):
+        cache = ThroughputCache()
+        assert cache.threshold_for("a", "b", 0.06, 0.0, ceiling=kb(141)) == kb(141)
+        cache.observe("a", "b", mbps(5), now=0.0)
+        expected = int(mbps(5) * 0.06)
+        assert cache.threshold_for("a", "b", 0.06, 1.0, ceiling=kb(141)) == expected
+        # Never above the static ceiling.
+        cache.observe("a", "b", mbps(500), now=2.0)
+        assert cache.threshold_for("a", "b", 0.06, 3.0, ceiling=kb(141)) == kb(141)
+
+    def test_validation_and_len(self):
+        with pytest.raises(ConfigurationError):
+            ThroughputCache(ttl=0.0)
+        cache = ThroughputCache()
+        cache.observe("a", "b", 1.0, now=0.0)
+        assert len(cache) == 1
+        cache.observe("a", "b", -1.0, now=0.0)  # ignored
+        assert len(cache) == 1
+
+
+class TestAdaptiveHalfback:
+    def test_first_connection_uses_static_threshold(self):
+        context = ProtocolContext(halfback=HalfbackConfig(adaptive_threshold=True))
+        run = run_one_flow("halfback", size=100_000, context=context)
+        assert run.record.completed
+        assert run.record.extra["adaptive_threshold"] == kb(141)
+
+    def test_second_connection_adapts_to_observed_rate(self):
+        context = ProtocolContext(halfback=HalfbackConfig(adaptive_threshold=True))
+        kwargs = dict(size=100_000, bottleneck_rate=mbps(5),
+                      buffer_bytes=kb(20), context=context, horizon=60.0)
+        first = run_one_flow("halfback", seed=1, **kwargs)
+        second = run_one_flow("halfback", seed=1, **kwargs)
+        assert second.record.extra["adaptive_threshold"] < kb(141)
+        # The adapted start-up overflows less than the cold one.
+        assert second.record.extra["drops"] <= first.record.extra["drops"]
+
+    def test_disabled_by_default(self):
+        context = ProtocolContext()
+        run = run_one_flow("halfback", size=100_000, context=context)
+        assert "adaptive_threshold" not in run.record.extra

@@ -1,0 +1,41 @@
+"""Tests for the ASCII curve renderer."""
+
+from repro.experiments.report import render_ascii_curves
+
+
+def test_empty_series_safe():
+    assert render_ascii_curves([], title="empty") == "empty"
+    assert render_ascii_curves([("x", [])]) == "(no data)"
+
+
+def test_single_point_renders():
+    out = render_ascii_curves([("one", [(1.0, 1.0)])], width=10, height=4)
+    assert "o" in out
+    assert "o=one" in out
+
+
+def test_axes_and_legend_present():
+    out = render_ascii_curves(
+        [("a", [(0, 0), (10, 100)]), ("b", [(0, 100), (10, 0)])],
+        width=20, height=6, title="T", x_label="xs", y_label="ys",
+    )
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "ys" in lines[1]
+    assert any(line.startswith("+") for line in lines)
+    assert "o=a" in lines[-1] and "+=b" in lines[-1]
+    assert "(xs)" in out
+    assert "0 .. 10" in out
+
+
+def test_monotone_curve_marks_corners():
+    out = render_ascii_curves([("c", [(0, 0), (1, 1)])], width=12, height=5)
+    grid = [line[1:] for line in out.splitlines() if line.startswith("|")]
+    assert grid[0][-1] == "o"   # top-right
+    assert grid[-1][0] == "o"   # bottom-left
+
+
+def test_constant_series_does_not_crash():
+    out = render_ascii_curves([("flat", [(0, 5), (1, 5), (2, 5)])],
+                              width=10, height=3)
+    assert "o" in out

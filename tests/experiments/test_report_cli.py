@@ -1,0 +1,62 @@
+"""Tests for report rendering and the CLI."""
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS, main
+from repro.experiments.report import (
+    cdf_summary_rows,
+    format_ms,
+    format_pct,
+    render_table,
+)
+
+
+class TestReport:
+    def test_render_table_alignment(self):
+        out = render_table(["a", "longer"], [["1", "2"], ["333", "4"]],
+                           title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "longer" in lines[1]
+        assert "-+-" in lines[2]
+        # Columns align: every row has the same separator position.
+        positions = {line.index("|") for line in lines[1:] if "|" in line}
+        assert len(positions) == 1
+
+    def test_formatters(self):
+        assert format_ms(0.0601) == "60.1ms"
+        assert format_pct(0.5) == "50.0%"
+
+    def test_cdf_summary_rows(self):
+        rows = cdf_summary_rows([("x", [0.1, 0.2, 0.3]), ("empty", [])])
+        assert rows[0][0] == "x"
+        assert rows[0][1] == "3"
+        assert rows[1][2] == "-"
+
+
+class TestCli:
+    def test_list_shows_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_every_figure_has_an_entry(self):
+        expected = {"fig1", "fig2", "fig3", "table1", "fig5", "fig6",
+                    "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+                    "fig13", "fig14", "fig15", "fig16", "fig17"}
+        assert expected == set(EXPERIMENTS)
+
+    def test_run_cheap_experiment_end_to_end(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "traffic" in out
+        assert "internet" in out
+
+    def test_fig3_via_cli(self, capsys):
+        assert main(["fig3", "--seed", "1"]) == 0
+        assert "ROPR order" in capsys.readouterr().out

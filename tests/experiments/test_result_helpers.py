@@ -1,0 +1,81 @@
+"""Unit tests for experiment result-object helpers, on synthetic data
+(no simulation)."""
+
+import pytest
+
+from repro.metrics.collapse import SweepPoint
+from repro.experiments.fig01_tradeoff import Fig1Result
+from repro.experiments.fig12_utilization import UtilizationSweep
+from repro.experiments.fig15_throughput import Fig15Result
+from repro.experiments.fig16_web import Fig16Result
+
+
+class TestFig15Helpers:
+    def make(self, background):
+        return Fig15Result(
+            bin_width=1.0, start_time=2.0, bottleneck_rate=100.0,
+            series={"s": {"background": background}},
+            short_fcts={"s": [0.5]},
+        )
+
+    def test_no_dip_means_zero_recovery(self):
+        result = self.make([100.0] * 10)
+        assert result.recovery_time("s") == 0.0
+        assert result.dip_depth("s") == pytest.approx(1.0)
+
+    def test_dip_and_recovery_measured_from_the_dip(self):
+        background = [100, 100, 100, 40, 60, 95, 95, 95, 95, 95]
+        result = self.make([float(v) for v in background])
+        assert result.dip_depth("s") == pytest.approx(0.4)
+        # Dip at bin 3, sustained >=90 from bin 5 -> 2 bins later.
+        assert result.recovery_time("s") == pytest.approx(2.0)
+
+    def test_never_recovering_returns_none(self):
+        result = self.make([100, 100, 100, 40, 40, 40])
+        assert result.recovery_time("s") is None
+
+
+class TestFig16Helpers:
+    def test_crossover_detection(self):
+        result = Fig16Result(
+            utilizations=[0.1, 0.3, 0.5],
+            curves={"tcp": [1.0, 1.2, 2.0], "x": [0.8, 1.5, 3.0]},
+            completion={"tcp": [1, 1, 1], "x": [1, 1, 1]},
+        )
+        assert result.crossover_with("x") == 0.3
+
+    def test_no_crossover(self):
+        result = Fig16Result(
+            utilizations=[0.1, 0.3],
+            curves={"tcp": [1.0, 1.2], "x": [0.8, 1.1]},
+            completion={"tcp": [1, 1], "x": [1, 1]},
+        )
+        assert result.crossover_with("x") is None
+
+
+class TestFig01Helpers:
+    def test_domination(self):
+        sweep = UtilizationSweep(points={}, feasible={}, collapse_factor=4.0)
+        result = Fig1Result(
+            points={
+                "halfback": (0.7, 0.15),
+                "worse-both": (0.5, 0.30),
+                "faster-but-fragile": (0.4, 0.10),
+                "safer-but-slow": (0.9, 0.40),
+            },
+            sweep=sweep,
+        )
+        dominated = result.dominated_by_halfback()
+        assert dominated["worse-both"] is True
+        assert dominated["faster-but-fragile"] is False
+        assert dominated["safer-but-slow"] is False
+
+
+class TestSweepHelpers:
+    def test_curve_and_low_load_accessors(self):
+        points = [SweepPoint(0.1, 0.2), SweepPoint(0.5, 0.3)]
+        sweep = UtilizationSweep(points={"tcp": points},
+                                 feasible={"tcp": 0.5},
+                                 collapse_factor=4.0)
+        assert sweep.curve("tcp") == points
+        assert sweep.low_load_fct("tcp") == 0.2

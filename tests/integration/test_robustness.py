@@ -1,0 +1,60 @@
+"""Randomized robustness: every scheme must deliver every byte under
+arbitrary (bounded) loss, sizes and path shapes — the library's core
+reliability invariant."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.protocols import available_protocols
+from repro.units import MSS, kb, mbps, ms
+from tests.conftest import run_one_flow
+
+PROTOCOLS = sorted(available_protocols())
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    protocol=st.sampled_from(PROTOCOLS),
+    segments=st.integers(min_value=1, max_value=40),
+    loss=st.floats(min_value=0.0, max_value=0.25),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_every_scheme_delivers_under_bounded_loss(protocol, segments, loss,
+                                                  seed):
+    run = run_one_flow(protocol, size=segments * MSS, loss_rate=loss,
+                       seed=seed, horizon=250.0)
+    assert run.record.completed, (protocol, segments, loss, seed)
+    assert run.receiver.tracker.complete
+    # The receiver never counts more distinct segments than exist.
+    assert run.receiver.tracker.count == segments
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    protocol=st.sampled_from(["tcp", "jumpstart", "halfback"]),
+    rtt_ms=st.floats(min_value=1.0, max_value=300.0),
+    rate_mbps=st.floats(min_value=1.0, max_value=200.0),
+    buffer_kb=st.integers(min_value=15, max_value=500),
+)
+def test_path_shape_never_wedges_a_flow(protocol, rtt_ms, rate_mbps,
+                                        buffer_kb):
+    run = run_one_flow(protocol, size=kb(50), rtt=ms(rtt_ms),
+                       bottleneck_rate=mbps(rate_mbps),
+                       buffer_bytes=buffer_kb * 1000, seed=1,
+                       horizon=250.0)
+    assert run.record.completed
+    # FCT is bounded below by 1.5 RTT (handshake + one-way delivery).
+    assert run.fct >= 1.49 * ms(rtt_ms)
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_duplicate_free_bookkeeping_on_clean_path(protocol):
+    """On a lossless, uncontended path the sender must not retransmit
+    reactively, and every scheme's overhead matches its taxonomy."""
+    run = run_one_flow(protocol, size=20 * MSS, bottleneck_rate=mbps(200))
+    assert run.record.completed
+    assert run.record.normal_retransmissions == 0
+    assert run.record.timeouts == 0
+    if protocol in ("tcp", "tcp-10", "tcp-cache", "reactive", "jumpstart",
+                    "pcp"):
+        assert run.record.proactive_retransmissions == 0

@@ -1,0 +1,121 @@
+"""Tests for FCT collection and feasible-capacity detection."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.collapse import (
+    SweepPoint,
+    collapse_factor_curve,
+    feasible_capacity,
+)
+from repro.metrics.fct import FctCollector
+from repro.transport.flow import FlowRecord, FlowSpec
+
+
+def record(size=100_000, protocol="tcp", kind="short", start=0.0,
+           complete=None, rtx=0, timeouts=0, drops=None, rtt=None):
+    spec = FlowSpec(0, "a", "b", size=size, protocol=protocol,
+                    start_time=start, kind=kind)
+    rec = FlowRecord(spec)
+    rec.complete_time = complete
+    rec.normal_retransmissions = rtx
+    rec.timeouts = timeouts
+    rec.handshake_rtt = rtt
+    if drops is not None:
+        rec.extra["drops"] = drops
+    return rec
+
+
+class TestFctCollector:
+    def test_mean_and_summary(self):
+        col = FctCollector([record(complete=0.2), record(complete=0.4)])
+        assert col.mean_fct() == pytest.approx(0.3)
+        assert col.summary().n == 2
+
+    def test_censoring_and_penalty(self):
+        col = FctCollector([record(complete=0.2), record(complete=None)])
+        assert col.fcts() == [pytest.approx(0.2)]
+        assert col.mean_fct(penalty=1.0) == pytest.approx(0.6)
+        assert col.completion_rate() == 0.5
+
+    def test_mean_of_nothing_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FctCollector([record(complete=None)]).mean_fct()
+
+    def test_filtering_by_protocol_and_kind(self):
+        col = FctCollector([
+            record(protocol="tcp", kind="short", complete=0.1),
+            record(protocol="halfback", kind="short", complete=0.2),
+            record(protocol="tcp", kind="long", complete=0.3),
+        ])
+        assert len(col.filtered(protocol="tcp")) == 2
+        assert len(col.filtered(kind="long")) == 1
+        assert len(col.filtered(protocol="tcp", kind="short")) == 1
+
+    def test_lossy_prefers_ground_truth_drops(self):
+        # Proactive duplicates inflate receiver dups, but drops==0 means
+        # the trial was clean.
+        clean_with_dups = record(complete=0.1, drops=0)
+        clean_with_dups.duplicate_receptions = 50
+        truly_lossy = record(complete=0.5, drops=3)
+        col = FctCollector([clean_with_dups, truly_lossy])
+        assert len(col.lossy()) == 1
+        assert len(col.lossless()) == 1
+        assert col.loss_fraction() == 0.5
+
+    def test_lossy_falls_back_to_sender_signals(self):
+        col = FctCollector([record(complete=0.5, rtx=2),
+                            record(complete=0.1)])
+        assert len(col.lossy()) == 1
+
+    def test_rtt_counts(self):
+        col = FctCollector([record(complete=0.3, rtt=0.06),
+                            record(complete=None, rtt=0.06)])
+        assert col.rtt_counts() == [pytest.approx(5.0)]
+
+    def test_retransmission_views(self):
+        col = FctCollector([record(complete=0.1, rtx=4),
+                            record(complete=0.1, rtx=0)])
+        assert col.normal_retransmissions() == [4, 0]
+        assert col.mean_normal_retransmissions() == 2.0
+
+
+class TestFeasibleCapacity:
+    def curve(self, fcts):
+        return [SweepPoint(u, f) for u, f in
+                zip((0.1, 0.3, 0.5, 0.7, 0.9), fcts)]
+
+    def test_knee_detected(self):
+        points = self.curve([0.2, 0.22, 0.25, 1.5, 5.0])
+        assert feasible_capacity(points, factor=3.0) == 0.5
+
+    def test_no_collapse_means_top_of_sweep(self):
+        points = self.curve([0.2, 0.21, 0.22, 0.25, 0.3])
+        assert feasible_capacity(points) == 0.9
+
+    def test_first_violation_caps_even_if_later_points_recover(self):
+        points = self.curve([0.2, 5.0, 0.2, 0.2, 0.2])
+        assert feasible_capacity(points) == 0.1
+
+    def test_completion_floor_counts_as_collapse(self):
+        points = [SweepPoint(0.1, 0.2), SweepPoint(0.3, 0.2, 0.5)]
+        assert feasible_capacity(points) == 0.1
+
+    def test_unsorted_input_tolerated(self):
+        points = list(reversed(self.curve([0.2, 0.22, 0.25, 1.5, 5.0])))
+        assert feasible_capacity(points, factor=3.0) == 0.5
+
+    def test_explicit_baseline(self):
+        points = self.curve([1.0, 1.0, 1.0, 1.0, 1.0])
+        assert feasible_capacity(points, factor=3.0, baseline_fct=0.1) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            feasible_capacity([])
+        with pytest.raises(ConfigurationError):
+            feasible_capacity([SweepPoint(0.1, 0.2)], factor=1.0)
+
+    def test_collapse_factor_curve(self):
+        points = self.curve([0.2, 0.4, 0.6, 0.8, 1.0])
+        factors = collapse_factor_curve(points)
+        assert factors == [pytest.approx(f) for f in (1, 2, 3, 4, 5)]

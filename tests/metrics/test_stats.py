@@ -1,0 +1,99 @@
+"""Unit and property tests for statistics helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.metrics.stats import (
+    ccdf_points,
+    cdf_points,
+    mean,
+    median,
+    percentile,
+    stddev,
+    summarize,
+)
+
+# Subnormal floats make linear interpolation underflow to 0.0, which is
+# a floating-point artifact rather than a percentile bug; exclude them.
+floats = st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False,
+                            allow_subnormal=False),
+                  min_size=1, max_size=200)
+
+
+def test_mean_and_stddev_basics():
+    assert mean([1, 2, 3]) == 2.0
+    assert stddev([5.0]) == 0.0
+    assert stddev([2, 2, 2]) == 0.0
+    assert stddev([0, 2]) == pytest.approx(1.0)
+
+
+def test_empty_inputs_rejected():
+    for fn in (mean, stddev, median, summarize):
+        with pytest.raises(ConfigurationError):
+            fn([])
+    with pytest.raises(ConfigurationError):
+        percentile([], 50)
+
+
+def test_percentile_interpolation():
+    values = [10, 20, 30, 40]
+    assert percentile(values, 0) == 10
+    assert percentile(values, 100) == 40
+    assert percentile(values, 50) == pytest.approx(25.0)
+    assert median(values) == pytest.approx(25.0)
+
+
+def test_percentile_bounds_checked():
+    with pytest.raises(ConfigurationError):
+        percentile([1], 101)
+
+
+def test_cdf_points_structure():
+    points = cdf_points([3.0, 1.0, 2.0])
+    assert points == [(1.0, pytest.approx(100 / 3)),
+                      (2.0, pytest.approx(200 / 3)),
+                      (3.0, pytest.approx(100.0))]
+    assert cdf_points([]) == []
+
+
+def test_ccdf_complements_cdf():
+    values = [1.0, 2.0, 3.0, 4.0]
+    cdf = dict(cdf_points(values))
+    ccdf = dict(ccdf_points(values))
+    for v in values:
+        assert cdf[v] + ccdf[v] == pytest.approx(100.0)
+
+
+def test_summarize_fields():
+    summary = summarize(list(range(101)))
+    assert summary.n == 101
+    assert summary.mean == 50.0
+    assert summary.p50 == 50.0
+    assert summary.p99 == 99.0
+    assert summary.minimum == 0
+    assert summary.maximum == 100
+    assert "p50" in summary.row() or "mean" in summary.row()
+
+
+@given(floats)
+def test_percentiles_are_monotone_and_bounded(values):
+    p25 = percentile(values, 25)
+    p50 = percentile(values, 50)
+    p99 = percentile(values, 99)
+    assert min(values) <= p25 <= p50 <= p99 <= max(values)
+
+
+@given(floats)
+def test_mean_within_range(values):
+    assert min(values) - 1e-9 <= mean(values) <= max(values) + 1e-9
+
+
+@given(floats)
+def test_cdf_is_sorted_and_ends_at_100(values):
+    points = cdf_points(values)
+    xs = [x for x, _ in points]
+    ps = [p for _, p in points]
+    assert xs == sorted(xs)
+    assert ps == sorted(ps)
+    assert ps[-1] == pytest.approx(100.0)

@@ -1,0 +1,132 @@
+"""Unit tests for link serialization, delay and loss."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.link import Link
+from repro.net.packet import Packet, PacketType
+from repro.net.queue import DropTailQueue
+from repro.sim.simulator import Simulator
+
+
+class Sink:
+    """Destination stub recording arrival times."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.arrivals = []
+
+    def receive(self, packet):
+        self.arrivals.append((self.sim.now, packet))
+
+
+def make_link(sim, sink, rate=1000.0, delay=0.5, **kwargs):
+    return Link(sim, "test", sink, rate=rate, delay=delay, **kwargs)
+
+
+def packet(size=1000, flow_id=1):
+    return Packet(src="a", dst="b", flow_id=flow_id, kind=PacketType.DATA,
+                  size=size)
+
+
+def test_delivery_time_is_serialization_plus_propagation():
+    sim = Simulator()
+    sink = Sink(sim)
+    link = make_link(sim, sink, rate=1000.0, delay=0.5)
+    link.send(packet(size=1000))  # 1s serialization + 0.5s propagation
+    sim.run()
+    assert len(sink.arrivals) == 1
+    assert sink.arrivals[0][0] == pytest.approx(1.5)
+
+
+def test_back_to_back_packets_serialize_sequentially():
+    sim = Simulator()
+    sink = Sink(sim)
+    link = make_link(sim, sink, rate=1000.0, delay=0.0)
+    link.send(packet(1000))
+    link.send(packet(1000))
+    sim.run()
+    times = [t for t, _ in sink.arrivals]
+    assert times == [pytest.approx(1.0), pytest.approx(2.0)]
+
+
+def test_pipelining_overlaps_propagation():
+    # Second packet's serialization overlaps the first's propagation.
+    sim = Simulator()
+    sink = Sink(sim)
+    link = make_link(sim, sink, rate=1000.0, delay=10.0)
+    link.send(packet(1000))
+    link.send(packet(1000))
+    sim.run()
+    times = [t for t, _ in sink.arrivals]
+    assert times == [pytest.approx(11.0), pytest.approx(12.0)]
+
+
+def test_queue_overflow_drops_and_notes_flow():
+    sim = Simulator()
+    sink = Sink(sim)
+    link = make_link(sim, sink, rate=1e9,
+                     queue=DropTailQueue(1000))
+    for _ in range(5):
+        link.send(packet(1000, flow_id=9))
+    sim.run()
+    # One serializing immediately + one queued; rest dropped.
+    assert link.queue.stats.dropped >= 2
+    assert sim.flow_drops.get(9, 0) == link.queue.stats.dropped
+
+
+def test_random_loss_drops_in_flight():
+    sim = Simulator(seed=5)
+    sink = Sink(sim)
+    link = make_link(sim, sink, rate=1e9, delay=0.001, loss_rate=0.5)
+    for _ in range(200):
+        link.send(packet(100))
+    sim.run()
+    lost = link.stats.packets_lost_inflight
+    assert 50 < lost < 150  # ~binomial(200, 0.5)
+    assert len(sink.arrivals) == 200 - lost
+    assert sim.flow_drops.get(1, 0) == lost
+
+
+def test_set_loss_installs_and_clears():
+    sim = Simulator(seed=1)
+    sink = Sink(sim)
+    link = make_link(sim, sink, rate=1e9)
+    link.set_loss(0.9)
+    for _ in range(50):
+        link.send(packet(100))
+    sim.run()
+    assert link.stats.packets_lost_inflight > 20
+    link.set_loss(0.0)
+    before = len(sink.arrivals)
+    for _ in range(50):
+        link.send(packet(100))
+    sim.run()
+    assert len(sink.arrivals) == before + 50
+
+
+def test_stats_count_bytes():
+    sim = Simulator()
+    sink = Sink(sim)
+    link = make_link(sim, sink, rate=1e6, delay=0.0)
+    link.send(packet(700))
+    sim.run()
+    assert link.stats.bytes_sent == 700
+    assert link.stats.bytes_delivered == 700
+
+
+def test_invalid_parameters_rejected():
+    sim = Simulator()
+    sink = Sink(sim)
+    with pytest.raises(ConfigurationError):
+        Link(sim, "bad", sink, rate=0.0, delay=0.1)
+    with pytest.raises(ConfigurationError):
+        Link(sim, "bad", sink, rate=1.0, delay=-0.1)
+    with pytest.raises(ConfigurationError):
+        Link(sim, "bad", sink, rate=1.0, delay=0.1, loss_rate=1.0)
+
+
+def test_transmission_time():
+    sim = Simulator()
+    link = make_link(sim, Sink(sim), rate=2000.0)
+    assert link.transmission_time(packet(1000)) == pytest.approx(0.5)

@@ -1,0 +1,107 @@
+"""Unit tests for hosts and routers."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.net.node import Host, Router
+from repro.net.packet import Packet, PacketType
+from repro.net.topology import Topology
+from repro.sim.simulator import Simulator
+
+
+def build_line():
+    """host a -- router r -- host b."""
+    sim = Simulator()
+    topo = Topology(sim)
+    a = topo.add_host("a")
+    r = topo.add_router("r")
+    b = topo.add_host("b")
+    topo.connect("a", "r", rate=1e9, delay=0.001)
+    topo.connect("r", "b", rate=1e9, delay=0.001)
+    topo.compute_routes()
+    return sim, topo, a, r, b
+
+
+def data(src, dst, flow_id=1):
+    return Packet(src=src, dst=dst, flow_id=flow_id, kind=PacketType.DATA,
+                  size=1500)
+
+
+class Endpoint:
+    def __init__(self):
+        self.packets = []
+
+    def on_packet(self, packet):
+        self.packets.append(packet)
+
+
+def test_host_send_routes_through_router():
+    sim, topo, a, r, b = build_line()
+    endpoint = Endpoint()
+    b.register(1, endpoint)
+    a.send(data("a", "b"))
+    sim.run()
+    assert len(endpoint.packets) == 1
+    assert endpoint.packets[0].hops == 2
+
+
+def test_host_rejects_foreign_source():
+    sim, topo, a, r, b = build_line()
+    with pytest.raises(TopologyError):
+        a.send(data("b", "a"))
+
+
+def test_unknown_flow_counts_orphans():
+    sim, topo, a, r, b = build_line()
+    a.send(data("a", "b", flow_id=99))
+    sim.run()
+    assert b.orphan_packets == 1
+
+
+def test_default_handler_receives_unbound_flows():
+    sim, topo, a, r, b = build_line()
+    seen = []
+    b.default_handler = seen.append
+    a.send(data("a", "b", flow_id=42))
+    sim.run()
+    assert len(seen) == 1
+    assert b.orphan_packets == 0
+
+
+def test_register_conflict_rejected():
+    sim, topo, a, r, b = build_line()
+    b.register(1, Endpoint())
+    with pytest.raises(TopologyError):
+        b.register(1, Endpoint())
+
+
+def test_unregister_is_idempotent_and_frees_id():
+    sim, topo, a, r, b = build_line()
+    b.register(1, Endpoint())
+    b.unregister(1)
+    b.unregister(1)
+    b.register(1, Endpoint())  # no conflict after unregister
+
+
+def test_router_refuses_to_terminate():
+    sim, topo, a, r, b = build_line()
+    with pytest.raises(TopologyError):
+        r.receive(data("a", "r"))
+
+
+def test_no_route_raises():
+    sim = Simulator()
+    topo = Topology(sim)
+    a = topo.add_host("a")
+    topo.add_host("island")
+    topo.compute_routes()
+    with pytest.raises(TopologyError):
+        a.send(data("a", "island"))
+
+
+def test_endpoint_lookup():
+    sim, topo, a, r, b = build_line()
+    endpoint = Endpoint()
+    b.register(5, endpoint)
+    assert b.endpoint_for(5) is endpoint
+    assert b.endpoint_for(6) is None

@@ -1,0 +1,50 @@
+"""Unit tests for packets."""
+
+import pytest
+
+from repro.net.packet import Packet, PacketType
+from repro.units import HEADER_SIZE, SEGMENT_SIZE
+
+
+def make(kind=PacketType.DATA, **kwargs):
+    defaults = dict(src="a", dst="b", flow_id=1, kind=kind, size=SEGMENT_SIZE)
+    defaults.update(kwargs)
+    return Packet(**defaults)
+
+
+def test_payload_excludes_header():
+    packet = make(size=SEGMENT_SIZE)
+    assert packet.payload == SEGMENT_SIZE - HEADER_SIZE
+
+
+def test_size_below_header_rejected():
+    with pytest.raises(ValueError):
+        make(size=HEADER_SIZE - 1)
+
+
+def test_data_and_control_classification():
+    assert make(PacketType.DATA).is_data
+    assert make(PacketType.PROBE).is_data
+    for kind in (PacketType.SYN, PacketType.SYN_ACK,
+                 PacketType.HANDSHAKE_ACK, PacketType.ACK):
+        packet = make(kind, size=HEADER_SIZE)
+        assert packet.is_control
+        assert not packet.is_data
+
+
+def test_uids_are_unique():
+    assert make().uid != make().uid
+
+
+def test_describe_mentions_retransmission_flavour():
+    normal = make(seq=5, retransmit=True)
+    proactive = make(seq=5, retransmit=True, proactive=True)
+    assert "rtx" in normal.describe()
+    assert "proactive-rtx" in proactive.describe()
+
+
+def test_describe_includes_seq_and_ack():
+    packet = make(PacketType.ACK, size=HEADER_SIZE, ack=7)
+    assert "ack=7" in packet.describe()
+    data = make(seq=3)
+    assert "seq=3" in data.describe()

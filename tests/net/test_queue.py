@@ -1,0 +1,106 @@
+"""Unit and property tests for router queues."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.net.packet import Packet, PacketType
+from repro.net.queue import DropTailQueue, REDQueue
+
+
+def packet(size=1500, flow_id=1):
+    return Packet(src="a", dst="b", flow_id=flow_id, kind=PacketType.DATA,
+                  size=size)
+
+
+class TestDropTail:
+    def test_fifo_order(self):
+        queue = DropTailQueue(10_000)
+        first, second = packet(), packet()
+        queue.enqueue(first)
+        queue.enqueue(second)
+        assert queue.dequeue() is first
+        assert queue.dequeue() is second
+        assert queue.dequeue() is None
+
+    def test_overflow_drops_and_counts(self):
+        queue = DropTailQueue(3000)
+        assert queue.enqueue(packet())
+        assert queue.enqueue(packet())
+        assert not queue.enqueue(packet())  # 4500 > 3000
+        assert queue.stats.dropped == 1
+        assert queue.stats.bytes_dropped == 1500
+        assert queue.bytes_queued == 3000
+
+    def test_exact_fit_admitted(self):
+        queue = DropTailQueue(1500)
+        assert queue.enqueue(packet(1500))
+
+    def test_small_packet_fits_after_big_rejected(self):
+        queue = DropTailQueue(2000)
+        assert queue.enqueue(packet(1500))
+        assert not queue.enqueue(packet(1500))
+        assert queue.enqueue(packet(200))
+
+    def test_dequeue_frees_capacity(self):
+        queue = DropTailQueue(1500)
+        queue.enqueue(packet())
+        queue.dequeue()
+        assert queue.enqueue(packet())
+
+    def test_peak_bytes_tracked(self):
+        queue = DropTailQueue(4500)
+        for _ in range(3):
+            queue.enqueue(packet())
+        queue.dequeue()
+        assert queue.stats.peak_bytes == 4500
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DropTailQueue(0)
+
+    def test_drop_rate(self):
+        queue = DropTailQueue(1500)
+        queue.enqueue(packet())
+        queue.enqueue(packet())
+        assert queue.stats.drop_rate() == pytest.approx(0.5)
+
+    @given(st.lists(st.integers(min_value=40, max_value=3000),
+                    min_size=1, max_size=100))
+    def test_bytes_queued_never_exceeds_capacity(self, sizes):
+        queue = DropTailQueue(9000)
+        for size in sizes:
+            queue.enqueue(packet(size))
+            assert queue.bytes_queued <= 9000
+        # Conservation: enqueued + dropped == offered
+        assert queue.stats.enqueued + queue.stats.dropped == len(sizes)
+
+
+class TestRed:
+    def test_below_min_threshold_never_drops(self):
+        queue = REDQueue(100_000, min_thresh=0.5, rng=random.Random(1))
+        for _ in range(20):  # 30000 bytes < 50% of 100000
+            assert queue.enqueue(packet())
+
+    def test_full_queue_always_drops(self):
+        queue = REDQueue(3000, rng=random.Random(1))
+        queue.enqueue(packet())
+        queue.enqueue(packet())
+        assert not queue.enqueue(packet())
+
+    def test_intermediate_occupancy_drops_probabilistically(self):
+        rng = random.Random(7)
+        queue = REDQueue(150_000, min_thresh=0.1, max_thresh=0.9,
+                         max_p=0.5, rng=rng)
+        admitted = sum(1 for _ in range(100) if queue.enqueue(packet())
+                       or queue.dequeue() is None)
+        # With heavy RED pressure some packets must be dropped.
+        assert queue.stats.dropped > 0
+
+    def test_bad_thresholds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            REDQueue(1000, min_thresh=0.9, max_thresh=0.5)
+        with pytest.raises(ConfigurationError):
+            REDQueue(1000, max_p=0.0)

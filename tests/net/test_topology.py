@@ -1,0 +1,109 @@
+"""Unit tests for topology construction, routing and the Fig. 4 builder."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.net.node import Host
+from repro.net.packet import Packet, PacketType
+from repro.net.topology import Topology, access_network, dumbbell
+from repro.sim.simulator import Simulator
+from repro.units import kb, mbps, ms
+
+
+def test_duplicate_node_rejected():
+    topo = Topology(Simulator())
+    topo.add_host("x")
+    with pytest.raises(TopologyError):
+        topo.add_router("x")
+
+
+def test_connect_unknown_node_rejected():
+    topo = Topology(Simulator())
+    topo.add_host("a")
+    with pytest.raises(TopologyError):
+        topo.connect("a", "ghost", rate=1.0, delay=0.0)
+
+
+def test_connect_creates_both_directions():
+    topo = Topology(Simulator())
+    topo.add_host("a")
+    topo.add_host("b")
+    forward, backward = topo.connect("a", "b", rate=1.0, delay=0.0)
+    assert topo.link("a", "b") is forward
+    assert topo.link("b", "a") is backward
+
+
+def test_routes_follow_shortest_path():
+    sim = Simulator()
+    topo = Topology(sim)
+    for name in ("a", "b"):
+        topo.add_host(name)
+    for name in ("r1", "r2", "r3"):
+        topo.add_router(name)
+    # a - r1 - r2 - b  and a longer a - r1 - r3 - r2 detour
+    topo.connect("a", "r1", 1e9, 0.001)
+    topo.connect("r1", "r2", 1e9, 0.001)
+    topo.connect("r2", "b", 1e9, 0.001)
+    topo.connect("r1", "r3", 1e9, 0.001)
+    topo.connect("r3", "r2", 1e9, 0.001)
+    topo.compute_routes()
+    assert topo.nodes["a"].route_for("b").name == "a->r1"
+    assert topo.nodes["r1"].route_for("b").name == "r1->r2"
+
+
+def test_host_accessor_type_checked():
+    topo = Topology(Simulator())
+    topo.add_router("r")
+    with pytest.raises(TopologyError):
+        topo.host("r")
+
+
+class TestAccessNetwork:
+    def test_pair_count_and_types(self):
+        net = access_network(Simulator(), n_pairs=3)
+        assert len(net.senders) == 3
+        assert len(net.receivers) == 3
+        assert all(isinstance(h, Host) for h in net.senders + net.receivers)
+
+    def test_paper_defaults(self):
+        net = access_network(Simulator())
+        assert net.bottleneck_rate == pytest.approx(mbps(15))
+        assert net.rtt == pytest.approx(ms(60))
+        assert net.buffer_bytes == kb(115)
+        assert net.bottleneck.queue.capacity_bytes == kb(115)
+        # BDP of 15 Mbps x 60 ms = 112.5 KB, the paper's ~115 KB.
+        assert net.bdp_bytes == pytest.approx(112_500)
+
+    def test_end_to_end_rtt_matches_parameter(self):
+        sim = Simulator()
+        net = access_network(sim, n_pairs=1)
+        sender, receiver = net.pair(0)
+        echo_times = []
+
+        class Echo:
+            def on_packet(self, packet):
+                echo_times.append(sim.now)
+
+        sender.register(1, Echo())
+
+        class Reflect:
+            def on_packet(self, packet):
+                receiver.send(Packet(src=receiver.name, dst=sender.name,
+                                     flow_id=1, kind=PacketType.ACK, size=40))
+
+        receiver.register(1, Reflect())
+        sender.send(Packet(src=sender.name, dst=receiver.name, flow_id=1,
+                           kind=PacketType.DATA, size=40))
+        sim.run()
+        # One RTT plus two (tiny) serializations.
+        assert echo_times[0] == pytest.approx(ms(60), rel=0.02)
+
+    def test_zero_pairs_rejected(self):
+        with pytest.raises(TopologyError):
+            access_network(Simulator(), n_pairs=0)
+
+    def test_dumbbell_wrapper(self):
+        net = dumbbell(Simulator(), n_pairs=2, bottleneck_rate=mbps(10),
+                       rtt=ms(100), buffer_bytes=kb(50))
+        assert net.bottleneck_rate == pytest.approx(mbps(10))
+        assert net.buffer_bytes == kb(50)

@@ -1,0 +1,74 @@
+"""Tests for the home access-network profiles."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.planetlab.homenet import (
+    HOME_PROFILES,
+    build_home_path,
+    home_profile,
+    server_rtts,
+    to_path_spec,
+)
+from repro.sim.simulator import Simulator
+from repro.units import mbps, ms
+from tests.conftest import run_one_flow
+
+
+def test_four_paper_profiles_exist():
+    assert set(HOME_PROFILES) == {
+        "att-dsl-wireless", "comcast-wired",
+        "connectivityu-wireless", "connectivityu-wired",
+    }
+
+
+def test_profile_lookup():
+    assert home_profile("comcast-wired").downlink == pytest.approx(mbps(25))
+    with pytest.raises(WorkloadError):
+        home_profile("starlink")
+
+
+def test_wireless_profiles_have_loss():
+    for profile in HOME_PROFILES.values():
+        if profile.wireless:
+            assert profile.loss_rate > 0
+        else:
+            assert profile.loss_rate == 0
+
+
+def test_server_rtts_deterministic_and_bounded():
+    a = server_rtts(50, seed=1)
+    assert a == server_rtts(50, seed=1)
+    assert all(ms(5) <= r <= ms(350) for r in a)
+    with pytest.raises(WorkloadError):
+        server_rtts(0)
+
+
+def test_build_home_path_combines_rtts():
+    profile = home_profile("att-dsl-wireless")
+    sim = Simulator()
+    net = build_home_path(sim, profile, server_rtt=ms(100))
+    assert net.rtt == pytest.approx(ms(100) + profile.access_rtt)
+    assert net.bottleneck_rate == pytest.approx(profile.downlink)
+    assert net.bottleneck.loss_rate == profile.loss_rate
+
+
+def test_to_path_spec_roundtrip():
+    profile = home_profile("connectivityu-wired")
+    spec = to_path_spec(profile, server_rtt=ms(50), pair_id=7)
+    assert spec.pair_id == 7
+    assert spec.bottleneck_rate == profile.downlink
+    assert spec.rtt == pytest.approx(ms(50) + profile.access_rtt)
+
+
+def test_halfback_beats_tcp_on_slow_home_link():
+    """The Fig. 9 effect on one representative path."""
+    profile = home_profile("att-dsl-wireless")
+    kwargs = dict(size=100_000, bottleneck_rate=profile.downlink,
+                  buffer_bytes=profile.buffer_bytes,
+                  rtt=ms(80) + profile.access_rtt,
+                  loss_rate=profile.loss_rate, seed=3, horizon=120.0)
+    halfback = run_one_flow("halfback", **kwargs)
+    tcp = run_one_flow("tcp", **kwargs)
+    assert halfback.record.completed and tcp.record.completed
+    assert halfback.fct < tcp.fct

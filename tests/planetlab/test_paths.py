@@ -1,0 +1,70 @@
+"""Tests for the synthetic Internet-path population."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.planetlab.paths import PathPopulation, PathSpec, build_path
+from repro.sim.simulator import Simulator
+from repro.units import ms
+
+
+def test_population_is_seed_deterministic():
+    a = PathPopulation(n_pairs=50, seed=3).paths
+    b = PathPopulation(n_pairs=50, seed=3).paths
+    assert a == b
+
+
+def test_different_seeds_differ():
+    a = PathPopulation(n_pairs=50, seed=3).paths
+    b = PathPopulation(n_pairs=50, seed=4).paths
+    assert a != b
+
+
+def test_rtt_range_matches_paper():
+    pop = PathPopulation(n_pairs=500, seed=1)
+    rtts = [p.rtt for p in pop]
+    assert min(rtts) >= ms(0.2)
+    assert max(rtts) <= ms(400)
+    # Spread across short and long paths.
+    assert sum(1 for r in rtts if r < ms(30)) > 20
+    assert sum(1 for r in rtts if r > ms(100)) > 100
+
+
+def test_lossy_fraction_approximately_configured():
+    pop = PathPopulation(n_pairs=1000, seed=2, lossy_fraction=0.2)
+    lossy = sum(1 for p in pop if p.loss_rate > 0)
+    assert 120 <= lossy <= 280
+
+
+def test_buffers_scale_with_bdp():
+    pop = PathPopulation(n_pairs=200, seed=5)
+    for p in pop:
+        assert p.buffer_bytes >= 15_000
+        assert p.buffer_bytes <= max(15_000, int(p.bdp_bytes * 1.5) + 1)
+
+
+def test_subset_and_len():
+    pop = PathPopulation(n_pairs=30, seed=0)
+    assert len(pop) == 30
+    assert len(pop.subset(10)) == 10
+    with pytest.raises(WorkloadError):
+        pop.subset(0)
+
+
+def test_validation():
+    with pytest.raises(WorkloadError):
+        PathPopulation(n_pairs=0)
+    with pytest.raises(WorkloadError):
+        PathPopulation(n_pairs=1, lossy_fraction=2.0)
+
+
+def test_build_path_materializes_spec():
+    spec = PathSpec(pair_id=0, rtt=ms(80), bottleneck_rate=1e6,
+                    buffer_bytes=50_000, loss_rate=0.01)
+    sim = Simulator()
+    net = build_path(sim, spec)
+    assert net.rtt == pytest.approx(ms(80))
+    assert net.bottleneck_rate == 1e6
+    assert net.bottleneck.loss_rate == 0.01
+    assert net.reverse_bottleneck.loss_rate == pytest.approx(0.0025)
+    assert net.bottleneck.queue.capacity_bytes == 50_000

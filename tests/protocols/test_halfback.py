@@ -1,0 +1,126 @@
+"""Behavioural tests for the Halfback sender."""
+
+import pytest
+
+from repro.core.config import HalfbackConfig
+from repro.protocols.halfback import HalfbackPhase, HalfbackSender
+from repro.protocols.registry import ProtocolContext
+from repro.units import MSS, kb, mbps, ms
+from tests.conftest import run_one_flow
+
+
+def test_clean_flow_completes_in_about_two_rtts():
+    run = run_one_flow("halfback", size=100_000, bottleneck_rate=mbps(100))
+    assert run.record.completed
+    # Handshake (1 RTT) + pacing spread (1 RTT) + half-RTT delivery.
+    assert run.fct / ms(60) < 3.0
+
+
+def test_ropr_resends_about_half_the_flow():
+    run = run_one_flow("halfback", size=100_000, bottleneck_rate=mbps(100))
+    proactive = run.record.proactive_retransmissions
+    assert 25 <= proactive <= 40  # ~34 of 69 segments
+    assert run.sender.phase in (HalfbackPhase.DRAIN, HalfbackPhase.FALLBACK)
+
+
+def test_ropr_retransmits_in_reverse_order():
+    sent = []
+    run = run_one_flow("halfback", size=20 * MSS, bottleneck_rate=mbps(100))
+    # Reconstruct from the scheduler's proposal log.
+    order = run.sender.ropr.proposed
+    assert order == sorted(order, reverse=True)
+
+
+def test_phase_progression_short_flow():
+    run = run_one_flow("halfback", size=50_000)
+    assert run.sender.plan.covers_flow
+    assert run.sender.phase == HalfbackPhase.DRAIN
+
+
+def test_long_flow_falls_back_to_tcp():
+    run = run_one_flow("halfback", size=400_000, horizon=120.0)
+    assert run.record.completed
+    assert not run.sender.plan.covers_flow
+    assert run.sender.phase == HalfbackPhase.FALLBACK
+    assert "fallback_cwnd" in run.record.extra
+    assert run.record.extra["fallback_cwnd"] >= 2
+
+
+def test_fallback_cwnd_tracks_bandwidth_estimate():
+    run = run_one_flow("halfback", size=400_000, bottleneck_rate=mbps(15),
+                       horizon=120.0)
+    # ~15 Mbps x 60 ms / 1500 B = ~75 segments.
+    assert 20 <= run.record.extra["fallback_cwnd"] <= 150
+
+
+def test_loss_masked_without_timeout():
+    """The headline mechanism: a dropped tail segment is recovered by
+    the proactive sweep, not a 1 s RTO."""
+    run = run_one_flow("halfback", size=100_000, bottleneck_rate=mbps(5),
+                       buffer_bytes=kb(20), seed=6)
+    assert run.record.completed
+    assert run.record.extra["drops"] > 0      # the start-up overflowed
+    assert run.record.timeouts == 0           # ...but ROPR masked it
+    assert run.fct < 0.5
+
+
+def test_faster_than_jumpstart_under_loss():
+    kwargs = dict(size=100_000, bottleneck_rate=mbps(5),
+                  buffer_bytes=kb(20), seed=6)
+    halfback = run_one_flow("halfback", **kwargs)
+    jumpstart = run_one_flow("jumpstart", **kwargs)
+    assert halfback.record.completed and jumpstart.record.completed
+    # JumpStart's burst recovery loses retransmissions and times out;
+    # Halfback's ROPR recovers in-stride (paper Fig. 8's gap).
+    assert halfback.fct < jumpstart.fct
+    assert halfback.record.extra["drops"] < jumpstart.record.extra["drops"]
+
+
+def test_equal_to_jumpstart_without_loss():
+    kwargs = dict(size=100_000, bottleneck_rate=mbps(200))
+    halfback = run_one_flow("halfback", **kwargs)
+    jumpstart = run_one_flow("jumpstart", **kwargs)
+    assert halfback.record.extra["drops"] == 0
+    assert halfback.fct == pytest.approx(jumpstart.fct, rel=0.02)
+
+
+def test_pacing_threshold_config_respected():
+    context = ProtocolContext(halfback=HalfbackConfig(pacing_threshold=kb(30)))
+    run = run_one_flow("halfback", size=100_000, context=context,
+                       horizon=120.0)
+    assert run.record.completed
+    assert run.sender.plan.segments == kb(30) // 1500
+
+
+def test_initial_burst_refinement():
+    context = ProtocolContext(
+        halfback=HalfbackConfig(initial_burst_segments=10)
+    )
+    burst = run_one_flow("halfback", size=100_000, context=context,
+                         bottleneck_rate=mbps(100))
+    plain = run_one_flow("halfback", size=100_000,
+                         bottleneck_rate=mbps(100))
+    assert burst.record.completed
+    assert burst.fct <= plain.fct  # burst head start can only help here
+
+
+def test_fractional_retransmissions_per_ack():
+    context = ProtocolContext(
+        halfback=HalfbackConfig(retransmissions_per_ack=2 / 3)
+    )
+    run = run_one_flow("halfback", size=100_000, context=context,
+                       bottleneck_rate=mbps(100))
+    assert run.record.completed
+    # Lower budget -> fewer proactive copies than the 1/ACK variant.
+    assert run.record.proactive_retransmissions <= 34
+
+
+def test_rto_during_aggressive_phase_abandons_to_drain():
+    # Brutal loss so the whole paced window dies and the RTO fires.
+    run = run_one_flow("halfback", size=50_000, loss_rate=0.9, seed=3,
+                       horizon=200.0)
+    assert run.record.timeouts >= 1 or not run.record.completed
+    # Whatever happened, the sender must not be wedged in ROPR.
+    assert run.sender.phase in (HalfbackPhase.DRAIN, HalfbackPhase.FALLBACK,
+                                HalfbackPhase.PACING, HalfbackPhase.ROPR_WAIT,
+                                HalfbackPhase.ROPR)

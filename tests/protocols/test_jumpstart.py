@@ -1,0 +1,53 @@
+"""Behavioural tests for JumpStart."""
+
+import pytest
+
+from repro.units import MSS, kb, mbps, ms
+from tests.conftest import run_one_flow
+
+
+def test_whole_flow_paced_in_one_rtt():
+    run = run_one_flow("jumpstart", size=100_000, bottleneck_rate=mbps(200))
+    assert run.record.completed
+    # Handshake + 1 paced RTT + delivery: well under 3 RTTs.
+    assert run.fct / ms(60) < 3.0
+    assert run.record.normal_retransmissions == 0
+
+
+def test_no_proactive_overhead():
+    run = run_one_flow("jumpstart", size=100_000, bottleneck_rate=mbps(200))
+    assert run.record.proactive_retransmissions == 0
+    assert run.record.data_packets_sent == 69
+
+
+def test_beats_tcp_substantially_at_low_load():
+    tcp = run_one_flow("tcp", size=100_000)
+    jumpstart = run_one_flow("jumpstart", size=100_000)
+    assert jumpstart.fct < 0.5 * tcp.fct
+
+
+def test_bursty_recovery_retransmits_same_packets_repeatedly():
+    """§2.2/§4.3.2: lost bursts are re-burst, so retransmissions far
+    exceed the number of distinct lost segments."""
+    run = run_one_flow("jumpstart", size=100_000, bottleneck_rate=mbps(5),
+                       buffer_bytes=kb(20), seed=2, horizon=120.0)
+    assert run.record.completed
+    distinct_segments = run.record.spec.n_segments
+    assert run.record.normal_retransmissions > 0
+    # More retransmissions than any single-shot recovery would need.
+    assert (run.record.normal_retransmissions
+            > run.record.extra["drops"] * 0.5)
+
+
+def test_flow_larger_than_window_still_completes():
+    run = run_one_flow("jumpstart", size=400_000, horizon=120.0)
+    assert run.record.completed
+    # The first window was paced; the remainder ran as TCP.
+    assert run.sender.plan.segments == 94
+
+
+def test_timeout_on_tail_wipe():
+    run = run_one_flow("jumpstart", size=100_000, bottleneck_rate=mbps(3),
+                       buffer_bytes=kb(15), seed=1, horizon=120.0)
+    assert run.record.completed
+    assert run.record.timeouts >= 1  # reactive-only recovery stalls

@@ -1,0 +1,37 @@
+"""Behavioural tests for the simplified PCP."""
+
+import pytest
+
+from repro.units import MSS, mbps, ms
+from tests.conftest import run_one_flow
+
+
+def test_completes_clean_path():
+    run = run_one_flow("pcp", size=100_000)
+    assert run.record.completed
+    assert run.sender.epochs >= 3  # rate ramps over multiple epochs
+
+
+def test_rate_doubles_when_path_is_clean():
+    run = run_one_flow("pcp", size=100_000, bottleneck_rate=mbps(100))
+    assert run.record.completed
+    # Binary-search ramping: comparable to slow start, so around
+    # TCP-speed, far slower than one-RTT pacing.
+    assert 4 < run.fct / ms(60) < 12
+
+
+def test_very_low_retransmissions():
+    run = run_one_flow("pcp", size=100_000, bottleneck_rate=mbps(10))
+    assert run.record.completed
+    assert run.record.normal_retransmissions <= 2
+
+
+def test_rate_respects_flow_control_ceiling():
+    run = run_one_flow("pcp", size=400_000, horizon=120.0)
+    assert run.record.completed
+
+
+def test_probe_feedback_recorded():
+    run = run_one_flow("pcp", size=100_000)
+    assert run.sender._min_rtt is not None
+    assert run.sender._min_rtt == pytest.approx(ms(60), rel=0.2)

@@ -1,0 +1,60 @@
+"""Behavioural tests for Reactive TCP (probe timeout) and Proactive TCP
+(duplicate everything)."""
+
+import pytest
+
+from repro.units import MSS, kb, mbps
+from tests.conftest import run_one_flow
+
+
+class TestReactive:
+    def test_no_probes_on_clean_path(self):
+        run = run_one_flow("reactive", size=100_000)
+        assert run.record.completed
+        assert run.sender.probes_sent == 0
+        tcp = run_one_flow("tcp", size=100_000)
+        assert run.fct == pytest.approx(tcp.fct, rel=0.05)
+
+    def test_probe_rescues_tail_loss_faster_than_rto(self):
+        # A pure tail-loss scenario: drop only late in the flow via a
+        # tiny buffer + slow bottleneck so the last burst overflows.
+        kwargs = dict(size=30 * MSS, bottleneck_rate=mbps(4),
+                      buffer_bytes=kb(16), seed=5, horizon=60.0)
+        reactive = run_one_flow("reactive", **kwargs)
+        tcp = run_one_flow("tcp", **kwargs)
+        assert reactive.record.completed and tcp.record.completed
+        if tcp.record.timeouts > 0:
+            # When plain TCP pays an RTO, the probe must win.
+            assert reactive.fct < tcp.fct
+            assert reactive.sender.probes_sent >= 1
+
+    def test_probe_counted_as_normal_retransmission(self):
+        run = run_one_flow("reactive", size=20 * MSS, bottleneck_rate=mbps(3),
+                           buffer_bytes=kb(15), seed=4, horizon=60.0)
+        assert run.record.completed
+        if run.sender.probes_sent:
+            assert run.record.normal_retransmissions >= run.sender.probes_sent
+
+
+class TestProactive:
+    def test_every_segment_duplicated(self):
+        run = run_one_flow("proactive", size=100_000)
+        assert run.record.completed
+        assert run.record.proactive_retransmissions >= run.record.data_packets_sent
+        assert run.receiver.duplicates > 0
+
+    def test_double_bandwidth_overhead(self):
+        run = run_one_flow("proactive", size=100_000)
+        assert run.record.bandwidth_overhead() == pytest.approx(1.0, abs=0.1)
+
+    def test_duplicate_masks_single_random_loss(self):
+        run = run_one_flow("proactive", size=100_000, loss_rate=0.02, seed=3)
+        assert run.record.completed
+        # With 2% independent loss per copy, both copies die with
+        # probability 4e-4: timeouts should be absent.
+        assert run.record.timeouts == 0
+
+    def test_fct_matches_tcp_on_clean_path(self):
+        proactive = run_one_flow("proactive", size=100_000)
+        tcp = run_one_flow("tcp", size=100_000)
+        assert proactive.fct == pytest.approx(tcp.fct, rel=0.10)

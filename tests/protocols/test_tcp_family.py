@@ -1,0 +1,58 @@
+"""Behavioural tests for TCP, TCP-10 and TCP-Cache."""
+
+import pytest
+
+from repro.protocols.tcp_cache import WindowCache
+from repro.protocols.registry import ProtocolContext
+from repro.units import MSS, ms
+from tests.conftest import run_one_flow
+
+
+def test_tcp10_first_flight_is_ten_segments():
+    ten = run_one_flow("tcp-10", size=10 * MSS)
+    # Everything fits in the initial window: handshake + 1 RTT.
+    assert ten.fct / ms(60) < 2.0
+
+
+def test_tcp10_faster_than_tcp_for_short_flows():
+    tcp = run_one_flow("tcp", size=100_000)
+    tcp10 = run_one_flow("tcp-10", size=100_000)
+    assert tcp10.fct < tcp.fct
+    # Roughly 2 RTTs saved (ICW 10 skips ~2 doubling rounds).
+    assert tcp.fct - tcp10.fct > 1.5 * ms(60)
+
+
+class TestTcpCache:
+    def test_first_connection_is_plain_tcp(self):
+        context = ProtocolContext()
+        run = run_one_flow("tcp-cache", size=100_000, context=context)
+        assert run.record.extra["cache_hit"] is False
+        tcp = run_one_flow("tcp", size=100_000)
+        assert run.fct == pytest.approx(tcp.fct, rel=0.05)
+
+    def test_second_connection_reuses_window(self):
+        context = ProtocolContext()
+        cold = run_one_flow("tcp-cache", size=100_000, context=context)
+        warm = run_one_flow("tcp-cache", size=100_000, context=context)
+        assert warm.record.extra["cache_hit"] is True
+        assert warm.fct < cold.fct
+
+    def test_cache_keyed_by_pair(self):
+        cache = WindowCache()
+        cache.store("a", "b", cwnd=40, ssthresh=20, now=0.0)
+        assert cache.lookup("a", "b", now=1.0).cwnd == 40
+        assert cache.lookup("a", "c", now=1.0) is None
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_entries_age_out(self):
+        cache = WindowCache(ttl=10.0)
+        cache.store("a", "b", cwnd=40, ssthresh=20, now=0.0)
+        assert cache.lookup("a", "b", now=11.0) is None
+
+    def test_cached_window_bounded_below_by_default_icw(self):
+        cache = WindowCache()
+        cache.store("s0", "d0", cwnd=1.0, ssthresh=2.0, now=0.0)
+        context = ProtocolContext(window_cache=cache)
+        run = run_one_flow("tcp-cache", size=10 * MSS, context=context)
+        assert run.record.completed

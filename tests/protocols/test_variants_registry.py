@@ -1,0 +1,87 @@
+"""Tests for the Halfback ablation variants and the protocol registry."""
+
+import pytest
+
+from repro.core.config import RATE_LINE, ROPR_FORWARD
+from repro.errors import ProtocolError
+from repro.protocols.registry import (
+    ProtocolContext,
+    available_protocols,
+    create_sender,
+    register_protocol,
+)
+from repro.protocols.tcp import TcpSender
+from repro.sim.simulator import Simulator
+from repro.net.topology import access_network
+from repro.transport.flow import FlowSpec, next_flow_id
+from repro.units import mbps
+from tests.conftest import run_one_flow
+
+
+class TestVariants:
+    def test_forward_variant_configured_forward(self):
+        run = run_one_flow("halfback-forward", size=100_000,
+                           bottleneck_rate=mbps(100))
+        assert run.sender.halfback.ropr_order == ROPR_FORWARD
+        order = run.sender.ropr.proposed
+        assert order == sorted(order)
+
+    def test_forward_resends_more_than_reverse(self):
+        forward = run_one_flow("halfback-forward", size=100_000,
+                               bottleneck_rate=mbps(100))
+        reverse = run_one_flow("halfback", size=100_000,
+                               bottleneck_rate=mbps(100))
+        assert (forward.record.proactive_retransmissions
+                > reverse.record.proactive_retransmissions)
+
+    def test_burst_variant_sends_all_at_once(self):
+        run = run_one_flow("halfback-burst", size=100_000,
+                           bottleneck_rate=mbps(100))
+        assert run.sender.halfback.ropr_rate == RATE_LINE
+        assert run.record.completed
+        assert run.record.proactive_retransmissions > 34
+
+    def test_burst_variant_hurts_under_contention(self):
+        from repro.units import kb
+        kwargs = dict(size=100_000, bottleneck_rate=mbps(5),
+                      buffer_bytes=kb(20), seed=2, horizon=60.0)
+        burst = run_one_flow("halfback-burst", **kwargs)
+        plain = run_one_flow("halfback", **kwargs)
+        assert burst.record.extra["drops"] >= plain.record.extra["drops"]
+
+
+class TestRegistry:
+    def test_all_paper_schemes_registered(self):
+        names = available_protocols()
+        for expected in ("tcp", "tcp-10", "tcp-cache", "reactive",
+                         "proactive", "jumpstart", "pcp", "halfback",
+                         "halfback-forward", "halfback-burst"):
+            assert expected in names
+
+    def test_unknown_protocol_raises_with_listing(self):
+        sim = Simulator()
+        net = access_network(sim, n_pairs=1)
+        spec = FlowSpec(next_flow_id(), "s0", "d0", size=1000,
+                        protocol="warp-speed")
+        with pytest.raises(ProtocolError, match="warp-speed"):
+            create_sender(sim, net.senders[0], spec)
+
+    def test_register_custom_protocol(self):
+        class MySender(TcpSender):
+            protocol_name = "custom-tcp-test"
+
+        register_protocol("custom-tcp-test",
+                          lambda sim, host, flow, record, config, context:
+                          MySender(sim, host, flow, record=record,
+                                   config=config))
+        run = run_one_flow("custom-tcp-test", size=10_000)
+        assert run.record.completed
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ProtocolError):
+            register_protocol("tcp", lambda *a: None)
+
+    def test_context_shares_window_cache(self):
+        context = ProtocolContext()
+        run_one_flow("tcp-cache", size=50_000, context=context)
+        assert len(context.window_cache) == 1

@@ -1,0 +1,59 @@
+"""Unit tests for simulation events."""
+
+import pytest
+
+from repro.sim.event import Event, EventHandle
+
+
+def test_events_order_by_time():
+    early = Event(1.0, lambda: None)
+    late = Event(2.0, lambda: None)
+    assert early < late
+    assert not late < early
+
+
+def test_same_time_orders_by_priority_then_sequence():
+    first = Event(1.0, lambda: None, priority=0)
+    urgent = Event(1.0, lambda: None, priority=-1)
+    second = Event(1.0, lambda: None, priority=0)
+    assert urgent < first
+    assert first < second  # FIFO tiebreak via sequence number
+
+
+def test_fire_invokes_callback_with_args():
+    seen = []
+    event = Event(0.0, seen.append, args=(42,))
+    event.fire()
+    assert seen == [42]
+
+
+def test_cancelled_event_does_not_fire():
+    seen = []
+    event = Event(0.0, seen.append, args=(1,))
+    event.cancel()
+    event.fire()
+    assert seen == []
+
+
+def test_cancel_releases_callback_reference():
+    event = Event(0.0, lambda: None)
+    event.cancel()
+    assert event.callback is None
+    assert event.args == ()
+
+
+def test_handle_reports_liveness_and_time():
+    event = Event(3.5, lambda: None)
+    handle = EventHandle(event)
+    assert handle.active
+    assert handle.time == 3.5
+    handle.cancel()
+    assert not handle.active
+
+
+def test_handle_cancel_is_idempotent():
+    event = Event(0.0, lambda: None)
+    handle = EventHandle(event)
+    handle.cancel()
+    handle.cancel()
+    assert event.cancelled

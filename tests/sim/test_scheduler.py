@@ -1,0 +1,102 @@
+"""Unit and property tests for the event queue."""
+
+from hypothesis import given, strategies as st
+
+from repro.sim.event import Event
+from repro.sim.scheduler import EventScheduler
+
+
+def test_pop_empty_returns_none():
+    queue = EventScheduler()
+    assert queue.pop() is None
+    assert queue.peek_time() is None
+    assert len(queue) == 0
+
+
+def test_pop_returns_events_in_time_order():
+    queue = EventScheduler()
+    for t in (3.0, 1.0, 2.0):
+        queue.push(Event(t, lambda: None))
+    times = [queue.pop().time for _ in range(3)]
+    assert times == [1.0, 2.0, 3.0]
+
+
+def test_cancelled_events_are_skipped():
+    queue = EventScheduler()
+    keep = Event(2.0, lambda: None)
+    drop = Event(1.0, lambda: None)
+    queue.push(drop)
+    queue.push(keep)
+    drop.cancel()
+    queue.note_cancelled()
+    assert queue.pop() is keep
+    assert queue.pop() is None
+
+
+def test_peek_time_skips_cancelled_head():
+    queue = EventScheduler()
+    head = Event(1.0, lambda: None)
+    tail = Event(5.0, lambda: None)
+    queue.push(head)
+    queue.push(tail)
+    head.cancel()
+    queue.note_cancelled()
+    assert queue.peek_time() == 5.0
+
+
+def test_len_tracks_live_events():
+    queue = EventScheduler()
+    events = [Event(float(i), lambda: None) for i in range(4)]
+    for event in events:
+        queue.push(event)
+    assert len(queue) == 4
+    events[0].cancel()
+    queue.note_cancelled()
+    assert len(queue) == 3
+    queue.pop()
+    assert len(queue) == 2
+
+
+def test_clear_empties_queue():
+    queue = EventScheduler()
+    queue.push(Event(1.0, lambda: None))
+    queue.clear()
+    assert not queue
+    assert queue.pop() is None
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                          allow_nan=False), min_size=1, max_size=200))
+def test_pop_order_is_nondecreasing_for_any_insertion_order(times):
+    queue = EventScheduler()
+    for t in times:
+        queue.push(Event(t, lambda: None))
+    popped = []
+    while True:
+        event = queue.pop()
+        if event is None:
+            break
+        popped.append(event.time)
+    assert popped == sorted(popped)
+    assert len(popped) == len(times)
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0, max_value=100,
+                                    allow_nan=False),
+                          st.booleans()),
+                min_size=1, max_size=100))
+def test_cancellation_never_loses_live_events(entries):
+    queue = EventScheduler()
+    live = 0
+    for t, cancel in entries:
+        event = Event(t, lambda: None)
+        queue.push(event)
+        if cancel:
+            event.cancel()
+            queue.note_cancelled()
+        else:
+            live += 1
+    popped = 0
+    while queue.pop() is not None:
+        popped += 1
+    assert popped == live

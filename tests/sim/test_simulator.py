@@ -1,0 +1,168 @@
+"""Unit tests for the simulator clock, run loop and timers."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.simulator import Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_schedule_and_run_executes_in_order():
+    sim = Simulator()
+    log = []
+    sim.schedule(2.0, log.append, "b")
+    sim.schedule(1.0, log.append, "a")
+    sim.schedule(3.0, log.append, "c")
+    sim.run()
+    assert log == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_schedule_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.001, lambda: None)
+
+
+def test_schedule_at_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_run_until_advances_clock_even_when_queue_drains():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run(until=10.0)
+    assert sim.now == 10.0
+
+
+def test_run_until_leaves_future_events_queued():
+    sim = Simulator()
+    log = []
+    sim.schedule(5.0, log.append, "later")
+    sim.run(until=1.0)
+    assert log == []
+    assert sim.pending() == 1
+    sim.run()
+    assert log == ["later"]
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    log = []
+
+    def chain(n):
+        log.append(n)
+        if n < 3:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert log == [0, 1, 2, 3]
+    assert sim.now == 3.0
+
+
+def test_stop_halts_run():
+    sim = Simulator()
+    log = []
+    sim.schedule(1.0, log.append, 1)
+    sim.schedule(2.0, sim.stop)
+    sim.schedule(3.0, log.append, 3)
+    sim.run()
+    assert log == [1]
+    assert sim.pending() == 1
+
+
+def test_max_events_bound():
+    sim = Simulator()
+    for i in range(10):
+        sim.schedule(float(i), lambda: None)
+    sim.run(max_events=4)
+    assert sim.events_run == 4
+
+
+def test_step_runs_exactly_one_event():
+    sim = Simulator()
+    log = []
+    sim.schedule(1.0, log.append, "x")
+    sim.schedule(2.0, log.append, "y")
+    assert sim.step()
+    assert log == ["x"]
+    assert sim.step()
+    assert not sim.step()
+
+
+def test_cancelled_handle_does_not_fire():
+    sim = Simulator()
+    log = []
+    handle = sim.schedule(1.0, log.append, "no")
+    handle.cancel()
+    sim.run()
+    assert log == []
+
+
+def test_same_time_events_run_fifo():
+    sim = Simulator()
+    log = []
+    for i in range(5):
+        sim.schedule(1.0, log.append, i)
+    sim.run()
+    assert log == [0, 1, 2, 3, 4]
+
+
+def test_note_drop_accumulates_per_flow():
+    sim = Simulator()
+    sim.note_drop(7)
+    sim.note_drop(7)
+    sim.note_drop(8)
+    assert sim.flow_drops == {7: 2, 8: 1}
+
+
+class TestTimer:
+    def test_fires_after_delay(self):
+        sim = Simulator()
+        fired = []
+        timer = sim.timer(lambda: fired.append(sim.now))
+        timer.start(2.5)
+        sim.run()
+        assert fired == [2.5]
+        assert timer.expirations == 1
+
+    def test_restart_supersedes_previous_expiry(self):
+        sim = Simulator()
+        fired = []
+        timer = sim.timer(lambda: fired.append(sim.now))
+        timer.start(1.0)
+        timer.restart(5.0)
+        sim.run()
+        assert fired == [5.0]
+
+    def test_cancel_prevents_firing(self):
+        sim = Simulator()
+        fired = []
+        timer = sim.timer(lambda: fired.append(sim.now))
+        timer.start(1.0)
+        timer.cancel()
+        sim.run()
+        assert fired == []
+        assert not timer.armed
+
+    def test_double_start_rejected(self):
+        sim = Simulator()
+        timer = sim.timer(lambda: None)
+        timer.start(1.0)
+        with pytest.raises(SimulationError):
+            timer.start(2.0)
+
+    def test_expiry_time_reporting(self):
+        sim = Simulator()
+        timer = sim.timer(lambda: None)
+        assert timer.expiry_time is None
+        timer.start(4.0)
+        assert timer.expiry_time == 4.0

@@ -1,0 +1,44 @@
+"""Unit tests for trace recording."""
+
+from repro.sim.trace import TraceRecorder
+
+
+def test_disabled_recorder_drops_everything():
+    trace = TraceRecorder(enabled=False)
+    trace.record(1.0, "x", "src", a=1)
+    assert len(trace) == 0
+
+
+def test_records_are_kept_in_order_with_payload():
+    trace = TraceRecorder()
+    trace.record(1.0, "link.tx", "l1", size=100)
+    trace.record(2.0, "queue.drop", "q1")
+    assert len(trace) == 2
+    first, second = list(trace)
+    assert first.kind == "link.tx"
+    assert first.detail == {"size": 100}
+    assert second.time == 2.0
+
+
+def test_kind_prefix_filtering_on_read():
+    trace = TraceRecorder()
+    trace.record(1.0, "queue.drop", "q")
+    trace.record(2.0, "queue.enqueue", "q")
+    trace.record(3.0, "link.tx", "l")
+    assert len(trace.records("queue")) == 2
+    assert len(trace.records("queue.drop")) == 1
+    assert len(trace.records()) == 3
+
+
+def test_kind_whitelist_filters_on_write():
+    trace = TraceRecorder(kinds=["halfback"])
+    trace.record(1.0, "halfback.phase", "s")
+    trace.record(2.0, "link.tx", "l")
+    assert len(trace) == 1
+
+
+def test_clear_resets():
+    trace = TraceRecorder()
+    trace.record(1.0, "x", "s")
+    trace.clear()
+    assert len(trace) == 0

@@ -1,0 +1,62 @@
+"""Tests for unit helpers and the public API surface."""
+
+import pytest
+
+import repro
+from repro import units
+
+
+class TestUnits:
+    def test_time_conversions(self):
+        assert units.ms(60) == pytest.approx(0.060)
+        assert units.us(500) == pytest.approx(0.0005)
+        assert units.to_ms(0.25) == pytest.approx(250.0)
+
+    def test_data_conversions(self):
+        assert units.kb(141) == 141_000
+        assert units.mb(1) == 1_000_000
+        assert units.KIB == 1024
+
+    def test_rate_conversions_round_trip(self):
+        assert units.mbps(15) == pytest.approx(1_875_000.0)
+        assert units.gbps(1) == pytest.approx(125_000_000.0)
+        assert units.kbps(8) == pytest.approx(1000.0)
+        assert units.to_mbps(units.mbps(42)) == pytest.approx(42.0)
+
+    def test_paper_constants(self):
+        assert units.SEGMENT_SIZE == 1500
+        assert units.HEADER_SIZE == 40
+        assert units.MSS == 1460
+        assert units.FLOW_CONTROL_WINDOW == 141_000
+        assert units.DEFAULT_INITIAL_WINDOW == 2
+        assert units.LARGE_INITIAL_WINDOW == 10
+        assert units.PACING_THRESHOLD == units.FLOW_CONTROL_WINDOW
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_error_hierarchy(self):
+        for name in ("SimulationError", "ConfigurationError",
+                     "TopologyError", "TransportError", "ProtocolError",
+                     "WorkloadError", "ExperimentError"):
+            exc = getattr(repro, name)
+            assert issubclass(exc, repro.ReproError)
+
+    def test_subpackages_export_declared_names(self):
+        import repro.core
+        import repro.experiments
+        import repro.metrics
+        import repro.net
+        import repro.planetlab
+        import repro.protocols
+        import repro.sim
+        import repro.transport
+        import repro.workloads
+
+        for module in (repro.core, repro.experiments, repro.metrics,
+                       repro.net, repro.planetlab, repro.protocols,
+                       repro.sim, repro.transport, repro.workloads):
+            for name in module.__all__:
+                assert hasattr(module, name), (module.__name__, name)

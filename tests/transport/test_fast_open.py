@@ -1,0 +1,44 @@
+"""Tests for the 0-RTT (TCP-Fast-Open-style) start option."""
+
+import pytest
+
+from repro.transport.config import TransportConfig
+from repro.units import MSS, ms
+from tests.conftest import run_one_flow
+
+
+def test_fast_open_saves_one_rtt():
+    normal = run_one_flow("tcp", size=10 * MSS)
+    fast = run_one_flow("tcp", size=10 * MSS,
+                        config=TransportConfig(fast_open=True,
+                                               rtt_hint=ms(60)))
+    assert fast.record.completed
+    assert normal.fct - fast.fct == pytest.approx(ms(60), rel=0.15)
+
+
+def test_fast_open_halfback_single_rtt_flow():
+    """Pacing + 0-RTT: a short flow lands in ~1.5 RTT total."""
+    config = TransportConfig(fast_open=True, rtt_hint=ms(60))
+    run = run_one_flow("halfback", size=100_000, config=config)
+    assert run.record.completed
+    assert run.fct < 2.0 * ms(60)
+
+
+def test_fast_open_survives_syn_loss():
+    """The data carries the content length, so a lost SYN is harmless."""
+    config = TransportConfig(fast_open=True, rtt_hint=ms(60))
+    run = run_one_flow("tcp", size=20 * MSS, loss_rate=0.15, seed=4,
+                       config=config, horizon=60.0)
+    assert run.record.completed
+
+
+def test_fast_open_still_measures_rtt():
+    config = TransportConfig(fast_open=True, rtt_hint=ms(100))  # wrong hint
+    run = run_one_flow("tcp", size=50 * MSS, config=config)
+    assert run.record.completed
+    # Live samples pull the estimator toward the true 60 ms.
+    assert run.sender.rtt.srtt < ms(100)
+
+
+def test_fast_open_off_by_default():
+    assert TransportConfig().fast_open is False

@@ -1,0 +1,72 @@
+"""Unit tests for flow specs and records."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.transport.flow import FlowRecord, FlowSpec, next_flow_id, segments_for
+from repro.units import MSS
+
+
+def spec(size=100_000, start=0.0):
+    return FlowSpec(next_flow_id(), "s0", "d0", size=size, protocol="tcp",
+                    start_time=start)
+
+
+def test_flow_ids_are_unique():
+    assert next_flow_id() != next_flow_id()
+
+
+def test_segments_for_rounds_up():
+    assert segments_for(1) == 1
+    assert segments_for(MSS) == 1
+    assert segments_for(MSS + 1) == 2
+    assert segments_for(100_000) == 69
+
+
+def test_segments_for_rejects_nonpositive():
+    with pytest.raises(ConfigurationError):
+        segments_for(0)
+
+
+def test_spec_validation():
+    with pytest.raises(ConfigurationError):
+        FlowSpec(1, "a", "b", size=0, protocol="tcp")
+    with pytest.raises(ConfigurationError):
+        FlowSpec(1, "a", "b", size=10, protocol="tcp", start_time=-1.0)
+
+
+def test_fct_includes_connection_setup():
+    record = FlowRecord(spec(start=5.0))
+    record.syn_time = 5.0
+    record.complete_time = 5.75
+    assert record.fct == pytest.approx(0.75)
+    assert record.completed
+
+
+def test_incomplete_flow_has_no_fct():
+    record = FlowRecord(spec())
+    assert record.fct is None
+    assert not record.completed
+
+
+def test_rtts_used_normalizes_by_handshake_rtt():
+    record = FlowRecord(spec(start=0.0))
+    record.complete_time = 0.30
+    record.handshake_rtt = 0.06
+    assert record.rtts_used() == pytest.approx(5.0)
+
+
+def test_rtts_used_none_without_rtt_or_completion():
+    record = FlowRecord(spec())
+    assert record.rtts_used() is None
+    record.handshake_rtt = 0.06
+    assert record.rtts_used() is None
+
+
+def test_total_and_overhead_accounting():
+    record = FlowRecord(spec(size=69 * MSS))
+    record.data_packets_sent = 69
+    record.normal_retransmissions = 3
+    record.proactive_retransmissions = 33
+    assert record.total_retransmissions == 36
+    assert record.bandwidth_overhead() == pytest.approx(36 / 69)

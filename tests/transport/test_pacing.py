@@ -1,0 +1,107 @@
+"""Unit tests for the pacer."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.simulator import Simulator
+from repro.transport.pacing import Pacer, pacing_rate_for
+
+
+def test_pacing_rate_for():
+    assert pacing_rate_for(1000, 0.5) == pytest.approx(2000.0)
+    with pytest.raises(ConfigurationError):
+        pacing_rate_for(0, 1.0)
+    with pytest.raises(ConfigurationError):
+        pacing_rate_for(10, 0.0)
+
+
+def test_first_release_is_immediate():
+    sim = Simulator()
+    out = []
+    pacer = Pacer(sim, rate=100.0, release=lambda x: out.append((sim.now, x)))
+    pacer.enqueue("a", 100)
+    assert out == [(0.0, "a")]
+
+
+def test_spacing_follows_item_size_over_rate():
+    sim = Simulator()
+    out = []
+    pacer = Pacer(sim, rate=1000.0, release=lambda x: out.append(sim.now))
+    pacer.enqueue("a", 500)   # next release 0.5s later
+    pacer.enqueue("b", 1000)  # then 1.0s later
+    pacer.enqueue("c", 100)
+    sim.run()
+    assert out == [pytest.approx(0.0), pytest.approx(0.5), pytest.approx(1.5)]
+
+
+def test_on_idle_fires_after_final_spacing():
+    sim = Simulator()
+    idle_at = []
+    pacer = Pacer(sim, rate=1000.0, release=lambda x: None,
+                  on_idle=lambda: idle_at.append(sim.now))
+    pacer.enqueue("a", 1000)
+    sim.run()
+    assert idle_at == [pytest.approx(1.0)]
+    assert not pacer.busy
+
+
+def test_enqueue_while_busy_extends_schedule():
+    sim = Simulator()
+    out = []
+    pacer = Pacer(sim, rate=1000.0, release=lambda x: out.append(sim.now))
+    pacer.enqueue("a", 1000)
+    sim.run(until=0.5)
+    pacer.enqueue("b", 1000)  # should release at t=1.0, not immediately
+    sim.run()
+    assert out == [pytest.approx(0.0), pytest.approx(1.0)]
+
+
+def test_set_rate_affects_future_spacing():
+    sim = Simulator()
+    out = []
+    pacer = Pacer(sim, rate=1000.0, release=lambda x: out.append(sim.now))
+    pacer.enqueue("a", 1000)
+    pacer.enqueue("b", 1000)
+    pacer.set_rate(2000.0)  # halves the first spacing too (not yet elapsed)?
+    sim.run()
+    # Spacing for "a" was computed at release time of "a" with the old
+    # rate? No: _release_next computed it when "a" released, before
+    # set_rate ran (same instant, enqueue first) — document actual: the
+    # spacing after "a" used the rate at "a"'s release (1000).
+    assert out[0] == pytest.approx(0.0)
+    assert out[1] == pytest.approx(1.0)
+
+
+def test_counters_and_backlog():
+    sim = Simulator()
+    pacer = Pacer(sim, rate=10.0, release=lambda x: None)
+    pacer.enqueue("a", 10)
+    pacer.enqueue("b", 10)
+    assert pacer.backlog == 1  # "a" released immediately
+    sim.run()
+    assert pacer.released == 2
+    assert pacer.released_bytes == 20
+
+
+def test_flush_discards_backlog():
+    sim = Simulator()
+    out = []
+    pacer = Pacer(sim, rate=10.0, release=out.append)
+    pacer.enqueue("a", 10)
+    pacer.enqueue("b", 10)
+    pacer.enqueue("c", 10)
+    dropped = pacer.flush()
+    sim.run()
+    assert dropped == 2
+    assert out == ["a"]
+
+
+def test_invalid_parameters_rejected():
+    sim = Simulator()
+    with pytest.raises(ConfigurationError):
+        Pacer(sim, rate=0.0, release=lambda x: None)
+    pacer = Pacer(sim, rate=1.0, release=lambda x: None)
+    with pytest.raises(ConfigurationError):
+        pacer.enqueue("a", 0)
+    with pytest.raises(ConfigurationError):
+        pacer.set_rate(-1.0)

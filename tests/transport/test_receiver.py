@@ -1,0 +1,130 @@
+"""Unit tests for the receiver endpoint in isolation."""
+
+import pytest
+
+from repro.errors import TransportError
+from repro.net.packet import Packet, PacketType
+from repro.net.topology import Topology
+from repro.sim.simulator import Simulator
+from repro.transport.receiver import Receiver, ReceiverState
+from repro.units import HEADER_SIZE, MSS
+
+
+def build():
+    """Two directly-connected hosts and a receiver on the second."""
+    sim = Simulator()
+    topo = Topology(sim)
+    a = topo.add_host("a")
+    b = topo.add_host("b")
+    topo.connect("a", "b", rate=1e9, delay=0.001)
+    topo.compute_routes()
+    sent_to_a = []
+
+    class Collector:
+        def on_packet(self, packet):
+            sent_to_a.append(packet)
+
+    a.register(1, Collector())
+    receiver = Receiver(sim, b, 1)
+    return sim, a, b, receiver, sent_to_a
+
+
+def syn(flow_bytes=3 * MSS):
+    return Packet(src="a", dst="b", flow_id=1, kind=PacketType.SYN,
+                  size=HEADER_SIZE, echo_time=0.0, flow_bytes=flow_bytes)
+
+
+def data(seq, retransmit=False, echo=5.0):
+    return Packet(src="a", dst="b", flow_id=1, kind=PacketType.DATA,
+                  size=MSS + HEADER_SIZE, seq=seq,
+                  echo_time=-1.0 if retransmit else echo,
+                  retransmit=retransmit)
+
+
+def test_syn_elicits_syn_ack_with_echo():
+    sim, a, b, receiver, to_a = build()
+    a.send(syn())
+    sim.run()
+    assert receiver.state == ReceiverState.SYN_RECEIVED
+    assert len(to_a) == 1
+    assert to_a[0].kind == PacketType.SYN_ACK
+    assert to_a[0].echo_time == 0.0
+
+
+def test_duplicate_syn_resends_syn_ack():
+    sim, a, b, receiver, to_a = build()
+    a.send(syn())
+    a.send(syn())
+    sim.run()
+    assert sum(1 for p in to_a if p.kind == PacketType.SYN_ACK) == 2
+
+
+def test_syn_without_flow_size_rejected():
+    sim, a, b, receiver, to_a = build()
+    a.send(syn(flow_bytes=-1))
+    with pytest.raises(TransportError):
+        sim.run()
+
+
+def test_data_before_syn_rejected():
+    sim, a, b, receiver, to_a = build()
+    a.send(data(0))
+    with pytest.raises(TransportError):
+        sim.run()
+
+
+def test_every_data_packet_acked_with_cumulative_and_sack():
+    sim, a, b, receiver, to_a = build()
+    a.send(syn())
+    sim.run()
+    a.send(data(0))
+    a.send(data(2))
+    sim.run()
+    acks = [p for p in to_a if p.kind == PacketType.ACK]
+    assert len(acks) == 2
+    assert acks[0].ack == 1
+    assert acks[1].ack == 1
+    assert (2, 3) in acks[1].sack
+
+
+def test_completion_fires_once_with_time():
+    sim, a, b, receiver, to_a = build()
+    done = []
+    receiver.on_complete = lambda r: done.append(sim.now)
+    a.send(syn())
+    sim.run()
+    for seq in range(3):
+        a.send(data(seq))
+    sim.run()
+    a.send(data(2, retransmit=True))  # duplicate after completion
+    sim.run()
+    assert len(done) == 1
+    assert receiver.state == ReceiverState.COMPLETE
+    assert receiver.complete_time == done[0]
+    assert receiver.duplicates == 1
+
+
+def test_data_implies_establishment_when_handshake_ack_lost():
+    sim, a, b, receiver, to_a = build()
+    a.send(syn())
+    sim.run()
+    a.send(data(0))
+    sim.run()
+    assert receiver.state in (ReceiverState.ESTABLISHED,
+                              ReceiverState.COMPLETE)
+
+
+def test_retransmission_echo_is_suppressed():
+    sim, a, b, receiver, to_a = build()
+    a.send(syn())
+    sim.run()
+    a.send(data(0, retransmit=True))
+    sim.run()
+    acks = [p for p in to_a if p.kind == PacketType.ACK]
+    assert acks[0].echo_time == -1.0  # Karn's rule holds end-to-end
+
+
+def test_close_unbinds_flow():
+    sim, a, b, receiver, to_a = build()
+    receiver.close()
+    assert b.endpoint_for(1) is None

@@ -1,0 +1,90 @@
+"""Unit and property tests for the RTT estimator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.transport.rtt import RttEstimator
+
+
+def test_initial_rto_used_before_samples():
+    est = RttEstimator(initial_rto=1.0)
+    assert est.rto == pytest.approx(1.0)
+    assert est.srtt is None
+
+
+def test_first_sample_seeds_srtt_and_var():
+    est = RttEstimator()
+    est.sample(0.1)
+    assert est.srtt == pytest.approx(0.1)
+    assert est.rttvar == pytest.approx(0.05)
+
+
+def test_rto_formula_after_first_sample():
+    est = RttEstimator(min_rto=0.0001)
+    est.sample(0.1)
+    assert est.rto == pytest.approx(0.1 + 4 * 0.05)
+
+
+def test_ewma_converges_to_constant_rtt():
+    est = RttEstimator(min_rto=0.0001)
+    for _ in range(200):
+        est.sample(0.08)
+    assert est.srtt == pytest.approx(0.08, rel=1e-6)
+    assert est.rttvar == pytest.approx(0.0, abs=1e-6)
+    assert est.rto == pytest.approx(0.08, rel=1e-3)
+
+
+def test_min_rto_floor_applied():
+    est = RttEstimator(min_rto=1.0)
+    for _ in range(50):
+        est.sample(0.01)
+    assert est.rto == 1.0
+
+
+def test_max_rto_ceiling_applied():
+    est = RttEstimator(max_rto=2.0)
+    est.sample(10.0)
+    assert est.rto == 2.0
+
+
+def test_backoff_doubles_and_sample_resets():
+    est = RttEstimator(min_rto=0.2, max_rto=60.0)
+    est.sample(0.5)
+    base = est.rto
+    est.on_timeout()
+    assert est.rto == pytest.approx(min(base * 2, 60.0))
+    est.on_timeout()
+    assert est.rto == pytest.approx(min(base * 4, 60.0))
+    est.sample(0.5)
+    assert est.backoff_factor == 1.0
+
+
+def test_negative_sample_rejected():
+    with pytest.raises(ConfigurationError):
+        RttEstimator().sample(-0.1)
+
+
+def test_invalid_bounds_rejected():
+    with pytest.raises(ConfigurationError):
+        RttEstimator(min_rto=2.0, max_rto=1.0)
+    with pytest.raises(ConfigurationError):
+        RttEstimator(initial_rto=0.0)
+
+
+@given(st.lists(st.floats(min_value=1e-4, max_value=5.0, allow_nan=False),
+                min_size=1, max_size=100))
+def test_rto_always_within_bounds(samples):
+    est = RttEstimator(min_rto=0.2, max_rto=60.0)
+    for value in samples:
+        est.sample(value)
+        assert 0.2 <= est.rto <= 60.0
+    assert est.samples == len(samples)
+
+
+@given(st.floats(min_value=1e-3, max_value=2.0, allow_nan=False))
+def test_rto_exceeds_srtt(rtt):
+    est = RttEstimator(min_rto=1e-6)
+    est.sample(rtt)
+    est.sample(rtt * 1.1)
+    assert est.rto >= est.srtt

@@ -1,0 +1,304 @@
+"""Unit and property tests for SACK bookkeeping — the most invariant-
+heavy data structures in the transport."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TransportError
+from repro.transport.sacks import (
+    IntervalSet,
+    ReceiveTracker,
+    SegmentState,
+    SendScoreboard,
+)
+
+
+class TestIntervalSet:
+    def test_add_and_contains(self):
+        s = IntervalSet()
+        assert s.add(5)
+        assert not s.add(5)
+        assert 5 in s
+        assert 4 not in s
+
+    def test_adjacent_values_merge(self):
+        s = IntervalSet()
+        for v in (3, 5, 4):
+            s.add(v)
+        assert s.ranges() == [(3, 6)]
+
+    def test_disjoint_ranges_stay_separate(self):
+        s = IntervalSet()
+        for v in (1, 2, 10, 11):
+            s.add(v)
+        assert s.ranges() == [(1, 3), (10, 12)]
+
+    def test_prune_below(self):
+        s = IntervalSet()
+        for v in (1, 2, 3, 8, 9):
+            s.add(v)
+        s.prune_below(3)
+        assert s.ranges() == [(3, 4), (8, 10)]
+        s.prune_below(100)
+        assert s.ranges() == []
+
+    def test_range_containing(self):
+        s = IntervalSet()
+        for v in (4, 5, 6):
+            s.add(v)
+        assert s.range_containing(5) == (4, 7)
+        assert s.range_containing(9) is None
+
+    @given(st.lists(st.integers(min_value=0, max_value=60),
+                    min_size=1, max_size=120))
+    def test_matches_set_semantics(self, values):
+        s = IntervalSet()
+        reference = set()
+        for v in values:
+            assert s.add(v) == (v not in reference)
+            reference.add(v)
+        assert len(s) == len(reference)
+        covered = {x for start, end in s.ranges() for x in range(start, end)}
+        assert covered == reference
+        # Ranges are sorted and disjoint with gaps between them.
+        ranges = s.ranges()
+        for (s0, e0), (s1, e1) in zip(ranges, ranges[1:]):
+            assert e0 < s1
+
+
+class TestSendScoreboard:
+    def test_initial_state(self):
+        sb = SendScoreboard(5)
+        assert sb.cum_ack == 0
+        assert sb.pipe == 0
+        assert not sb.all_acked
+        assert sb.next_unsent() == 0
+
+    def test_mark_sent_advances_pipe_and_next(self):
+        sb = SendScoreboard(5)
+        sb.mark_sent(0)
+        sb.mark_sent(1)
+        assert sb.pipe == 2
+        assert sb.next_unsent() == 2
+
+    def test_cumulative_ack_moves_frontier(self):
+        sb = SendScoreboard(5)
+        for i in range(3):
+            sb.mark_sent(i)
+        newly = sb.on_ack(2)
+        assert newly == [0, 1]
+        assert sb.cum_ack == 2
+        assert sb.pipe == 1
+
+    def test_sack_ranges_ack_out_of_order(self):
+        sb = SendScoreboard(10)
+        for i in range(6):
+            sb.mark_sent(i)
+        newly = sb.on_ack(0, sack=((3, 6),))
+        assert newly == [3, 4, 5]
+        assert sb.highest_sacked == 5
+        assert sb.cum_ack == 0
+
+    def test_cum_ack_jumps_over_sacked_prefix(self):
+        sb = SendScoreboard(5)
+        for i in range(5):
+            sb.mark_sent(i)
+        sb.on_ack(0, sack=((1, 3),))
+        sb.on_ack(1)  # cum to 1, then 1-2 already acked -> 3
+        assert sb.cum_ack == 3
+
+    def test_all_acked(self):
+        sb = SendScoreboard(3)
+        for i in range(3):
+            sb.mark_sent(i)
+        sb.on_ack(3)
+        assert sb.all_acked
+        assert sb.pipe == 0
+
+    def test_detect_lost_requires_dupthresh_gap(self):
+        sb = SendScoreboard(10)
+        for i in range(6):
+            sb.mark_sent(i)
+        sb.on_ack(0, sack=((1, 3),))      # highest_sacked = 2 < 0+3
+        assert sb.detect_lost() == []
+        sb.on_ack(0, sack=((1, 4),))      # highest_sacked = 3 >= 0+3
+        assert sb.detect_lost() == [0]
+        assert sb.state(0) == SegmentState.LOST
+
+    def test_retransmission_not_remarked_on_stale_evidence(self):
+        sb = SendScoreboard(10)
+        for i in range(6):
+            sb.mark_sent(i)
+        sb.on_ack(0, sack=((1, 6),))
+        assert sb.detect_lost() == [0]
+        sb.mark_sent(0)  # retransmit; sack mark now 5
+        assert sb.detect_lost() == []  # no new evidence
+        sb.on_ack(0, sack=((6, 9),))
+        for i in range(6, 9):
+            sb.mark_sent(i)
+        # highest_sacked=8 >= mark(5)+3 -> re-marked now.
+        assert 0 in sb.detect_lost()
+
+    def test_naive_mode_remarks_after_round(self):
+        sb = SendScoreboard(10)
+        for i in range(6):
+            sb.mark_sent(i, time=0.0)
+        sb.on_ack(0, sack=((1, 6),))
+        assert sb.detect_lost(track_retransmissions=False, now=0.0,
+                              rtx_round=0.06) == [0]
+        sb.mark_sent(0, time=0.1)
+        # Too fresh to re-mark...
+        assert sb.detect_lost(track_retransmissions=False, now=0.12,
+                              rtx_round=0.06) == []
+        # ...but one round later the naive rule re-declares it lost.
+        assert sb.detect_lost(track_retransmissions=False, now=0.2,
+                              rtx_round=0.06) == [0]
+
+    def test_rto_marks_all_in_flight(self):
+        sb = SendScoreboard(6)
+        for i in range(4):
+            sb.mark_sent(i)
+        sb.on_ack(1)
+        marked = sb.mark_all_in_flight_lost()
+        assert marked == 3
+        assert sb.pipe == 0
+        assert sb.lost_segments() == [1, 2, 3]
+        assert sb.first_lost() == 1
+
+    def test_retransmit_of_lost_restores_pipe(self):
+        sb = SendScoreboard(4)
+        sb.mark_sent(0)
+        sb.mark_all_in_flight_lost()
+        sb.mark_sent(0)
+        assert sb.pipe == 1
+        assert sb.state(0) == SegmentState.SENT
+
+    def test_mark_sent_on_acked_is_noop(self):
+        sb = SendScoreboard(3)
+        sb.mark_sent(0)
+        sb.on_ack(1)
+        sb.mark_sent(0)  # late proactive copy
+        assert sb.state(0) == SegmentState.ACKED
+        assert sb.pipe == 0
+
+    def test_unacked_segments(self):
+        sb = SendScoreboard(5)
+        for i in range(5):
+            sb.mark_sent(i)
+        sb.on_ack(1, sack=((3, 4),))
+        assert sb.unacked_segments() == [1, 2, 4]
+
+    def test_bad_inputs_rejected(self):
+        sb = SendScoreboard(3)
+        with pytest.raises(TransportError):
+            sb.mark_sent(3)
+        with pytest.raises(TransportError):
+            sb.on_ack(4)
+        with pytest.raises(TransportError):
+            sb.on_ack(0, sack=((2, 1),))
+        with pytest.raises(TransportError):
+            SendScoreboard(0)
+
+    @settings(max_examples=60)
+    @given(st.data())
+    def test_pipe_and_ack_invariants_under_random_operations(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=30))
+        sb = SendScoreboard(n)
+        sent = set()
+        for _ in range(data.draw(st.integers(min_value=1, max_value=60))):
+            action = data.draw(st.sampled_from(["send", "ack", "rto"]))
+            if action == "send":
+                nxt = sb.next_unsent()
+                if nxt is not None:
+                    sb.mark_sent(nxt)
+                    sent.add(nxt)
+            elif action == "ack":
+                if not sent:
+                    continue
+                cum = data.draw(st.integers(min_value=0,
+                                            max_value=min(max(sent) + 1, n)))
+                sb.on_ack(cum)
+            else:
+                sb.mark_all_in_flight_lost()
+            # Invariants.
+            states = [sb.state(i) for i in range(n)]
+            assert sb.pipe == sum(1 for s in states if s == SegmentState.SENT)
+            assert sb.acked_count == sum(1 for s in states
+                                         if s == SegmentState.ACKED)
+            assert 0 <= sb.cum_ack <= n
+            for i in range(sb.cum_ack):
+                assert states[i] == SegmentState.ACKED
+        assert sb.all_acked == (sb.acked_count == n)
+
+
+class TestReceiveTracker:
+    def test_in_order_delivery_advances_cum(self):
+        tr = ReceiveTracker(5)
+        for i in range(5):
+            assert tr.add(i)
+        assert tr.complete
+        assert tr.cum == 5
+        assert tr.sack_blocks() == ()
+
+    def test_out_of_order_generates_sack_blocks(self):
+        tr = ReceiveTracker(10)
+        tr.add(0)
+        tr.add(3)
+        tr.add(4)
+        blocks = tr.sack_blocks()
+        assert (3, 5) in blocks
+        assert tr.cum == 1
+
+    def test_most_recent_block_reported_first(self):
+        tr = ReceiveTracker(20)
+        tr.add(10)
+        tr.add(11)
+        tr.add(5)
+        blocks = tr.sack_blocks()
+        assert blocks[0] == (5, 6)   # contains the latest arrival
+        assert (10, 12) in blocks
+
+    def test_block_limit(self):
+        tr = ReceiveTracker(30)
+        for seq in (2, 5, 8, 11, 14):
+            tr.add(seq)
+        assert len(tr.sack_blocks(max_blocks=3)) == 3
+
+    def test_duplicates_counted_not_restored(self):
+        tr = ReceiveTracker(4)
+        assert tr.add(1)
+        assert not tr.add(1)
+        assert tr.duplicates == 1
+        assert tr.count == 1
+
+    def test_hole_fill_merges_into_cum(self):
+        tr = ReceiveTracker(5)
+        for seq in (0, 2, 3):
+            tr.add(seq)
+        tr.add(1)
+        assert tr.cum == 4
+        assert tr.sack_blocks() == ()
+
+    def test_missing_list(self):
+        tr = ReceiveTracker(5)
+        tr.add(0)
+        tr.add(2)
+        assert tr.missing() == [1, 3, 4]
+
+    def test_out_of_range_rejected(self):
+        tr = ReceiveTracker(3)
+        with pytest.raises(TransportError):
+            tr.add(3)
+
+    @given(st.permutations(list(range(12))))
+    def test_any_arrival_order_completes(self, order):
+        tr = ReceiveTracker(12)
+        for seq in order:
+            tr.add(seq)
+            # cum always points at the first gap.
+            assert all(tr._received[i] for i in range(tr.cum))
+            if tr.cum < 12:
+                assert not tr._received[tr.cum]
+        assert tr.complete
+        assert tr.cum == 12
+        assert tr.duplicates == 0

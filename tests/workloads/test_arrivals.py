@@ -1,0 +1,74 @@
+"""Tests for arrival processes and utilization targeting."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import WorkloadError
+from repro.units import HEADER_SIZE, MSS, mbps
+from repro.workloads.arrivals import (
+    PoissonArrivals,
+    generate_arrivals,
+    rate_for_utilization,
+    wire_bytes_for_payload,
+)
+from repro.workloads.sizes import FixedSize
+
+
+def test_wire_bytes_adds_per_segment_headers():
+    assert wire_bytes_for_payload(MSS) == pytest.approx(MSS + HEADER_SIZE)
+    assert wire_bytes_for_payload(2 * MSS) == pytest.approx(
+        2 * MSS + 2 * HEADER_SIZE
+    )
+    with pytest.raises(WorkloadError):
+        wire_bytes_for_payload(0)
+
+
+def test_rate_for_utilization_matches_hand_computation():
+    # 30% of 15 Mbps with 100 kB flows (plus headers).
+    rate = rate_for_utilization(0.30, mbps(15), 100_000)
+    offered = rate * wire_bytes_for_payload(100_000)
+    assert offered == pytest.approx(0.30 * mbps(15))
+
+
+def test_rate_for_utilization_validation():
+    with pytest.raises(WorkloadError):
+        rate_for_utilization(0.0, mbps(15), 1000)
+    with pytest.raises(WorkloadError):
+        rate_for_utilization(0.5, 0.0, 1000)
+
+
+def test_poisson_times_ascending_within_horizon():
+    rng = random.Random(0)
+    times = list(PoissonArrivals(10.0).times(rng, 5.0))
+    assert times == sorted(times)
+    assert all(0 < t <= 5.0 for t in times)
+
+
+def test_poisson_mean_rate_approximately_correct():
+    rng = random.Random(1)
+    times = list(PoissonArrivals(50.0).times(rng, 100.0))
+    assert len(times) == pytest.approx(5000, rel=0.1)
+
+
+def test_generate_arrivals_is_seed_deterministic():
+    sizes = FixedSize(1000)
+    a = generate_arrivals(random.Random(5), 10.0, 3.0, sizes)
+    b = generate_arrivals(random.Random(5), 10.0, 3.0, sizes)
+    assert a == b
+
+
+def test_generate_arrivals_carries_sampled_sizes():
+    arrivals = generate_arrivals(random.Random(2), 20.0, 5.0, FixedSize(777))
+    assert arrivals
+    assert all(item.size == 777 for item in arrivals)
+
+
+@settings(max_examples=20)
+@given(rate=st.floats(min_value=0.5, max_value=100.0),
+       horizon=st.floats(min_value=0.1, max_value=50.0))
+def test_poisson_never_exceeds_horizon(rate, horizon):
+    rng = random.Random(9)
+    for t in PoissonArrivals(rate).times(rng, horizon):
+        assert 0 < t <= horizon

@@ -1,0 +1,69 @@
+"""Tests for the paper's three measured flow-size environments."""
+
+import random
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.units import kb, mb
+from repro.workloads.distributions import (
+    BENSON,
+    ENVIRONMENTS,
+    INTERNET,
+    VL2,
+    environment,
+    fraction_of_traffic_below,
+    traffic_cdf,
+    truncated_environment,
+)
+
+
+def test_lookup_by_name():
+    assert environment("internet") is INTERNET
+    with pytest.raises(WorkloadError):
+        environment("narnia")
+
+
+def test_internet_byte_fraction_matches_paper():
+    """§2.1: ~34.7 % of Internet bytes in flows under 141 KB."""
+    frac = fraction_of_traffic_below(INTERNET, kb(141))
+    assert 0.25 <= frac <= 0.42
+
+
+def test_datacenter_byte_fractions_under_one_percent():
+    """§2.1: <1 % of bytes under 141 KB in both data centers."""
+    assert fraction_of_traffic_below(VL2, kb(141)) < 0.01
+    assert fraction_of_traffic_below(BENSON, kb(141)) < 0.01
+
+
+def test_most_flows_are_small_everywhere():
+    """Fig. 2's companion fact: flow *counts* skew tiny."""
+    for dist in ENVIRONMENTS.values():
+        assert dist.cdf(kb(141)) > 0.70
+
+
+def test_traffic_cdf_is_monotone_and_normalized():
+    for dist in ENVIRONMENTS.values():
+        curve = traffic_cdf(dist, steps=500)
+        fractions = [f for _, f in curve]
+        assert all(b >= a for a, b in zip(fractions, fractions[1:]))
+        assert fractions[-1] == pytest.approx(1.0)
+        sizes = [s for s, _ in curve]
+        assert all(b >= a for a, b in zip(sizes, sizes[1:]))
+
+
+def test_truncated_environment_caps_at_one_mb():
+    dist = truncated_environment("vl2", mb(1))
+    rng = random.Random(0)
+    assert all(dist.sample(rng) <= mb(1) for _ in range(300))
+
+
+def test_vl2_is_bimodal():
+    """VL2 has both a mice mode and an elephant mode."""
+    assert VL2.cdf(kb(10)) > 0.55            # lots of mice
+    assert VL2.cdf(mb(10)) < 0.85            # elephants carry the rest
+
+
+def test_traffic_cdf_rejects_tiny_steps():
+    with pytest.raises(WorkloadError):
+        traffic_cdf(INTERNET, steps=3)

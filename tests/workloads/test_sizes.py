@@ -1,0 +1,107 @@
+"""Unit and property tests for size distributions."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads.sizes import (
+    EmpiricalSize,
+    FixedSize,
+    LogNormalSize,
+    TruncatedSize,
+    UniformSize,
+)
+
+
+def test_fixed_size():
+    dist = FixedSize(100)
+    assert dist.sample(random.Random(0)) == 100
+    assert dist.mean() == 100.0
+    with pytest.raises(WorkloadError):
+        FixedSize(0)
+
+
+def test_uniform_size_within_bounds():
+    dist = UniformSize(10, 20)
+    rng = random.Random(1)
+    samples = [dist.sample(rng) for _ in range(200)]
+    assert all(10 <= s <= 20 for s in samples)
+    assert dist.mean() == 15.0
+    with pytest.raises(WorkloadError):
+        UniformSize(20, 10)
+
+
+def test_lognormal_clipping():
+    dist = LogNormalSize(median=1000, sigma=2.0, minimum=500, maximum=2000)
+    rng = random.Random(2)
+    samples = [dist.sample(rng) for _ in range(300)]
+    assert all(500 <= s <= 2000 for s in samples)
+
+
+class TestEmpirical:
+    POINTS = [(1_000, 0.5), (10_000, 0.9), (100_000, 1.0)]
+
+    def test_quantile_at_anchor_points(self):
+        dist = EmpiricalSize(self.POINTS)
+        assert dist.quantile(0.5) == pytest.approx(1_000)
+        assert dist.quantile(0.9) == pytest.approx(10_000)
+        assert dist.quantile(1.0) == pytest.approx(100_000)
+
+    def test_quantile_log_linear_between_anchors(self):
+        dist = EmpiricalSize(self.POINTS)
+        # Halfway (in CDF) between 0.5 and 0.9 -> geometric midpoint.
+        assert dist.quantile(0.7) == pytest.approx((1_000 * 10_000) ** 0.5,
+                                                   rel=1e-6)
+
+    def test_cdf_inverts_quantile(self):
+        dist = EmpiricalSize(self.POINTS)
+        for frac in (0.5, 0.6, 0.8, 0.95, 1.0):
+            assert dist.cdf(dist.quantile(frac)) == pytest.approx(frac,
+                                                                  abs=1e-9)
+
+    def test_sampling_respects_bounds(self):
+        dist = EmpiricalSize(self.POINTS)
+        rng = random.Random(3)
+        samples = [dist.sample(rng) for _ in range(500)]
+        assert all(1 <= s <= 100_000 for s in samples)
+        # Median around the 0.5 anchor.
+        samples.sort()
+        assert samples[250] <= 2_000
+
+    def test_mean_between_min_and_max(self):
+        dist = EmpiricalSize(self.POINTS)
+        assert 1_000 <= dist.mean() <= 100_000
+
+    @pytest.mark.parametrize("points", [
+        [(1000, 1.0)],                         # too few
+        [(1000, 0.5), (500, 1.0)],             # sizes not increasing
+        [(1000, 0.9), (2000, 0.5)],            # fractions decreasing
+        [(1000, 0.5), (2000, 0.9)],            # doesn't end at 1.0
+        [(-5, 0.5), (2000, 1.0)],              # negative size
+    ])
+    def test_invalid_points_rejected(self, points):
+        with pytest.raises(WorkloadError):
+            EmpiricalSize(points)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_quantile_monotone(self, frac):
+        dist = EmpiricalSize(self.POINTS)
+        lower = dist.quantile(max(0.0, frac - 0.05))
+        assert dist.quantile(frac) >= lower - 1e-9
+
+
+class TestTruncated:
+    def test_cap_applied(self):
+        inner = FixedSize(1_000_000)
+        dist = TruncatedSize(inner, 1_000)
+        assert dist.sample(random.Random(0)) == 1_000
+        assert dist.mean() == 1_000.0
+
+    def test_truncated_empirical_mean_below_cap(self):
+        inner = EmpiricalSize([(1_000, 0.5), (10_000_000, 1.0)])
+        dist = TruncatedSize(inner, 50_000)
+        assert dist.mean() <= 50_000
+        rng = random.Random(1)
+        assert all(dist.sample(rng) <= 50_000 for _ in range(100))

@@ -1,0 +1,61 @@
+"""Tests for the synthetic web catalog and browser model."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.web import BrowserModel, WebObject, WebPage, build_catalog
+
+
+def test_catalog_is_deterministic():
+    assert build_catalog(seed=1)[0].objects == build_catalog(seed=1)[0].objects
+
+
+def test_catalog_size_and_shape():
+    catalog = build_catalog(n_pages=100)
+    assert len(catalog) == 100
+    for page in catalog:
+        assert 15 <= page.object_count <= 70
+        assert page.objects[0].index == 0
+        assert page.total_bytes == sum(o.size for o in page.objects)
+
+
+def test_catalog_pages_average_realistic_weight():
+    catalog = build_catalog()
+    mean_bytes = sum(p.total_bytes for p in catalog) / len(catalog)
+    assert 500_000 <= mean_bytes <= 3_000_000  # ~1-2 MB 2015 pages
+
+
+def test_catalog_validation():
+    with pytest.raises(WorkloadError):
+        build_catalog(n_pages=0)
+    with pytest.raises(WorkloadError):
+        build_catalog(min_objects=5, max_objects=2)
+
+
+def test_web_object_validation():
+    with pytest.raises(WorkloadError):
+        WebObject(0, 0)
+
+
+class TestBrowserModel:
+    def page(self):
+        return WebPage("p", tuple(WebObject(i, 1000 + i) for i in range(10)))
+
+    def test_base_first_mode(self):
+        browser = BrowserModel(max_connections=6)
+        first = browser.initial_batch(self.page())
+        assert len(first) == 1
+        assert first[0].index == 0
+        rest = browser.after_base(self.page())
+        assert [o.index for o in rest] == list(range(1, 10))
+
+    def test_eager_mode(self):
+        browser = BrowserModel(max_connections=4, fetch_base_first=False)
+        first = browser.initial_batch(self.page())
+        assert [o.index for o in first] == [0, 1, 2, 3]
+        rest = browser.after_base(self.page())
+        assert [o.index for o in rest] == [4, 5, 6, 7, 8, 9]
+
+    def test_connection_floor(self):
+        with pytest.raises(WorkloadError):
+            BrowserModel(max_connections=0)
