@@ -7,9 +7,17 @@ path and over a constrained path where the aggressive start-up loses
 packets, and prints the completion times — a miniature of the paper's
 headline comparison.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [--telemetry [DIR]]
+
+With ``--telemetry`` the run streams a JSONL trace, aggregates metrics
+across every scheme's simulator, and prints the telemetry summary
+report at the end (see README "Telemetry & tracing").
 """
 
+import argparse
+import contextlib
+
+from repro import telemetry
 from repro.experiments import launch_flow
 from repro.net import access_network
 from repro.protocols import available_protocols
@@ -43,22 +51,38 @@ def print_comparison(title: str, bottleneck_rate: float, buffer_bytes: int):
               f"{record.timeouts:>8d} {record.extra['drops']:>5d}")
 
 
-def main():
-    print("Halfback reproduction — quickstart")
-    print("One 100 KB flow per scheme on the paper's topology (Fig. 4).")
-    print_comparison(
-        "Clean path (15 Mbps bottleneck, 115 KB buffer): pacing wins, "
-        "no loss", mbps(15), kb(115),
-    )
-    print_comparison(
-        "Constrained path (5 Mbps bottleneck, 20 KB buffer): the "
-        "aggressive start-up overflows — watch who recovers",
-        mbps(5), kb(20),
-    )
-    print("\nHalfback's proactive column is ~half the flow (69 segments) —"
-          "\nthe reverse-ordered sweep that gives the scheme its name; on"
-          "\nthe constrained path it converts JumpStart's timeout into an"
-          "\nin-stride recovery.")
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--telemetry", nargs="?", const="telemetry-out",
+                        default=None, metavar="DIR",
+                        help="enable the telemetry subsystem, streaming a "
+                             "JSONL trace and metrics into DIR")
+    args = parser.parse_args(argv)
+
+    hub = None
+    stack = contextlib.ExitStack()
+    if args.telemetry is not None:
+        hub = stack.enter_context(telemetry.session(out_dir=args.telemetry))
+
+    with stack:
+        print("Halfback reproduction — quickstart")
+        print("One 100 KB flow per scheme on the paper's topology (Fig. 4).")
+        print_comparison(
+            "Clean path (15 Mbps bottleneck, 115 KB buffer): pacing wins, "
+            "no loss", mbps(15), kb(115),
+        )
+        print_comparison(
+            "Constrained path (5 Mbps bottleneck, 20 KB buffer): the "
+            "aggressive start-up overflows — watch who recovers",
+            mbps(5), kb(20),
+        )
+        print("\nHalfback's proactive column is ~half the flow (69 segments) —"
+              "\nthe reverse-ordered sweep that gives the scheme its name; on"
+              "\nthe constrained path it converts JumpStart's timeout into an"
+              "\nin-stride recovery.")
+    if hub is not None:
+        print("\n== telemetry ==")
+        print(hub.summary(max_flows=2, max_events=12))
 
 
 if __name__ == "__main__":

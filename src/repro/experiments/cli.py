@@ -2,16 +2,26 @@
 
 Runs one experiment at a chosen scale and prints the paper-style
 report.  ``halfback-repro list`` enumerates everything available.
+
+``--telemetry [DIR]`` activates the unified telemetry subsystem for the
+run: every simulator the experiment builds streams its trace to
+``DIR/trace.jsonl``, aggregates metrics, and is profiled; a summary
+report (metrics snapshot, per-flow timelines, simulator profile, export
+paths) is printed after the experiments finish.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 import time
 from typing import Callable, Dict, Tuple
 
 __all__ = ["main", "EXPERIMENTS"]
+
+#: Default export directory for a bare ``--telemetry``.
+DEFAULT_TELEMETRY_DIR = "telemetry-out"
 
 Runner = Callable[..., object]
 Formatter = Callable[[object], str]
@@ -138,6 +148,21 @@ def main(argv=None) -> int:
                              "scale; 10.0 approximates paper scale)")
     parser.add_argument("--seed", type=int, default=42,
                         help="master random seed")
+    parser.add_argument("--telemetry", nargs="?", const=DEFAULT_TELEMETRY_DIR,
+                        default=None, metavar="DIR",
+                        help="enable the telemetry subsystem; streams a "
+                             "JSONL trace, metrics.json and profile.json "
+                             f"into DIR (default: {DEFAULT_TELEMETRY_DIR}) "
+                             "and prints a summary report")
+    parser.add_argument("--telemetry-format", choices=["jsonl", "csv"],
+                        default="jsonl",
+                        help="streaming trace format (with --telemetry)")
+    parser.add_argument("--telemetry-kinds", default=None, metavar="PREFIXES",
+                        help="comma-separated trace-kind prefixes to keep, "
+                             "e.g. 'flow,halfback,sender' (with --telemetry)")
+    parser.add_argument("--timeline-flows", type=int, default=4,
+                        help="per-flow timelines to print in the telemetry "
+                             "summary")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -150,12 +175,31 @@ def main(argv=None) -> int:
         if name not in EXPERIMENTS:
             print(f"unknown experiment {name!r}; try 'list'", file=sys.stderr)
             return 2
-        description, runner = EXPERIMENTS[name]
-        print(f"== {name}: {description} (scale={args.scale}) ==")
-        started = time.time()
-        result, formatter = runner(args.scale, args.seed)
-        print(formatter(result))
-        print(f"[{name} finished in {time.time() - started:.1f}s]\n")
+
+    hub = None
+    stack = contextlib.ExitStack()
+    if args.telemetry is not None:
+        from repro import telemetry
+
+        kinds = (args.telemetry_kinds.split(",")
+                 if args.telemetry_kinds else None)
+        hub = stack.enter_context(telemetry.session(
+            out_dir=args.telemetry, trace_format=args.telemetry_format,
+            kinds=kinds))
+
+    with stack:
+        for name in names:
+            description, runner = EXPERIMENTS[name]
+            print(f"== {name}: {description} (scale={args.scale}) ==")
+            started = time.time()
+            result, formatter = runner(args.scale, args.seed)
+            print(formatter(result))
+            print(f"[{name} finished in {time.time() - started:.1f}s]\n")
+    if hub is not None:
+        # The session is closed (exports flushed, metrics.json/profile.json
+        # written), but the in-memory views remain readable.
+        print("== telemetry ==")
+        print(hub.summary(max_flows=args.timeline_flows))
     return 0
 
 

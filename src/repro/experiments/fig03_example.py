@@ -50,8 +50,12 @@ class Fig3Result:
 
 def run(rtt: float = ms(60), seed: int = 3) -> Fig3Result:
     """Simulate the example flow and extract the timeline."""
-    trace = TraceRecorder(enabled=True)
-    sim = Simulator(seed=seed, trace=trace)
+    sim = Simulator(seed=seed)
+    if not sim.trace.enabled:
+        # No ambient telemetry session: install a local enabled recorder
+        # (the walk-through *is* a trace-reading exercise).
+        sim.trace = TraceRecorder(enabled=True)
+    trace = sim.trace
     net = access_network(sim, n_pairs=1, bottleneck_rate=gbps(1), rtt=rtt,
                          buffer_bytes=kb(1000))
     sender_host, receiver_host = net.pair(0)
@@ -61,6 +65,9 @@ def run(rtt: float = ms(60), seed: int = 3) -> Fig3Result:
 
     def finish(receiver: Receiver) -> None:
         record.complete_time = sim.now
+        sim.metrics.inc("flows.completed")
+        sim.trace.record(sim.now, "flow.complete", "fig3",
+                         flow=flow.flow_id, fct=record.fct)
 
     Receiver(sim, receiver_host, flow.flow_id, on_complete=finish)
     sender = HalfbackSender(sim, sender_host, flow, record=record)
@@ -75,10 +82,18 @@ def run(rtt: float = ms(60), seed: int = 3) -> Fig3Result:
         original_send(seq, retransmit=retransmit, proactive=proactive)
 
     sender.send_segment = recording_send  # type: ignore[method-assign]
+    sim.metrics.inc("flows.launched")
+    sim.trace.record(sim.now, "flow.start", "fig3",
+                     flow=flow.flow_id, protocol="halfback",
+                     size=TEN_SEGMENTS)
     sender.start()
     sim.run(until=10.0)
 
-    phases = [(r.time, r.detail["phase"]) for r in trace.records("halfback.phase")]
+    # Filter to this flow: under an ambient telemetry session the trace
+    # may be shared with other experiments in the same process.
+    phases = [(r.time, r.detail["phase"])
+              for r in trace.records("halfback.phase")
+              if r.detail.get("flow") == flow.flow_id]
     ropr_order = [seq for _, seq, kind in transmissions if kind == "ropr"]
     return Fig3Result(record=record, transmissions=transmissions,
                       ropr_order=ropr_order, phases=phases, rtt=rtt)

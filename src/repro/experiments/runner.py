@@ -66,10 +66,16 @@ def launch_flow(
     def finish(receiver: Receiver) -> None:
         record.complete_time = sim.now
         record.duplicate_receptions = receiver.duplicates
+        sim.metrics.inc("flows.completed")
+        sim.trace.record(sim.now, "flow.complete", "runner",
+                         flow=spec.flow_id, fct=record.fct)
         if on_complete is not None:
             on_complete(record)
 
     def begin() -> None:
+        sim.metrics.inc("flows.launched")
+        sim.trace.record(sim.now, "flow.start", "runner",
+                         flow=spec.flow_id, protocol=protocol, size=size)
         Receiver(sim, receiver_host, spec.flow_id, config=config,
                  on_complete=finish, throughput_monitor=throughput_monitor)
         sender = create_sender(sim, sender_host, spec, record=record,

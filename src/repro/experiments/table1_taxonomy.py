@@ -122,6 +122,11 @@ class _FakeTimer:
 class _FakeSim:
     now = 0.0
 
+    def __init__(self) -> None:
+        from repro.telemetry.metrics import MetricsRegistry
+
+        self.metrics = MetricsRegistry(enabled=False)
+
     def timer(self, callback, name=""):
         return _FakeTimer()
 

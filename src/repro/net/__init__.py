@@ -6,6 +6,7 @@ from repro.net.link import Link, LinkStats
 from repro.net.monitor import (
     FlowThroughputMonitor,
     LinkUtilizationMonitor,
+    PeriodicMonitor,
     QueueDepthMonitor,
     UtilizationSample,
 )
@@ -23,6 +24,7 @@ __all__ = [
     "Link",
     "LinkStats",
     "LinkUtilizationMonitor",
+    "PeriodicMonitor",
     "Node",
     "Packet",
     "PacketType",

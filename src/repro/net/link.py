@@ -82,6 +82,15 @@ class Link:
         self._loss_rng = sim.streams.get(f"link-loss:{name}") if loss_rate else None
         self._busy = False
         self.stats = LinkStats()
+        # Aggregate (all-links) telemetry; instruments resolve to no-ops
+        # when the registry is disabled.
+        metrics = sim.metrics
+        self._m_tx_packets = metrics.counter("link.tx_packets")
+        self._m_tx_bytes = metrics.counter("link.tx_bytes")
+        self._m_delivered_bytes = metrics.counter("link.delivered_bytes")
+        self._m_inflight_loss = metrics.counter("link.inflight_loss")
+        self._m_queue_drops = metrics.counter("queue.drops")
+        self._m_queue_drop_bytes = metrics.counter("queue.drop_bytes")
 
     # ------------------------------------------------------------------
 
@@ -107,6 +116,8 @@ class Link:
         """Offer ``packet`` to this link (queue, then serialize in order)."""
         if not self.queue.enqueue(packet):
             self.sim.note_drop(packet.flow_id)
+            self._m_queue_drops.inc()
+            self._m_queue_drop_bytes.inc(packet.size)
             self.sim.trace.record(
                 self.sim.now, "queue.drop", self.name,
                 packet=packet.describe(), uid=packet.uid,
@@ -125,11 +136,14 @@ class Link:
         self._busy = True
         self.stats.packets_sent += 1
         self.stats.bytes_sent += packet.size
+        self._m_tx_packets.inc()
+        self._m_tx_bytes.inc(packet.size)
         self.sim.schedule(self.transmission_time(packet), self._finish_transmission, packet)
 
     def _finish_transmission(self, packet: Packet) -> None:
         if self._loss_rng is not None and self._loss_rng.random() < self.loss_rate:
             self.stats.packets_lost_inflight += 1
+            self._m_inflight_loss.inc()
             self.sim.note_drop(packet.flow_id)
             self.sim.trace.record(
                 self.sim.now, "link.loss", self.name,
@@ -145,6 +159,7 @@ class Link:
     def _deliver(self, packet: Packet) -> None:
         self.stats.packets_delivered += 1
         self.stats.bytes_delivered += packet.size
+        self._m_delivered_bytes.inc(packet.size)
         self.dst.receive(packet)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

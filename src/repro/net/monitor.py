@@ -4,12 +4,19 @@ Monitors sample state at a fixed period on the simulator clock and keep
 the samples in memory.  Fig. 15 (throughput timelines) uses per-flow
 delivery counters binned at 60 ms; utilization sweeps use
 :class:`LinkUtilizationMonitor` over the bottleneck.
+
+Sampling monitors also publish into the simulator's telemetry metrics
+registry (``monitor.link_utilization``, ``monitor.queue_depth`` time-
+weighted histograms) — a no-op when telemetry is off — and support a
+``horizon`` / :meth:`~PeriodicMonitor.stop` so their self-rescheduling
+sample events cannot keep the event loop alive after the workload
+completes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.net.link import Link
@@ -17,6 +24,7 @@ from repro.net.packet import Packet
 
 __all__ = [
     "UtilizationSample",
+    "PeriodicMonitor",
     "LinkUtilizationMonitor",
     "QueueDepthMonitor",
     "FlowThroughputMonitor",
@@ -32,28 +40,80 @@ class UtilizationSample:
     bytes_delivered: int
 
 
-class LinkUtilizationMonitor:
-    """Samples a link's delivered bytes every ``period`` seconds."""
+class PeriodicMonitor:
+    """Base for self-rescheduling samplers with a stop/horizon.
 
-    def __init__(self, sim, link: Link, period: float = 0.1) -> None:
+    Parameters
+    ----------
+    sim:
+        The simulator to sample on.
+    period:
+        Seconds between samples (must be positive).
+    horizon:
+        Optional absolute simulated time after which sampling stops on
+        its own; without it (and without :meth:`stop`) the pending
+        sample event would keep an otherwise-drained event loop alive
+        forever.
+    """
+
+    def __init__(self, sim, period: float, horizon: Optional[float] = None) -> None:
         if period <= 0:
             raise ConfigurationError("monitor period must be positive")
+        if horizon is not None and horizon < 0:
+            raise ConfigurationError("monitor horizon must be non-negative")
         self.sim = sim
-        self.link = link
         self.period = period
+        self.horizon = horizon
+        self._stopped = False
+        self._handle = sim.schedule(period, self._tick)
+
+    @property
+    def running(self) -> bool:
+        """True while future samples are scheduled."""
+        return not self._stopped
+
+    def stop(self) -> None:
+        """Cancel the pending sample; no further samples are taken."""
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        self._handle = None
+        self._sample()
+        if self.horizon is not None and self.sim.now >= self.horizon:
+            self._stopped = True
+            return
+        self._handle = self.sim.schedule(self.period, self._tick)
+
+    def _sample(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class LinkUtilizationMonitor(PeriodicMonitor):
+    """Samples a link's delivered bytes every ``period`` seconds."""
+
+    def __init__(self, sim, link: Link, period: float = 0.1,
+                 horizon: Optional[float] = None) -> None:
+        self.link = link
         self.samples: List[UtilizationSample] = []
         self._last_bytes = link.stats.bytes_delivered
-        sim.schedule(period, self._sample)
+        self._m_utilization = sim.metrics.histogram("monitor.link_utilization")
+        super().__init__(sim, period, horizon=horizon)
 
     def _sample(self) -> None:
         delivered = self.link.stats.bytes_delivered
         delta = delivered - self._last_bytes
         self._last_bytes = delivered
         capacity = self.link.rate * self.period
+        utilization = delta / capacity
         self.samples.append(
-            UtilizationSample(self.sim.now, delta / capacity, delta)
+            UtilizationSample(self.sim.now, utilization, delta)
         )
-        self.sim.schedule(self.period, self._sample)
+        self._m_utilization.observe(self.sim.now, utilization)
 
     def mean_utilization(self, since: float = 0.0) -> float:
         """Mean sampled utilization from ``since`` onward."""
@@ -61,23 +121,21 @@ class LinkUtilizationMonitor:
         return sum(values) / len(values) if values else 0.0
 
 
-class QueueDepthMonitor:
+class QueueDepthMonitor(PeriodicMonitor):
     """Samples a queue's byte depth every ``period`` seconds."""
 
-    def __init__(self, sim, queue, period: float = 0.01) -> None:
-        if period <= 0:
-            raise ConfigurationError("monitor period must be positive")
-        self.sim = sim
+    def __init__(self, sim, queue, period: float = 0.01,
+                 horizon: Optional[float] = None) -> None:
         self.queue = queue
-        self.period = period
         self.times: List[float] = []
         self.depths: List[int] = []
-        sim.schedule(period, self._sample)
+        self._m_depth = sim.metrics.histogram("monitor.queue_depth")
+        super().__init__(sim, period, horizon=horizon)
 
     def _sample(self) -> None:
         self.times.append(self.sim.now)
         self.depths.append(self.queue.bytes_queued)
-        self.sim.schedule(self.period, self._sample)
+        self._m_depth.observe(self.sim.now, self.queue.bytes_queued)
 
     def mean_depth(self) -> float:
         """Mean sampled queue depth in bytes."""

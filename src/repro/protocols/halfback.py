@@ -67,6 +67,8 @@ class HalfbackSender(SenderBase):
         self.throughput_cache = throughput_cache
         self._pacer: Optional[Pacer] = None
         self._ropr_credit = 0.0
+        self._m_ropr_retx = sim.metrics.counter("halfback.ropr_retx")
+        self._m_fallbacks = sim.metrics.counter("halfback.fallbacks")
 
     # ------------------------------------------------------------------
     # Phase 1: Pacing
@@ -136,7 +138,7 @@ class HalfbackSender(SenderBase):
         if self.halfback.ropr_rate == RATE_LINE:
             # Halfback-Burst ablation: everything at once, at line rate.
             for seq in self.ropr.drain(self.scoreboard.is_acked):
-                self.send_segment(seq, retransmit=True, proactive=True)
+                self._send_proactive(seq)
         else:
             # The ACK clock: one transmission per received ACK, total —
             # reactive retransmissions of SACK-inferred losses take the
@@ -154,9 +156,23 @@ class HalfbackSender(SenderBase):
                 if candidate is None:
                     break
                 self._ropr_credit -= 1.0
-                self.send_segment(candidate, retransmit=True, proactive=True)
+                self._send_proactive(candidate)
         if self.ropr.finished:
             self._exit_ropr()
+
+    def _send_proactive(self, seq: int) -> None:
+        """One ROPR transmission, with frontier telemetry."""
+        self._m_ropr_retx.inc()
+        if self.sim.trace.enabled:
+            # The two frontiers of Fig. 3: the cumulative-ACK frontier
+            # advancing from the front, the retransmission pointer
+            # retreating from the tail; ROPR ends where they meet.
+            self.sim.trace.record(
+                self.sim.now, "halfback.frontier", self.protocol_name,
+                flow=self.flow.flow_id, ack=self.scoreboard.cum_ack,
+                pointer=seq,
+            )
+        self.send_segment(seq, retransmit=True, proactive=True)
 
     def _exit_ropr(self) -> None:
         assert self.plan is not None
@@ -165,6 +181,7 @@ class HalfbackSender(SenderBase):
         else:
             # Phase 3 (§3.3): fall back to TCP with cwnd = s * RTT.
             self.phase = HalfbackPhase.FALLBACK
+            self._m_fallbacks.inc()
             window = self.bandwidth.window_for(
                 self.smoothed_rtt(), self.config.segment_size,
                 fallback_segments=self.config.initial_cwnd,

@@ -38,6 +38,7 @@ class JumpStartSender(SenderBase):
         self._pacer: Optional[Pacer] = None
         self._pacing = False
         self.plan: Optional[PacingPlan] = None
+        self._m_paced = sim.metrics.counter("jumpstart.flows_paced")
 
     # ------------------------------------------------------------------
     # Start-up: the paced first batch
@@ -74,6 +75,11 @@ class JumpStartSender(SenderBase):
         if not self._pacing:
             return
         self._pacing = False
+        self._m_paced.inc()
+        self.sim.trace.record(
+            self.sim.now, "jumpstart.pacing_done", self.protocol_name,
+            flow=self.flow.flow_id, pipe=self.scoreboard.pipe,
+        )
         # Fall back to TCP.  The congestion window picks up from the
         # amount the paced batch put in flight so any remainder of a
         # long flow keeps flowing; AIMD takes over from here.

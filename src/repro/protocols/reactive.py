@@ -38,6 +38,7 @@ class ReactiveTcpSender(SenderBase):
         self._pto_timer = sim.timer(self._on_pto, name=f"pto:{flow.flow_id}")
         self._probes_since_ack = 0
         self.probes_sent = 0
+        self._m_probes = sim.metrics.counter("reactive.probes")
 
     # ------------------------------------------------------------------
 
@@ -80,6 +81,7 @@ class ReactiveTcpSender(SenderBase):
         probe = candidates[-1]
         self._probes_since_ack += 1
         self.probes_sent += 1
+        self._m_probes.inc()
         self.record.extra["probes"] = self.probes_sent
         self.sim.trace.record(
             self.sim.now, "reactive.probe", self.protocol_name,

@@ -60,6 +60,12 @@ class EventScheduler:
         self._heap.clear()
         self._live = 0
 
+    @property
+    def heap_depth(self) -> int:
+        """Raw heap size including lazily-cancelled entries — the number
+        that matters for per-operation cost (telemetry profiling)."""
+        return len(self._heap)
+
     def __len__(self) -> int:
         """Approximate number of live events (exact if callers use
         :meth:`note_cancelled` for every cancellation, as Simulator does)."""

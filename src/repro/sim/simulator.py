@@ -19,6 +19,8 @@ from repro.sim.event import Event, EventHandle
 from repro.sim.scheduler import EventScheduler
 from repro.sim.randomness import RandomStreams
 from repro.sim.trace import TraceRecorder
+from repro.telemetry.context import current_hub
+from repro.telemetry.metrics import MetricsRegistry
 
 __all__ = ["Simulator", "Timer"]
 
@@ -35,15 +37,39 @@ class Simulator:
         Optional trace recorder; when omitted a disabled recorder is
         installed so components can call ``sim.trace.record(...)``
         unconditionally.
+    metrics:
+        Optional :class:`~repro.telemetry.metrics.MetricsRegistry`; when
+        omitted a disabled registry is installed so components can
+        resolve instruments unconditionally.
+    profiler:
+        Optional :class:`~repro.telemetry.profiling.SimProfiler` that
+        receives per-event wall-clock timings and heap-depth readings.
+
+    When a telemetry session is active (see
+    :func:`repro.telemetry.session`) any of the three left unspecified
+    is picked up from the session's hub, which is how ``--telemetry``
+    instruments experiments without changing their signatures.
     """
 
-    def __init__(self, seed: int = 0, trace: Optional[TraceRecorder] = None) -> None:
+    def __init__(self, seed: int = 0, trace: Optional[TraceRecorder] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 profiler=None) -> None:
+        hub = current_hub()
+        if hub is not None:
+            if trace is None:
+                trace = hub.trace
+            if metrics is None:
+                metrics = hub.metrics
+            if profiler is None:
+                profiler = hub.profiler
         self._now = 0.0
         self._queue = EventScheduler()
         self._running = False
         self._stopped = False
         self.streams = RandomStreams(seed)
         self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        self.metrics = metrics if metrics is not None else MetricsRegistry(enabled=False)
+        self.profiler = profiler
         #: Number of events executed so far (diagnostic).
         self.events_run = 0
         #: Ground-truth per-flow packet drops (queue overflow + in-flight
@@ -120,6 +146,9 @@ class Simulator:
         self._running = True
         self._stopped = False
         fired = 0
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.begin_run()
         try:
             while True:
                 if self._stopped:
@@ -135,11 +164,21 @@ class Simulator:
                 if event is None:  # pragma: no cover - raced cancellation
                     break
                 self._now = event.time
-                event.fire()
+                if profiler is None:
+                    event.fire()
+                else:
+                    callback = event.callback
+                    started = profiler.clock()
+                    event.fire()
+                    profiler.on_event(callback,
+                                      profiler.clock() - started,
+                                      self._queue.heap_depth)
                 self.events_run += 1
                 fired += 1
         finally:
             self._running = False
+            if profiler is not None:
+                profiler.end_run()
         if until is not None and self._now < until and not self._stopped:
             self._now = until
         return self._now
@@ -150,7 +189,15 @@ class Simulator:
         if event is None:
             return False
         self._now = event.time
-        event.fire()
+        profiler = self.profiler
+        if profiler is None:
+            event.fire()
+        else:
+            callback = event.callback
+            started = profiler.clock()
+            event.fire()
+            profiler.on_event(callback, profiler.clock() - started,
+                              self._queue.heap_depth)
         self.events_run += 1
         return True
 

@@ -5,12 +5,26 @@ phase transitions) through ``sim.trace``.  Tracing defaults to disabled
 and costs a single attribute check per call site; experiments that need
 per-packet detail (the Fig. 3 walk-through, the Fig. 15 throughput
 timelines) enable it and filter afterwards.
+
+Two additions keep large workloads honest:
+
+* ``max_records`` turns the in-memory store into a ring buffer — per-
+  packet tracing cannot grow without bound, and every record lost to the
+  ring is counted in :attr:`TraceRecorder.dropped_records`;
+* ``sink`` streams every accepted record to an exporter (see
+  :mod:`repro.telemetry.export`) before it touches the ring, so the
+  on-disk trace stays complete even when the ring wraps.  Pass
+  ``keep_records=False`` to stream only.
+
+The documented event-kind/detail-key contract lives in
+:mod:`repro.telemetry.schema`.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Deque, Dict, Iterator, List, Optional
 
 __all__ = ["TraceRecord", "TraceRecorder"]
 
@@ -39,7 +53,7 @@ class TraceRecord:
 
 
 class TraceRecorder:
-    """Collects :class:`TraceRecord` objects in memory.
+    """Collects :class:`TraceRecord` objects in memory and/or a sink.
 
     Parameters
     ----------
@@ -48,12 +62,36 @@ class TraceRecorder:
     kinds:
         Optional whitelist of ``kind`` prefixes to keep; records whose kind
         does not start with any prefix are discarded.
+    max_records:
+        When set, keep only the newest ``max_records`` records in memory
+        (ring-buffer mode); older records are dropped and counted in
+        :attr:`dropped_records`.
+    sink:
+        Optional streaming exporter with a ``write(record)`` method; it
+        sees every accepted record regardless of the ring bound.
+    keep_records:
+        When False nothing is stored in memory (stream-only mode;
+        requires a sink to be useful).
     """
 
-    def __init__(self, enabled: bool = True, kinds: Optional[List[str]] = None) -> None:
+    def __init__(self, enabled: bool = True, kinds: Optional[List[str]] = None,
+                 max_records: Optional[int] = None, sink=None,
+                 keep_records: bool = True) -> None:
+        if max_records is not None and max_records <= 0:
+            raise ValueError("max_records must be positive (or None)")
         self.enabled = enabled
         self._kinds = tuple(kinds) if kinds else None
-        self._records: List[TraceRecord] = []
+        self._max_records = max_records
+        self._records: Deque[TraceRecord] = deque(maxlen=max_records)
+        self.sink = sink
+        self._keep = keep_records
+        #: Records evicted from the ring buffer (ring mode only).
+        self.dropped_records = 0
+
+    @property
+    def max_records(self) -> Optional[int]:
+        """The ring-buffer bound, or None when unbounded."""
+        return self._max_records
 
     def record(self, time: float, kind: str, source: str, **detail: Any) -> None:
         """Record one event (no-op when disabled or filtered out)."""
@@ -61,10 +99,17 @@ class TraceRecorder:
             return
         if self._kinds is not None and not kind.startswith(self._kinds):
             return
-        self._records.append(TraceRecord(time, kind, source, detail))
+        rec = TraceRecord(time, kind, source, detail)
+        if self.sink is not None:
+            self.sink.write(rec)
+        if self._keep:
+            if (self._max_records is not None
+                    and len(self._records) == self._max_records):
+                self.dropped_records += 1
+            self._records.append(rec)
 
     def records(self, kind: Optional[str] = None) -> List[TraceRecord]:
-        """All records, optionally restricted to a kind prefix."""
+        """All in-memory records, optionally restricted to a kind prefix."""
         if kind is None:
             return list(self._records)
         return [r for r in self._records if r.kind.startswith(kind)]
@@ -76,5 +121,6 @@ class TraceRecorder:
         return len(self._records)
 
     def clear(self) -> None:
-        """Drop all collected records."""
+        """Drop all collected records (the drop counter too)."""
         self._records.clear()
+        self.dropped_records = 0

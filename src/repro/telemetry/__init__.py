@@ -1,0 +1,68 @@
+"""Unified telemetry: metrics, flow timelines, profiling, trace export.
+
+The observability layer for the whole stack::
+
+    from repro import telemetry
+
+    with telemetry.session(out_dir="out") as hub:
+        result = some_experiment.run(...)     # simulators auto-attach
+    print(hub.summary())
+
+Four parts (see the module docstrings for detail):
+
+* :mod:`~repro.telemetry.metrics` — counters / gauges / time-weighted
+  histograms in a namespaced registry, near-zero cost when disabled;
+* :mod:`~repro.telemetry.timeline` — per-flow event timelines with
+  ASCII/JSON renderers;
+* :mod:`~repro.telemetry.profiling` — wall-clock attribution per
+  simulator callback, heap depth, events/sec;
+* :mod:`~repro.telemetry.export` — streaming JSONL/CSV trace sinks with
+  rotation and flushing.
+
+:mod:`~repro.telemetry.schema` documents the trace-event contract the
+emitters uphold, and :mod:`~repro.telemetry.hub` bundles everything
+behind one :class:`Telemetry` session object.
+"""
+
+from repro.telemetry.context import activate, activated, current_hub, \
+    deactivate
+from repro.telemetry.export import CsvTraceSink, JsonlTraceSink, TraceSink
+from repro.telemetry.hub import Telemetry, session
+from repro.telemetry.metrics import Counter, Gauge, MetricsRegistry, \
+    NULL_METRIC, NullMetric, TimeWeightedHistogram
+from repro.telemetry.profiling import CallbackStats, SimProfiler
+from repro.telemetry.schema import EVENT_SCHEMA, FLOW_EVENT_KINDS, \
+    missing_keys, required_keys, validate_records
+from repro.telemetry.timeline import FlowTimeline, TimelineEvent, \
+    build_timelines, render_timeline, render_timelines, timeline_to_json
+
+__all__ = [
+    "CallbackStats",
+    "Counter",
+    "CsvTraceSink",
+    "EVENT_SCHEMA",
+    "FLOW_EVENT_KINDS",
+    "FlowTimeline",
+    "Gauge",
+    "JsonlTraceSink",
+    "MetricsRegistry",
+    "NULL_METRIC",
+    "NullMetric",
+    "SimProfiler",
+    "Telemetry",
+    "TimeWeightedHistogram",
+    "TimelineEvent",
+    "TraceSink",
+    "activate",
+    "activated",
+    "build_timelines",
+    "current_hub",
+    "deactivate",
+    "missing_keys",
+    "render_timeline",
+    "render_timelines",
+    "required_keys",
+    "session",
+    "timeline_to_json",
+    "validate_records",
+]

@@ -1,0 +1,53 @@
+"""The ambient telemetry session.
+
+Experiments build many :class:`~repro.sim.simulator.Simulator` instances
+deep inside their `run()` functions; threading a telemetry object
+through every one of those signatures would couple all 17 experiment
+modules to observability.  Instead the CLI (or a test) *activates* one
+:class:`~repro.telemetry.hub.Telemetry` hub here, and every Simulator
+constructed while it is active picks up the hub's trace recorder,
+metrics registry, and profiler automatically.
+
+This module is import-light on purpose (no repro imports) — the
+simulator imports it, and the telemetry package imports the simulator's
+trace module, so this file is the cycle-breaker.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+__all__ = ["current_hub", "activate", "deactivate", "activated"]
+
+_active = None
+
+
+def current_hub():
+    """The active telemetry hub, or None when telemetry is off."""
+    return _active
+
+
+def activate(hub) -> None:
+    """Make ``hub`` the ambient telemetry session."""
+    global _active
+    _active = hub
+
+
+def deactivate(hub=None) -> None:
+    """Clear the ambient session (only if ``hub`` still owns it)."""
+    global _active
+    if hub is None or _active is hub:
+        _active = None
+
+
+@contextmanager
+def activated(hub) -> Iterator[Optional[object]]:
+    """Activate ``hub`` for the duration of a ``with`` block."""
+    global _active
+    previous = _active
+    _active = hub
+    try:
+        yield hub
+    finally:
+        _active = previous

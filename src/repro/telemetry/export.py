@@ -1,0 +1,154 @@
+"""Streaming trace sinks.
+
+A sink receives every :class:`~repro.sim.trace.TraceRecord` as it is
+emitted and writes it straight to disk, so per-packet tracing on a
+large workload no longer has to accumulate an unbounded in-memory list.
+Two formats:
+
+* :class:`JsonlTraceSink` — one JSON object per line, sorted keys and
+  compact separators so identical runs produce byte-identical files
+  (the determinism guarantee experiments rely on).
+* :class:`CsvTraceSink` — ``time,kind,source,detail`` rows with the
+  detail payload as compact JSON, for spreadsheet-side analysis.
+
+Both support size-based rotation (``trace.jsonl``, ``trace.jsonl.1``,
+...) and periodic flushing so a crashed run still leaves usable data.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import os
+from typing import Any, IO, List, Optional
+
+__all__ = ["TraceSink", "JsonlTraceSink", "CsvTraceSink", "record_to_dict"]
+
+
+def record_to_dict(record) -> dict:
+    """The canonical export shape of one trace record."""
+    return {
+        "time": record.time,
+        "kind": record.kind,
+        "source": record.source,
+        "detail": record.detail,
+    }
+
+
+class TraceSink:
+    """Base class for streaming sinks: open/rotate/flush plumbing.
+
+    Parameters
+    ----------
+    path:
+        Output file path; parent directories are created.
+    flush_every:
+        Flush the OS buffer after this many records (0 = never, rely on
+        close).
+    max_bytes:
+        Rotate to ``path.1``, ``path.2`` ... once the current file
+        exceeds this many written bytes (None = never rotate).
+    """
+
+    def __init__(self, path: str, flush_every: int = 1000,
+                 max_bytes: Optional[int] = None) -> None:
+        self.path = str(path)
+        self.flush_every = flush_every
+        self.max_bytes = max_bytes
+        #: Every file this sink has written, in order.
+        self.paths: List[str] = []
+        self.records_written = 0
+        self._since_flush = 0
+        self._bytes_current = 0
+        self._file: Optional[IO[str]] = None
+        self._open(self.path)
+
+    # -- subclass surface ------------------------------------------------
+
+    def _format(self, record) -> str:
+        """One serialized line (without trailing newline)."""
+        raise NotImplementedError
+
+    def _on_open(self) -> None:
+        """Hook run after each file is opened (e.g. CSV header)."""
+
+    # -- plumbing --------------------------------------------------------
+
+    def _open(self, path: str) -> None:
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._file = open(path, "w", encoding="utf-8", newline="")
+        self.paths.append(path)
+        self._bytes_current = 0
+        self._on_open()
+
+    def _rotate(self) -> None:
+        assert self._file is not None
+        self._file.close()
+        self._open(f"{self.path}.{len(self.paths)}")
+
+    def write(self, record) -> None:
+        """Serialize and write one record, rotating/flushing as due."""
+        if self._file is None:
+            raise ValueError(f"sink {self.path!r} is closed")
+        line = self._format(record) + "\n"
+        self._file.write(line)
+        self._bytes_current += len(line)
+        self.records_written += 1
+        self._since_flush += 1
+        if self.flush_every and self._since_flush >= self.flush_every:
+            self.flush()
+        if self.max_bytes is not None and self._bytes_current >= self.max_bytes:
+            self._rotate()
+
+    def flush(self) -> None:
+        """Push buffered lines to the OS."""
+        if self._file is not None:
+            self._file.flush()
+        self._since_flush = 0
+
+    def close(self) -> None:
+        """Flush and close; further writes raise."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    @property
+    def closed(self) -> bool:
+        return self._file is None
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class JsonlTraceSink(TraceSink):
+    """One compact, key-sorted JSON object per trace record."""
+
+    def _format(self, record) -> str:
+        return json.dumps(record_to_dict(record), sort_keys=True,
+                          separators=(",", ":"), default=str)
+
+
+class CsvTraceSink(TraceSink):
+    """``time,kind,source,detail`` rows; detail is compact JSON."""
+
+    HEADER = ("time", "kind", "source", "detail")
+
+    def _on_open(self) -> None:
+        assert self._file is not None
+        writer = csv.writer(self._file)
+        writer.writerow(self.HEADER)
+
+    def _format(self, record) -> str:
+        detail = json.dumps(record.detail, sort_keys=True,
+                            separators=(",", ":"), default=str)
+        buf = io.StringIO()
+        csv.writer(buf).writerow(
+            [repr(record.time), record.kind, record.source, detail]
+        )
+        return buf.getvalue().rstrip("\r\n")

@@ -1,0 +1,187 @@
+"""The telemetry hub: one object bundling the whole subsystem.
+
+A :class:`Telemetry` hub owns a metrics registry, a trace recorder
+(optionally streaming to a JSONL/CSV sink), and a simulator profiler.
+Activating it (``with telemetry.session(...)``) makes every
+:class:`~repro.sim.simulator.Simulator` constructed inside the block
+pick the hub up automatically, which is how ``--telemetry`` reaches the
+seventeen experiment modules without touching their signatures.
+
+On close the hub flushes sinks and writes ``metrics.json`` (and
+``profile.json``, kept separate because wall-clock timings are not
+deterministic) into the output directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.sim.trace import TraceRecorder
+from repro.telemetry import context as _context
+from repro.telemetry.export import CsvTraceSink, JsonlTraceSink, TraceSink
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.profiling import SimProfiler
+from repro.telemetry.timeline import FlowTimeline, build_timelines, \
+    render_timelines
+
+__all__ = ["Telemetry", "session"]
+
+#: Default in-memory record bound when a hub keeps records for
+#: timelines; the streaming sink still sees every record.
+DEFAULT_MAX_RECORDS = 200_000
+
+
+class Telemetry:
+    """A complete observability session.
+
+    Parameters
+    ----------
+    out_dir:
+        Directory for streamed exports (created on demand).  None keeps
+        everything in memory.
+    trace_format:
+        ``"jsonl"`` (default), ``"csv"``, or None for no streaming sink.
+    kinds:
+        Optional whitelist of trace-kind prefixes (cuts volume on big
+        runs, e.g. ``["halfback", "sender", "flow"]``).
+    max_records:
+        In-memory ring-buffer bound for the trace recorder; the sink is
+        unaffected.  None uses :data:`DEFAULT_MAX_RECORDS`.
+    profile:
+        Attach a :class:`SimProfiler` to every simulator in the session.
+    flush_every / max_bytes:
+        Passed through to the streaming sink (see
+        :class:`~repro.telemetry.export.TraceSink`).
+    """
+
+    def __init__(
+        self,
+        out_dir: Optional[str] = None,
+        trace_format: Optional[str] = "jsonl",
+        kinds: Optional[Sequence[str]] = None,
+        max_records: Optional[int] = None,
+        profile: bool = True,
+        flush_every: int = 1000,
+        max_bytes: Optional[int] = None,
+    ) -> None:
+        self.out_dir = str(out_dir) if out_dir is not None else None
+        self.metrics = MetricsRegistry()
+        self.profiler: Optional[SimProfiler] = SimProfiler() if profile else None
+        self.sink: Optional[TraceSink] = None
+        if self.out_dir is not None and trace_format is not None:
+            if trace_format == "jsonl":
+                self.sink = JsonlTraceSink(
+                    os.path.join(self.out_dir, "trace.jsonl"),
+                    flush_every=flush_every, max_bytes=max_bytes)
+            elif trace_format == "csv":
+                self.sink = CsvTraceSink(
+                    os.path.join(self.out_dir, "trace.csv"),
+                    flush_every=flush_every, max_bytes=max_bytes)
+            else:
+                raise ValueError(
+                    f"unknown trace format {trace_format!r} "
+                    "(expected 'jsonl', 'csv', or None)")
+        bound = max_records if max_records is not None else DEFAULT_MAX_RECORDS
+        self.trace = TraceRecorder(
+            enabled=True,
+            kinds=list(kinds) if kinds else None,
+            max_records=bound,
+            sink=self.sink,
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    def timelines(self, flows: Optional[Sequence[int]] = None
+                  ) -> Dict[int, FlowTimeline]:
+        """Per-flow timelines assembled from the in-memory trace."""
+        return build_timelines(self.trace, flows=flows)
+
+    def export_paths(self) -> List[str]:
+        """Every file this session has written so far."""
+        paths: List[str] = []
+        if self.sink is not None:
+            paths.extend(self.sink.paths)
+        if self.out_dir is not None:
+            for name in ("metrics.json", "profile.json"):
+                path = os.path.join(self.out_dir, name)
+                if os.path.exists(path):
+                    paths.append(path)
+        return paths
+
+    def summary(self, max_flows: int = 4, max_events: int = 40) -> str:
+        """The ``--telemetry`` report: metrics, timelines, profile, files."""
+        parts = [self.metrics.render(title="metrics snapshot")]
+        parts.append(render_timelines(self.timelines(), max_flows=max_flows,
+                                      max_events=max_events))
+        if self.trace.dropped_records:
+            parts.append(f"trace ring buffer dropped "
+                         f"{self.trace.dropped_records} records "
+                         f"(oldest first); the streamed export is complete")
+        if self.profiler is not None:
+            parts.append(self.profiler.report())
+        paths = self.export_paths()
+        if paths:
+            parts.append("exports:\n" + "\n".join(f"  {p}" for p in paths))
+        return "\n\n".join(parts)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Flush the streaming sink (if any)."""
+        if self.sink is not None and not self.sink.closed:
+            self.sink.flush()
+
+    def close(self) -> None:
+        """Flush/close the sink and write metrics/profile JSON files."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.sink is not None:
+            self.sink.close()
+        if self.out_dir is not None:
+            os.makedirs(self.out_dir, exist_ok=True)
+            with open(os.path.join(self.out_dir, "metrics.json"), "w",
+                      encoding="utf-8") as fh:
+                json.dump(self.metrics.snapshot(), fh, sort_keys=True,
+                          indent=2, default=str)
+                fh.write("\n")
+            if self.profiler is not None:
+                with open(os.path.join(self.out_dir, "profile.json"), "w",
+                          encoding="utf-8") as fh:
+                    json.dump(self.profiler.snapshot(), fh, sort_keys=True,
+                              indent=2, default=str)
+                    fh.write("\n")
+
+    def __enter__(self) -> "Telemetry":
+        _context.activate(self)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _context.deactivate(self)
+        self.close()
+
+
+@contextmanager
+def session(**kwargs) -> Iterator[Telemetry]:
+    """Create a :class:`Telemetry` hub, activate it, and close on exit.
+
+    ::
+
+        with telemetry.session(out_dir="out") as hub:
+            result = fig06_planetlab_fct.run(...)
+        print(hub.summary())
+    """
+    hub = Telemetry(**kwargs)
+    with _context.activated(hub):
+        try:
+            yield hub
+        finally:
+            hub.close()

@@ -1,0 +1,258 @@
+"""The metrics registry: counters, gauges, time-weighted histograms.
+
+Components publish named metrics (``link.tx_bytes``, ``queue.drops``,
+``halfback.ropr_retx``, ``sender.rto_fired``) into a
+:class:`MetricsRegistry`.  Names are dot-namespaced by component; all
+instances of a component share one metric, so the registry is the
+*aggregate* view (per-instance counters stay on the objects themselves,
+e.g. :class:`~repro.net.link.LinkStats`).
+
+Cost discipline: instruments are resolved **once** at component
+construction and the hot path is a single bound-method call.  A
+disabled registry hands out the shared :data:`NULL_METRIC` whose
+operations are no-ops, so instrumentation left in place costs one
+attribute lookup plus an empty call when telemetry is off.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "TimeWeightedHistogram",
+    "NullMetric",
+    "NULL_METRIC",
+    "MetricsRegistry",
+]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (default 1)."""
+        self.value += n
+
+    # Gauge-compatible no-ops so instruments are interchangeable.
+    def set(self, value: float) -> None:  # pragma: no cover - defensive
+        raise TypeError(f"counter {self.name!r} cannot be set; use inc()")
+
+
+class Gauge:
+    """A last-value-wins instantaneous reading."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the current reading."""
+        self.value = value
+
+    def inc(self, n: float = 1) -> None:
+        """Adjust the current reading by ``n`` (may be negative)."""
+        self.value += n
+
+
+class TimeWeightedHistogram:
+    """Summarises a piecewise-constant signal over *simulated* time.
+
+    ``observe(time, value)`` declares that the signal took ``value`` from
+    ``time`` until the next observation; the summary weights each value
+    by how long it held, so a queue that sits empty for 9 s and full for
+    1 s averages 10 % — not the 50 % a sample-count mean would claim.
+    """
+
+    __slots__ = ("name", "count", "min", "max", "_last_time", "_last_value",
+                 "_weighted_sum", "_duration")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._last_time: Optional[float] = None
+        self._last_value: float = 0.0
+        self._weighted_sum = 0.0
+        self._duration = 0.0
+
+    def observe(self, time: float, value: float) -> None:
+        """Record that the signal is ``value`` as of simulated ``time``."""
+        if self._last_time is not None and time > self._last_time:
+            span = time - self._last_time
+            self._weighted_sum += self._last_value * span
+            self._duration += span
+        self._last_time = time
+        self._last_value = value
+        self.count += 1
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Time-weighted mean of the signal (0.0 before two observations)."""
+        if self._duration <= 0.0:
+            return float(self._last_value) if self.count else 0.0
+        return self._weighted_sum / self._duration
+
+    def summary(self) -> Dict[str, float]:
+        """``{count, mean, min, max}`` for snapshots/exports."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+        }
+
+
+class NullMetric:
+    """No-op stand-in handed out by a disabled registry."""
+
+    __slots__ = ()
+
+    def inc(self, n: float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, time: float, value: float) -> None:
+        pass
+
+
+#: Shared no-op instrument; identity-comparable for tests.
+NULL_METRIC = NullMetric()
+
+
+class MetricsRegistry:
+    """Get-or-create home for named instruments with snapshot/diff.
+
+    Parameters
+    ----------
+    enabled:
+        When False every accessor returns :data:`NULL_METRIC` and the
+        registry stores nothing.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, TimeWeightedHistogram] = {}
+
+    # ------------------------------------------------------------------
+    # Instrument accessors (resolve once, use many times)
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str):
+        """The counter called ``name`` (created on first use)."""
+        if not self.enabled:
+            return NULL_METRIC
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str):
+        """The gauge called ``name`` (created on first use)."""
+        if not self.enabled:
+            return NULL_METRIC
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str):
+        """The time-weighted histogram called ``name``."""
+        if not self.enabled:
+            return NULL_METRIC
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = TimeWeightedHistogram(name)
+        return metric
+
+    # ------------------------------------------------------------------
+    # One-shot conveniences (cold paths only; hot paths cache the metric)
+    # ------------------------------------------------------------------
+
+    def inc(self, name: str, n: int = 1) -> None:
+        """Increment counter ``name`` by ``n``; no-op when disabled."""
+        if self.enabled:
+            self.counter(name).inc(n)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name``; no-op when disabled."""
+        if self.enabled:
+            self.gauge(name).set(value)
+
+    def observe(self, name: str, time: float, value: float) -> None:
+        """Observe into histogram ``name``; no-op when disabled."""
+        if self.enabled:
+            self.histogram(name).observe(time, value)
+
+    # ------------------------------------------------------------------
+    # Snapshot / diff
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, float]:
+        """A flat, sorted ``name -> value`` view of everything recorded.
+
+        Counters and gauges appear under their own names; histograms are
+        flattened to ``name.count`` / ``name.mean`` / ``name.min`` /
+        ``name.max`` so the whole snapshot stays numeric (diffable and
+        JSON-friendly).
+        """
+        out: Dict[str, float] = {}
+        for name, counter in self._counters.items():
+            out[name] = counter.value
+        for name, gauge in self._gauges.items():
+            out[name] = gauge.value
+        for name, histogram in self._histograms.items():
+            for key, value in histogram.summary().items():
+                out[f"{name}.{key}"] = value
+        return dict(sorted(out.items()))
+
+    @staticmethod
+    def diff(before: Dict[str, float], after: Dict[str, float]) -> Dict[str, float]:
+        """Per-key numeric change between two snapshots.
+
+        Keys absent from ``before`` count from zero; keys that did not
+        change are omitted, so the diff reads as "what happened between
+        the two snapshots".
+        """
+        out: Dict[str, float] = {}
+        for name, value in after.items():
+            delta = value - before.get(name, 0)
+            if delta:
+                out[name] = delta
+        return out
+
+    def render(self, title: str = "metrics") -> str:
+        """Human-readable snapshot, one ``name value`` line per metric."""
+        snap = self.snapshot()
+        lines = [title]
+        if not snap:
+            lines.append("  (no metrics recorded)")
+        width = max((len(name) for name in snap), default=0)
+        for name, value in snap.items():
+            shown = f"{value:.6g}" if isinstance(value, float) else str(value)
+            lines.append(f"  {name:<{width}s}  {shown}")
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        """Forget every instrument (mainly for tests)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()

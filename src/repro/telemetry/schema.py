@@ -1,0 +1,70 @@
+"""The documented trace-event schema.
+
+Telemetry consumers (timelines, exporters, downstream analysis) rely on
+each event kind carrying a stable set of detail keys.  This module is
+the single source of truth: emitters must include at least the keys
+listed here, and the schema test suite runs every protocol and asserts
+compliance.
+
+``flow``-keyed events feed per-flow timelines; packet-level events
+(``queue.drop``, ``link.loss``) identify the packet instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List
+
+__all__ = ["EVENT_SCHEMA", "FLOW_EVENT_KINDS", "required_keys",
+           "missing_keys", "validate_records"]
+
+#: kind -> detail keys every emission must carry.
+EVENT_SCHEMA: Dict[str, FrozenSet[str]] = {
+    # Experiment harness (flow lifecycle).
+    "flow.start": frozenset({"flow", "protocol", "size"}),
+    "flow.complete": frozenset({"flow", "fct"}),
+    # Transport sender framework.
+    "sender.established": frozenset({"flow", "rtt"}),
+    "sender.recovery": frozenset({"flow", "point"}),
+    "sender.rto": frozenset({"flow", "timeouts"}),
+    "sender.done": frozenset({"flow", "fct", "retx", "proactive"}),
+    "sender.failed": frozenset({"flow"}),
+    # Halfback.
+    "halfback.phase": frozenset({"flow", "phase"}),
+    "halfback.frontier": frozenset({"flow", "ack", "pointer"}),
+    # JumpStart.
+    "jumpstart.pacing": frozenset({"flow", "segments", "rate"}),
+    "jumpstart.pacing_done": frozenset({"flow", "pipe"}),
+    # Reactive TCP.
+    "reactive.probe": frozenset({"flow", "seq"}),
+    # Network substrate (packet-level).
+    "queue.drop": frozenset({"packet", "uid"}),
+    "link.loss": frozenset({"packet", "uid"}),
+}
+
+#: Kinds that carry a ``flow`` key and belong on per-flow timelines.
+FLOW_EVENT_KINDS = frozenset(
+    kind for kind, keys in EVENT_SCHEMA.items() if "flow" in keys
+)
+
+
+def required_keys(kind: str) -> FrozenSet[str]:
+    """Required detail keys for ``kind`` (empty set for unknown kinds)."""
+    return EVENT_SCHEMA.get(kind, frozenset())
+
+
+def missing_keys(record) -> FrozenSet[str]:
+    """Schema keys absent from one record's detail payload."""
+    return required_keys(record.kind) - record.detail.keys()
+
+
+def validate_records(records) -> List[str]:
+    """Schema violations across ``records`` as human-readable strings."""
+    problems = []
+    for record in records:
+        missing = missing_keys(record)
+        if missing:
+            problems.append(
+                f"{record.kind} at t={record.time:.6f} from "
+                f"{record.source!r} missing keys {sorted(missing)}"
+            )
+    return problems

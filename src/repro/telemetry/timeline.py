@@ -1,0 +1,181 @@
+"""Per-flow timelines assembled from trace events.
+
+A :class:`FlowTimeline` is the story of one flow — handshake, pacing
+start/end, ROPR enter/exit, frontier positions, recovery episodes, RTO
+firings, completion — reconstructed from the flow-keyed trace records
+the transport and protocol layers emit.  The ASCII renderer backs the
+``--telemetry`` CLI report and the Fig. 3 walk-through; the JSON shape
+feeds external tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["TimelineEvent", "FlowTimeline", "build_timelines",
+           "render_timeline", "render_timelines", "timeline_to_json"]
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One event on a flow's timeline."""
+
+    time: float
+    kind: str
+    detail: Dict[str, object]
+
+
+@dataclass
+class FlowTimeline:
+    """All telemetry events for one flow, in time order."""
+
+    flow_id: int
+    protocol: Optional[str] = None
+    size: Optional[int] = None
+    events: List[TimelineEvent] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def start_time(self) -> Optional[float]:
+        return self.events[0].time if self.events else None
+
+    @property
+    def fct(self) -> Optional[float]:
+        """Receiver-side flow completion time, when recorded."""
+        for event in self.events:
+            if event.kind == "flow.complete":
+                fct = event.detail.get("fct")
+                return float(fct) if fct is not None else None
+        return None
+
+    def phases(self) -> List[tuple]:
+        """``(time, phase)`` transitions (Halfback's pacing→ROPR→... arc)."""
+        return [(e.time, str(e.detail["phase"])) for e in self.events
+                if e.kind == "halfback.phase"]
+
+    def frontier(self) -> List[tuple]:
+        """``(time, ack, pointer)`` ROPR frontier positions.
+
+        The ack frontier climbs while the retransmission pointer
+        descends; the phase ends where they meet — the "halfway" that
+        names the scheme.
+        """
+        return [(e.time, int(e.detail["ack"]), int(e.detail["pointer"]))
+                for e in self.events if e.kind == "halfback.frontier"]
+
+
+def build_timelines(records: Iterable, flows: Optional[Sequence[int]] = None
+                    ) -> Dict[int, FlowTimeline]:
+    """Group flow-keyed trace records into per-flow timelines.
+
+    ``records`` is any iterable of :class:`~repro.sim.trace.TraceRecord`
+    (a :class:`~repro.sim.trace.TraceRecorder` works directly).  Records
+    without a ``flow`` detail key (packet-level events) are skipped.
+    """
+    wanted = set(flows) if flows is not None else None
+    timelines: Dict[int, FlowTimeline] = {}
+    for record in records:
+        flow_id = record.detail.get("flow")
+        if flow_id is None:
+            continue
+        flow_id = int(flow_id)
+        if wanted is not None and flow_id not in wanted:
+            continue
+        timeline = timelines.get(flow_id)
+        if timeline is None:
+            timeline = timelines[flow_id] = FlowTimeline(flow_id)
+        if record.kind == "flow.start":
+            timeline.protocol = record.detail.get("protocol")
+            size = record.detail.get("size")
+            timeline.size = int(size) if size is not None else None
+        timeline.events.append(
+            TimelineEvent(record.time, record.kind, dict(record.detail))
+        )
+    for timeline in timelines.values():
+        timeline.events.sort(key=lambda e: e.time)
+    return timelines
+
+
+# ----------------------------------------------------------------------
+# Renderers
+# ----------------------------------------------------------------------
+
+def _describe(event: TimelineEvent) -> str:
+    """Compact one-line description of an event's payload."""
+    detail = {k: v for k, v in event.detail.items() if k != "flow"}
+    if event.kind == "halfback.phase":
+        return f"phase -> {detail.get('phase')}"
+    if event.kind == "halfback.frontier":
+        return (f"frontier ack={detail.get('ack')} "
+                f"retx-ptr={detail.get('pointer')}")
+    if event.kind == "sender.established":
+        rtt = detail.get("rtt")
+        return ("established" if rtt is None
+                else f"established (rtt {float(rtt) * 1e3:.1f}ms)")
+    if event.kind == "flow.complete":
+        fct = detail.get("fct")
+        return ("complete" if fct is None
+                else f"complete (FCT {float(fct) * 1e3:.1f}ms)")
+    parts = " ".join(f"{k}={v}" for k, v in sorted(detail.items()))
+    return f"{event.kind.split('.', 1)[-1]} {parts}".rstrip()
+
+
+def render_timeline(timeline: FlowTimeline, max_events: int = 80) -> str:
+    """ASCII rendering of one flow's timeline."""
+    header = f"flow {timeline.flow_id}"
+    if timeline.protocol:
+        header += f"  [{timeline.protocol}]"
+    if timeline.size:
+        header += f"  {timeline.size} B"
+    fct = timeline.fct
+    if fct is not None:
+        header += f"  FCT {fct * 1e3:.1f}ms"
+    lines = [header]
+    events = timeline.events
+    shown = events if len(events) <= max_events else events[:max_events]
+    for event in shown:
+        lines.append(f"  {event.time * 1e3:9.3f}ms  {_describe(event)}")
+    if len(events) > len(shown):
+        lines.append(f"  ... {len(events) - len(shown)} more events")
+    frontier = timeline.frontier()
+    if frontier:
+        _, last_ack, last_ptr = frontier[-1]
+        lines.append(
+            f"  frontier met at ack={last_ack}, retx-ptr={last_ptr} "
+            f"({len(frontier)} proactive retransmissions)"
+        )
+    return "\n".join(lines)
+
+
+def render_timelines(timelines: Dict[int, FlowTimeline],
+                     max_flows: int = 4, max_events: int = 80) -> str:
+    """Render up to ``max_flows`` timelines, lowest flow id first."""
+    if not timelines:
+        return "flow timelines\n  (no flow events recorded)"
+    keys = sorted(timelines)
+    chunks = ["flow timelines"]
+    for flow_id in keys[:max_flows]:
+        chunks.append(render_timeline(timelines[flow_id],
+                                      max_events=max_events))
+    if len(keys) > max_flows:
+        chunks.append(f"... and {len(keys) - max_flows} more flows")
+    return "\n".join(chunks)
+
+
+def timeline_to_json(timeline: FlowTimeline) -> str:
+    """Deterministic JSON shape of one timeline."""
+    payload = {
+        "flow_id": timeline.flow_id,
+        "protocol": timeline.protocol,
+        "size": timeline.size,
+        "fct": timeline.fct,
+        "events": [
+            {"time": e.time, "kind": e.kind, "detail": e.detail}
+            for e in timeline.events
+        ],
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      default=str)

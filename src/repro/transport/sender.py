@@ -97,6 +97,15 @@ class SenderBase:
         self._syn_tries = 0
         self.rto_timer = sim.timer(self._on_rto, name=f"rto:{flow.flow_id}")
         self._deadline_handle = None
+        # Aggregate (all-senders) telemetry; no-ops when telemetry is off.
+        metrics = sim.metrics
+        self._m_segments_sent = metrics.counter("sender.segments_sent")
+        self._m_retx_normal = metrics.counter("sender.retx_normal")
+        self._m_retx_proactive = metrics.counter("sender.retx_proactive")
+        self._m_rto_fired = metrics.counter("sender.rto_fired")
+        self._m_recovery = metrics.counter("sender.recovery_entered")
+        self._m_completed = metrics.counter("sender.flows_completed")
+        self._m_failed = metrics.counter("sender.flows_failed")
         host.register(flow.flow_id, self)
 
     # ==================================================================
@@ -261,6 +270,7 @@ class SenderBase:
         flight = max(self.scoreboard.pipe, 1)
         self.ssthresh = max(flight / 2.0, 2.0)
         self.cwnd = max(self.ssthresh, 1.0)
+        self._m_recovery.inc()
         self.sim.trace.record(
             self.sim.now, "sender.recovery", self.protocol_name,
             flow=self.flow.flow_id, point=self.recovery_point,
@@ -328,10 +338,13 @@ class SenderBase:
         self.scoreboard.mark_sent(seq, time=self.sim.now)
         if retransmit and proactive:
             self.record.proactive_retransmissions += 1
+            self._m_retx_proactive.inc()
         elif retransmit:
             self.record.normal_retransmissions += 1
+            self._m_retx_normal.inc()
         else:
             self.record.data_packets_sent += 1
+            self._m_segments_sent.inc()
         self.host.send(packet)
         if not self.rto_timer.armed:
             self.rto_timer.start(self.rtt.rto)
@@ -339,6 +352,7 @@ class SenderBase:
             self._send_duplicate(seq, size)
 
     def _send_duplicate(self, seq: int, size: int) -> None:
+        self._m_retx_proactive.inc()
         duplicate = Packet(
             src=self.host.name,
             dst=self.flow.dst,
@@ -368,6 +382,7 @@ class SenderBase:
         if self.state != SenderState.ESTABLISHED:
             return
         self.record.timeouts += 1
+        self._m_rto_fired.inc()
         self.rtt.on_timeout()
         self.scoreboard.mark_all_in_flight_lost()
         flight = max(self.scoreboard.pipe + len(self.scoreboard.lost_segments()), 1)
@@ -391,6 +406,14 @@ class SenderBase:
         self.state = SenderState.DONE
         self.record.sender_done_time = self.sim.now
         self.record.final_srtt = self.rtt.srtt
+        self._m_completed.inc()
+        self.sim.trace.record(
+            self.sim.now, "sender.done", self.protocol_name,
+            flow=self.flow.flow_id,
+            fct=self.sim.now - self.flow.start_time,
+            retx=self.record.normal_retransmissions,
+            proactive=self.record.proactive_retransmissions,
+        )
         self.on_complete_hook()
         self._teardown()
 
@@ -398,6 +421,7 @@ class SenderBase:
         if self.state in (SenderState.DONE, SenderState.FAILED):
             return
         self.state = SenderState.FAILED
+        self._m_failed.inc()
         self.sim.trace.record(
             self.sim.now, "sender.failed", self.protocol_name,
             flow=self.flow.flow_id,

@@ -1,0 +1,62 @@
+"""Determinism: same seed, byte-identical telemetry exports.
+
+Two fresh interpreter invocations of the same experiment with the same
+seed must stream byte-identical ``trace.jsonl`` and ``metrics.json``
+files.  (``profile.json`` holds wall-clock timings and is exempt — that
+is exactly why the profiler's output is kept in a separate file.)
+
+Fresh processes matter: flow ids come from a process-global counter, so
+an in-process repeat would renumber flows and trivially differ.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def run_fig3(out_dir: Path) -> None:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "fig3", "--seed", "42",
+         "--telemetry", str(out_dir)],
+        cwd=str(REPO_ROOT), env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stdout
+
+
+@pytest.fixture(scope="module")
+def two_runs(tmp_path_factory):
+    first = tmp_path_factory.mktemp("telemetry-run1")
+    second = tmp_path_factory.mktemp("telemetry-run2")
+    run_fig3(first)
+    run_fig3(second)
+    return first, second
+
+
+def test_trace_export_is_byte_identical(two_runs):
+    first, second = two_runs
+    a = (first / "trace.jsonl").read_bytes()
+    b = (second / "trace.jsonl").read_bytes()
+    assert a, "first run produced an empty trace"
+    assert a == b
+
+
+def test_metrics_export_is_byte_identical(two_runs):
+    first, second = two_runs
+    a = (first / "metrics.json").read_bytes()
+    b = (second / "metrics.json").read_bytes()
+    assert a, "first run produced empty metrics"
+    assert a == b
+
+
+def test_profile_exists_but_is_not_compared(two_runs):
+    first, __ = two_runs
+    assert (first / "profile.json").exists()

@@ -1,0 +1,132 @@
+"""Tests for the Telemetry hub, its session context, and Simulator pickup."""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.sim.simulator import Simulator
+from repro.telemetry import Telemetry
+from repro.telemetry.context import activated, current_hub
+
+
+class TestContext:
+    def test_no_hub_by_default(self):
+        assert current_hub() is None
+
+    def test_activated_scopes_the_hub(self):
+        hub = object()
+        with activated(hub):
+            assert current_hub() is hub
+        assert current_hub() is None
+
+    def test_nested_activation_restores_outer(self):
+        outer, inner = object(), object()
+        with activated(outer):
+            with activated(inner):
+                assert current_hub() is inner
+            assert current_hub() is outer
+
+
+class TestSimulatorPickup:
+    def test_simulator_outside_session_is_dark(self):
+        sim = Simulator()
+        assert not sim.trace.enabled
+        assert not sim.metrics.enabled
+        assert sim.profiler is None
+
+    def test_simulator_inside_session_uses_hub(self):
+        with telemetry.session() as hub:
+            sim = Simulator(seed=3)
+            assert sim.trace is hub.trace
+            assert sim.metrics is hub.metrics
+            assert sim.profiler is hub.profiler
+            assert sim.trace.enabled
+            assert sim.metrics.enabled
+
+    def test_explicit_arguments_beat_the_hub(self):
+        from repro.sim.trace import TraceRecorder
+
+        mine = TraceRecorder(enabled=False)
+        with telemetry.session():
+            sim = Simulator(trace=mine)
+            assert sim.trace is mine
+
+    def test_session_deactivates_on_exit(self):
+        with telemetry.session():
+            pass
+        assert current_hub() is None
+        assert not Simulator().trace.enabled
+
+
+class TestHubLifecycle:
+    def test_in_memory_hub_has_no_sink(self):
+        hub = Telemetry()
+        assert hub.sink is None
+        assert hub.export_paths() == []
+        hub.close()
+
+    def test_close_writes_metrics_and_profile(self, tmp_path):
+        out = tmp_path / "tm"
+        with telemetry.session(out_dir=str(out)) as hub:
+            sim = Simulator()
+            sim.schedule(1.0, lambda: sim.metrics.inc("test.counter"))
+            sim.run()
+        metrics = json.loads((out / "metrics.json").read_text())
+        assert metrics["test.counter"] == 1
+        profile = json.loads((out / "profile.json").read_text())
+        assert profile["events"] >= 1
+        assert str(out / "trace.jsonl") in hub.export_paths()
+        assert str(out / "metrics.json") in hub.export_paths()
+
+    def test_csv_format(self, tmp_path):
+        with telemetry.session(out_dir=str(tmp_path), trace_format="csv"):
+            sim = Simulator()
+            sim.trace.record(0.0, "flow.start", "t", flow=1, protocol="tcp",
+                             size=1)
+        header = (tmp_path / "trace.csv").read_text().splitlines()[0]
+        assert header == "time,kind,source,detail"
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            Telemetry(out_dir=str(tmp_path), trace_format="xml")
+
+    def test_kinds_whitelist(self):
+        hub = Telemetry(kinds=["halfback"])
+        hub.trace.record(0.0, "halfback.phase", "s", flow=1, phase="ropr")
+        hub.trace.record(0.0, "link.tx", "l")
+        assert len(hub.trace) == 1
+        hub.close()
+
+    def test_close_is_idempotent(self, tmp_path):
+        hub = Telemetry(out_dir=str(tmp_path))
+        hub.close()
+        hub.close()
+        assert hub.sink.closed
+
+
+class TestSummary:
+    def test_summary_has_all_sections(self, tmp_path):
+        with telemetry.session(out_dir=str(tmp_path)) as hub:
+            sim = Simulator()
+            sim.trace.record(0.0, "flow.start", "t", flow=1,
+                             protocol="halfback", size=100)
+            sim.metrics.inc("flows.launched")
+            sim.schedule(0.5, lambda: None)
+            sim.run()
+        report = hub.summary()
+        assert "metrics snapshot" in report
+        assert "flows.launched" in report
+        assert "flow timelines" in report
+        assert "flow 1" in report
+        assert "simulator profile" in report
+        assert "exports:" in report
+        assert "trace.jsonl" in report
+
+    def test_summary_notes_ring_buffer_drops(self):
+        hub = Telemetry(max_records=2, profile=False)
+        for i in range(5):
+            hub.trace.record(float(i), "link.tx", "l")
+        report = hub.summary()
+        assert "dropped 3 records" in report
+        hub.close()

@@ -1,0 +1,103 @@
+"""Unit tests for the metrics registry."""
+
+import pytest
+
+from repro.telemetry.metrics import (
+    MetricsRegistry,
+    NULL_METRIC,
+    TimeWeightedHistogram,
+)
+
+
+class TestCounterGauge:
+    def test_counter_get_or_create_and_inc(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("link.tx_bytes")
+        counter.inc()
+        counter.inc(99)
+        assert registry.counter("link.tx_bytes") is counter
+        assert registry.snapshot()["link.tx_bytes"] == 100
+
+    def test_gauge_set_and_adjust(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("queue.depth")
+        gauge.set(10.0)
+        gauge.inc(-3.0)
+        assert registry.snapshot()["queue.depth"] == 7.0
+
+    def test_convenience_helpers(self):
+        registry = MetricsRegistry()
+        registry.inc("a", 2)
+        registry.set_gauge("b", 5.0)
+        registry.observe("c", 0.0, 1.0)
+        snap = registry.snapshot()
+        assert snap["a"] == 2
+        assert snap["b"] == 5.0
+        assert snap["c.count"] == 1
+
+
+class TestDisabledRegistry:
+    def test_disabled_registry_hands_out_null_metric(self):
+        registry = MetricsRegistry(enabled=False)
+        assert registry.counter("x") is NULL_METRIC
+        assert registry.gauge("x") is NULL_METRIC
+        assert registry.histogram("x") is NULL_METRIC
+
+    def test_disabled_registry_records_nothing(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.counter("x").inc(5)
+        registry.inc("y", 3)
+        registry.set_gauge("z", 1.0)
+        registry.observe("w", 0.0, 1.0)
+        assert registry.snapshot() == {}
+
+
+class TestTimeWeightedHistogram:
+    def test_weighting_by_duration_not_sample_count(self):
+        hist = TimeWeightedHistogram("queue.depth")
+        hist.observe(0.0, 0.0)    # empty for 9 s
+        hist.observe(9.0, 100.0)  # full for 1 s
+        hist.observe(10.0, 0.0)
+        assert hist.mean == pytest.approx(10.0)  # not (0+100+0)/3
+        assert hist.min == 0.0
+        assert hist.max == 100.0
+        assert hist.count == 3
+
+    def test_single_observation_mean(self):
+        hist = TimeWeightedHistogram("x")
+        hist.observe(1.0, 42.0)
+        assert hist.mean == 42.0
+
+    def test_snapshot_flattens_histograms(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 0.0, 1.0)
+        registry.observe("h", 1.0, 3.0)
+        snap = registry.snapshot()
+        assert snap["h.count"] == 2
+        assert snap["h.mean"] == pytest.approx(1.0)
+        assert snap["h.max"] == 3.0
+
+
+class TestSnapshotDiff:
+    def test_diff_reports_changes_only(self):
+        registry = MetricsRegistry()
+        registry.inc("a", 1)
+        registry.inc("b", 1)
+        before = registry.snapshot()
+        registry.inc("a", 4)
+        registry.inc("new", 2)
+        diff = MetricsRegistry.diff(before, registry.snapshot())
+        assert diff == {"a": 4, "new": 2}
+
+    def test_snapshot_is_sorted(self):
+        registry = MetricsRegistry()
+        registry.inc("z")
+        registry.inc("a")
+        assert list(registry.snapshot()) == ["a", "z"]
+
+    def test_render_contains_names_and_values(self):
+        registry = MetricsRegistry()
+        registry.inc("link.tx_packets", 7)
+        out = registry.render()
+        assert "link.tx_packets" in out
+        assert "7" in out

@@ -1,0 +1,127 @@
+"""Unit tests for the simulator profiler."""
+
+import pytest
+
+from repro.sim.simulator import Simulator
+from repro.telemetry.profiling import SimProfiler, callback_name
+
+
+class FakeClock:
+    """Deterministic wall-clock: returns queued readings in order."""
+
+    def __init__(self, *readings):
+        self.readings = list(readings)
+
+    def __call__(self):
+        return self.readings.pop(0)
+
+
+def a_callback():
+    pass
+
+
+def another_callback():
+    pass
+
+
+class TestAccounting:
+    def test_on_event_accumulates_per_kind(self):
+        profiler = SimProfiler()
+        profiler.on_event(a_callback, 0.002, heap_depth=3)
+        profiler.on_event(a_callback, 0.004, heap_depth=7)
+        profiler.on_event(another_callback, 0.001, heap_depth=1)
+        assert profiler.events == 3
+        assert profiler.wall_in_events == pytest.approx(0.007)
+        assert profiler.max_heap_depth == 7
+        stats = profiler.per_kind[callback_name(a_callback)]
+        assert stats.count == 2
+        assert stats.wall == pytest.approx(0.006)
+        assert stats.mean_us == pytest.approx(3000.0)
+
+    def test_bound_methods_of_one_function_share_a_kind(self):
+        class Thing:
+            def tick(self):
+                pass
+
+        profiler = SimProfiler()
+        profiler.on_event(Thing().tick, 0.001, heap_depth=0)
+        profiler.on_event(Thing().tick, 0.001, heap_depth=0)
+        assert len(profiler.per_kind) == 1
+        (name,) = profiler.per_kind
+        assert name.endswith("Thing.tick")
+        assert profiler.per_kind[name].count == 2
+
+    def test_events_per_second_uses_run_wall(self):
+        profiler = SimProfiler(clock=FakeClock(10.0, 12.0))
+        profiler.begin_run()
+        profiler.on_event(a_callback, 0.5, heap_depth=0)
+        profiler.on_event(a_callback, 0.5, heap_depth=0)
+        profiler.end_run()
+        assert profiler.wall_in_runs == pytest.approx(2.0)
+        assert profiler.events_per_second == pytest.approx(1.0)
+
+    def test_no_runs_means_zero_rate(self):
+        assert SimProfiler().events_per_second == 0.0
+
+    def test_clear_resets_everything(self):
+        profiler = SimProfiler(clock=FakeClock(0.0, 1.0))
+        profiler.begin_run()
+        profiler.on_event(a_callback, 0.1, heap_depth=5)
+        profiler.end_run()
+        profiler.clear()
+        assert profiler.events == 0
+        assert profiler.per_kind == {}
+        assert profiler.wall_in_runs == 0.0
+        assert profiler.max_heap_depth == 0
+
+
+class TestReporting:
+    def test_snapshot_is_json_friendly(self):
+        profiler = SimProfiler(clock=FakeClock(0.0, 2.0))
+        profiler.begin_run()
+        profiler.on_event(a_callback, 0.25, heap_depth=4)
+        profiler.end_run()
+        snap = profiler.snapshot()
+        assert snap["events"] == 1
+        assert snap["max_heap_depth"] == 4
+        name = callback_name(a_callback)
+        assert snap["per_kind"][name]["count"] == 1
+
+    def test_report_lists_hottest_callbacks(self):
+        profiler = SimProfiler()
+        profiler.on_event(a_callback, 0.010, heap_depth=1)
+        profiler.on_event(another_callback, 0.001, heap_depth=1)
+        report = profiler.report(top=1)
+        assert "simulator profile" in report
+        assert callback_name(a_callback) in report
+        assert "1 more callback kinds" in report
+
+
+class TestSimulatorIntegration:
+    def test_profiler_sees_every_fired_event(self):
+        profiler = SimProfiler()
+        sim = Simulator(profiler=profiler)
+        sim.schedule(1.0, a_callback)
+        sim.schedule(2.0, a_callback)
+        sim.run()
+        assert profiler.events == 2
+        assert profiler.wall_in_runs > 0.0
+        assert callback_name(a_callback) in profiler.per_kind
+
+    def test_step_is_profiled_too(self):
+        profiler = SimProfiler()
+        sim = Simulator(profiler=profiler)
+        sim.schedule(1.0, a_callback)
+        assert sim.step()
+        assert profiler.events == 1
+
+    def test_self_cancelling_event_does_not_crash_profiled_run(self):
+        sim = Simulator(profiler=SimProfiler())
+        handles = []
+
+        def cancel_self():
+            handles[0].cancel()
+
+        handles.append(sim.schedule(1.0, cancel_self))
+        sim.run()
+        assert sim.events_run == 1

@@ -1,0 +1,100 @@
+"""Unit tests for per-flow timeline assembly and rendering."""
+
+import json
+
+from repro.sim.trace import TraceRecorder
+from repro.telemetry.timeline import (
+    build_timelines,
+    render_timeline,
+    render_timelines,
+    timeline_to_json,
+)
+
+
+def halfback_trace():
+    """A hand-written two-flow trace mimicking a Fig. 3-style run."""
+    trace = TraceRecorder()
+    trace.record(0.00, "flow.start", "runner", flow=1, protocol="halfback",
+                 size=14600)
+    trace.record(0.06, "sender.established", "halfback", flow=1, rtt=0.06)
+    trace.record(0.06, "halfback.phase", "halfback", flow=1, phase="pacing")
+    trace.record(0.12, "halfback.phase", "halfback", flow=1, phase="ropr")
+    trace.record(0.13, "halfback.frontier", "halfback", flow=1, ack=2,
+                 pointer=9)
+    trace.record(0.15, "halfback.frontier", "halfback", flow=1, ack=5,
+                 pointer=6)
+    trace.record(0.20, "flow.complete", "runner", flow=1, fct=0.20)
+    # A second flow, plus a packet-level record with no flow key.
+    trace.record(0.01, "flow.start", "runner", flow=2, protocol="tcp",
+                 size=1460)
+    trace.record(0.02, "queue.drop", "q0", packet="DATA", uid=17)
+    return trace
+
+
+class TestBuild:
+    def test_groups_by_flow_and_sorts_by_time(self):
+        trace = TraceRecorder()
+        trace.record(2.0, "sender.rto", "tcp", flow=1, timeouts=1)
+        trace.record(1.0, "flow.start", "runner", flow=1, protocol="tcp",
+                     size=10)
+        timelines = build_timelines(trace)
+        assert list(timelines) == [1]
+        assert [e.kind for e in timelines[1].events] == ["flow.start",
+                                                         "sender.rto"]
+
+    def test_packet_level_records_are_skipped(self):
+        timelines = build_timelines(halfback_trace())
+        assert set(timelines) == {1, 2}
+        assert all(e.kind != "queue.drop"
+                   for t in timelines.values() for e in t.events)
+
+    def test_flow_start_captures_protocol_and_size(self):
+        timeline = build_timelines(halfback_trace())[1]
+        assert timeline.protocol == "halfback"
+        assert timeline.size == 14600
+        assert timeline.fct == 0.20
+
+    def test_flows_filter(self):
+        timelines = build_timelines(halfback_trace(), flows=[2])
+        assert list(timelines) == [2]
+
+    def test_phase_and_frontier_views(self):
+        timeline = build_timelines(halfback_trace())[1]
+        assert timeline.phases() == [(0.06, "pacing"), (0.12, "ropr")]
+        assert timeline.frontier() == [(0.13, 2, 9), (0.15, 5, 6)]
+
+
+class TestRender:
+    def test_single_timeline_render(self):
+        timeline = build_timelines(halfback_trace())[1]
+        out = render_timeline(timeline)
+        assert "flow 1" in out
+        assert "[halfback]" in out
+        assert "14600 B" in out
+        assert "phase -> pacing" in out
+        assert "phase -> ropr" in out
+        assert "frontier met at ack=5, retx-ptr=6" in out
+        assert "FCT 200.0ms" in out
+
+    def test_max_events_truncation(self):
+        timeline = build_timelines(halfback_trace())[1]
+        out = render_timeline(timeline, max_events=2)
+        assert "more events" in out
+
+    def test_multi_flow_render_caps_flows(self):
+        timelines = build_timelines(halfback_trace())
+        out = render_timelines(timelines, max_flows=1)
+        assert "flow 1" in out
+        assert "1 more flows" in out
+
+    def test_empty_render(self):
+        assert "no flow events" in render_timelines({})
+
+    def test_json_shape_is_deterministic(self):
+        timeline = build_timelines(halfback_trace())[1]
+        payload = json.loads(timeline_to_json(timeline))
+        assert payload["flow_id"] == 1
+        assert payload["protocol"] == "halfback"
+        assert payload["fct"] == 0.20
+        assert payload["events"][0]["kind"] == "flow.start"
+        assert timeline_to_json(timeline) == timeline_to_json(timeline)
