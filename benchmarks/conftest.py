@@ -5,17 +5,18 @@ trials feed Figs. 5-8; the utilization sweep feeds Figs. 1, 12 and 17),
 so those are computed once per benchmark session at moderate scale.
 
 Scale knobs: set ``HALFBACK_BENCH_SCALE`` (default 1.0) to trade
-accuracy for time; 10 approximates paper scale.
+accuracy for time; 10 approximates paper scale.  The knob is shared
+with the performance observatory (``python -m repro.bench``), which
+reads the same variable through :func:`repro.bench.scale.bench_scale`.
 """
-
-import os
 
 import pytest
 
+from repro.bench.scale import bench_scale
 from repro.experiments.fig12_utilization import sweep_protocols
 from repro.experiments.planetlab_runs import run_planetlab_trials
 
-SCALE = float(os.environ.get("HALFBACK_BENCH_SCALE", "1.0"))
+SCALE = bench_scale()
 
 #: Figs. 5-8 protocol set (the paper's six head-to-head schemes).
 PLANETLAB_PROTOCOLS = ("tcp", "tcp-10", "reactive", "proactive",

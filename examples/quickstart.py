@@ -57,12 +57,17 @@ def main(argv=None):
                         default=None, metavar="DIR",
                         help="enable the telemetry subsystem, streaming a "
                              "JSONL trace and metrics into DIR")
+    parser.add_argument("--telemetry-kinds", default=None, metavar="PREFIXES",
+                        help="comma-separated trace-kind prefixes to keep, "
+                             "e.g. 'flow,halfback,sender' (with --telemetry)")
     args = parser.parse_args(argv)
 
     hub = None
     stack = contextlib.ExitStack()
     if args.telemetry is not None:
-        hub = stack.enter_context(telemetry.session(out_dir=args.telemetry))
+        # The session accepts the raw comma-separated string directly.
+        hub = stack.enter_context(telemetry.session(
+            out_dir=args.telemetry, kinds=args.telemetry_kinds))
 
     with stack:
         print("Halfback reproduction — quickstart")

@@ -1,0 +1,254 @@
+"""``python -m repro.bench`` — run the observatory, gate regressions.
+
+Typical uses::
+
+    # Full run at the ambient scale; writes BENCH_1.json at the repo root.
+    python -m repro.bench
+
+    # CI smoke: small scale, fewer repetitions, still schema-complete.
+    python -m repro.bench --quick
+
+    # Regression gate: run, then compare against a committed baseline.
+    python -m repro.bench --quick --compare BENCH_1.json --fail-threshold 10
+
+    # Compare two existing trajectory files without running anything.
+    python -m repro.bench --compare OLD.json --current NEW.json
+
+    # Hot-path attribution: cProfile the macro scenarios -> profile.json.
+    python -m repro.bench --skip-micro --profile
+
+Exit codes: 0 success, 1 regression beyond ``--fail-threshold``,
+2 bad arguments or invalid report files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Optional
+
+from repro.bench.machine import machine_metadata
+from repro.bench.micro import MICRO_BENCHMARKS, run_micro_benchmarks
+from repro.bench.report import (
+    bench_filename,
+    build_profile_document,
+    build_report,
+    compare_reports,
+    load_report,
+    render_comparison,
+    write_report,
+)
+from repro.bench.scale import QUICK_SCALE, bench_scale
+from repro.bench.scenarios import MACRO_SCENARIOS, run_macro_scenarios
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench",
+        description="Performance observatory: seeded macro-scenarios, "
+                    "hot-path microbenchmarks, and a BENCH_*.json "
+                    "trajectory with a --compare regression gate.",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-smoke mode: reduced scale "
+                             f"({QUICK_SCALE}) and fewer repetitions")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="workload scale (default: HALFBACK_BENCH_SCALE "
+                             "env or 1.0; --quick implies "
+                             f"{QUICK_SCALE} unless given)")
+    parser.add_argument("--seed", type=int, default=42,
+                        help="master seed for every scenario workload")
+    parser.add_argument("--out", default=bench_filename(), metavar="PATH",
+                        help="output document (default: %(default)s)")
+    parser.add_argument("--scenarios", default=None, metavar="NAMES",
+                        help="comma-separated macro scenario subset "
+                             f"(known: {', '.join(sorted(MACRO_SCENARIOS))})")
+    parser.add_argument("--skip-macro", action="store_true",
+                        help="skip the macro scenarios")
+    parser.add_argument("--skip-micro", action="store_true",
+                        help="skip the microbenchmarks")
+    parser.add_argument("--repetitions", type=int, default=None,
+                        help="micro repetitions (default 5; --quick 3)")
+    parser.add_argument("--warmup", type=int, default=1,
+                        help="discarded micro warmup passes (default 1)")
+    parser.add_argument("--no-mem", action="store_true",
+                        help="skip the tracemalloc memory pass "
+                             "(peak_mem_kb becomes null)")
+    parser.add_argument("--profile", nargs="?", const="profile.json",
+                        default=None, metavar="PATH",
+                        help="additionally cProfile each macro scenario and "
+                             "write per-function attribution "
+                             "(default: profile.json)")
+    parser.add_argument("--compare", default=None, metavar="OLD.json",
+                        help="compare this run (or --current) against a "
+                             "previous trajectory document")
+    parser.add_argument("--current", default=None, metavar="NEW.json",
+                        help="with --compare: use this existing document "
+                             "instead of running benchmarks")
+    parser.add_argument("--fail-threshold", type=float, default=None,
+                        metavar="PCT",
+                        help="with --compare: exit 1 when any comparable "
+                             "benchmark slowed by more than PCT percent "
+                             "(omit for warn-only)")
+    parser.add_argument("--label", default=None,
+                        help="free-form label stored in the document "
+                             "(e.g. a commit id)")
+    parser.add_argument("--list", action="store_true",
+                        help="list scenarios and microbenchmarks, then exit")
+    return parser
+
+
+def _list_catalog() -> None:
+    print("macro scenarios:")
+    for name, scenario in sorted(MACRO_SCENARIOS.items()):
+        print(f"  {name:20s} [{scenario.figure}] {scenario.description}")
+    print("microbenchmarks:")
+    for name, bench in sorted(MICRO_BENCHMARKS.items()):
+        print(f"  {name:26s} {bench.description}")
+
+
+def _render_run_summary(doc: dict) -> str:
+    lines = []
+    scenarios = doc.get("scenarios") or {}
+    if scenarios:
+        width = max(len(n) for n in scenarios)
+        lines.append(f"{'scenario':<{width}s} {'wall s':>8s} {'events':>10s} "
+                     f"{'ev/s':>10s} {'pkt/s':>10s} {'sim/real':>9s} "
+                     f"{'peak MB':>8s}")
+        for name, s in scenarios.items():
+            peak = (f"{s['peak_mem_kb'] / 1024:.1f}"
+                    if s.get("peak_mem_kb") is not None else "-")
+            lines.append(
+                f"{name:<{width}s} {s['wall_s']:>8.2f} {s['events']:>10d} "
+                f"{s['events_per_sec']:>10,.0f} "
+                f"{s['packets_per_sec']:>10,.0f} "
+                f"{s['sim_time_ratio']:>9.1f} {peak:>8s}")
+    micro = doc.get("micro") or {}
+    if micro:
+        width = max(len(n) for n in micro)
+        lines.append("")
+        lines.append(f"{'microbenchmark':<{width}s} {'ops':>8s} "
+                     f"{'min ns/op':>10s} {'median':>10s}")
+        for name, s in micro.items():
+            lines.append(f"{name:<{width}s} {s['ops']:>8d} "
+                         f"{s['min_ns_per_op']:>10.0f} "
+                         f"{s['median_ns_per_op']:>10.0f}")
+    return "\n".join(lines)
+
+
+def _run_profile_pass(names, scale: float, seed: int, path: str) -> None:
+    """cProfile each macro scenario once; write the attribution file."""
+    from repro.sim.trace import TraceRecorder
+    from repro.telemetry import context as _context
+    from repro.telemetry.metrics import MetricsRegistry
+    from repro.telemetry.profiling import FunctionProfiler
+
+    class _PlainHub:
+        def __init__(self) -> None:
+            self.metrics = MetricsRegistry()
+            self.profiler = None
+            self.trace = TraceRecorder(enabled=False)
+
+    blocks = {}
+    for name in names:
+        scenario = MACRO_SCENARIOS[name]
+        profiler = FunctionProfiler()
+        with _context.activated(_PlainHub()):
+            profiler.profile(scenario.runner, scale, seed)
+        blocks[name] = profiler.snapshot()
+        top = profiler.hottest(3)
+        if top:
+            hottest = ", ".join(f"{e['function']} {e['tottime_s']:.2f}s"
+                                for e in top)
+            print(f"[bench] profile {name}: {hottest}")
+    doc = build_profile_document(blocks, machine_metadata(), scale, seed)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"[bench] wrote {path}")
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list:
+        _list_catalog()
+        return 0
+
+    if args.current is not None and args.compare is None:
+        parser.error("--current requires --compare")
+    if args.fail_threshold is not None and args.compare is None:
+        parser.error("--fail-threshold requires --compare")
+
+    scale = args.scale
+    if scale is None:
+        scale = QUICK_SCALE if args.quick else bench_scale()
+    repetitions = args.repetitions
+    if repetitions is None:
+        repetitions = 3 if args.quick else 5
+
+    scenario_names = None
+    if args.scenarios is not None:
+        scenario_names = [n.strip() for n in args.scenarios.split(",")
+                          if n.strip()]
+        unknown = [n for n in scenario_names if n not in MACRO_SCENARIOS]
+        if unknown:
+            print(f"unknown scenario(s): {', '.join(unknown)}; "
+                  f"known: {', '.join(sorted(MACRO_SCENARIOS))}",
+                  file=sys.stderr)
+            return 2
+
+    if args.current is not None:
+        try:
+            new_doc = load_report(args.current)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"cannot load --current report: {exc}", file=sys.stderr)
+            return 2
+    else:
+        started = time.perf_counter()
+        selected = (scenario_names if scenario_names is not None
+                    else list(MACRO_SCENARIOS))
+        scenarios = {}
+        if not args.skip_macro:
+            scenarios = run_macro_scenarios(
+                selected, scale=scale, seed=args.seed,
+                measure_memory=not args.no_mem,
+                progress=lambda n: print(f"[bench] macro {n} ..."))
+        micro = {}
+        if not args.skip_micro:
+            micro = run_micro_benchmarks(
+                repetitions=repetitions, warmup=args.warmup, seed=args.seed,
+                progress=lambda n: print(f"[bench] micro {n} ..."))
+        new_doc = build_report(scenarios, micro, machine_metadata(),
+                               scale=scale, seed=args.seed, quick=args.quick,
+                               label=args.label)
+        write_report(new_doc, args.out)
+        print(f"[bench] wrote {args.out} "
+              f"in {time.perf_counter() - started:.1f}s\n")
+        print(_render_run_summary(new_doc))
+        if args.profile is not None and not args.skip_macro:
+            _run_profile_pass(selected, scale, args.seed, args.profile)
+
+    if args.compare is not None:
+        try:
+            old_doc = load_report(args.compare)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"cannot load --compare baseline: {exc}", file=sys.stderr)
+            return 2
+        result = compare_reports(old_doc, new_doc,
+                                 fail_threshold=args.fail_threshold)
+        print()
+        print(render_comparison(result))
+        if result["failed"]:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""Machine metadata stamped into every benchmark report.
+
+A timing is meaningless without knowing what produced it: comparing a
+laptop run against a CI container should be flagged, not silently
+treated as a regression.  :func:`machine_metadata` captures the stable
+facts (interpreter, platform, CPU count) that :func:`~repro.bench.report.compare_reports`
+uses to annotate cross-machine comparisons.
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+from typing import Dict
+
+__all__ = ["machine_metadata"]
+
+
+def machine_metadata() -> Dict[str, object]:
+    """JSON-friendly description of the interpreter and host."""
+    try:
+        import os
+        cpus = os.cpu_count()
+    except Exception:  # pragma: no cover - defensive
+        cpus = None
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "processor": platform.processor() or None,
+        "cpu_count": cpus,
+        "executable": sys.executable,
+    }

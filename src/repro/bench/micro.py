@@ -1,0 +1,244 @@
+"""Microbenchmarks of the simulator's known hot paths.
+
+Each benchmark times one tight loop over a single subsystem — the event
+queue, the bottleneck queues (drop-tail and RED), the sender ACK
+processing path, and trace-sink serialization — so a macro regression
+can be localized ("events/sec fell because *pop* got slower") without
+re-running a profiler.  State setup happens outside the timed section;
+only the hot loop is measured.
+
+The harness runs ``warmup`` discarded passes then ``repetitions`` timed
+passes and reports min / median / mean nanoseconds per operation; *min*
+is the steady-state number (least scheduler noise), *median* is what the
+regression gate compares.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import statistics
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+__all__ = ["MicroBenchmark", "MICRO_BENCHMARKS", "run_micro_benchmark",
+           "run_micro_benchmarks"]
+
+
+@dataclass(frozen=True)
+class MicroBenchmark:
+    """One named hot-path benchmark.
+
+    ``runner(n, seed)`` performs roughly ``n`` operations and returns
+    ``(elapsed_seconds, ops_performed)`` with only the hot loop timed.
+    """
+
+    name: str
+    description: str
+    runner: Callable[[int, int], Tuple[float, int]]
+    default_n: int
+
+
+# ----------------------------------------------------------------------
+# Hot-path loops
+# ----------------------------------------------------------------------
+
+
+def _scheduler_push_pop(n: int, seed: int) -> Tuple[float, int]:
+    from repro.sim.event import Event
+    from repro.sim.scheduler import EventScheduler
+
+    rng = random.Random(seed)
+    times = [rng.random() for _ in range(n)]
+    scheduler = EventScheduler()
+    callback = (lambda: None)
+    started = time.perf_counter()
+    for t in times:
+        scheduler.push(Event(t, callback))
+    while scheduler.pop() is not None:
+        pass
+    return time.perf_counter() - started, 2 * n
+
+
+def _scheduler_cancel_churn(n: int, seed: int) -> Tuple[float, int]:
+    """Timer-style churn: every second event is cancelled after push —
+    the pattern RTO timers produce, and what heap compaction targets."""
+    from repro.sim.event import Event
+    from repro.sim.scheduler import EventScheduler
+
+    rng = random.Random(seed)
+    times = [rng.random() for _ in range(n)]
+    scheduler = EventScheduler()
+    callback = (lambda: None)
+    started = time.perf_counter()
+    for i, t in enumerate(times):
+        event = Event(t, callback)
+        scheduler.push(event)
+        if i % 2:
+            event.cancel()
+            scheduler.note_cancelled()
+    while scheduler.pop() is not None:
+        pass
+    return time.perf_counter() - started, 2 * n
+
+
+def _queue_ops(queue_factory, n: int, seed: int) -> Tuple[float, int]:
+    from repro.net.packet import Packet, PacketType
+
+    packets = [Packet(src="a", dst="b", flow_id=1, kind=PacketType.DATA,
+                      size=1500, seq=i) for i in range(n)]
+    queue = queue_factory(seed)
+    ops = 0
+    started = time.perf_counter()
+    for i, packet in enumerate(packets):
+        queue.enqueue(packet)
+        ops += 1
+        if i % 3 == 0:
+            queue.dequeue()
+            ops += 1
+    while queue.dequeue() is not None:
+        ops += 1
+    return time.perf_counter() - started, ops
+
+
+def _queue_droptail(n: int, seed: int) -> Tuple[float, int]:
+    from repro.net.queue import DropTailQueue
+
+    # 64 KB capacity so the loop exercises both admits and tail drops.
+    return _queue_ops(lambda s: DropTailQueue(capacity_bytes=64_000), n, seed)
+
+
+def _queue_red(n: int, seed: int) -> Tuple[float, int]:
+    from repro.net.queue import REDQueue
+
+    return _queue_ops(
+        lambda s: REDQueue(capacity_bytes=64_000, rng=random.Random(s)),
+        n, seed)
+
+
+def _sender_ack_processing(n: int, seed: int) -> Tuple[float, int]:
+    """Drive a real TCP sender's ACK path with synthetic in-order ACKs.
+
+    The sender transmits into the (never-run) network as the window
+    opens, so each timed iteration covers scoreboard advance, RTT/RTO
+    bookkeeping, cwnd growth, timer restart and ``send_window`` — the
+    per-ACK cost an ACK-clocked flow pays.
+    """
+    from repro.net.packet import Packet, PacketType
+    from repro.net.topology import access_network
+    from repro.protocols.registry import create_sender
+    from repro.sim.simulator import Simulator
+    from repro.transport.flow import FlowRecord, FlowSpec, next_flow_id
+    from repro.units import MSS, gbps, kb, ms
+
+    sim = Simulator(seed=seed)
+    net = access_network(sim, n_pairs=1, bottleneck_rate=gbps(10),
+                         rtt=ms(10), buffer_bytes=kb(1000))
+    sender_host, receiver_host = net.pair(0)
+    spec = FlowSpec(next_flow_id(), sender_host.name, receiver_host.name,
+                    size=n * MSS, protocol="tcp")
+    sender = create_sender(sim, sender_host, spec, record=FlowRecord(spec))
+    sender.start()
+    sender.on_packet(Packet(src=receiver_host.name, dst=sender_host.name,
+                            flow_id=spec.flow_id, kind=PacketType.SYN_ACK,
+                            size=40))
+    segments = spec.n_segments
+    started = time.perf_counter()
+    for ack in range(1, segments + 1):
+        sender.on_packet(Packet(src=receiver_host.name, dst=sender_host.name,
+                                flow_id=spec.flow_id, kind=PacketType.ACK,
+                                size=40, ack=ack))
+    return time.perf_counter() - started, segments
+
+
+def _trace_sink_serialization(n: int, seed: int) -> Tuple[float, int]:
+    from repro.sim.trace import TraceRecord
+    from repro.telemetry.export import JsonlTraceSink
+
+    rng = random.Random(seed)
+    records = [
+        TraceRecord(rng.random() * 10.0, "sender.done", "bench",
+                    {"flow": i, "fct": round(rng.random(), 6),
+                     "retx": i % 3, "proactive": i % 5})
+        for i in range(n)
+    ]
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        sink = JsonlTraceSink(os.path.join(tmp, "trace.jsonl"),
+                              flush_every=1000)
+        started = time.perf_counter()
+        for record in records:
+            sink.write(record)
+        sink.close()
+        elapsed = time.perf_counter() - started
+    return elapsed, n
+
+
+MICRO_BENCHMARKS: Dict[str, MicroBenchmark] = {
+    bench.name: bench for bench in (
+        MicroBenchmark("scheduler_push_pop",
+                       "EventScheduler.push then drain via pop",
+                       _scheduler_push_pop, default_n=50_000),
+        MicroBenchmark("scheduler_cancel_churn",
+                       "push with 50% lazy cancellation (RTO-timer churn)",
+                       _scheduler_cancel_churn, default_n=50_000),
+        MicroBenchmark("queue_droptail",
+                       "DropTailQueue enqueue/dequeue with tail drops",
+                       _queue_droptail, default_n=50_000),
+        MicroBenchmark("queue_red",
+                       "REDQueue enqueue/dequeue with probabilistic AQM",
+                       _queue_red, default_n=50_000),
+        MicroBenchmark("sender_ack_processing",
+                       "TCP sender per-ACK bookkeeping + window send",
+                       _sender_ack_processing, default_n=4_000),
+        MicroBenchmark("trace_sink_serialization",
+                       "JSONL trace-sink write of schema-shaped records",
+                       _trace_sink_serialization, default_n=20_000),
+    )
+}
+
+
+def run_micro_benchmark(name: str, repetitions: int = 5, warmup: int = 1,
+                        n: Optional[int] = None, seed: int = 42
+                        ) -> Dict[str, object]:
+    """Run one microbenchmark; returns its JSON-ready stats block."""
+    bench = MICRO_BENCHMARKS[name]
+    ops_n = n if n is not None else bench.default_n
+    for _ in range(max(0, warmup)):
+        bench.runner(ops_n, seed)
+    per_op_ns = []
+    ops_seen = None
+    for _ in range(max(1, repetitions)):
+        elapsed, ops = bench.runner(ops_n, seed)
+        ops_seen = ops
+        per_op_ns.append((elapsed / ops) * 1e9 if ops else 0.0)
+    return {
+        "description": bench.description,
+        "n": ops_n,
+        "ops": ops_seen,
+        "repetitions": max(1, repetitions),
+        "warmup": max(0, warmup),
+        "min_ns_per_op": min(per_op_ns),
+        "median_ns_per_op": statistics.median(per_op_ns),
+        "mean_ns_per_op": statistics.fmean(per_op_ns),
+    }
+
+
+def run_micro_benchmarks(names: Optional[Sequence[str]] = None,
+                         repetitions: int = 5, warmup: int = 1,
+                         seed: int = 42,
+                         progress: Optional[Callable[[str], None]] = None
+                         ) -> Dict[str, Dict[str, object]]:
+    """Run several microbenchmarks; ``names=None`` runs the catalog."""
+    selected = list(names) if names is not None else list(MICRO_BENCHMARKS)
+    out: Dict[str, Dict[str, object]] = {}
+    for name in selected:
+        if name not in MICRO_BENCHMARKS:
+            raise KeyError(f"unknown microbenchmark {name!r}; "
+                           f"known: {', '.join(sorted(MICRO_BENCHMARKS))}")
+        if progress is not None:
+            progress(name)
+        out[name] = run_micro_benchmark(name, repetitions=repetitions,
+                                        warmup=warmup, seed=seed)
+    return out

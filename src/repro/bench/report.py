@@ -1,0 +1,316 @@
+"""The ``BENCH_<version>.json`` document and the regression gate.
+
+One benchmark run produces a schema-versioned JSON document — machine
+metadata, per-scenario macro stats, per-hot-path micro stats — written
+at the repo root as ``BENCH_1.json`` (the schema version is in the
+filename, so a future schema bump leaves old trajectory files readable
+side by side).  :func:`compare_reports` turns two documents into a
+per-scenario delta table and a verdict: wall-clock (macro) and median
+ns/op (micro) regressions beyond ``--fail-threshold`` fail the gate;
+workload drift (event/packet counts changed) is reported separately
+because it means the *benchmark* changed, not the code speed.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional
+
+__all__ = [
+    "PROFILE_SCHEMA_NAME",
+    "SCHEMA_VERSION",
+    "bench_filename",
+    "build_profile_document",
+    "build_report",
+    "compare_reports",
+    "load_report",
+    "render_comparison",
+    "validate_profile",
+    "validate_report",
+    "write_report",
+]
+
+#: Bumped when the document shape changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: ``schema`` field value for version ``v``.
+SCHEMA_NAME = "repro.bench/{version}"
+
+#: Keys every macro-scenario stats block must carry.
+MACRO_REQUIRED_KEYS = frozenset({
+    "figure", "description", "scale", "seed", "wall_s", "events", "packets",
+    "events_per_sec", "packets_per_sec", "sim_time_s", "sim_time_ratio",
+    "peak_mem_kb", "deterministic", "hot_callbacks", "workload",
+})
+
+#: Keys every microbenchmark stats block must carry.
+MICRO_REQUIRED_KEYS = frozenset({
+    "description", "n", "ops", "repetitions", "warmup",
+    "min_ns_per_op", "median_ns_per_op", "mean_ns_per_op",
+})
+
+
+def bench_filename(version: int = SCHEMA_VERSION) -> str:
+    """Canonical trajectory filename for schema ``version``."""
+    return f"BENCH_{version}.json"
+
+
+def build_report(scenarios: Dict[str, dict], micro: Dict[str, dict],
+                 machine: dict, scale: float, seed: int,
+                 quick: bool = False, label: Optional[str] = None) -> dict:
+    """Assemble the versioned benchmark document."""
+    return {
+        "schema": SCHEMA_NAME.format(version=SCHEMA_VERSION),
+        "schema_version": SCHEMA_VERSION,
+        "created_unix": time.time(),
+        "label": label,
+        "quick": quick,
+        "scale": scale,
+        "seed": seed,
+        "machine": machine,
+        "scenarios": scenarios,
+        "micro": micro,
+    }
+
+
+def write_report(doc: dict, path: str) -> str:
+    """Write ``doc`` as stable, diff-friendly JSON; returns ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_report(path: str) -> dict:
+    """Load and validate one benchmark document; raises ``ValueError``
+    with every problem listed when the file does not match the schema."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    problems = validate_report(doc)
+    if problems:
+        raise ValueError(f"{path} is not a valid bench report:\n  "
+                         + "\n  ".join(problems))
+    return doc
+
+
+def validate_report(doc: dict) -> List[str]:
+    """Schema violations in ``doc`` as human-readable strings."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    expected = SCHEMA_NAME.format(version=SCHEMA_VERSION)
+    if doc.get("schema") != expected:
+        problems.append(f"schema is {doc.get('schema')!r}, "
+                        f"expected {expected!r}")
+    for key in ("machine", "scenarios", "micro"):
+        if not isinstance(doc.get(key), dict):
+            problems.append(f"missing or non-object {key!r} section")
+    for name, stats in (doc.get("scenarios") or {}).items():
+        if not isinstance(stats, dict):
+            problems.append(f"scenario {name!r} is not an object")
+            continue
+        missing = MACRO_REQUIRED_KEYS - stats.keys()
+        if missing:
+            problems.append(f"scenario {name!r} missing keys "
+                            f"{sorted(missing)}")
+    for name, stats in (doc.get("micro") or {}).items():
+        if not isinstance(stats, dict):
+            problems.append(f"microbenchmark {name!r} is not an object")
+            continue
+        missing = MICRO_REQUIRED_KEYS - stats.keys()
+        if missing:
+            problems.append(f"microbenchmark {name!r} missing keys "
+                            f"{sorted(missing)}")
+    return problems
+
+
+# ----------------------------------------------------------------------
+# profile.json (hot-path attribution, ``--profile``)
+# ----------------------------------------------------------------------
+
+#: ``schema`` field of the cProfile attribution document.
+PROFILE_SCHEMA_NAME = "repro.profile/1"
+
+#: Keys every attributed function entry must carry
+#: (see :class:`repro.telemetry.profiling.FunctionProfiler`).
+PROFILE_FUNCTION_KEYS = frozenset({
+    "function", "file", "line", "calls", "primitive_calls",
+    "tottime_s", "cumtime_s",
+})
+
+
+def build_profile_document(scenarios: Dict[str, dict], machine: dict,
+                           scale: float, seed: int) -> dict:
+    """Assemble the ``profile.json`` attribution document."""
+    return {
+        "schema": PROFILE_SCHEMA_NAME,
+        "created_unix": time.time(),
+        "scale": scale,
+        "seed": seed,
+        "machine": machine,
+        "scenarios": scenarios,
+    }
+
+
+def validate_profile(doc: dict) -> List[str]:
+    """Schema violations in a ``profile.json`` document."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    if doc.get("schema") != PROFILE_SCHEMA_NAME:
+        problems.append(f"schema is {doc.get('schema')!r}, "
+                        f"expected {PROFILE_SCHEMA_NAME!r}")
+    if not isinstance(doc.get("scenarios"), dict):
+        problems.append("missing or non-object 'scenarios' section")
+        return problems
+    for name, block in doc["scenarios"].items():
+        functions = block.get("functions") if isinstance(block, dict) else None
+        if not isinstance(functions, list):
+            problems.append(f"scenario {name!r} has no 'functions' list")
+            continue
+        for i, entry in enumerate(functions):
+            missing = PROFILE_FUNCTION_KEYS - entry.keys()
+            if missing:
+                problems.append(f"scenario {name!r} function[{i}] missing "
+                                f"keys {sorted(missing)}")
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Comparison / regression gate
+# ----------------------------------------------------------------------
+
+
+def _pct(old: float, new: float) -> Optional[float]:
+    """Percent change new vs old (positive = slower); None when old=0."""
+    if not old:
+        return None
+    return (new - old) / old * 100.0
+
+
+def compare_reports(old: dict, new: dict,
+                    fail_threshold: Optional[float] = None) -> dict:
+    """Per-scenario deltas between two bench documents.
+
+    Returns ``{"rows", "notes", "regressions", "failed"}``: rows feed
+    :func:`render_comparison`; ``regressions`` lists rows whose slowdown
+    exceeds ``fail_threshold`` percent; ``failed`` is True iff a
+    threshold was given and at least one comparable row exceeded it.
+    """
+    rows: List[dict] = []
+    notes: List[str] = []
+
+    if old.get("machine", {}).get("platform") != \
+            new.get("machine", {}).get("platform"):
+        notes.append("machine platforms differ "
+                     f"({old.get('machine', {}).get('platform')!r} vs "
+                     f"{new.get('machine', {}).get('platform')!r}); "
+                     "timings are not directly comparable")
+    if old.get("scale") != new.get("scale"):
+        notes.append(f"workload scales differ ({old.get('scale')} vs "
+                     f"{new.get('scale')}); counts will not match")
+
+    old_scen = old.get("scenarios") or {}
+    new_scen = new.get("scenarios") or {}
+    for name in sorted(set(old_scen) | set(new_scen)):
+        if name not in old_scen or name not in new_scen:
+            notes.append(f"scenario {name!r} only in "
+                         f"{'new' if name in new_scen else 'old'} report")
+            continue
+        before, after = old_scen[name], new_scen[name]
+        comparable = (before.get("events") == after.get("events")
+                      and before.get("packets") == after.get("packets"))
+        if not comparable:
+            notes.append(
+                f"scenario {name!r} workload drifted "
+                f"(events {before.get('events')} -> {after.get('events')}, "
+                f"packets {before.get('packets')} -> "
+                f"{after.get('packets')}); excluded from the gate")
+        rows.append({
+            "kind": "macro",
+            "name": name,
+            "metric": "wall_s",
+            "old": before.get("wall_s"),
+            "new": after.get("wall_s"),
+            "pct": _pct(before.get("wall_s") or 0.0,
+                        after.get("wall_s") or 0.0),
+            "comparable": comparable,
+        })
+
+    old_micro = old.get("micro") or {}
+    new_micro = new.get("micro") or {}
+    for name in sorted(set(old_micro) | set(new_micro)):
+        if name not in old_micro or name not in new_micro:
+            notes.append(f"microbenchmark {name!r} only in "
+                         f"{'new' if name in new_micro else 'old'} report")
+            continue
+        before, after = old_micro[name], new_micro[name]
+        comparable = before.get("n") == after.get("n")
+        if not comparable:
+            notes.append(f"microbenchmark {name!r} sizes differ "
+                         f"(n {before.get('n')} -> {after.get('n')}); "
+                         "excluded from the gate")
+        rows.append({
+            "kind": "micro",
+            "name": name,
+            "metric": "median_ns_per_op",
+            "old": before.get("median_ns_per_op"),
+            "new": after.get("median_ns_per_op"),
+            "pct": _pct(before.get("median_ns_per_op") or 0.0,
+                        after.get("median_ns_per_op") or 0.0),
+            "comparable": comparable,
+        })
+
+    regressions = [
+        row for row in rows
+        if row["comparable"] and row["pct"] is not None
+        and fail_threshold is not None and row["pct"] > fail_threshold
+    ]
+    return {
+        "rows": rows,
+        "notes": notes,
+        "regressions": regressions,
+        "failed": bool(regressions),
+        "fail_threshold": fail_threshold,
+    }
+
+
+def render_comparison(result: dict) -> str:
+    """Human-readable delta table for one :func:`compare_reports` result."""
+    lines: List[str] = []
+    rows = result["rows"]
+    if rows:
+        width = max(len(f"{r['kind']}:{r['name']}") for r in rows)
+        lines.append(f"{'benchmark':<{width}s} {'metric':>18s} "
+                     f"{'old':>12s} {'new':>12s} {'delta':>9s}")
+        for row in rows:
+            label = f"{row['kind']}:{row['name']}"
+            old_v = "-" if row["old"] is None else f"{row['old']:.6g}"
+            new_v = "-" if row["new"] is None else f"{row['new']:.6g}"
+            if row["pct"] is None:
+                delta = "n/a"
+            else:
+                delta = f"{row['pct']:+.1f}%"
+            if not row["comparable"]:
+                delta += " *"
+            lines.append(f"{label:<{width}s} {row['metric']:>18s} "
+                         f"{old_v:>12s} {new_v:>12s} {delta:>9s}")
+        if any(not row["comparable"] for row in rows):
+            lines.append("  (* workload drifted; excluded from the "
+                         "regression gate)")
+    for note in result["notes"]:
+        lines.append(f"note: {note}")
+    threshold = result.get("fail_threshold")
+    if result["regressions"]:
+        names = ", ".join(f"{r['kind']}:{r['name']} ({r['pct']:+.1f}%)"
+                          for r in result["regressions"])
+        lines.append(f"REGRESSION beyond {threshold:.1f}%: {names}")
+    elif threshold is not None:
+        lines.append(f"gate: no regression beyond {threshold:.1f}%")
+    else:
+        slow = [r for r in rows if r["comparable"] and r["pct"] is not None
+                and r["pct"] > 0]
+        lines.append(f"gate: warn-only (no --fail-threshold); "
+                     f"{len(slow)} of {len(rows)} benchmarks slower")
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""The shared workload-scale knob.
+
+``HALFBACK_BENCH_SCALE`` has governed the figure benchmarks under
+``benchmarks/`` since the seed (1.0 = laptop scale, 10 approximates
+paper scale).  The observatory reads the same knob so "how fast is the
+simulator at the scale I actually run" is one number everywhere;
+``benchmarks/conftest.py`` imports :func:`bench_scale` rather than
+re-parsing the environment.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["DEFAULT_SCALE", "QUICK_SCALE", "SCALE_ENV_VAR", "bench_scale"]
+
+#: Environment variable shared with ``benchmarks/conftest.py``.
+SCALE_ENV_VAR = "HALFBACK_BENCH_SCALE"
+
+#: Scale when the environment does not say otherwise.
+DEFAULT_SCALE = 1.0
+
+#: Scale used by ``python -m repro.bench --quick`` (CI smoke).
+QUICK_SCALE = 0.3
+
+def bench_scale(default: float = DEFAULT_SCALE) -> float:
+    """The ambient workload scale from ``HALFBACK_BENCH_SCALE``.
+
+    Invalid or non-positive values fall back to ``default`` rather than
+    crashing a benchmark run half-way through.
+    """
+    raw = os.environ.get(SCALE_ENV_VAR)
+    if raw is None:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        return default
+    return value if value > 0 else default

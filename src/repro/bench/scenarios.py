@@ -1,0 +1,255 @@
+"""Seeded macro-scenarios: what the simulator is *for*, timed.
+
+Each scenario is a miniature of one paper workload (names reference the
+figures they sample) with every seed fixed, so the workload — event
+count, packet count, flows completed — is a deterministic function of
+``(scale, seed)`` and only the timings vary run to run.  The measurement
+harness runs each scenario twice: a timing pass with a
+:class:`~repro.telemetry.profiling.SimProfiler` attached (events/sec and
+per-callback attribution) and a memory pass under :mod:`tracemalloc`
+(peak allocation); identical event counts across the passes double as a
+determinism check, reported in the stats.
+
+Simulated time is accounted per scenario (summed FCTs for flow-bound
+workloads, offered-load horizons for sweeps) and reported against the
+timing pass as ``sim_time_ratio`` — the "how many simulated seconds per
+real second" number the ROADMAP's scaling goals care about.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.sim.trace import TraceRecorder
+from repro.telemetry import context as _context
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.profiling import SimProfiler
+
+__all__ = ["MacroScenario", "MACRO_SCENARIOS", "run_macro_scenario",
+           "run_macro_scenarios"]
+
+#: Hot callbacks reported per scenario (profiler attribution).
+TOP_CALLBACKS = 5
+
+
+class _BenchHub:
+    """Minimal ambient telemetry for benchmarking: aggregate metrics and
+    a profiler, but no trace recording (tracing is benchmarked separately
+    by the trace-sink microbenchmark, and would distort macro timings)."""
+
+    def __init__(self, profile: bool = True) -> None:
+        self.metrics = MetricsRegistry()
+        self.profiler: Optional[SimProfiler] = SimProfiler() if profile else None
+        self.trace = TraceRecorder(enabled=False)
+
+
+@dataclass(frozen=True)
+class MacroScenario:
+    """One named, seeded macro workload."""
+
+    name: str
+    figure: str
+    description: str
+    #: ``runner(scale, seed) -> (sim_seconds, workload_facts)``.
+    runner: Callable[[float, int], Tuple[float, Dict[str, float]]]
+
+
+# ----------------------------------------------------------------------
+# Scenario runners.  Each returns (simulated seconds, workload facts);
+# everything inside runs under the ambient bench hub installed by
+# run_macro_scenario, so simulators pick up the metrics/profiler.
+# ----------------------------------------------------------------------
+
+
+def _fig3_walkthrough(scale: float, seed: int):
+    from repro.experiments import fig03_example
+    from repro.sim.randomness import derive_seed
+
+    repeats = max(1, round(40 * scale))
+    sim_seconds = 0.0
+    completed = 0
+    for i in range(repeats):
+        result = fig03_example.run(seed=derive_seed(seed, f"bench-fig3:{i}"))
+        if result.record.fct is not None:
+            sim_seconds += result.record.fct
+            completed += 1
+    return sim_seconds, {"flows": repeats, "completed": completed}
+
+
+def _planetlab_slice(scale: float, seed: int):
+    from repro.experiments.planetlab_runs import run_planetlab_trials
+
+    n_paths = max(5, round(40 * scale))
+    protocols = ("tcp", "jumpstart", "halfback")
+    trials = run_planetlab_trials(n_paths=n_paths, protocols=protocols,
+                                  seed=seed)
+    sim_seconds = 0.0
+    flows = 0
+    completed = 0
+    for protocol in trials.protocols():
+        for record in trials.collector(protocol).records:
+            flows += 1
+            if record.fct is not None:
+                sim_seconds += record.fct
+                completed += 1
+    return sim_seconds, {"paths": n_paths, "flows": flows,
+                         "completed": completed}
+
+
+def _utilization_sweep(scale: float, seed: int):
+    from repro.experiments.fig12_utilization import sweep_protocols
+
+    protocols = ("tcp", "halfback")
+    utilizations = (0.2, 0.5, 0.8)
+    duration = max(1.5, 5.0 * scale)
+    drain = 10.0
+    sweep = sweep_protocols(protocols, utilizations=utilizations,
+                            duration=duration, seed=seed, n_pairs=8,
+                            drain_time=drain)
+    sim_seconds = (duration + drain) * len(utilizations) * len(protocols)
+    flows = sum(1 for curve in sweep.points.values() for _ in curve)
+    return sim_seconds, {"sweep_points": flows,
+                         "feasible_tcp": sweep.feasible.get("tcp", 0.0),
+                         "feasible_halfback":
+                             sweep.feasible.get("halfback", 0.0)}
+
+
+def _web_slice(scale: float, seed: int):
+    from repro.experiments import fig16_web
+
+    protocols = ("tcp", "halfback")
+    utilizations = (0.2, 0.4)
+    duration = max(2.0, 6.0 * scale)
+    result = fig16_web.run(protocols=protocols, utilizations=utilizations,
+                           duration=duration, seed=seed, n_pairs=8)
+    # Each cell offers ``duration`` seconds of load plus a drain horizon.
+    sim_seconds = duration * len(protocols) * len(utilizations)
+    mean_tcp = (sum(result.curves["tcp"]) / len(result.curves["tcp"])
+                if result.curves.get("tcp") else 0.0)
+    return sim_seconds, {"cells": len(protocols) * len(utilizations),
+                         "mean_response_tcp": mean_tcp}
+
+
+MACRO_SCENARIOS: Dict[str, MacroScenario] = {
+    scenario.name: scenario for scenario in (
+        MacroScenario(
+            name="fig3_walkthrough",
+            figure="Fig. 3",
+            description="repeated 10-segment Halfback walk-throughs "
+                        "(trace-heavy tiny flows)",
+            runner=_fig3_walkthrough,
+        ),
+        MacroScenario(
+            name="planetlab_slice",
+            figure="Fig. 6",
+            description="100 KB flows over synthetic Internet paths, "
+                        "3 protocols (PlanetLab slice)",
+            runner=_planetlab_slice,
+        ),
+        MacroScenario(
+            name="utilization_sweep",
+            figure="Fig. 12",
+            description="all-short-flow offered-load sweep, "
+                        "tcp vs halfback at 20/50/80%",
+            runner=_utilization_sweep,
+        ),
+        MacroScenario(
+            name="web_slice",
+            figure="Fig. 16",
+            description="web page loads over a browser connection pool "
+                        "at 20/40% utilization",
+            runner=_web_slice,
+        ),
+    )
+}
+
+
+def _instrumented_pass(scenario: MacroScenario, scale: float, seed: int,
+                       profile: bool):
+    """One scenario execution under a fresh bench hub.
+
+    Returns ``(hub, wall_seconds, sim_seconds, workload_facts)``.
+    """
+    import time
+
+    hub = _BenchHub(profile=profile)
+    with _context.activated(hub):
+        started = time.perf_counter()
+        sim_seconds, facts = scenario.runner(scale, seed)
+        wall = time.perf_counter() - started
+    return hub, wall, sim_seconds, facts
+
+
+def run_macro_scenario(name: str, scale: float = 1.0, seed: int = 42,
+                       measure_memory: bool = True) -> Dict[str, object]:
+    """Measure one macro scenario; returns its JSON-ready stats block."""
+    scenario = MACRO_SCENARIOS[name]
+
+    hub, wall, sim_seconds, facts = _instrumented_pass(
+        scenario, scale, seed, profile=True)
+    profiler = hub.profiler
+    assert profiler is not None
+    events = profiler.events
+    packets = int(hub.metrics.counter("link.tx_packets").value)
+
+    peak_kb: Optional[float] = None
+    deterministic = True
+    if measure_memory:
+        tracemalloc.start()
+        try:
+            hub2, _, _, _ = _instrumented_pass(
+                scenario, scale, seed, profile=True)
+            _, peak_bytes = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        peak_kb = peak_bytes / 1024.0
+        assert hub2.profiler is not None
+        packets2 = int(hub2.metrics.counter("link.tx_packets").value)
+        deterministic = (hub2.profiler.events == events
+                         and packets2 == packets)
+
+    hot = sorted(profiler.per_kind.items(), key=lambda kv: kv[1].wall,
+                 reverse=True)[:TOP_CALLBACKS]
+    return {
+        "figure": scenario.figure,
+        "description": scenario.description,
+        "scale": scale,
+        "seed": seed,
+        "wall_s": wall,
+        "wall_in_runs_s": profiler.wall_in_runs,
+        "events": events,
+        "packets": packets,
+        "events_per_sec": events / wall if wall > 0 else 0.0,
+        "packets_per_sec": packets / wall if wall > 0 else 0.0,
+        "sim_time_s": sim_seconds,
+        "sim_time_ratio": sim_seconds / wall if wall > 0 else 0.0,
+        "peak_mem_kb": peak_kb,
+        "deterministic": deterministic,
+        "max_heap_depth": profiler.max_heap_depth,
+        "hot_callbacks": [
+            {"callback": name_, "count": stats.count, "wall_s": stats.wall}
+            for name_, stats in hot
+        ],
+        "workload": facts,
+    }
+
+
+def run_macro_scenarios(names: Optional[Sequence[str]] = None,
+                        scale: float = 1.0, seed: int = 42,
+                        measure_memory: bool = True,
+                        progress: Optional[Callable[[str], None]] = None
+                        ) -> Dict[str, Dict[str, object]]:
+    """Measure several scenarios; ``names=None`` runs the full catalog."""
+    selected = list(names) if names is not None else list(MACRO_SCENARIOS)
+    out: Dict[str, Dict[str, object]] = {}
+    for name in selected:
+        if name not in MACRO_SCENARIOS:
+            raise KeyError(f"unknown bench scenario {name!r}; "
+                           f"known: {', '.join(sorted(MACRO_SCENARIOS))}")
+        if progress is not None:
+            progress(name)
+        out[name] = run_macro_scenario(name, scale=scale, seed=seed,
+                                       measure_memory=measure_memory)
+    return out

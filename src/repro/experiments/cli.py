@@ -142,7 +142,10 @@ def main(argv=None) -> int:
                     "(CoNEXT 2015) on the bundled simulator.",
     )
     parser.add_argument("experiment",
-                        help="experiment id (e.g. fig12), or 'list' / 'all'")
+                        help="experiment id (e.g. fig12), 'list' / 'all', "
+                             "or 'bench' (performance observatory; "
+                             "remaining arguments are forwarded to "
+                             "python -m repro.bench)")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="workload scale factor (1.0 = default laptop "
                              "scale; 10.0 approximates paper scale)")
@@ -163,6 +166,13 @@ def main(argv=None) -> int:
     parser.add_argument("--timeline-flows", type=int, default=4,
                         help="per-flow timelines to print in the telemetry "
                              "summary")
+    raw_argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if raw_argv and raw_argv[0] == "bench":
+        # The observatory has its own flag set; hand the rest through.
+        from repro.bench.cli import main as bench_main
+
+        return bench_main(raw_argv[1:])
+
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -181,11 +191,11 @@ def main(argv=None) -> int:
     if args.telemetry is not None:
         from repro import telemetry
 
-        kinds = (args.telemetry_kinds.split(",")
-                 if args.telemetry_kinds else None)
+        # The session API accepts the raw comma-separated flag value
+        # (see telemetry.parse_kinds), so no CLI-side parsing needed.
         hub = stack.enter_context(telemetry.session(
             out_dir=args.telemetry, trace_format=args.telemetry_format,
-            kinds=kinds))
+            kinds=args.telemetry_kinds))
 
     with stack:
         for name in names:

@@ -3,6 +3,17 @@
 A thin wrapper around :mod:`heapq` that understands lazily-cancelled
 events.  Separated from :class:`~repro.sim.simulator.Simulator` so the
 queue can be unit- and property-tested in isolation.
+
+Cancellation is lazy (O(1)): cancelled events stay in the heap until
+popped.  Timer-heavy workloads — an RTO timer restarted on every ACK —
+can therefore grow a large backlog of dead entries that every push/pop
+still pays log-time for.  The scheduler *compacts* the heap (filter +
+re-heapify, O(n)) once the cancelled backlog is both large in absolute
+terms and the majority of the heap; amortized against the cancellations
+that created the backlog this is O(1) per cancellation.  The backlog is
+published through :attr:`backlog_gauge` (``scheduler.cancelled_backlog``
+when a telemetry session is active) so the performance observatory can
+see the churn.
 """
 
 from __future__ import annotations
@@ -11,16 +22,43 @@ import heapq
 from typing import List, Optional
 
 from repro.sim.event import Event
+from repro.telemetry.metrics import NULL_METRIC
 
 __all__ = ["EventScheduler"]
 
+#: Never compact below this many cancelled entries (a small heap's
+#: rebuild cost is not worth saving, and tiny heaps skew the fraction).
+DEFAULT_COMPACT_MIN = 256
+
+#: Compact when cancelled entries exceed this fraction of the heap.
+DEFAULT_COMPACT_FRACTION = 0.5
+
 
 class EventScheduler:
-    """A min-heap of :class:`Event` ordered by (time, priority, seq)."""
+    """A min-heap of :class:`Event` ordered by (time, priority, seq).
 
-    def __init__(self) -> None:
+    Parameters
+    ----------
+    compact_min / compact_fraction:
+        Compaction triggers when the cancelled backlog is at least
+        ``compact_min`` entries *and* more than ``compact_fraction`` of
+        the raw heap.  ``compact_min=0`` disables compaction.
+    """
+
+    def __init__(self, compact_min: int = DEFAULT_COMPACT_MIN,
+                 compact_fraction: float = DEFAULT_COMPACT_FRACTION) -> None:
         self._heap: List[Event] = []
         self._live = 0
+        self._cancelled = 0
+        self.compact_min = compact_min
+        self.compact_fraction = compact_fraction
+        #: Number of compaction passes performed (diagnostic).
+        self.compactions = 0
+        #: Telemetry gauge for the cancelled backlog; the simulator
+        #: rebinds this to ``scheduler.cancelled_backlog`` when a metrics
+        #: registry is enabled.  The default no-op keeps the hot path an
+        #: empty call when telemetry is off.
+        self.backlog_gauge = NULL_METRIC
 
     def push(self, event: Event) -> None:
         """Insert an event into the queue."""
@@ -32,33 +70,76 @@ class EventScheduler:
 
         Cancelled events encountered on the way are discarded.
         """
+        discarded = 0
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                discarded += 1
                 continue
+            if discarded:
+                self._note_discarded(discarded)
             self._live -= 1
             return event
         self._live = 0
+        if discarded:
+            self._note_discarded(discarded)
         return None
 
     def peek_time(self) -> Optional[float]:
         """Return the firing time of the next live event without popping."""
+        discarded = 0
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            discarded += 1
+        if discarded:
+            self._note_discarded(discarded)
         if not self._heap:
             self._live = 0
             return None
         return self._heap[0].time
 
     def note_cancelled(self) -> None:
-        """Record that one queued event was cancelled (for __len__)."""
+        """Record that one queued event was cancelled (for __len__ and
+        the backlog accounting); may trigger compaction."""
         if self._live > 0:
             self._live -= 1
+        self._cancelled += 1
+        self.backlog_gauge.set(self._cancelled)
+        self._maybe_compact()
 
     def clear(self) -> None:
         """Drop every queued event."""
         self._heap.clear()
         self._live = 0
+        self._cancelled = 0
+        self.backlog_gauge.set(0)
+
+    # ------------------------------------------------------------------
+    # Cancelled-backlog accounting and compaction
+    # ------------------------------------------------------------------
+
+    def _note_discarded(self, n: int) -> None:
+        """Account ``n`` cancelled entries leaving the heap via pop/peek."""
+        self._cancelled = max(0, self._cancelled - n)
+        self.backlog_gauge.set(self._cancelled)
+
+    def _maybe_compact(self) -> None:
+        if self.compact_min <= 0 or self._cancelled < self.compact_min:
+            return
+        if self._cancelled <= self.compact_fraction * len(self._heap):
+            return
+        self._heap = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+        self.compactions += 1
+        self.backlog_gauge.set(0)
+
+    @property
+    def cancelled_backlog(self) -> int:
+        """Lazily-cancelled entries still sitting in the heap (exact if
+        callers use :meth:`note_cancelled` for every cancellation, as
+        Simulator does)."""
+        return self._cancelled
 
     @property
     def heap_depth(self) -> int:

@@ -27,10 +27,11 @@ behind one :class:`Telemetry` session object.
 from repro.telemetry.context import activate, activated, current_hub, \
     deactivate
 from repro.telemetry.export import CsvTraceSink, JsonlTraceSink, TraceSink
-from repro.telemetry.hub import Telemetry, session
+from repro.telemetry.hub import Telemetry, parse_kinds, session
 from repro.telemetry.metrics import Counter, Gauge, MetricsRegistry, \
     NULL_METRIC, NullMetric, TimeWeightedHistogram
-from repro.telemetry.profiling import CallbackStats, SimProfiler
+from repro.telemetry.profiling import CallbackStats, FunctionProfiler, \
+    SimProfiler
 from repro.telemetry.schema import EVENT_SCHEMA, FLOW_EVENT_KINDS, \
     missing_keys, required_keys, validate_records
 from repro.telemetry.timeline import FlowTimeline, TimelineEvent, \
@@ -43,6 +44,7 @@ __all__ = [
     "EVENT_SCHEMA",
     "FLOW_EVENT_KINDS",
     "FlowTimeline",
+    "FunctionProfiler",
     "Gauge",
     "JsonlTraceSink",
     "MetricsRegistry",
@@ -59,6 +61,7 @@ __all__ = [
     "current_hub",
     "deactivate",
     "missing_keys",
+    "parse_kinds",
     "render_timeline",
     "render_timelines",
     "required_keys",

@@ -17,7 +17,7 @@ from __future__ import annotations
 import json
 import os
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.sim.trace import TraceRecorder
 from repro.telemetry import context as _context
@@ -27,11 +27,30 @@ from repro.telemetry.profiling import SimProfiler
 from repro.telemetry.timeline import FlowTimeline, build_timelines, \
     render_timelines
 
-__all__ = ["Telemetry", "session"]
+__all__ = ["Telemetry", "parse_kinds", "session"]
 
 #: Default in-memory record bound when a hub keeps records for
 #: timelines; the streaming sink still sees every record.
 DEFAULT_MAX_RECORDS = 200_000
+
+
+def parse_kinds(kinds: Union[str, Sequence[str], None]) -> Optional[List[str]]:
+    """Normalize a trace-kind filter to a list of prefixes (or None).
+
+    Accepts the comma-separated form users type on a command line
+    (``"flow,halfback,sender"``), an already-split sequence, or None.
+    Empty entries and surrounding whitespace are dropped; an empty
+    result means "no filtering" (None), so ``--telemetry-kinds ""``
+    behaves like omitting the flag.
+    """
+    if kinds is None:
+        return None
+    if isinstance(kinds, str):
+        parts = kinds.split(",")
+    else:
+        parts = list(kinds)
+    cleaned = [part.strip() for part in parts if part and part.strip()]
+    return cleaned or None
 
 
 class Telemetry:
@@ -46,7 +65,9 @@ class Telemetry:
         ``"jsonl"`` (default), ``"csv"``, or None for no streaming sink.
     kinds:
         Optional whitelist of trace-kind prefixes (cuts volume on big
-        runs, e.g. ``["halfback", "sender", "flow"]``).
+        runs) — a sequence like ``["halfback", "sender", "flow"]`` or
+        the comma-separated string a CLI flag carries
+        (``"halfback,sender,flow"``); see :func:`parse_kinds`.
     max_records:
         In-memory ring-buffer bound for the trace recorder; the sink is
         unaffected.  None uses :data:`DEFAULT_MAX_RECORDS`.
@@ -61,7 +82,7 @@ class Telemetry:
         self,
         out_dir: Optional[str] = None,
         trace_format: Optional[str] = "jsonl",
-        kinds: Optional[Sequence[str]] = None,
+        kinds: Union[str, Sequence[str], None] = None,
         max_records: Optional[int] = None,
         profile: bool = True,
         flush_every: int = 1000,
@@ -87,7 +108,7 @@ class Telemetry:
         bound = max_records if max_records is not None else DEFAULT_MAX_RECORDS
         self.trace = TraceRecorder(
             enabled=True,
-            kinds=list(kinds) if kinds else None,
+            kinds=parse_kinds(kinds),
             max_records=bound,
             sink=self.sink,
         )

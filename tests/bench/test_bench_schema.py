@@ -1,0 +1,143 @@
+"""Schema tests for BENCH_*.json and profile.json.
+
+Mirrors ``tests/telemetry/test_event_schema.py``: every producer is run
+for real (at miniature scale) and the documents it emits are validated
+against the schema contract consumers — the ``--compare`` gate, CI
+artifact readers — rely on.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.machine import machine_metadata
+from repro.bench.micro import run_micro_benchmark
+from repro.bench.report import (
+    MACRO_REQUIRED_KEYS,
+    MICRO_REQUIRED_KEYS,
+    SCHEMA_VERSION,
+    bench_filename,
+    build_profile_document,
+    build_report,
+    load_report,
+    validate_profile,
+    validate_report,
+    write_report,
+)
+from repro.bench.scenarios import MACRO_SCENARIOS, run_macro_scenario
+from repro.telemetry.profiling import FunctionProfiler
+
+#: Miniature scale: fig3_walkthrough runs 2 flows at 0.05.
+TINY = dict(scale=0.05, seed=7)
+
+
+@pytest.fixture(scope="module")
+def tiny_report():
+    """A real, miniature benchmark document (one macro, one micro)."""
+    scenarios = {
+        "fig3_walkthrough": run_macro_scenario("fig3_walkthrough", **TINY),
+    }
+    micro = {
+        "scheduler_push_pop": run_micro_benchmark(
+            "scheduler_push_pop", repetitions=2, warmup=0, n=2_000),
+    }
+    return build_report(scenarios, micro, machine_metadata(),
+                        scale=TINY["scale"], seed=TINY["seed"], quick=True)
+
+
+class TestBenchSchema:
+    def test_filename_carries_schema_version(self):
+        assert bench_filename() == f"BENCH_{SCHEMA_VERSION}.json"
+
+    def test_report_is_schema_clean(self, tiny_report):
+        assert validate_report(tiny_report) == []
+
+    def test_macro_block_has_all_documented_keys(self, tiny_report):
+        block = tiny_report["scenarios"]["fig3_walkthrough"]
+        assert MACRO_REQUIRED_KEYS <= block.keys()
+        assert block["events"] > 0
+        assert block["packets"] > 0
+        assert block["wall_s"] > 0
+        assert block["peak_mem_kb"] > 0
+        assert block["deterministic"] is True
+
+    def test_micro_block_has_all_documented_keys(self, tiny_report):
+        block = tiny_report["micro"]["scheduler_push_pop"]
+        assert MICRO_REQUIRED_KEYS <= block.keys()
+        assert block["min_ns_per_op"] > 0
+        assert block["min_ns_per_op"] <= block["median_ns_per_op"]
+
+    def test_validate_spots_missing_scenario_keys(self, tiny_report):
+        broken = json.loads(json.dumps(tiny_report))
+        del broken["scenarios"]["fig3_walkthrough"]["events"]
+        problems = validate_report(broken)
+        assert any("fig3_walkthrough" in p and "events" in p
+                   for p in problems)
+
+    def test_validate_spots_wrong_schema_name(self, tiny_report):
+        broken = dict(tiny_report, schema="repro.bench/999")
+        assert any("schema" in p for p in validate_report(broken))
+
+    def test_write_load_roundtrip(self, tiny_report, tmp_path):
+        path = write_report(tiny_report, str(tmp_path / bench_filename()))
+        loaded = load_report(path)
+        assert loaded["scenarios"].keys() == tiny_report["scenarios"].keys()
+
+    def test_load_rejects_invalid_document(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": "nope"}')
+        with pytest.raises(ValueError):
+            load_report(str(path))
+
+
+class TestDeterminism:
+    def test_same_seed_same_workload_counts(self):
+        """The acceptance bar: same-seed runs report identical event and
+        packet counts; only the timings may differ."""
+        first = run_macro_scenario("fig3_walkthrough", measure_memory=False,
+                                   **TINY)
+        second = run_macro_scenario("fig3_walkthrough", measure_memory=False,
+                                    **TINY)
+        assert first["events"] == second["events"]
+        assert first["packets"] == second["packets"]
+        assert first["workload"] == second["workload"]
+
+    def test_memory_pass_doubles_as_determinism_check(self, tiny_report):
+        assert tiny_report["scenarios"]["fig3_walkthrough"]["deterministic"]
+
+    def test_every_scenario_is_registered_with_figure_tag(self):
+        for name, scenario in MACRO_SCENARIOS.items():
+            assert scenario.name == name
+            assert scenario.figure.startswith("Fig.")
+
+
+class TestProfileSchema:
+    @pytest.fixture(scope="class")
+    def profile_doc(self):
+        profiler = FunctionProfiler(top=10)
+        scenario = MACRO_SCENARIOS["fig3_walkthrough"]
+        profiler.profile(scenario.runner, TINY["scale"], TINY["seed"])
+        return build_profile_document(
+            {"fig3_walkthrough": profiler.snapshot()}, machine_metadata(),
+            scale=TINY["scale"], seed=TINY["seed"])
+
+    def test_profile_is_schema_clean(self, profile_doc):
+        assert validate_profile(profile_doc) == []
+
+    def test_profile_attributes_simulator_internals(self, profile_doc):
+        functions = profile_doc["scenarios"]["fig3_walkthrough"]["functions"]
+        assert functions, "cProfile saw no functions"
+        names = {entry["function"] for entry in functions}
+        # The event loop's machinery must show up in the attribution.
+        assert names & {"run", "fire", "schedule_at", "push", "pop",
+                        "sort_key", "__lt__"}
+
+    def test_profile_json_roundtrips(self, profile_doc, tmp_path):
+        path = tmp_path / "profile.json"
+        path.write_text(json.dumps(profile_doc))
+        assert validate_profile(json.loads(path.read_text())) == []
+
+    def test_validate_spots_missing_function_keys(self, profile_doc):
+        broken = json.loads(json.dumps(profile_doc))
+        del broken["scenarios"]["fig3_walkthrough"]["functions"][0]["calls"]
+        assert any("calls" in p for p in validate_profile(broken))

@@ -1,0 +1,157 @@
+"""The regression gate: compare_reports deltas, thresholds, exit codes."""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench.cli import main as bench_main
+from repro.bench.report import (
+    SCHEMA_NAME,
+    SCHEMA_VERSION,
+    compare_reports,
+    render_comparison,
+    write_report,
+)
+
+
+def synthetic_report(wall=1.0, events=1000, packets=500, median_ns=100.0,
+                     platform="test-platform"):
+    """A minimal schema-complete document with controllable numbers."""
+    return {
+        "schema": SCHEMA_NAME.format(version=SCHEMA_VERSION),
+        "schema_version": SCHEMA_VERSION,
+        "created_unix": 0.0,
+        "label": None,
+        "quick": True,
+        "scale": 1.0,
+        "seed": 42,
+        "machine": {"platform": platform},
+        "scenarios": {
+            "fig3_walkthrough": {
+                "figure": "Fig. 3", "description": "d", "scale": 1.0,
+                "seed": 42, "wall_s": wall, "wall_in_runs_s": wall,
+                "events": events, "packets": packets,
+                "events_per_sec": events / wall,
+                "packets_per_sec": packets / wall,
+                "sim_time_s": 1.0, "sim_time_ratio": 1.0 / wall,
+                "peak_mem_kb": 100.0, "deterministic": True,
+                "max_heap_depth": 10, "hot_callbacks": [], "workload": {},
+            },
+        },
+        "micro": {
+            "scheduler_push_pop": {
+                "description": "d", "n": 1000, "ops": 2000,
+                "repetitions": 3, "warmup": 1,
+                "min_ns_per_op": median_ns * 0.9,
+                "median_ns_per_op": median_ns,
+                "mean_ns_per_op": median_ns * 1.1,
+            },
+        },
+    }
+
+
+class TestCompareReports:
+    def test_identical_reports_pass_any_threshold(self):
+        doc = synthetic_report()
+        result = compare_reports(doc, copy.deepcopy(doc), fail_threshold=0.1)
+        assert not result["failed"]
+        assert result["regressions"] == []
+
+    def test_inflated_wall_clock_fails_at_threshold_10(self):
+        old = synthetic_report(wall=1.0)
+        new = synthetic_report(wall=1.5)
+        result = compare_reports(old, new, fail_threshold=10.0)
+        assert result["failed"]
+        names = {r["name"] for r in result["regressions"]}
+        assert "fig3_walkthrough" in names
+
+    def test_speedup_never_fails(self):
+        old = synthetic_report(wall=1.0, median_ns=100.0)
+        new = synthetic_report(wall=0.5, median_ns=50.0)
+        result = compare_reports(old, new, fail_threshold=1.0)
+        assert not result["failed"]
+
+    def test_micro_regression_gates_too(self):
+        old = synthetic_report(median_ns=100.0)
+        new = synthetic_report(median_ns=150.0)
+        result = compare_reports(old, new, fail_threshold=10.0)
+        assert result["failed"]
+        assert result["regressions"][0]["kind"] == "micro"
+
+    def test_workload_drift_is_excluded_from_gate_but_noted(self):
+        old = synthetic_report(wall=1.0, events=1000)
+        new = synthetic_report(wall=5.0, events=2000)  # different workload
+        result = compare_reports(old, new, fail_threshold=10.0)
+        macro_rows = [r for r in result["rows"] if r["kind"] == "macro"]
+        assert not macro_rows[0]["comparable"]
+        assert all(r["kind"] != "macro" for r in result["regressions"])
+        assert any("drifted" in note for note in result["notes"])
+
+    def test_no_threshold_is_warn_only(self):
+        old = synthetic_report(wall=1.0)
+        new = synthetic_report(wall=10.0)
+        result = compare_reports(old, new, fail_threshold=None)
+        assert not result["failed"]
+        assert "warn-only" in render_comparison(result)
+
+    def test_machine_mismatch_is_noted(self):
+        old = synthetic_report(platform="laptop")
+        new = synthetic_report(platform="ci-container")
+        result = compare_reports(old, new)
+        assert any("platform" in note for note in result["notes"])
+
+    def test_render_mentions_regressions(self):
+        result = compare_reports(synthetic_report(wall=1.0),
+                                 synthetic_report(wall=2.0),
+                                 fail_threshold=10.0)
+        rendered = render_comparison(result)
+        assert "REGRESSION" in rendered
+        assert "+100.0%" in rendered
+
+
+class TestCliGate:
+    """End-to-end exit codes through the real CLI (file-vs-file mode)."""
+
+    def write(self, tmp_path, name, doc):
+        path = tmp_path / name
+        write_report(doc, str(path))
+        return str(path)
+
+    def test_exit_zero_when_within_threshold(self, tmp_path, capsys):
+        old = self.write(tmp_path, "old.json", synthetic_report(wall=1.0))
+        new = self.write(tmp_path, "new.json", synthetic_report(wall=1.05))
+        code = bench_main(["--compare", old, "--current", new,
+                           "--fail-threshold", "10"])
+        assert code == 0
+
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        old = self.write(tmp_path, "old.json", synthetic_report(wall=1.0))
+        new = self.write(tmp_path, "new.json", synthetic_report(wall=1.5))
+        code = bench_main(["--compare", old, "--current", new,
+                           "--fail-threshold", "10"])
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_warn_only_exits_zero_despite_regression(self, tmp_path, capsys):
+        old = self.write(tmp_path, "old.json", synthetic_report(wall=1.0))
+        new = self.write(tmp_path, "new.json", synthetic_report(wall=9.0))
+        code = bench_main(["--compare", old, "--current", new])
+        assert code == 0
+
+    def test_exit_two_on_invalid_baseline(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "nope"}')
+        new = self.write(tmp_path, "new.json", synthetic_report())
+        code = bench_main(["--compare", str(bad), "--current", new])
+        assert code == 2
+
+    def test_exit_two_on_unknown_scenario(self, capsys):
+        code = bench_main(["--scenarios", "no_such_scenario"])
+        assert code == 2
+
+    def test_list_exits_zero(self, capsys):
+        assert bench_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3_walkthrough" in out
+        assert "sender_ack_processing" in out

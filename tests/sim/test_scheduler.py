@@ -100,3 +100,144 @@ def test_cancellation_never_loses_live_events(entries):
     while queue.pop() is not None:
         popped += 1
     assert popped == live
+
+
+# ----------------------------------------------------------------------
+# Property test: random interleaved push/pop/cancel (the satellite the
+# compaction change rides with — ordering and accounting must survive
+# arbitrary interleavings, with compaction forced on aggressively).
+# ----------------------------------------------------------------------
+
+
+@given(st.lists(st.tuples(st.sampled_from(["push", "pop", "cancel"]),
+                          st.floats(min_value=0.0, max_value=100.0,
+                                    allow_nan=False),
+                          st.integers(min_value=-3, max_value=3),
+                          st.integers(min_value=0, max_value=10**6)),
+                max_size=300))
+def test_random_interleaving_preserves_order_and_accounting(ops):
+    queue = EventScheduler(compact_min=4)  # compact eagerly
+    model = []  # live events, insertion order
+
+    def sort_key(event):
+        return (event.time, event.priority, event.seq)
+
+    for op, time_, priority, pick in ops:
+        if op == "push":
+            event = Event(time_, lambda: None, priority=priority)
+            queue.push(event)
+            model.append(event)
+        elif op == "cancel" and model:
+            victim = model.pop(pick % len(model))
+            victim.cancel()
+            queue.note_cancelled()
+        elif op == "pop":
+            expected = min(model, key=sort_key) if model else None
+            popped = queue.pop()
+            assert popped is expected
+            if expected is not None:
+                model.remove(expected)
+        assert len(queue) == len(model)
+
+    drained = []
+    while True:
+        event = queue.pop()
+        if event is None:
+            break
+        drained.append(event)
+    assert [e.seq for e in drained] == \
+        [e.seq for e in sorted(model, key=sort_key)]
+    assert len(queue) == 0
+    assert queue.cancelled_backlog == 0 or queue.heap_depth > 0
+
+
+# ----------------------------------------------------------------------
+# Compaction of the lazily-cancelled backlog
+# ----------------------------------------------------------------------
+
+
+class TestCompaction:
+    def test_compaction_evicts_cancelled_majority(self):
+        queue = EventScheduler(compact_min=4)
+        events = [Event(float(i), lambda: None) for i in range(10)]
+        for event in events:
+            queue.push(event)
+        for event in events[:8]:
+            event.cancel()
+            queue.note_cancelled()
+        # Compaction fired once the dead entries became the majority;
+        # a small post-compaction backlog may remain.
+        assert queue.compactions >= 1
+        assert queue.heap_depth < 10
+        assert queue.cancelled_backlog < 8
+        assert [queue.pop() for _ in range(2)] == events[8:]
+        assert queue.pop() is None
+        assert queue.cancelled_backlog == 0
+
+    def test_no_compaction_below_min_backlog(self):
+        queue = EventScheduler(compact_min=100)
+        events = [Event(float(i), lambda: None) for i in range(10)]
+        for event in events:
+            queue.push(event)
+        for event in events[:8]:
+            event.cancel()
+            queue.note_cancelled()
+        assert queue.compactions == 0
+        assert queue.heap_depth == 10  # dead entries still parked
+        assert queue.cancelled_backlog == 8
+
+    def test_compact_min_zero_disables_compaction(self):
+        queue = EventScheduler(compact_min=0)
+        for i in range(50):
+            event = Event(float(i), lambda: None)
+            queue.push(event)
+            event.cancel()
+            queue.note_cancelled()
+        assert queue.compactions == 0
+        assert queue.heap_depth == 50
+
+    def test_pop_discards_shrink_backlog(self):
+        queue = EventScheduler(compact_min=100)  # keep compaction out
+        head = Event(1.0, lambda: None)
+        tail = Event(2.0, lambda: None)
+        queue.push(head)
+        queue.push(tail)
+        head.cancel()
+        queue.note_cancelled()
+        assert queue.cancelled_backlog == 1
+        assert queue.pop() is tail  # discards the cancelled head
+        assert queue.cancelled_backlog == 0
+
+    def test_backlog_gauge_tracks_churn(self):
+        from repro.telemetry.metrics import Gauge
+
+        queue = EventScheduler(compact_min=4)
+        gauge = Gauge("scheduler.cancelled_backlog")
+        queue.backlog_gauge = gauge
+        events = [Event(float(i), lambda: None) for i in range(10)]
+        for event in events:
+            queue.push(event)
+        events[0].cancel()
+        queue.note_cancelled()
+        assert gauge.value == 1
+        for event in events[1:8]:
+            event.cancel()
+            queue.note_cancelled()
+        # Compaction fired along the way; the gauge tracks whatever
+        # backlog accumulated since, and draining publishes zero.
+        assert queue.compactions >= 1
+        assert gauge.value == queue.cancelled_backlog
+        while queue.pop() is not None:
+            pass
+        assert gauge.value == 0
+
+    def test_simulator_publishes_backlog_gauge(self):
+        from repro.sim.simulator import Simulator
+        from repro.telemetry.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        sim = Simulator(metrics=metrics)
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        snapshot = metrics.snapshot()
+        assert snapshot["scheduler.cancelled_backlog"] == 1

@@ -130,3 +130,31 @@ class TestSummary:
         report = hub.summary()
         assert "dropped 3 records" in report
         hub.close()
+
+
+class TestParseKinds:
+    """The hoisted --telemetry-kinds filter (shared by CLI, quickstart
+    and programmatic sessions)."""
+
+    def test_none_passes_through(self):
+        assert telemetry.parse_kinds(None) is None
+
+    def test_comma_string_splits_and_strips(self):
+        assert telemetry.parse_kinds(" flow, halfback ,sender") == \
+            ["flow", "halfback", "sender"]
+
+    def test_sequence_passes_through_cleaned(self):
+        assert telemetry.parse_kinds(["flow", " queue "]) == ["flow", "queue"]
+
+    def test_empty_means_no_filtering(self):
+        assert telemetry.parse_kinds("") is None
+        assert telemetry.parse_kinds(",,") is None
+        assert telemetry.parse_kinds([]) is None
+
+    def test_session_accepts_comma_string(self):
+        with Telemetry(profile=False, kinds="flow,halfback") as hub:
+            hub.trace.record(0.0, "flow.start", "t", flow=1,
+                             protocol="halfback", size=1)
+            hub.trace.record(0.0, "queue.drop", "q", packet=1, uid=1)
+        kinds = {r.kind for r in hub.trace.records()}
+        assert kinds == {"flow.start"}
