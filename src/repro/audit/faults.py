@@ -1,0 +1,201 @@
+"""Fault injection for exercising the auditor.
+
+Two families, used by the property tests and available for manual
+experiments:
+
+* **Legitimate chaos** — behaviours a correct protocol must tolerate,
+  which the auditor must *not* flag: in-network reordering
+  (:class:`ReorderingQueue`) and in-network duplication
+  (:func:`attach_duplicator`, which clones packets so each copy has its
+  own identity, exactly like a duplicating middlebox).
+* **Seeded bugs** — violations of the paper's invariants, which the
+  auditor *must* flag: an out-of-order ROPR sweep
+  (:func:`seed_ropr_misorder`), a packet-conservation leak
+  (:func:`seed_conservation_leak`), and a regressing cumulative ACK
+  (:func:`seed_ack_regression`).
+
+The seeded bugs are monkey-patches on live objects rather than code
+paths in the library itself — the library stays correct; the tests
+break it from the outside.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.ropr import RoprScheduler
+from repro.net.link import Link
+from repro.net.packet import Packet, PacketType
+from repro.net.queue import DropTailQueue
+
+__all__ = [
+    "MisorderedRopr",
+    "ReorderingQueue",
+    "attach_duplicator",
+    "seed_ack_regression",
+    "seed_conservation_leak",
+    "seed_ropr_misorder",
+]
+
+
+# ======================================================================
+# Legitimate chaos (must audit clean)
+# ======================================================================
+
+
+class ReorderingQueue(DropTailQueue):
+    """Drop-tail queue that randomly swaps the two head packets.
+
+    Models in-network reordering (multi-path, load balancing): the
+    packets still arrive, just not in FIFO order.  No invariant the
+    auditor checks may depend on delivery order, so runs through this
+    queue must stay clean.
+    """
+
+    def __init__(self, capacity_bytes: int, rng, swap_prob: float = 0.2) -> None:
+        super().__init__(capacity_bytes)
+        self._rng = rng
+        self.swap_prob = swap_prob
+        self.swaps = 0
+
+    def dequeue(self) -> Optional[Packet]:
+        if len(self._packets) >= 2 and self._rng.random() < self.swap_prob:
+            self._packets[0], self._packets[1] = (
+                self._packets[1], self._packets[0])
+            self.swaps += 1
+        return super().dequeue()
+
+
+def attach_duplicator(link: Link, rng, prob: float = 0.05) -> Callable[[], int]:
+    """Make ``link`` occasionally emit a duplicate of an offered packet.
+
+    The duplicate is a :meth:`~repro.net.packet.Packet.clone` — a fresh
+    uid, like a real duplicating middlebox re-emitting the bytes — so
+    packet conservation holds per copy and the lineage tracer records
+    the clone as an orphan span.  Returns a callable reporting how many
+    duplicates were injected.
+    """
+    original = link.send
+    injected = [0]
+
+    def duplicating(packet: Packet) -> None:
+        original(packet)
+        if rng.random() < prob:
+            injected[0] += 1
+            original(packet.clone())
+
+    link.send = duplicating  # type: ignore[method-assign]
+    return lambda: injected[0]
+
+
+# ======================================================================
+# Seeded bugs (must be detected)
+# ======================================================================
+
+
+class MisorderedRopr:
+    """Wraps a :class:`RoprScheduler`, swapping each candidate pair.
+
+    Where the real scheduler proposes ``9, 8, 7, 6, ...`` this proposes
+    ``8, 9, 6, 7, ...`` — every pair produces a pointer step in the
+    wrong direction, which the ``ropr-order`` checker must flag.
+    """
+
+    def __init__(self, inner: RoprScheduler) -> None:
+        self._inner = inner
+        self._stash: Optional[int] = None
+
+    def next_candidate(self, is_acked) -> Optional[int]:
+        if self._stash is not None:
+            candidate, self._stash = self._stash, None
+            return candidate
+        first = self._inner.next_candidate(is_acked)
+        if first is None:
+            return None
+        second = self._inner.next_candidate(is_acked)
+        if second is None:
+            return first
+        self._stash = first
+        return second
+
+    def drain(self, is_acked) -> List[int]:
+        batch: List[int] = []
+        while True:
+            candidate = self.next_candidate(is_acked)
+            if candidate is None:
+                return batch
+            batch.append(candidate)
+
+    @property
+    def finished(self) -> bool:
+        return self._stash is None and self._inner.finished
+
+    @property
+    def proposed(self) -> List[int]:
+        return self._inner.proposed
+
+    @property
+    def proposed_count(self) -> int:
+        return self._inner.proposed_count
+
+    @property
+    def n_segments(self) -> int:
+        return self._inner.n_segments
+
+    @property
+    def order(self) -> str:
+        return self._inner.order
+
+
+def seed_ropr_misorder(sender) -> None:
+    """Make ``sender`` (a HalfbackSender) run ROPR out of order."""
+    if sender.ropr is not None:
+        sender.ropr = MisorderedRopr(sender.ropr)
+        return
+    original = sender.on_established
+
+    def patched() -> None:
+        original()
+        if sender.ropr is not None:
+            sender.ropr = MisorderedRopr(sender.ropr)
+
+    sender.on_established = patched  # type: ignore[method-assign]
+
+
+def seed_conservation_leak(link: Link, every: int = 5) -> None:
+    """Make ``link`` deliver every ``every``-th packet twice.
+
+    The second delivery reuses the *same* packet object (same uid): a
+    packet materialized out of nothing, which the
+    ``packet-conservation`` checker must flag.
+    """
+    original = link._deliver
+    count = [0]
+
+    def leaky(packet: Packet) -> None:
+        count[0] += 1
+        original(packet)
+        if count[0] % every == 0:
+            original(packet)
+
+    link._deliver = leaky  # type: ignore[method-assign]
+
+
+def seed_ack_regression(receiver, after: int = 3) -> None:
+    """Make ``receiver`` report a regressed cumulative ACK.
+
+    After ``after`` ACKs, every subsequent ACK claims ``ack=0`` — the
+    cumulative point moves backwards, which the
+    ``seq-ack-monotonicity`` checker must flag.
+    """
+    original = receiver._send
+    acks = [0]
+
+    def regressed(kind, ack: int = -1, sack=(), echo_time: float = -1.0):
+        if kind == PacketType.ACK:
+            acks[0] += 1
+            if acks[0] > after and ack > 0:
+                ack = 0
+        return original(kind, ack=ack, sack=sack, echo_time=echo_time)
+
+    receiver._send = regressed  # type: ignore[method-assign]

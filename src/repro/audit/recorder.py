@@ -1,0 +1,111 @@
+"""Post-mortem flight recorder.
+
+Keeps a bounded ring of the most recent trace records (every kind, not
+just lineage events) and, when asked — first violation, simulator
+crash, or explicit finalize — writes a post-mortem bundle:
+
+* ``violations.json`` — the structured violations with causal chains;
+* ``postmortem.txt`` — human-readable report: each violation, its
+  packet's causal chain, and the ASCII causal timeline of the first
+  offending flow;
+* ``ring.jsonl`` — the raw event ring in trace JSONL format, replayable
+  with ``python -m repro audit --replay``.
+
+The recorder only ever dumps once per run; later violations are still
+collected by the auditor but the bundle freezes the state around the
+first failure, which is the one worth debugging.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.telemetry.export import record_to_dict
+from repro.telemetry.schema import SCHEMA_VERSION
+
+__all__ = ["FlightRecorder"]
+
+DEFAULT_RING_SIZE = 4000
+
+
+class FlightRecorder:
+    """Bounded event ring + one-shot post-mortem bundle writer."""
+
+    def __init__(self, ring_size: int = DEFAULT_RING_SIZE) -> None:
+        if ring_size <= 0:
+            raise ValueError("ring_size must be positive")
+        self._ring: Deque = deque(maxlen=ring_size)
+        self.records_seen = 0
+        self.dumped = False
+        #: Directory of the written bundle, once dumped.
+        self.bundle_dir: Optional[str] = None
+
+    def observe(self, record) -> None:
+        """Append one trace record to the ring."""
+        self._ring.append(record)
+        self.records_seen += 1
+
+    def ring(self) -> List:
+        """The retained records, oldest first."""
+        return list(self._ring)
+
+    def dump(self, out_dir: str, violations, tracer=None,
+             reason: str = "violation") -> Optional[str]:
+        """Write the post-mortem bundle; no-op after the first dump.
+
+        Returns the bundle directory, or None if already dumped.
+        """
+        if self.dumped:
+            return None
+        self.dumped = True
+        os.makedirs(out_dir, exist_ok=True)
+        self.bundle_dir = out_dir
+
+        with open(os.path.join(out_dir, "violations.json"), "w",
+                  encoding="utf-8") as fh:
+            json.dump(
+                {
+                    "schema_version": SCHEMA_VERSION,
+                    "reason": reason,
+                    "violations": [v.to_dict() for v in violations],
+                },
+                fh, indent=2, sort_keys=True,
+            )
+            fh.write("\n")
+
+        with open(os.path.join(out_dir, "ring.jsonl"), "w",
+                  encoding="utf-8") as fh:
+            for record in self._ring:
+                fh.write(json.dumps(record_to_dict(record), sort_keys=True,
+                                    separators=(",", ":"), default=str))
+                fh.write("\n")
+
+        with open(os.path.join(out_dir, "postmortem.txt"), "w",
+                  encoding="utf-8") as fh:
+            fh.write(self._report(violations, tracer, reason))
+
+        return out_dir
+
+    def _report(self, violations, tracer, reason: str) -> str:
+        lines = [
+            "repro.audit post-mortem bundle",
+            f"reason: {reason}",
+            f"events in ring: {len(self._ring)} "
+            f"(of {self.records_seen} observed)",
+            f"violations: {len(violations)}",
+            "",
+        ]
+        for violation in violations:
+            lines.append(violation.render())
+            if violation.chain:
+                lines.append("  causal chain:")
+                lines.extend(f"    {line}" for line in violation.chain)
+            lines.append("")
+        flow = next((v.flow for v in violations if v.flow is not None), None)
+        if tracer is not None and flow is not None:
+            lines.append(tracer.render_flow(flow))
+            lines.append("")
+        return "\n".join(lines)

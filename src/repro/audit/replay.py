@@ -1,0 +1,66 @@
+"""Offline trace replay through the auditor.
+
+A trace captured with ``--telemetry --trace-file trace.jsonl`` (or the
+flight recorder's ``ring.jsonl``) can be re-audited after the fact:
+the JSONL lines are parsed back into
+:class:`~repro.sim.trace.TraceRecord` objects and fed through exactly
+the same checker/lineage pipeline a live run uses.  Lineage detail
+(``pkt.*`` events) is optional — without it the invariant checkers
+still run, they just attach no causal chains.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterator, List, Optional
+
+from repro.audit.invariants import Checker
+from repro.audit.session import Auditor
+from repro.sim.trace import TraceRecord
+
+__all__ = ["iter_trace", "replay"]
+
+
+def iter_trace(path: str) -> Iterator[TraceRecord]:
+    """Yield :class:`TraceRecord` objects from a JSONL trace file.
+
+    Blank lines are skipped; malformed lines raise ``ValueError`` with
+    the line number so a truncated crash trace fails loudly, except for
+    a *final* partial line (the usual crash artifact), which is dropped.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        pending_error: Optional[ValueError] = None
+        for lineno, line in enumerate(fh, start=1):
+            if pending_error is not None:
+                raise pending_error
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                # Defer: only raise if this is not the last line.
+                pending_error = ValueError(
+                    f"{path}:{lineno}: not valid JSON ({exc})")
+                continue
+            try:
+                yield TraceRecord(
+                    time=float(payload["time"]),
+                    kind=str(payload["kind"]),
+                    source=str(payload["source"]),
+                    detail=dict(payload.get("detail") or {}),
+                )
+            except (KeyError, TypeError) as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: not a trace record ({exc})") from None
+
+
+def replay(path: str, out_dir: Optional[str] = None,
+           checkers: Optional[List[Checker]] = None,
+           ring_size: int = 4000, max_spans: int = 200_000) -> Auditor:
+    """Audit a recorded trace file; returns the finalized auditor."""
+    auditor = Auditor(checkers=checkers, out_dir=out_dir,
+                      ring_size=ring_size, max_spans=max_spans)
+    for record in iter_trace(path):
+        auditor.observe(record)
+    return auditor.finalize()

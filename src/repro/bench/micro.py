@@ -175,6 +175,54 @@ def _trace_sink_serialization(n: int, seed: int) -> Tuple[float, int]:
     return elapsed, n
 
 
+def _halfback_flow(n: int, seed: int, audited: bool) -> Tuple[float, int]:
+    """One end-to-end Halfback flow of ``n`` segments; ops = sim events.
+
+    The audited variant runs the same flow under an
+    :class:`~repro.audit.session.AuditSession` (lineage events on, all
+    invariant checkers live), so ``flow_audit_on / flow_audit_off`` is
+    the auditor's per-event cost multiplier.
+    """
+    import contextlib
+
+    from repro.net.topology import access_network
+    from repro.protocols.registry import create_sender
+    from repro.sim.simulator import Simulator
+    from repro.transport.flow import FlowRecord, FlowSpec, next_flow_id
+    from repro.transport.receiver import Receiver
+    from repro.units import MSS, kb, mbps, ms
+
+    if audited:
+        from repro.audit import AuditSession
+
+        session = AuditSession()
+    else:
+        session = contextlib.nullcontext()
+    with session:
+        sim = Simulator(seed=seed)
+        net = access_network(sim, n_pairs=1, bottleneck_rate=mbps(50),
+                             rtt=ms(20), buffer_bytes=kb(115))
+        sender_host, receiver_host = net.pair(0)
+        spec = FlowSpec(next_flow_id(), sender_host.name, receiver_host.name,
+                        size=n * MSS, protocol="halfback")
+        Receiver(sim, receiver_host, spec.flow_id)
+        sender = create_sender(sim, sender_host, spec,
+                               record=FlowRecord(spec))
+        sender.start()
+        started = time.perf_counter()
+        sim.run(until=300.0)
+        elapsed = time.perf_counter() - started
+    return elapsed, sim.events_run
+
+
+def _flow_audit_off(n: int, seed: int) -> Tuple[float, int]:
+    return _halfback_flow(n, seed, audited=False)
+
+
+def _flow_audit_on(n: int, seed: int) -> Tuple[float, int]:
+    return _halfback_flow(n, seed, audited=True)
+
+
 MICRO_BENCHMARKS: Dict[str, MicroBenchmark] = {
     bench.name: bench for bench in (
         MicroBenchmark("scheduler_push_pop",
@@ -195,6 +243,13 @@ MICRO_BENCHMARKS: Dict[str, MicroBenchmark] = {
         MicroBenchmark("trace_sink_serialization",
                        "JSONL trace-sink write of schema-shaped records",
                        _trace_sink_serialization, default_n=20_000),
+        MicroBenchmark("flow_audit_off",
+                       "end-to-end Halfback flow, auditing off (baseline)",
+                       _flow_audit_off, default_n=1_000),
+        MicroBenchmark("flow_audit_on",
+                       "end-to-end Halfback flow under the invariant "
+                       "auditor (lineage + checkers)",
+                       _flow_audit_on, default_n=1_000),
     )
 }
 

@@ -8,6 +8,13 @@ run: every simulator the experiment builds streams its trace to
 ``DIR/trace.jsonl``, aggregates metrics, and is profiled; a summary
 report (metrics snapshot, per-flow timelines, simulator profile, export
 paths) is printed after the experiments finish.
+
+``--audit [DIR]`` runs the protocol invariant auditor (see
+:mod:`repro.audit`) over the same runs: every packet gets a lineage
+span, the paper's invariants are checked live, and the first violation
+(or crash) dumps a post-mortem bundle into ``DIR``.  Both flags
+compose — with ``--telemetry`` the auditor observes the telemetry hub's
+trace stream.
 """
 
 from __future__ import annotations
@@ -22,6 +29,9 @@ __all__ = ["main", "EXPERIMENTS"]
 
 #: Default export directory for a bare ``--telemetry``.
 DEFAULT_TELEMETRY_DIR = "telemetry-out"
+
+#: Default post-mortem bundle directory for a bare ``--audit``.
+DEFAULT_AUDIT_DIR = "audit-out"
 
 Runner = Callable[..., object]
 Formatter = Callable[[object], str]
@@ -143,9 +153,10 @@ def main(argv=None) -> int:
     )
     parser.add_argument("experiment",
                         help="experiment id (e.g. fig12), 'list' / 'all', "
-                             "or 'bench' (performance observatory; "
-                             "remaining arguments are forwarded to "
-                             "python -m repro.bench)")
+                             "'bench' (performance observatory) or 'audit' "
+                             "(offline trace auditing); for the last two the "
+                             "remaining arguments are forwarded to the "
+                             "subcommand")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="workload scale factor (1.0 = default laptop "
                              "scale; 10.0 approximates paper scale)")
@@ -166,12 +177,24 @@ def main(argv=None) -> int:
     parser.add_argument("--timeline-flows", type=int, default=4,
                         help="per-flow timelines to print in the telemetry "
                              "summary")
+    parser.add_argument("--audit", nargs="?", const=DEFAULT_AUDIT_DIR,
+                        default=None, metavar="DIR",
+                        help="run the protocol invariant auditor alongside "
+                             "the experiments; on the first violation (or "
+                             "crash) a post-mortem bundle is written to DIR "
+                             f"(default: {DEFAULT_AUDIT_DIR}) and the exit "
+                             "status is 1")
     raw_argv = list(sys.argv[1:]) if argv is None else list(argv)
     if raw_argv and raw_argv[0] == "bench":
         # The observatory has its own flag set; hand the rest through.
         from repro.bench.cli import main as bench_main
 
         return bench_main(raw_argv[1:])
+    if raw_argv and raw_argv[0] == "audit":
+        # Offline trace replay through the invariant auditor.
+        from repro.audit.cli import main as audit_main
+
+        return audit_main(raw_argv[1:])
 
     args = parser.parse_args(argv)
 
@@ -187,6 +210,7 @@ def main(argv=None) -> int:
             return 2
 
     hub = None
+    audit = None
     stack = contextlib.ExitStack()
     if args.telemetry is not None:
         from repro import telemetry
@@ -196,6 +220,12 @@ def main(argv=None) -> int:
         hub = stack.enter_context(telemetry.session(
             out_dir=args.telemetry, trace_format=args.telemetry_format,
             kinds=args.telemetry_kinds))
+    if args.audit is not None:
+        from repro.audit import AuditSession
+
+        # Entered after telemetry so the auditor composes with an active
+        # hub (observing its trace stream) instead of replacing it.
+        audit = stack.enter_context(AuditSession(out_dir=args.audit))
 
     with stack:
         for name in names:
@@ -210,6 +240,11 @@ def main(argv=None) -> int:
         # written), but the in-memory views remain readable.
         print("== telemetry ==")
         print(hub.summary(max_flows=args.timeline_flows))
+    if audit is not None:
+        print("== audit ==")
+        print(audit.report())
+        if not audit.clean:
+            return 1
     return 0
 
 

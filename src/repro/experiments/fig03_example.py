@@ -16,6 +16,9 @@ from typing import List, Tuple
 from repro.net.topology import access_network
 from repro.sim.simulator import Simulator
 from repro.sim.trace import TraceRecorder
+from repro.telemetry.schema import (
+    EV_FLOW_COMPLETE, EV_FLOW_START, EV_HALFBACK_PHASE,
+)
 from repro.transport.flow import FlowRecord, FlowSpec, next_flow_id
 from repro.transport.receiver import Receiver
 from repro.protocols.halfback import HalfbackSender
@@ -66,7 +69,7 @@ def run(rtt: float = ms(60), seed: int = 3) -> Fig3Result:
     def finish(receiver: Receiver) -> None:
         record.complete_time = sim.now
         sim.metrics.inc("flows.completed")
-        sim.trace.record(sim.now, "flow.complete", "fig3",
+        sim.trace.record(sim.now, EV_FLOW_COMPLETE, "fig3",
                          flow=flow.flow_id, fct=record.fct)
 
     Receiver(sim, receiver_host, flow.flow_id, on_complete=finish)
@@ -83,7 +86,7 @@ def run(rtt: float = ms(60), seed: int = 3) -> Fig3Result:
 
     sender.send_segment = recording_send  # type: ignore[method-assign]
     sim.metrics.inc("flows.launched")
-    sim.trace.record(sim.now, "flow.start", "fig3",
+    sim.trace.record(sim.now, EV_FLOW_START, "fig3",
                      flow=flow.flow_id, protocol="halfback",
                      size=TEN_SEGMENTS)
     sender.start()
@@ -92,7 +95,7 @@ def run(rtt: float = ms(60), seed: int = 3) -> Fig3Result:
     # Filter to this flow: under an ambient telemetry session the trace
     # may be shared with other experiments in the same process.
     phases = [(r.time, r.detail["phase"])
-              for r in trace.records("halfback.phase")
+              for r in trace.records(EV_HALFBACK_PHASE)
               if r.detail.get("flow") == flow.flow_id]
     ropr_order = [seq for _, seq, kind in transmissions if kind == "ropr"]
     return Fig3Result(record=record, transmissions=transmissions,

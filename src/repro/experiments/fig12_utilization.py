@@ -70,6 +70,12 @@ def sweep_protocols(
                 protocol, utilization, duration=duration, seed=seed,
                 n_pairs=n_pairs, drain_time=drain_time,
             )
+            if not collector.records:
+                # Short (scaled-down) runs can draw zero Poisson
+                # arrivals at the lowest loads; the point carries no
+                # information, and the schedule is seed-identical
+                # across protocols, so skipping keeps curves aligned.
+                continue
             curve.append(SweepPoint(
                 utilization=utilization,
                 mean_fct=collector.mean_fct(penalty=INCOMPLETE_PENALTY),

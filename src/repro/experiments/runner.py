@@ -21,6 +21,7 @@ from repro.net.monitor import FlowThroughputMonitor
 from repro.net.topology import AccessNetwork
 from repro.protocols.registry import ProtocolContext, create_sender
 from repro.sim.simulator import Simulator
+from repro.telemetry.schema import EV_FLOW_COMPLETE, EV_FLOW_START
 from repro.transport.config import TransportConfig
 from repro.transport.flow import FlowRecord, FlowSpec, next_flow_id
 from repro.transport.receiver import Receiver
@@ -67,14 +68,14 @@ def launch_flow(
         record.complete_time = sim.now
         record.duplicate_receptions = receiver.duplicates
         sim.metrics.inc("flows.completed")
-        sim.trace.record(sim.now, "flow.complete", "runner",
+        sim.trace.record(sim.now, EV_FLOW_COMPLETE, "runner",
                          flow=spec.flow_id, fct=record.fct)
         if on_complete is not None:
             on_complete(record)
 
     def begin() -> None:
         sim.metrics.inc("flows.launched")
-        sim.trace.record(sim.now, "flow.start", "runner",
+        sim.trace.record(sim.now, EV_FLOW_START, "runner",
                          flow=spec.flow_id, protocol=protocol, size=size)
         Receiver(sim, receiver_host, spec.flow_id, config=config,
                  on_complete=finish, throughput_monitor=throughput_monitor)

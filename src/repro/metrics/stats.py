@@ -57,7 +57,10 @@ def percentile(values: Sequence[float], pct: float) -> float:
     if lower == upper:
         return ordered[lower]
     weight = rank - lower
-    return ordered[lower] * (1 - weight) + ordered[upper] * weight
+    lo, hi = ordered[lower], ordered[upper]
+    # Interpolate as lo + w*(hi-lo) and clamp: the two-product form can
+    # land one ULP outside [lo, hi] (breaking percentile monotonicity).
+    return min(max(lo + weight * (hi - lo), lo), hi)
 
 
 def median(values: Sequence[float]) -> float:

@@ -16,6 +16,9 @@ from typing import Optional
 from repro.errors import ConfigurationError
 from repro.net.packet import Packet
 from repro.net.queue import DropTailQueue
+from repro.telemetry.schema import (
+    EV_LINK_LOSS, EV_PKT_DELIVER, EV_PKT_ENQUEUE, EV_PKT_TX, EV_QUEUE_DROP,
+)
 
 __all__ = ["Link", "LinkStats"]
 
@@ -119,10 +122,14 @@ class Link:
             self._m_queue_drops.inc()
             self._m_queue_drop_bytes.inc(packet.size)
             self.sim.trace.record(
-                self.sim.now, "queue.drop", self.name,
+                self.sim.now, EV_QUEUE_DROP, self.name,
                 packet=packet.describe(), uid=packet.uid,
             )
             return
+        trace = self.sim.trace
+        if trace.lineage:
+            trace.record(self.sim.now, EV_PKT_ENQUEUE, self.name,
+                         **packet.lineage_detail())
         if not self._busy:
             self._start_transmission()
 
@@ -138,6 +145,10 @@ class Link:
         self.stats.bytes_sent += packet.size
         self._m_tx_packets.inc()
         self._m_tx_bytes.inc(packet.size)
+        trace = self.sim.trace
+        if trace.lineage:
+            trace.record(self.sim.now, EV_PKT_TX, self.name,
+                         **packet.lineage_detail())
         self.sim.schedule(self.transmission_time(packet), self._finish_transmission, packet)
 
     def _finish_transmission(self, packet: Packet) -> None:
@@ -146,7 +157,7 @@ class Link:
             self._m_inflight_loss.inc()
             self.sim.note_drop(packet.flow_id)
             self.sim.trace.record(
-                self.sim.now, "link.loss", self.name,
+                self.sim.now, EV_LINK_LOSS, self.name,
                 packet=packet.describe(), uid=packet.uid,
             )
         else:
@@ -160,6 +171,10 @@ class Link:
         self.stats.packets_delivered += 1
         self.stats.bytes_delivered += packet.size
         self._m_delivered_bytes.inc(packet.size)
+        trace = self.sim.trace
+        if trace.lineage:
+            trace.record(self.sim.now, EV_PKT_DELIVER, self.name,
+                         dst=self.dst.name, **packet.lineage_detail())
         self.dst.receive(packet)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -13,6 +13,7 @@ from typing import Callable, Dict, Optional, Protocol
 from repro.errors import TopologyError
 from repro.net.link import Link
 from repro.net.packet import Packet
+from repro.telemetry.schema import EV_PKT_SEND
 
 __all__ = ["Endpoint", "Node", "Host", "Router"]
 
@@ -104,6 +105,17 @@ class Host(Node):
         if packet.src != self.name:
             raise TopologyError(
                 f"{self.name} asked to send packet with src={packet.src!r}"
+            )
+        trace = self.sim.trace
+        if trace.lineage:
+            # Span creation: every packet's life starts here, with enough
+            # header detail for the audit checkers to work stream-only.
+            trace.record(
+                self.sim.now, EV_PKT_SEND, self.name,
+                type=packet.kind.value, dst=packet.dst, seq=packet.seq,
+                ack=packet.ack, sack=packet.sack,
+                retransmit=packet.retransmit,
+                proactive=packet.proactive, **packet.lineage_detail(),
             )
         self.forward(packet)
 

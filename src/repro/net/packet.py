@@ -11,9 +11,9 @@ paper built on.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from enum import Enum
-from typing import Tuple
+from typing import Any, Dict, Tuple
 
 from repro.units import HEADER_SIZE
 
@@ -108,6 +108,19 @@ class Packet:
     def is_control(self) -> bool:
         """True for handshake packets and ACKs."""
         return not self.is_data
+
+    def lineage_detail(self) -> Dict[str, Any]:
+        """Detail payload shared by the ``pkt.*`` lineage hop events."""
+        return {"uid": self.uid, "flow": self.flow_id}
+
+    def clone(self) -> "Packet":
+        """A fresh-``uid`` copy of this packet.
+
+        Used to model in-network duplication: the copy is a distinct
+        wire-level object with its own lineage span, so per-link packet
+        conservation still balances.
+        """
+        return replace(self, uid=next(_packet_ids))
 
     def describe(self) -> str:
         """Short human-readable summary (used in traces and examples)."""

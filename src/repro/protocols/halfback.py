@@ -30,6 +30,7 @@ from repro.core.config import HalfbackConfig, RATE_LINE
 from repro.core.pacing_phase import PacingPlan, plan_pacing
 from repro.core.ropr import RoprScheduler
 from repro.net.packet import Packet
+from repro.telemetry.schema import EV_HALFBACK_FRONTIER, EV_HALFBACK_PHASE
 from repro.transport.pacing import Pacer
 from repro.transport.sender import SenderBase, SenderState
 
@@ -87,11 +88,14 @@ class HalfbackSender(SenderBase):
         self.plan = plan_pacing(self.flow.size, rtt, self.config, threshold)
         self.ropr = RoprScheduler(self.plan.segments, self.halfback.ropr_order)
         self.phase = HalfbackPhase.PACING
-        self._trace_phase()
+        burst = min(self.halfback.initial_burst_segments, self.plan.segments)
+        # The plan parameters ride on the phase event so stream consumers
+        # (audit pacing-evenness checker, timelines) need no sender access.
+        self._trace_phase(segments=self.plan.segments, rate=self.plan.rate,
+                          interval=self.plan.interval, burst=burst)
         self._pacer = Pacer(
             self.sim, self.plan.rate, self._release, on_idle=self._pacing_done
         )
-        burst = min(self.halfback.initial_burst_segments, self.plan.segments)
         for seq in range(burst):
             self.send_segment(seq)
         if burst == self.plan.segments:
@@ -131,7 +135,7 @@ class HalfbackSender(SenderBase):
             self.bandwidth.observe(self.sim.now, acked_bytes)
         if self.phase == HalfbackPhase.ROPR_WAIT:
             self.phase = HalfbackPhase.ROPR
-            self._trace_phase()
+            self._trace_phase(order=self.halfback.ropr_order)
         if self.phase != HalfbackPhase.ROPR:
             return
         assert self.ropr is not None
@@ -168,7 +172,7 @@ class HalfbackSender(SenderBase):
             # advancing from the front, the retransmission pointer
             # retreating from the tail; ROPR ends where they meet.
             self.sim.trace.record(
-                self.sim.now, "halfback.frontier", self.protocol_name,
+                self.sim.now, EV_HALFBACK_FRONTIER, self.protocol_name,
                 flow=self.flow.flow_id, ack=self.scoreboard.cum_ack,
                 pointer=seq,
             )
@@ -231,10 +235,10 @@ class HalfbackSender(SenderBase):
 
     # ------------------------------------------------------------------
 
-    def _trace_phase(self) -> None:
+    def _trace_phase(self, **extra) -> None:
         self.sim.trace.record(
-            self.sim.now, "halfback.phase", self.protocol_name,
-            flow=self.flow.flow_id, phase=self.phase.value,
+            self.sim.now, EV_HALFBACK_PHASE, self.protocol_name,
+            flow=self.flow.flow_id, phase=self.phase.value, **extra,
         )
 
     def on_complete_hook(self) -> None:

@@ -18,6 +18,7 @@ from typing import Optional
 
 from repro.core.pacing_phase import PacingPlan, plan_pacing
 from repro.transport.pacing import Pacer
+from repro.telemetry.schema import EV_JUMPSTART_PACING, EV_JUMPSTART_PACING_DONE
 from repro.transport.sender import SenderBase, SenderState
 
 __all__ = ["JumpStartSender"]
@@ -53,7 +54,7 @@ class JumpStartSender(SenderBase):
             pacing_threshold=self.config.flow_control_window,
         )
         self.sim.trace.record(
-            self.sim.now, "jumpstart.pacing", self.protocol_name,
+            self.sim.now, EV_JUMPSTART_PACING, self.protocol_name,
             flow=self.flow.flow_id, segments=self.plan.segments,
             rate=self.plan.rate,
         )
@@ -77,7 +78,7 @@ class JumpStartSender(SenderBase):
         self._pacing = False
         self._m_paced.inc()
         self.sim.trace.record(
-            self.sim.now, "jumpstart.pacing_done", self.protocol_name,
+            self.sim.now, EV_JUMPSTART_PACING_DONE, self.protocol_name,
             flow=self.flow.flow_id, pipe=self.scoreboard.pipe,
         )
         # Fall back to TCP.  The congestion window picks up from the

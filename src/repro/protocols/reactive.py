@@ -17,6 +17,7 @@ from typing import List
 
 from repro.net.packet import Packet
 from repro.transport.sender import SenderBase, SenderState
+from repro.telemetry.schema import EV_REACTIVE_PROBE
 
 __all__ = ["ReactiveTcpSender"]
 
@@ -84,7 +85,7 @@ class ReactiveTcpSender(SenderBase):
         self._m_probes.inc()
         self.record.extra["probes"] = self.probes_sent
         self.sim.trace.record(
-            self.sim.now, "reactive.probe", self.protocol_name,
+            self.sim.now, EV_REACTIVE_PROBE, self.protocol_name,
             flow=self.flow.flow_id, seq=probe,
         )
         self.send_segment(probe, retransmit=True)

@@ -21,6 +21,7 @@ from repro.sim.randomness import RandomStreams
 from repro.sim.trace import TraceRecorder
 from repro.telemetry.context import current_hub
 from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.schema import EV_SIM_CRASH
 
 __all__ = ["Simulator", "Timer"]
 
@@ -179,6 +180,12 @@ class Simulator:
                                       self._queue.heap_depth)
                 self.events_run += 1
                 fired += 1
+        except BaseException as exc:
+            # Post-mortem marker: lets flight recorders (repro.audit)
+            # capture the crash site with the lineage ring still warm.
+            self.trace.record(self._now, EV_SIM_CRASH, "simulator",
+                              error=f"{type(exc).__name__}: {exc}")
+            raise
         finally:
             self._running = False
             if profiler is not None:

@@ -16,6 +16,16 @@ Two additions keep large workloads honest:
   on-disk trace stays complete even when the ring wraps.  Pass
   ``keep_records=False`` to stream only.
 
+Two extension points serve the audit subsystem (:mod:`repro.audit`):
+
+* ``lineage`` opts into per-packet hop events (``pkt.*``); emission
+  sites in the network/transport layers guard on this flag so the
+  default tracing cost is unchanged when auditing is off;
+* observers registered via :meth:`TraceRecorder.add_observer` see every
+  record *before* kind filtering, so a runtime invariant auditor can
+  watch the full event stream while the in-memory/sink view stays
+  filtered to what the user asked for.
+
 The documented event-kind/detail-key contract lives in
 :mod:`repro.telemetry.schema`.
 """
@@ -72,19 +82,25 @@ class TraceRecorder:
     keep_records:
         When False nothing is stored in memory (stream-only mode;
         requires a sink to be useful).
+    lineage:
+        When True, packet-level lineage emission sites (``pkt.*`` hop
+        events in links/hosts/receivers) fire; they stay silent
+        otherwise so per-packet tracing remains opt-in.
     """
 
     def __init__(self, enabled: bool = True, kinds: Optional[List[str]] = None,
                  max_records: Optional[int] = None, sink=None,
-                 keep_records: bool = True) -> None:
+                 keep_records: bool = True, lineage: bool = False) -> None:
         if max_records is not None and max_records <= 0:
             raise ValueError("max_records must be positive (or None)")
         self.enabled = enabled
+        self.lineage = lineage
         self._kinds = tuple(kinds) if kinds else None
         self._max_records = max_records
         self._records: Deque[TraceRecord] = deque(maxlen=max_records)
         self.sink = sink
         self._keep = keep_records
+        self._observers: List[Any] = []
         #: Records evicted from the ring buffer (ring mode only).
         self.dropped_records = 0
 
@@ -93,13 +109,34 @@ class TraceRecorder:
         """The ring-buffer bound, or None when unbounded."""
         return self._max_records
 
+    def add_observer(self, observer) -> None:
+        """Attach a callable receiving every :class:`TraceRecord`.
+
+        Observers run before the kind filter so stream consumers (the
+        audit subsystem) see events the user's filter would discard.
+        """
+        self._observers.append(observer)
+
+    def remove_observer(self, observer) -> None:
+        """Detach a previously attached observer (no-op if absent)."""
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
+
     def record(self, time: float, kind: str, source: str, **detail: Any) -> None:
         """Record one event (no-op when disabled or filtered out)."""
         if not self.enabled:
             return
+        rec = None
+        if self._observers:
+            rec = TraceRecord(time, kind, source, detail)
+            for observer in self._observers:
+                observer(rec)
         if self._kinds is not None and not kind.startswith(self._kinds):
             return
-        rec = TraceRecord(time, kind, source, detail)
+        if rec is None:
+            rec = TraceRecord(time, kind, source, detail)
         if self.sink is not None:
             self.sink.write(rec)
         if self._keep:

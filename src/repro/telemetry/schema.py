@@ -1,50 +1,126 @@
 """The documented trace-event schema.
 
-Telemetry consumers (timelines, exporters, downstream analysis) rely on
-each event kind carrying a stable set of detail keys.  This module is
-the single source of truth: emitters must include at least the keys
-listed here, and the schema test suite runs every protocol and asserts
-compliance.
+Telemetry consumers (timelines, exporters, the audit subsystem,
+downstream analysis) rely on each event kind carrying a stable set of
+detail keys.  This module is the single source of truth: the event-name
+constants below are what emitters *and* consumers (the
+:mod:`repro.audit` invariant checkers included) import, so a renamed
+event is a one-line change here instead of a string hunt across layers.
+Emitters must include at least the keys listed in :data:`EVENT_SCHEMA`,
+and the schema test suite runs every protocol and asserts compliance.
 
 ``flow``-keyed events feed per-flow timelines; packet-level events
-(``queue.drop``, ``link.loss``) identify the packet instead.
+(``queue.drop``, ``link.loss``, and the ``pkt.*`` lineage family)
+identify the packet by ``uid`` instead (lineage events carry ``flow``
+too, for per-flow causal trees).
+
+Schema versions
+---------------
+* **v1** — the original telemetry schema (flow lifecycle, transport
+  sender, protocol, and packet-drop events).
+* **v2** — adds the packet-lineage family (``pkt.send``,
+  ``pkt.enqueue``, ``pkt.tx``, ``pkt.deliver``, ``pkt.ack_gen``) emitted
+  only when a trace recorder's ``lineage`` flag is on, plus the
+  ``sim.crash`` post-mortem marker.
 """
 
 from __future__ import annotations
 
 from typing import Dict, FrozenSet, List
 
-__all__ = ["EVENT_SCHEMA", "FLOW_EVENT_KINDS", "required_keys",
-           "missing_keys", "validate_records"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "EVENT_SCHEMA", "FLOW_EVENT_KINDS", "LINEAGE_EVENT_KINDS",
+    "required_keys", "missing_keys", "validate_records",
+    # Event-name constants (v1).
+    "EV_FLOW_START", "EV_FLOW_COMPLETE",
+    "EV_SENDER_ESTABLISHED", "EV_SENDER_RECOVERY", "EV_SENDER_RTO",
+    "EV_SENDER_DONE", "EV_SENDER_FAILED",
+    "EV_HALFBACK_PHASE", "EV_HALFBACK_FRONTIER",
+    "EV_JUMPSTART_PACING", "EV_JUMPSTART_PACING_DONE",
+    "EV_REACTIVE_PROBE",
+    "EV_QUEUE_DROP", "EV_LINK_LOSS",
+    # Event-name constants (v2: packet lineage + post-mortem).
+    "EV_PKT_SEND", "EV_PKT_ENQUEUE", "EV_PKT_TX", "EV_PKT_DELIVER",
+    "EV_PKT_ACK_GEN", "EV_SIM_CRASH",
+]
+
+#: Version of the event contract documented here (see module docstring).
+SCHEMA_VERSION = 2
+
+# -- Experiment harness (flow lifecycle). ------------------------------
+EV_FLOW_START = "flow.start"
+EV_FLOW_COMPLETE = "flow.complete"
+# -- Transport sender framework. ---------------------------------------
+EV_SENDER_ESTABLISHED = "sender.established"
+EV_SENDER_RECOVERY = "sender.recovery"
+EV_SENDER_RTO = "sender.rto"
+EV_SENDER_DONE = "sender.done"
+EV_SENDER_FAILED = "sender.failed"
+# -- Halfback. ---------------------------------------------------------
+EV_HALFBACK_PHASE = "halfback.phase"
+EV_HALFBACK_FRONTIER = "halfback.frontier"
+# -- JumpStart. --------------------------------------------------------
+EV_JUMPSTART_PACING = "jumpstart.pacing"
+EV_JUMPSTART_PACING_DONE = "jumpstart.pacing_done"
+# -- Reactive TCP. -----------------------------------------------------
+EV_REACTIVE_PROBE = "reactive.probe"
+# -- Network substrate (packet-level). ---------------------------------
+EV_QUEUE_DROP = "queue.drop"
+EV_LINK_LOSS = "link.loss"
+# -- Packet lineage (v2; emitted only when ``trace.lineage`` is on). ---
+#: A host originated a packet (span creation).
+EV_PKT_SEND = "pkt.send"
+#: A link's egress queue admitted the packet.
+EV_PKT_ENQUEUE = "pkt.enqueue"
+#: A link began serializing the packet.
+EV_PKT_TX = "pkt.tx"
+#: A link handed the packet to its destination node.
+EV_PKT_DELIVER = "pkt.deliver"
+#: The receiver generated an ACK in response to a data packet
+#: (``parent`` is the triggering data packet's uid — the causal edge).
+EV_PKT_ACK_GEN = "pkt.ack_gen"
+#: The simulator aborted on an exception (post-mortem marker).
+EV_SIM_CRASH = "sim.crash"
 
 #: kind -> detail keys every emission must carry.
 EVENT_SCHEMA: Dict[str, FrozenSet[str]] = {
-    # Experiment harness (flow lifecycle).
-    "flow.start": frozenset({"flow", "protocol", "size"}),
-    "flow.complete": frozenset({"flow", "fct"}),
-    # Transport sender framework.
-    "sender.established": frozenset({"flow", "rtt"}),
-    "sender.recovery": frozenset({"flow", "point"}),
-    "sender.rto": frozenset({"flow", "timeouts"}),
-    "sender.done": frozenset({"flow", "fct", "retx", "proactive"}),
-    "sender.failed": frozenset({"flow"}),
-    # Halfback.
-    "halfback.phase": frozenset({"flow", "phase"}),
-    "halfback.frontier": frozenset({"flow", "ack", "pointer"}),
-    # JumpStart.
-    "jumpstart.pacing": frozenset({"flow", "segments", "rate"}),
-    "jumpstart.pacing_done": frozenset({"flow", "pipe"}),
-    # Reactive TCP.
-    "reactive.probe": frozenset({"flow", "seq"}),
-    # Network substrate (packet-level).
-    "queue.drop": frozenset({"packet", "uid"}),
-    "link.loss": frozenset({"packet", "uid"}),
+    EV_FLOW_START: frozenset({"flow", "protocol", "size"}),
+    EV_FLOW_COMPLETE: frozenset({"flow", "fct"}),
+    EV_SENDER_ESTABLISHED: frozenset({"flow", "rtt"}),
+    EV_SENDER_RECOVERY: frozenset({"flow", "point"}),
+    EV_SENDER_RTO: frozenset({"flow", "timeouts"}),
+    EV_SENDER_DONE: frozenset({"flow", "fct", "retx", "proactive"}),
+    EV_SENDER_FAILED: frozenset({"flow"}),
+    EV_HALFBACK_PHASE: frozenset({"flow", "phase"}),
+    EV_HALFBACK_FRONTIER: frozenset({"flow", "ack", "pointer"}),
+    EV_JUMPSTART_PACING: frozenset({"flow", "segments", "rate"}),
+    EV_JUMPSTART_PACING_DONE: frozenset({"flow", "pipe"}),
+    EV_REACTIVE_PROBE: frozenset({"flow", "seq"}),
+    EV_QUEUE_DROP: frozenset({"packet", "uid"}),
+    EV_LINK_LOSS: frozenset({"packet", "uid"}),
+    # Packet lineage (v2).
+    EV_PKT_SEND: frozenset({"uid", "flow", "type", "dst"}),
+    EV_PKT_ENQUEUE: frozenset({"uid", "flow"}),
+    EV_PKT_TX: frozenset({"uid", "flow"}),
+    EV_PKT_DELIVER: frozenset({"uid", "flow", "dst"}),
+    EV_PKT_ACK_GEN: frozenset({"uid", "flow", "parent", "ack"}),
+    EV_SIM_CRASH: frozenset({"error"}),
 }
 
 #: Kinds that carry a ``flow`` key and belong on per-flow timelines.
+#: Lineage events carry ``flow`` too but are packet-granular, so they
+#: are excluded here and collected in :data:`LINEAGE_EVENT_KINDS`.
 FLOW_EVENT_KINDS = frozenset(
-    kind for kind, keys in EVENT_SCHEMA.items() if "flow" in keys
+    kind for kind, keys in EVENT_SCHEMA.items()
+    if "flow" in keys and not kind.startswith("pkt.")
 )
+
+#: The per-packet causal-tracing family (plus the packet-keyed drop and
+#: loss events the lineage tracer also consumes).
+LINEAGE_EVENT_KINDS = frozenset({
+    EV_PKT_SEND, EV_PKT_ENQUEUE, EV_PKT_TX, EV_PKT_DELIVER, EV_PKT_ACK_GEN,
+})
 
 
 def required_keys(kind: str) -> FrozenSet[str]:

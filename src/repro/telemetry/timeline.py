@@ -14,6 +14,11 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from repro.telemetry.schema import (
+    EV_FLOW_COMPLETE, EV_FLOW_START, EV_HALFBACK_FRONTIER,
+    EV_HALFBACK_PHASE, EV_SENDER_ESTABLISHED,
+)
+
 __all__ = ["TimelineEvent", "FlowTimeline", "build_timelines",
            "render_timeline", "render_timelines", "timeline_to_json"]
 
@@ -46,7 +51,7 @@ class FlowTimeline:
     def fct(self) -> Optional[float]:
         """Receiver-side flow completion time, when recorded."""
         for event in self.events:
-            if event.kind == "flow.complete":
+            if event.kind == EV_FLOW_COMPLETE:
                 fct = event.detail.get("fct")
                 return float(fct) if fct is not None else None
         return None
@@ -54,7 +59,7 @@ class FlowTimeline:
     def phases(self) -> List[tuple]:
         """``(time, phase)`` transitions (Halfback's pacing→ROPR→... arc)."""
         return [(e.time, str(e.detail["phase"])) for e in self.events
-                if e.kind == "halfback.phase"]
+                if e.kind == EV_HALFBACK_PHASE]
 
     def frontier(self) -> List[tuple]:
         """``(time, ack, pointer)`` ROPR frontier positions.
@@ -64,7 +69,7 @@ class FlowTimeline:
         names the scheme.
         """
         return [(e.time, int(e.detail["ack"]), int(e.detail["pointer"]))
-                for e in self.events if e.kind == "halfback.frontier"]
+                for e in self.events if e.kind == EV_HALFBACK_FRONTIER]
 
 
 def build_timelines(records: Iterable, flows: Optional[Sequence[int]] = None
@@ -87,7 +92,7 @@ def build_timelines(records: Iterable, flows: Optional[Sequence[int]] = None
         timeline = timelines.get(flow_id)
         if timeline is None:
             timeline = timelines[flow_id] = FlowTimeline(flow_id)
-        if record.kind == "flow.start":
+        if record.kind == EV_FLOW_START:
             timeline.protocol = record.detail.get("protocol")
             size = record.detail.get("size")
             timeline.size = int(size) if size is not None else None
@@ -106,16 +111,16 @@ def build_timelines(records: Iterable, flows: Optional[Sequence[int]] = None
 def _describe(event: TimelineEvent) -> str:
     """Compact one-line description of an event's payload."""
     detail = {k: v for k, v in event.detail.items() if k != "flow"}
-    if event.kind == "halfback.phase":
+    if event.kind == EV_HALFBACK_PHASE:
         return f"phase -> {detail.get('phase')}"
-    if event.kind == "halfback.frontier":
+    if event.kind == EV_HALFBACK_FRONTIER:
         return (f"frontier ack={detail.get('ack')} "
                 f"retx-ptr={detail.get('pointer')}")
-    if event.kind == "sender.established":
+    if event.kind == EV_SENDER_ESTABLISHED:
         rtt = detail.get("rtt")
         return ("established" if rtt is None
                 else f"established (rtt {float(rtt) * 1e3:.1f}ms)")
-    if event.kind == "flow.complete":
+    if event.kind == EV_FLOW_COMPLETE:
         fct = detail.get("fct")
         return ("complete" if fct is None
                 else f"complete (FCT {float(fct) * 1e3:.1f}ms)")

@@ -17,6 +17,7 @@ from typing import Callable, Optional
 from repro.errors import TransportError
 from repro.net.monitor import FlowThroughputMonitor
 from repro.net.packet import Packet, PacketType
+from repro.telemetry.schema import EV_PKT_ACK_GEN
 from repro.transport.config import TransportConfig
 from repro.transport.flow import segments_for
 from repro.transport.sacks import ReceiveTracker
@@ -121,12 +122,21 @@ class Receiver:
             self.throughput_monitor.on_delivery(self.sim.now, packet)
         # Karn's rule: only first transmissions carry a timestamp, so
         # echoing blindly is safe (retransmissions carry -1).
-        self._send(
+        ack_packet = self._send(
             PacketType.ACK,
             ack=self.tracker.cum,
             sack=self.tracker.sack_blocks(),
             echo_time=packet.echo_time,
         )
+        trace = self.sim.trace
+        if trace.lineage:
+            # The causal edge data packet -> ACK: ``parent`` is the data
+            # packet that triggered this ACK.
+            trace.record(
+                self.sim.now, EV_PKT_ACK_GEN, self.host.name,
+                parent=packet.uid, ack=ack_packet.ack,
+                **ack_packet.lineage_detail(),
+            )
         if self.tracker.complete and self.state != ReceiverState.COMPLETE:
             self.state = ReceiverState.COMPLETE
             self.complete_time = self.sim.now
@@ -135,7 +145,7 @@ class Receiver:
 
     # ------------------------------------------------------------------
 
-    def _send(self, kind: PacketType, ack: int = -1, sack=(), echo_time: float = -1.0) -> None:
+    def _send(self, kind: PacketType, ack: int = -1, sack=(), echo_time: float = -1.0) -> Packet:
         if self.peer is None:
             raise TransportError("receiver has no peer yet")
         packet = Packet(
@@ -151,6 +161,7 @@ class Receiver:
         if kind == PacketType.ACK:
             self.acks_sent += 1
         self.host.send(packet)
+        return packet
 
     # ------------------------------------------------------------------
 

@@ -33,6 +33,10 @@ from typing import List, Optional
 
 from repro.errors import TransportError
 from repro.net.packet import Packet, PacketType
+from repro.telemetry.schema import (
+    EV_SENDER_DONE, EV_SENDER_ESTABLISHED, EV_SENDER_FAILED,
+    EV_SENDER_RECOVERY, EV_SENDER_RTO,
+)
 from repro.transport.config import TransportConfig
 from repro.transport.flow import FlowRecord, FlowSpec
 from repro.transport.rtt import RttEstimator
@@ -225,7 +229,7 @@ class SenderBase:
         )
         self.host.send(ack)
         self.sim.trace.record(
-            self.sim.now, "sender.established", self.protocol_name,
+            self.sim.now, EV_SENDER_ESTABLISHED, self.protocol_name,
             flow=self.flow.flow_id, rtt=self.record.handshake_rtt,
         )
         self.on_established()
@@ -272,7 +276,7 @@ class SenderBase:
         self.cwnd = max(self.ssthresh, 1.0)
         self._m_recovery.inc()
         self.sim.trace.record(
-            self.sim.now, "sender.recovery", self.protocol_name,
+            self.sim.now, EV_SENDER_RECOVERY, self.protocol_name,
             flow=self.flow.flow_id, point=self.recovery_point,
         )
 
@@ -390,7 +394,7 @@ class SenderBase:
         self.cwnd = 1.0
         self.recovery_point = -1
         self.sim.trace.record(
-            self.sim.now, "sender.rto", self.protocol_name,
+            self.sim.now, EV_SENDER_RTO, self.protocol_name,
             flow=self.flow.flow_id, timeouts=self.record.timeouts,
         )
         self.on_timeout_hook()
@@ -408,7 +412,7 @@ class SenderBase:
         self.record.final_srtt = self.rtt.srtt
         self._m_completed.inc()
         self.sim.trace.record(
-            self.sim.now, "sender.done", self.protocol_name,
+            self.sim.now, EV_SENDER_DONE, self.protocol_name,
             flow=self.flow.flow_id,
             fct=self.sim.now - self.flow.start_time,
             retx=self.record.normal_retransmissions,
@@ -423,7 +427,7 @@ class SenderBase:
         self.state = SenderState.FAILED
         self._m_failed.inc()
         self.sim.trace.record(
-            self.sim.now, "sender.failed", self.protocol_name,
+            self.sim.now, EV_SENDER_FAILED, self.protocol_name,
             flow=self.flow.flow_id,
         )
         self._teardown()

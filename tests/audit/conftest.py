@@ -1,0 +1,86 @@
+"""Shared plumbing for the audit tests: run one flow under audit.
+
+Unlike :func:`tests.conftest.run_one_flow` this keeps the construction
+steps open so callers can seed faults (on the sender, receiver, links)
+*before* the simulation runs, and wraps the whole thing in an
+:class:`~repro.audit.session.AuditSession`.
+"""
+
+from typing import Callable, Optional
+
+import pytest
+
+from repro.audit import AuditSession
+from repro.net.topology import access_network
+from repro.protocols.registry import create_sender
+from repro.sim.simulator import Simulator
+from repro.transport.flow import FlowRecord, FlowSpec, next_flow_id
+from repro.transport.receiver import Receiver
+from repro.units import MSS, kb, mbps, ms
+
+
+class AuditedRun:
+    """Everything an audit test wants to inspect afterwards."""
+
+    def __init__(self, session, sim, net, sender, receiver, record):
+        self.session = session
+        self.sim = sim
+        self.net = net
+        self.sender = sender
+        self.receiver = receiver
+        self.record = record
+
+    @property
+    def violations(self):
+        return self.session.violations
+
+    @property
+    def clean(self):
+        return self.session.clean
+
+    def checkers_hit(self):
+        return sorted({v.checker for v in self.violations})
+
+
+def run_audited_flow(
+    protocol: str = "halfback",
+    segments: int = 40,
+    seed: int = 1,
+    loss_rate: float = 0.0,
+    horizon: float = 250.0,
+    out_dir: Optional[str] = None,
+    fault: Optional[Callable] = None,
+    bottleneck_rate: float = mbps(15),
+    rtt: float = ms(60),
+    buffer_bytes: int = kb(115),
+) -> AuditedRun:
+    """One flow under an AuditSession; ``fault(sim, net, sender,
+    receiver)`` runs after construction, before the first event."""
+    with AuditSession(out_dir=out_dir) as session:
+        sim = Simulator(seed=seed)
+        net = access_network(sim, n_pairs=1, bottleneck_rate=bottleneck_rate,
+                             rtt=rtt, buffer_bytes=buffer_bytes)
+        if loss_rate:
+            net.bottleneck.set_loss(loss_rate)
+        sender_host, receiver_host = net.pair(0)
+        spec = FlowSpec(next_flow_id(), sender_host.name, receiver_host.name,
+                        size=segments * MSS, protocol=protocol)
+        record = FlowRecord(spec)
+
+        def finish(rcv: Receiver) -> None:
+            record.complete_time = sim.now
+            record.duplicate_receptions = rcv.duplicates
+
+        receiver = Receiver(sim, receiver_host, spec.flow_id,
+                            on_complete=finish)
+        sender = create_sender(sim, sender_host, spec, record=record)
+        if fault is not None:
+            fault(sim=sim, net=net, sender=sender, receiver=receiver)
+        sender.start()
+        sim.run(until=horizon)
+    return AuditedRun(session, sim, net, sender, receiver, record)
+
+
+@pytest.fixture
+def audited_flow():
+    return run_audited_flow

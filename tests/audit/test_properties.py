@@ -1,0 +1,116 @@
+"""The auditor's soundness/completeness property tests.
+
+Soundness: behaviours a correct protocol must tolerate — random loss,
+in-network reordering, in-network duplication, in any combination —
+never produce a violation (no false positives).  Completeness: seeded
+protocol bugs (out-of-order ROPR, conservation leak, regressing ACKs)
+are always detected, and by the right checker.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.audit.faults import (
+    ReorderingQueue,
+    attach_duplicator,
+    seed_ack_regression,
+    seed_conservation_leak,
+    seed_ropr_misorder,
+)
+from tests.audit.conftest import run_audited_flow
+
+
+def chaos(swap_prob: float, dup_prob: float):
+    """A fault hook injecting legitimate network misbehaviour."""
+
+    def apply(sim, net, **kw):
+        if swap_prob:
+            for link, tag in ((net.bottleneck, "fwd"),
+                              (net.reverse_bottleneck, "rev")):
+                link.queue = ReorderingQueue(
+                    link.queue.capacity_bytes,
+                    sim.streams.get(f"chaos-swap-{tag}"), swap_prob)
+        if dup_prob:
+            attach_duplicator(net.bottleneck,
+                              sim.streams.get("chaos-dup-fwd"), dup_prob)
+            attach_duplicator(net.reverse_bottleneck,
+                              sim.streams.get("chaos-dup-rev"), dup_prob)
+
+    return apply
+
+
+class TestSoundness:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        segments=st.integers(min_value=3, max_value=60),
+        loss=st.floats(min_value=0.0, max_value=0.2),
+        swap=st.sampled_from([0.0, 0.15, 0.35]),
+        dup=st.sampled_from([0.0, 0.05, 0.1]),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_loss_reorder_duplication_never_violate(self, segments, loss,
+                                                    swap, dup, seed):
+        run = run_audited_flow(protocol="halfback", segments=segments,
+                               seed=seed, loss_rate=loss,
+                               fault=chaos(swap, dup))
+        assert run.clean, run.session.report()
+        # The chaos must not have broken delivery either — otherwise
+        # the auditor was just never exercised past the failure.
+        assert run.record.completed, (segments, loss, swap, dup, seed)
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        protocol=st.sampled_from(["tcp", "jumpstart", "reactive"]),
+        loss=st.floats(min_value=0.0, max_value=0.15),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_other_protocols_audit_clean_too(self, protocol, loss, seed):
+        run = run_audited_flow(protocol=protocol, segments=30, seed=seed,
+                               loss_rate=loss)
+        assert run.clean, run.session.report()
+
+
+class TestCompleteness:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        segments=st.integers(min_value=20, max_value=80),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_misordered_ropr_always_detected(self, segments, seed):
+        run = run_audited_flow(
+            protocol="halfback", segments=segments, seed=seed,
+            fault=lambda sender, **kw: seed_ropr_misorder(sender))
+        assert "ropr-order" in run.checkers_hit(), run.session.report()
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        every=st.integers(min_value=2, max_value=15),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_conservation_leak_always_detected(self, every, seed):
+        run = run_audited_flow(
+            protocol="halfback", segments=40, seed=seed,
+            fault=lambda net, **kw: seed_conservation_leak(net.bottleneck,
+                                                           every=every))
+        assert "packet-conservation" in run.checkers_hit(), \
+            run.session.report()
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        after=st.integers(min_value=1, max_value=10),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_ack_regression_always_detected(self, after, seed):
+        run = run_audited_flow(
+            protocol="halfback", segments=40, seed=seed,
+            fault=lambda receiver, **kw: seed_ack_regression(receiver,
+                                                             after=after))
+        assert "seq-ack-monotonicity" in run.checkers_hit(), \
+            run.session.report()
+
+    def test_violations_carry_causal_chains(self):
+        run = run_audited_flow(
+            protocol="halfback", segments=60, seed=3,
+            fault=lambda sender, **kw: seed_ropr_misorder(sender))
+        flagged = [v for v in run.violations if v.checker == "ropr-order"]
+        assert flagged
+        assert all(v.chain for v in flagged)

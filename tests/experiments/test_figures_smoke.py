@@ -126,6 +126,18 @@ def test_fig12_tiny_sweep():
     fig12_utilization.format_report(result)
 
 
+def test_fig12_skips_zero_arrival_points():
+    # Seed 42 draws zero Poisson arrivals at 5% load over 5 s (the
+    # scaled-down CLI default); the point must be skipped, not crash
+    # mean_fct with an empty collector.
+    result = fig12_utilization.sweep_protocols(
+        ("tcp",), utilizations=(0.05, 0.3), duration=5.0, seed=42,
+    )
+    curve = result.curve("tcp")
+    assert [p.utilization for p in curve] == [0.3]
+    fig12_utilization.format_report(result)
+
+
 def test_fig01_derives_from_sweep():
     sweep = fig12_utilization.sweep_protocols(
         ("tcp", "halfback"), utilizations=(0.1, 0.3), duration=4.0,

@@ -9,6 +9,7 @@ Fresh processes matter: flow ids come from a process-global counter, so
 an in-process repeat would renumber flows and trivially differ.
 """
 
+import json
 import os
 import subprocess
 import sys
@@ -19,12 +20,15 @@ import pytest
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
 
-def run_fig3(out_dir: Path) -> None:
+def run_fig3(out_dir: Path, audit_dir: Path = None) -> None:
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    argv = [sys.executable, "-m", "repro", "fig3", "--seed", "42",
+            "--telemetry", str(out_dir)]
+    if audit_dir is not None:
+        argv += ["--audit", str(audit_dir)]
     result = subprocess.run(
-        [sys.executable, "-m", "repro", "fig3", "--seed", "42",
-         "--telemetry", str(out_dir)],
+        argv,
         cwd=str(REPO_ROOT), env=env,
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
         timeout=120,
@@ -60,3 +64,49 @@ def test_metrics_export_is_byte_identical(two_runs):
 def test_profile_exists_but_is_not_compared(two_runs):
     first, __ = two_runs
     assert (first / "profile.json").exists()
+
+
+@pytest.fixture(scope="module")
+def two_audited_runs(tmp_path_factory):
+    first = tmp_path_factory.mktemp("audited-run1")
+    second = tmp_path_factory.mktemp("audited-run2")
+    run_fig3(first, audit_dir=first / "audit")
+    run_fig3(second, audit_dir=second / "audit")
+    return first, second
+
+
+def test_audited_trace_is_byte_identical(two_audited_runs):
+    """Auditing observes the run — lineage events included, the trace
+    stays deterministic."""
+    first, second = two_audited_runs
+    a = (first / "trace.jsonl").read_bytes()
+    b = (second / "trace.jsonl").read_bytes()
+    assert a == b
+
+
+def test_audited_trace_carries_lineage_events(two_audited_runs):
+    first, __ = two_audited_runs
+    trace = (first / "trace.jsonl").read_text()
+    for kind in ('"pkt.send"', '"pkt.enqueue"', '"pkt.tx"',
+                 '"pkt.deliver"', '"pkt.ack_gen"'):
+        assert kind in trace, f"audited trace is missing {kind} events"
+
+
+def test_audit_only_adds_events_never_reorders(two_runs, two_audited_runs):
+    """The audited trace is the plain trace plus lineage events: the
+    non-lineage subsequence must be identical, so auditing cannot have
+    perturbed the simulation itself."""
+    plain, __ = two_runs
+    audited, __ = two_audited_runs
+
+    def non_lineage(path: Path):
+        return [line for line in path.read_text().splitlines()
+                if not json.loads(line)["kind"].startswith("pkt.")]
+
+    assert non_lineage(audited / "trace.jsonl") == \
+        non_lineage(plain / "trace.jsonl")
+
+
+def test_clean_audited_run_leaves_no_bundle(two_audited_runs):
+    first, __ = two_audited_runs
+    assert not (first / "audit").exists()

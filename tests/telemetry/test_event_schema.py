@@ -13,6 +13,8 @@ from repro.telemetry import Telemetry
 from repro.telemetry.schema import (
     EVENT_SCHEMA,
     FLOW_EVENT_KINDS,
+    LINEAGE_EVENT_KINDS,
+    SCHEMA_VERSION,
     missing_keys,
     required_keys,
     validate_records,
@@ -21,9 +23,10 @@ from repro.units import MSS, kb, mbps
 from tests.conftest import run_one_flow
 
 
-def traced_flow(protocol, **kwargs):
+def traced_flow(protocol, lineage=False, **kwargs):
     """Run one flow inside a telemetry session; returns (run, records)."""
     with Telemetry(profile=False) as hub:
+        hub.trace.lineage = lineage
         run = run_one_flow(protocol, **kwargs)
     return run, hub.trace.records()
 
@@ -34,6 +37,9 @@ def assert_schema_clean(records):
 
 
 class TestSchemaHelpers:
+    def test_schema_version_is_current(self):
+        assert SCHEMA_VERSION == 2
+
     def test_required_keys_known_and_unknown(self):
         assert required_keys("halfback.frontier") == {"flow", "ack", "pointer"}
         assert required_keys("no.such.kind") == frozenset()
@@ -46,6 +52,12 @@ class TestSchemaHelpers:
         assert "halfback.phase" in FLOW_EVENT_KINDS
         assert "queue.drop" not in FLOW_EVENT_KINDS
         assert "link.loss" not in FLOW_EVENT_KINDS
+        assert not (FLOW_EVENT_KINDS & LINEAGE_EVENT_KINDS)
+
+    def test_lineage_kinds_are_documented(self):
+        assert LINEAGE_EVENT_KINDS <= set(EVENT_SCHEMA)
+        for kind in LINEAGE_EVENT_KINDS:
+            assert {"uid", "flow"} <= required_keys(kind)
 
     def test_validate_records_reports_violations(self):
         bad = TraceRecord(2.0, "flow.start", "runner", {"flow": 9})
@@ -155,6 +167,54 @@ class TestReactiveEvents:
         assert_schema_clean(records)
 
 
+class TestLineageEvents:
+    def test_lineage_off_by_default(self):
+        __, records = traced_flow("halfback", size=100_000)
+        assert not any(r.kind in LINEAGE_EVENT_KINDS for r in records)
+
+    def test_lineage_flow_emits_every_hop_kind(self):
+        run, records = traced_flow("halfback", size=100_000, lineage=True)
+        assert run.record.completed
+        kinds = {r.kind for r in records}
+        assert LINEAGE_EVENT_KINDS <= kinds
+        assert_schema_clean(records)
+
+    def test_every_packet_has_a_send_span(self):
+        # Every downstream hop event must reference a uid whose life
+        # started with a pkt.send — the tracer's span-creation invariant.
+        __, records = traced_flow("halfback", size=100_000, lineage=True)
+        born = {r.detail["uid"] for r in records if r.kind == "pkt.send"}
+        for record in records:
+            if record.kind in LINEAGE_EVENT_KINDS:
+                assert record.detail["uid"] in born
+
+    def test_ack_gen_parents_are_delivered_data(self):
+        __, records = traced_flow("halfback", size=100_000, lineage=True)
+        delivered = {r.detail["uid"] for r in records
+                     if r.kind == "pkt.deliver"}
+        acks = [r for r in records if r.kind == "pkt.ack_gen"]
+        assert acks
+        for ack in acks:
+            assert ack.detail["parent"] in delivered
+
+    def test_sim_crash_record_is_schema_clean(self):
+        from repro.sim.simulator import Simulator
+        from repro.sim.trace import TraceRecorder
+
+        sim = Simulator(seed=1, trace=TraceRecorder(enabled=True))
+
+        def boom():
+            raise RuntimeError("injected")
+
+        sim.schedule(0.1, boom)
+        with pytest.raises(RuntimeError):
+            sim.run()
+        crashes = sim.trace.records("sim.crash")
+        assert len(crashes) == 1
+        assert "RuntimeError" in crashes[0].detail["error"]
+        assert_schema_clean(crashes)
+
+
 class TestEverySchemaKindIsExercised:
     def test_covered_kinds(self):
         """The union of this suite's scenarios exercises most of the
@@ -162,7 +222,7 @@ class TestEverySchemaKindIsExercised:
         schema force a test."""
         seen = set()
         for protocol, kwargs in [
-            ("halfback", dict(size=100_000)),
+            ("halfback", dict(size=100_000, lineage=True)),
             ("jumpstart", dict(size=100_000, bottleneck_rate=mbps(5),
                                buffer_bytes=kb(20))),
             ("tcp", dict(size=100_000, loss_rate=0.05, seed=2)),
@@ -174,6 +234,7 @@ class TestEverySchemaKindIsExercised:
         uncovered = set(EVENT_SCHEMA) - seen
         # flow.start/flow.complete come from the experiment runner (not
         # run_one_flow); sender.failed needs an aborted flow;
-        # reactive.probe is covered by the direct-firing test above.
+        # reactive.probe and sim.crash are covered by direct-firing
+        # tests above.
         assert uncovered <= {"flow.start", "flow.complete", "sender.failed",
-                             "reactive.probe", "sender.rto"}
+                             "reactive.probe", "sender.rto", "sim.crash"}
