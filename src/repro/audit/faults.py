@@ -6,8 +6,10 @@ experiments:
 * **Legitimate chaos** — behaviours a correct protocol must tolerate,
   which the auditor must *not* flag: in-network reordering
   (:class:`ReorderingQueue`) and in-network duplication
-  (:func:`attach_duplicator`, which clones packets so each copy has its
-  own identity, exactly like a duplicating middlebox).
+  (:func:`attach_duplicator`).  These middleboxes now live in
+  :mod:`repro.chaos.impairments` (promoted into the chaos engine, where
+  they compose into full profiles); they are re-exported here so
+  existing imports keep working.
 * **Seeded bugs** — violations of the paper's invariants, which the
   auditor *must* flag: an out-of-order ROPR sweep
   (:func:`seed_ropr_misorder`), a packet-conservation leak
@@ -21,12 +23,12 @@ break it from the outside.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import List, Optional
 
+from repro.chaos.impairments import ReorderingQueue, attach_duplicator
 from repro.core.ropr import RoprScheduler
 from repro.net.link import Link
 from repro.net.packet import Packet, PacketType
-from repro.net.queue import DropTailQueue
 
 __all__ = [
     "MisorderedRopr",
@@ -36,56 +38,6 @@ __all__ = [
     "seed_conservation_leak",
     "seed_ropr_misorder",
 ]
-
-
-# ======================================================================
-# Legitimate chaos (must audit clean)
-# ======================================================================
-
-
-class ReorderingQueue(DropTailQueue):
-    """Drop-tail queue that randomly swaps the two head packets.
-
-    Models in-network reordering (multi-path, load balancing): the
-    packets still arrive, just not in FIFO order.  No invariant the
-    auditor checks may depend on delivery order, so runs through this
-    queue must stay clean.
-    """
-
-    def __init__(self, capacity_bytes: int, rng, swap_prob: float = 0.2) -> None:
-        super().__init__(capacity_bytes)
-        self._rng = rng
-        self.swap_prob = swap_prob
-        self.swaps = 0
-
-    def dequeue(self) -> Optional[Packet]:
-        if len(self._packets) >= 2 and self._rng.random() < self.swap_prob:
-            self._packets[0], self._packets[1] = (
-                self._packets[1], self._packets[0])
-            self.swaps += 1
-        return super().dequeue()
-
-
-def attach_duplicator(link: Link, rng, prob: float = 0.05) -> Callable[[], int]:
-    """Make ``link`` occasionally emit a duplicate of an offered packet.
-
-    The duplicate is a :meth:`~repro.net.packet.Packet.clone` — a fresh
-    uid, like a real duplicating middlebox re-emitting the bytes — so
-    packet conservation holds per copy and the lineage tracer records
-    the clone as an orphan span.  Returns a callable reporting how many
-    duplicates were injected.
-    """
-    original = link.send
-    injected = [0]
-
-    def duplicating(packet: Packet) -> None:
-        original(packet)
-        if rng.random() < prob:
-            injected[0] += 1
-            original(packet.clone())
-
-    link.send = duplicating  # type: ignore[method-assign]
-    return lambda: injected[0]
 
 
 # ======================================================================

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.telemetry.schema import (
+    EV_CHAOS_CLONE,
     EV_HALFBACK_FRONTIER,
     EV_HALFBACK_PHASE,
     EV_LINK_LOSS,
@@ -118,6 +119,11 @@ class AckKnowledge(Checker):
     is always observed after the knowledge update — checkers evaluating
     at ``pkt.send`` time therefore see exactly the scoreboard state the
     sender acted on.
+
+    In-network duplicates (``chaos.clone``) inherit the copied ACK's
+    in-flight contents under their own uid: a clone that reaches the
+    sender teaches it exactly what the original would have, even when
+    the original itself is later dropped.
     """
 
     name = "ack-knowledge"
@@ -138,11 +144,20 @@ class AckKnowledge(Checker):
                     detail["flow"], detail.get("ack", -1),
                     detail.get("sack", ()), detail.get("dst", ""),
                 )
+        elif kind == EV_CHAOS_CLONE:
+            info = self._in_flight.get(detail.get("clone_of"))
+            if info is not None:
+                self._in_flight[detail["uid"]] = info
         elif kind == EV_PKT_DELIVER:
             info = self._in_flight.get(detail["uid"])
             if info is not None and detail.get("dst") == info[3]:
                 del self._in_flight[detail["uid"]]
-                self._merge(info[0], info[1], info[2])
+                # A corrupted ACK is discarded by the endpoint's
+                # checksum stand-in, so its contents never reach the
+                # sender — merging it would credit the sender with
+                # knowledge it provably does not have.
+                if not detail.get("corrupted"):
+                    self._merge(info[0], info[1], info[2])
         elif kind in (EV_LINK_LOSS, EV_QUEUE_DROP):
             self._in_flight.pop(detail.get("uid"), None)
         elif kind == EV_SENDER_DONE:

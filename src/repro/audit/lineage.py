@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional
 
 from repro.telemetry.schema import (
+    EV_CHAOS_CLONE,
     EV_LINK_LOSS,
     EV_PKT_ACK_GEN,
     EV_PKT_DELIVER,
@@ -118,7 +119,7 @@ class LineageTracer:
         """Fold one trace record into the lineage state."""
         kind = record.kind
         if not (kind.startswith("pkt.") or kind == EV_QUEUE_DROP
-                or kind == EV_LINK_LOSS):
+                or kind == EV_LINK_LOSS or kind == EV_CHAOS_CLONE):
             return
         detail = record.detail
         uid = detail.get("uid")
@@ -127,6 +128,10 @@ class LineageTracer:
         if kind == EV_PKT_SEND:
             span = self._open_span(record, uid, detail)
             self._link_transmission(span)
+            span.events.append(HopEvent(record.time, kind, record.source))
+            return
+        if kind == EV_CHAOS_CLONE:
+            span = self._open_clone_span(record, uid, detail)
             span.events.append(HopEvent(record.time, kind, record.source))
             return
         span = self._spans.get(uid)
@@ -160,6 +165,31 @@ class LineageTracer:
             dst=detail.get("dst", ""),
             retransmit=bool(detail.get("retransmit")),
             proactive=bool(detail.get("proactive")),
+        )
+        self._retain(span)
+        return span
+
+    def _open_clone_span(self, record, uid: int, detail) -> PacketSpan:
+        """Span for an in-network duplicate (``chaos.clone``).
+
+        The clone wears the original's headers, so the span copies them
+        from the parent when it is still retained; ``parent`` is the
+        causal edge back to the copied packet.  Clones are *not* linked
+        into ``_latest_tx`` — they are middlebox artifacts, not sender
+        transmissions.
+        """
+        parent_uid = detail.get("clone_of")
+        parent = self._spans.get(parent_uid) if parent_uid is not None else None
+        span = PacketSpan(
+            uid=uid,
+            flow=detail.get("flow", -1),
+            created=record.time,
+            kind=f"dup:{parent.kind}" if parent is not None else "dup",
+            seq=parent.seq if parent is not None else -1,
+            ack=parent.ack if parent is not None else -1,
+            src=record.source,
+            dst=parent.dst if parent is not None else "",
+            parent=parent_uid,
         )
         self._retain(span)
         return span

@@ -223,6 +223,48 @@ def _flow_audit_on(n: int, seed: int) -> Tuple[float, int]:
     return _halfback_flow(n, seed, audited=True)
 
 
+def _halfback_flow_chaos(n: int, seed: int,
+                         profile: Optional[str]) -> Tuple[float, int]:
+    """One end-to-end Halfback flow, optionally under a chaos profile.
+
+    ``flow_chaos_on / flow_chaos_off`` is the impairment pipeline's
+    per-event cost multiplier; the off variant pays exactly one falsy
+    ``link._impairments`` check per packet hop — the cost the <2%
+    overhead gate bounds.
+    """
+    from repro.net.topology import access_network
+    from repro.protocols.registry import create_sender
+    from repro.sim.simulator import Simulator
+    from repro.transport.flow import FlowRecord, FlowSpec, next_flow_id
+    from repro.transport.receiver import Receiver
+    from repro.units import MSS, kb, mbps, ms
+
+    sim = Simulator(seed=seed)
+    net = access_network(sim, n_pairs=1, bottleneck_rate=mbps(50),
+                         rtt=ms(20), buffer_bytes=kb(115))
+    if profile is not None:
+        from repro.chaos import get_profile
+
+        get_profile(profile, seed=seed).apply(net)
+    sender_host, receiver_host = net.pair(0)
+    spec = FlowSpec(next_flow_id(), sender_host.name, receiver_host.name,
+                    size=n * MSS, protocol="halfback")
+    Receiver(sim, receiver_host, spec.flow_id)
+    sender = create_sender(sim, sender_host, spec, record=FlowRecord(spec))
+    sender.start()
+    started = time.perf_counter()
+    sim.run(until=300.0)
+    return time.perf_counter() - started, sim.events_run
+
+
+def _flow_chaos_off(n: int, seed: int) -> Tuple[float, int]:
+    return _halfback_flow_chaos(n, seed, profile=None)
+
+
+def _flow_chaos_on(n: int, seed: int) -> Tuple[float, int]:
+    return _halfback_flow_chaos(n, seed, profile="wifi-bursty")
+
+
 MICRO_BENCHMARKS: Dict[str, MicroBenchmark] = {
     bench.name: bench for bench in (
         MicroBenchmark("scheduler_push_pop",
@@ -250,6 +292,14 @@ MICRO_BENCHMARKS: Dict[str, MicroBenchmark] = {
                        "end-to-end Halfback flow under the invariant "
                        "auditor (lineage + checkers)",
                        _flow_audit_on, default_n=1_000),
+        MicroBenchmark("flow_chaos_off",
+                       "end-to-end Halfback flow, empty impairment "
+                       "pipeline (chaos-off fast path)",
+                       _flow_chaos_off, default_n=1_000),
+        MicroBenchmark("flow_chaos_on",
+                       "end-to-end Halfback flow under the wifi-bursty "
+                       "chaos profile",
+                       _flow_chaos_on, default_n=1_000),
     )
 }
 

@@ -1,0 +1,90 @@
+"""Deterministic network chaos: impairments, profiles, survival sweeps.
+
+The chaos engine makes the simulator's networks *hostile* in named,
+reproducible ways, and then holds every protocol to a liveness
+contract while they suffer.  Three layers:
+
+* :mod:`repro.chaos.impairments` — composable :class:`Impairment`
+  objects attachable to any link: Gilbert–Elliott bursty loss, link
+  flaps, blackhole windows, delay jitter, bandwidth modulation, payload
+  corruption, duplication, and reordering;
+* :mod:`repro.chaos.profiles` — named impairment bundles
+  (``wifi-bursty``, ``flaky-uplink``, ``brownout``, ...) selectable per
+  run via ``--chaos PROFILE[:seed]`` on every experiment target, plus
+  the ambient :func:`session` that applies the active profile to every
+  access network built inside it;
+* :mod:`repro.chaos.sweep` — the survival harness
+  (``python -m repro chaos sweep``): every protocol under every
+  profile, enforcing that flows terminate (DONE, or FAILED with a
+  structured ``abort_reason``), the simulator never stalls (the
+  no-progress watchdog raises a diagnosable
+  :class:`~repro.errors.StallError` otherwise), and audited runs stay
+  violation-free.
+
+All chaos randomness comes from named simulator streams keyed by the
+profile seed, so every impairment schedule — and the sweep's result
+fingerprint — is bit-identical across same-seed invocations.
+"""
+
+from repro.chaos.impairments import (
+    BandwidthModulation,
+    BlackholeWindow,
+    DelayJitter,
+    Duplication,
+    GilbertElliottLoss,
+    Impairment,
+    LinkFlap,
+    PayloadCorruption,
+    Reordering,
+    ReorderingQueue,
+    attach_duplicator,
+)
+from repro.chaos.profiles import (
+    AppliedChaos,
+    ChaosProfile,
+    available_profiles,
+    get_profile,
+    parse_profile,
+    register_profile,
+    session,
+)
+# The sweep layer is exported lazily (PEP 562): it imports the
+# experiment runner, which imports the network substrate, which imports
+# repro.chaos.context — an eager import here would close that loop while
+# repro.experiments.runner is still half-initialized.
+_SWEEP_EXPORTS = ("CellResult", "SweepReport", "run_cell", "run_sweep",
+                  "sweep_config")
+
+
+def __getattr__(name):
+    if name in _SWEEP_EXPORTS:
+        from repro.chaos import sweep as _sweep
+
+        return getattr(_sweep, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "AppliedChaos",
+    "BandwidthModulation",
+    "BlackholeWindow",
+    "CellResult",
+    "ChaosProfile",
+    "DelayJitter",
+    "Duplication",
+    "GilbertElliottLoss",
+    "Impairment",
+    "LinkFlap",
+    "PayloadCorruption",
+    "Reordering",
+    "ReorderingQueue",
+    "SweepReport",
+    "attach_duplicator",
+    "available_profiles",
+    "get_profile",
+    "parse_profile",
+    "register_profile",
+    "run_cell",
+    "run_sweep",
+    "session",
+]

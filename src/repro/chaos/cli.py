@@ -1,0 +1,85 @@
+"""The ``chaos`` subcommand: ``python -m repro chaos <command>``.
+
+``chaos list`` prints the profile catalogue; ``chaos sweep`` runs the
+protocol x profile survival matrix and exits non-zero when the liveness
+contract breaks (a stalled simulator, a flow neither DONE nor FAILED,
+or — with ``--audit`` — any invariant violation).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+__all__ = ["main"]
+
+
+def _split(value: Optional[str]) -> Optional[List[str]]:
+    if value is None:
+        return None
+    items = [item.strip() for item in value.split(",") if item.strip()]
+    return items or None
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="halfback-repro chaos",
+        description="Deterministic network chaos: impairment profiles "
+                    "and liveness-guaranteed protocol survival sweeps.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="print the chaos profile catalogue")
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run the protocol x profile survival matrix")
+    p_sweep.add_argument("--protocols", default=None, metavar="NAMES",
+                         help="comma-separated protocol subset "
+                              "(default: every registered protocol)")
+    p_sweep.add_argument("--profiles", default=None, metavar="NAMES",
+                         help="comma-separated profile subset "
+                              "(default: every registered profile)")
+    p_sweep.add_argument("--flows", type=int, default=4,
+                         help="flows per cell (default 4)")
+    p_sweep.add_argument("--size", type=int, default=60_000,
+                         help="payload bytes per flow (default 60000)")
+    p_sweep.add_argument("--seed", type=int, default=42,
+                         help="master sweep seed")
+    p_sweep.add_argument("--audit", action="store_true",
+                         help="run the invariant auditor over every cell "
+                              "(violations break the cell)")
+    p_sweep.add_argument("--json", default=None, metavar="PATH",
+                         help="also write the full report (cells + "
+                              "fingerprint) as JSON")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        from repro.chaos.profiles import _PROFILES, available_profiles
+
+        for name in available_profiles():
+            print(f"{name:18s} {_PROFILES[name].description}")
+        return 0
+
+    from repro.chaos.sweep import run_sweep
+
+    report = run_sweep(
+        protocols=_split(args.protocols),
+        profiles=_split(args.profiles),
+        seed=args.seed,
+        n_flows=args.flows,
+        size=args.size,
+        audit=args.audit,
+    )
+    print(report.format_report())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"json report: {args.json}")
+    return 0 if report.live else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

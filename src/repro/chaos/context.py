@@ -1,0 +1,52 @@
+"""The ambient chaos session.
+
+Mirrors :mod:`repro.telemetry.context`: the CLI (or a test) *activates*
+one :class:`~repro.chaos.profiles.ChaosProfile`, and every access
+network built while it is active (see
+:func:`repro.net.topology.access_network`) gets the profile's
+impairments attached automatically — the ``--chaos`` flag instruments
+experiments without changing a single experiment signature.
+
+This module is import-light on purpose (no repro imports): the topology
+builder imports it, and the chaos package imports the network substrate,
+so this file is the cycle-breaker.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+__all__ = ["current_profile", "activate", "deactivate", "activated"]
+
+_active = None
+
+
+def current_profile():
+    """The active chaos profile, or None when chaos is off."""
+    return _active
+
+
+def activate(profile) -> None:
+    """Make ``profile`` the ambient chaos session."""
+    global _active
+    _active = profile
+
+
+def deactivate(profile=None) -> None:
+    """Clear the ambient session (only if ``profile`` still owns it)."""
+    global _active
+    if profile is None or _active is profile:
+        _active = None
+
+
+@contextmanager
+def activated(profile) -> Iterator[Optional[object]]:
+    """Activate ``profile`` for the duration of a ``with`` block."""
+    global _active
+    previous = _active
+    _active = profile
+    try:
+        yield profile
+    finally:
+        _active = previous

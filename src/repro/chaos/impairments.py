@@ -1,0 +1,449 @@
+"""Composable link impairments.
+
+An :class:`Impairment` attaches to one :class:`~repro.net.link.Link`
+direction (via :meth:`Link.attach_impairment`) and participates in the
+link's packet pipeline at three points:
+
+* **offer** — :meth:`Impairment.clones` may emit duplicates of a packet
+  offered to the link (a duplicating middlebox; clones get fresh uids so
+  packet conservation holds per copy);
+* **in flight** — after serialization, :meth:`Impairment.in_flight_fate`
+  may drop the packet (returning a reason string; the link records the
+  drop as an ``link.loss`` event so the auditor's conservation balance
+  stays intact), :meth:`Impairment.extra_delay` may add propagation
+  jitter, and :meth:`Impairment.corrupts` may flip the packet's
+  ``corrupted`` bit (endpoints discard corrupted packets, modelling a
+  checksum failure);
+* **time** — timer-driven impairments (:class:`LinkFlap`,
+  :class:`BandwidthModulation`) schedule state changes on the link's
+  simulator at bind time and cancel them at unbind.
+
+All randomness is drawn from named simulator streams
+(``chaos:<seed>:<impairment>:<link>``), so a run is a deterministic
+function of the master seed and the profile seed, and the same profile
+applied to the forward and reverse directions of a link produces
+independent (but reproducible) draws.
+
+:class:`ReorderingQueue` and :func:`attach_duplicator` started life in
+:mod:`repro.audit.faults` as audit test fixtures; they are now owned
+here (the audit module re-exports them for backward compatibility).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Tuple
+
+from repro.errors import ChaosError
+from repro.net.packet import Packet
+from repro.net.queue import DropTailQueue
+from repro.telemetry.schema import EV_CHAOS_FLAP, EV_CHAOS_RATE
+
+__all__ = [
+    "Impairment",
+    "GilbertElliottLoss",
+    "LinkFlap",
+    "BlackholeWindow",
+    "DelayJitter",
+    "BandwidthModulation",
+    "PayloadCorruption",
+    "Duplication",
+    "Reordering",
+    "ReorderingQueue",
+    "attach_duplicator",
+]
+
+
+class Impairment:
+    """Base class: a no-op impairment bound to at most one link.
+
+    Subclasses override the pipeline hooks they need and may use
+    :attr:`rng` (a named, deterministically-seeded stream fetched at
+    bind time) and :attr:`link` (the bound link).  ``seed`` is the
+    profile seed; it namespaces the RNG stream so the same impairment
+    under two profile seeds draws independently.
+    """
+
+    name = "impairment"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.link = None
+        self.rng = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def bind(self, link) -> None:
+        """Attach to ``link`` (called by ``Link.attach_impairment``)."""
+        if self.link is not None:
+            raise ChaosError(
+                f"impairment {self.name!r} is already bound to "
+                f"{self.link.name!r}; build one instance per link"
+            )
+        self.link = link
+        self.rng = link.sim.streams.get(
+            f"chaos:{self.seed}:{self.name}:{link.name}"
+        )
+        self.on_bind()
+
+    def unbind(self) -> None:
+        """Detach (called by ``Link.detach_impairments``); idempotent."""
+        if self.link is None:
+            return
+        self.on_unbind()
+        self.link = None
+        self.rng = None
+
+    def on_bind(self) -> None:
+        """Subclass hook: arm timers, capture link state."""
+
+    def on_unbind(self) -> None:
+        """Subclass hook: cancel timers, restore link state."""
+
+    # -- pipeline hooks -------------------------------------------------
+
+    def clones(self, packet: Packet) -> Iterable[Packet]:
+        """Duplicates to admit alongside an offered packet."""
+        return ()
+
+    def in_flight_fate(self, packet: Packet) -> Optional[str]:
+        """A drop-reason string to lose the packet in flight, else None."""
+        return None
+
+    def extra_delay(self, packet: Packet) -> float:
+        """Additional propagation delay (seconds) for this packet."""
+        return 0.0
+
+    def corrupts(self, packet: Packet) -> bool:
+        """True to flip the packet's ``corrupted`` bit."""
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = self.link.name if self.link is not None else "unbound"
+        return f"<{type(self).__name__} {self.name} on {where}>"
+
+
+class GilbertElliottLoss(Impairment):
+    """Two-state Markov (Gilbert–Elliott) bursty loss.
+
+    The chain steps once per serialized packet: in the *good* state
+    packets are lost with ``loss_good`` (usually 0), in the *bad* state
+    with ``loss_bad``; ``p_enter_bad`` / ``p_exit_bad`` are the per-packet
+    transition probabilities.  Mean burst length is ``1/p_exit_bad``
+    packets — the wireless-fade pattern independent Bernoulli loss
+    cannot reproduce.
+    """
+
+    name = "gilbert-elliott"
+
+    def __init__(self, p_enter_bad: float = 0.01, p_exit_bad: float = 0.25,
+                 loss_good: float = 0.0, loss_bad: float = 0.5,
+                 seed: int = 0) -> None:
+        super().__init__(seed)
+        for label, p in (("p_enter_bad", p_enter_bad),
+                         ("p_exit_bad", p_exit_bad),
+                         ("loss_good", loss_good), ("loss_bad", loss_bad)):
+            if not 0.0 <= p <= 1.0:
+                raise ChaosError(f"{label} must be in [0, 1], got {p}")
+        self.p_enter_bad = p_enter_bad
+        self.p_exit_bad = p_exit_bad
+        self.loss_good = loss_good
+        self.loss_bad = loss_bad
+        self.bad = False
+        self.losses = 0
+
+    def in_flight_fate(self, packet: Packet) -> Optional[str]:
+        rng = self.rng
+        if self.bad:
+            if rng.random() < self.p_exit_bad:
+                self.bad = False
+        elif rng.random() < self.p_enter_bad:
+            self.bad = True
+        loss = self.loss_bad if self.bad else self.loss_good
+        if loss and rng.random() < loss:
+            self.losses += 1
+            return "bursty-loss" if self.bad else "residual-loss"
+        return None
+
+
+class LinkFlap(Impairment):
+    """Link up/down outages on a (jittered) square wave.
+
+    While the link is *down* every in-flight packet is dropped with
+    reason ``"link-down"`` — an interface flap, not congestion.  Each
+    up/down period is the configured duration scaled by a uniform factor
+    in ``[1 - jitter, 1 + jitter]``, so flaps drift against RTO timers
+    instead of phase-locking.  Transitions are traced as ``chaos.flap``
+    events.
+    """
+
+    name = "link-flap"
+
+    def __init__(self, up_time: float = 2.0, down_time: float = 0.5,
+                 jitter: float = 0.3, seed: int = 0) -> None:
+        super().__init__(seed)
+        if up_time <= 0 or down_time <= 0:
+            raise ChaosError("flap up_time and down_time must be positive")
+        if not 0.0 <= jitter < 1.0:
+            raise ChaosError("flap jitter must be in [0, 1)")
+        self.up_time = up_time
+        self.down_time = down_time
+        self.jitter = jitter
+        self.up = True
+        self.flaps = 0
+        self._handle = None
+
+    def on_bind(self) -> None:
+        self.up = True
+        self._handle = self.link.sim.schedule(self._duration(), self._toggle)
+
+    def on_unbind(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+        self.up = True
+
+    def _duration(self) -> float:
+        base = self.up_time if self.up else self.down_time
+        if self.jitter:
+            base *= 1.0 + self.jitter * (2.0 * self.rng.random() - 1.0)
+        return base
+
+    def _toggle(self) -> None:
+        self.up = not self.up
+        self.flaps += 1
+        sim = self.link.sim
+        sim.trace.record(sim.now, EV_CHAOS_FLAP, self.link.name,
+                         link=self.link.name, up=self.up)
+        self._handle = sim.schedule(self._duration(), self._toggle)
+
+    def in_flight_fate(self, packet: Packet) -> Optional[str]:
+        return None if self.up else "link-down"
+
+
+class BlackholeWindow(Impairment):
+    """Silent drops during one absolute time window.
+
+    Every packet whose serialization finishes inside
+    ``[start, start + duration)`` is dropped with reason ``"blackhole"``
+    — a unidirectional routing blackhole with no signal to either
+    endpoint.  ``duration=float("inf")`` models a permanently dead path
+    (the sweep's ``dead-air`` profile), which must end in
+    ``syn-retries-exhausted`` / ``max-flow-duration`` aborts rather than
+    a hang.
+    """
+
+    name = "blackhole"
+
+    def __init__(self, start: float = 0.0, duration: float = 1.0,
+                 seed: int = 0) -> None:
+        super().__init__(seed)
+        if start < 0 or duration <= 0:
+            raise ChaosError("blackhole start must be >= 0, duration > 0")
+        self.start = start
+        self.duration = duration
+
+    def in_flight_fate(self, packet: Packet) -> Optional[str]:
+        now = self.link.sim.now
+        if self.start <= now < self.start + self.duration:
+            return "blackhole"
+        return None
+
+
+class DelayJitter(Impairment):
+    """Uniform extra propagation delay in ``[0, amplitude]`` seconds.
+
+    Large amplitudes (relative to a packet's serialization time) reorder
+    deliveries, which a correct transport — and the auditor — must
+    tolerate.
+    """
+
+    name = "delay-jitter"
+
+    def __init__(self, amplitude: float = 0.005, seed: int = 0) -> None:
+        super().__init__(seed)
+        if amplitude < 0:
+            raise ChaosError("jitter amplitude must be non-negative")
+        self.amplitude = amplitude
+
+    def extra_delay(self, packet: Packet) -> float:
+        return self.rng.random() * self.amplitude
+
+
+class BandwidthModulation(Impairment):
+    """Steps the link's serialization rate through a cyclic schedule.
+
+    Every ``step`` seconds the link rate becomes ``base_rate * factor``
+    for the next factor in ``factors`` (all must be positive; the base
+    rate is captured at bind time and restored at unbind).  Each step is
+    traced as a ``chaos.rate`` event.  Models brownouts: shared-medium
+    throughput collapse and recovery.
+    """
+
+    name = "bandwidth-modulation"
+
+    def __init__(self, factors: Tuple[float, ...] = (1.0, 0.25, 0.5),
+                 step: float = 1.0, seed: int = 0) -> None:
+        super().__init__(seed)
+        if not factors or any(f <= 0 for f in factors):
+            raise ChaosError("modulation factors must be positive")
+        if step <= 0:
+            raise ChaosError("modulation step must be positive")
+        self.factors = tuple(factors)
+        self.step = step
+        self.steps = 0
+        self._base_rate = 0.0
+        self._index = 0
+        self._handle = None
+
+    def on_bind(self) -> None:
+        self._base_rate = self.link.rate
+        self._index = 0
+        self._handle = self.link.sim.schedule(self.step, self._advance)
+
+    def on_unbind(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+        self.link.rate = self._base_rate
+
+    def _advance(self) -> None:
+        self._index = (self._index + 1) % len(self.factors)
+        self.steps += 1
+        rate = self._base_rate * self.factors[self._index]
+        self.link.rate = rate
+        sim = self.link.sim
+        sim.trace.record(sim.now, EV_CHAOS_RATE, self.link.name,
+                         link=self.link.name, rate=rate)
+        self._handle = sim.schedule(self.step, self._advance)
+
+
+class PayloadCorruption(Impairment):
+    """Flips bits in flight with probability ``prob`` per packet.
+
+    The packet still arrives — links deliver it, conservation balances —
+    but the endpoint's checksum stand-in discards it (see
+    ``Receiver.on_packet`` / ``SenderBase.on_packet``), so the sender
+    recovers through normal RTO/SACK machinery.  Corrupting ACKs is the
+    interesting case: the sender provably never learns their contents.
+    """
+
+    name = "payload-corruption"
+
+    def __init__(self, prob: float = 0.02, seed: int = 0) -> None:
+        super().__init__(seed)
+        if not 0.0 <= prob < 1.0:
+            raise ChaosError("corruption prob must be in [0, 1)")
+        self.prob = prob
+        self.corrupted = 0
+
+    def corrupts(self, packet: Packet) -> bool:
+        if self.rng.random() < self.prob:
+            self.corrupted += 1
+            return True
+        return False
+
+
+class Duplication(Impairment):
+    """A duplicating middlebox: clones offered packets with ``prob``.
+
+    Each duplicate is a :meth:`~repro.net.packet.Packet.clone` — a fresh
+    uid, like a real middlebox re-emitting the bytes — so packet
+    conservation holds per copy.  The link announces each clone with a
+    ``chaos.clone`` trace event carrying the original's uid: the causal
+    edge the lineage tracer and the auditor's sender-knowledge
+    reconstruction need (a cloned ACK teaches the sender exactly what
+    the original would have).
+    """
+
+    name = "duplication"
+
+    def __init__(self, prob: float = 0.05, seed: int = 0) -> None:
+        super().__init__(seed)
+        if not 0.0 <= prob < 1.0:
+            raise ChaosError("duplication prob must be in [0, 1)")
+        self.prob = prob
+        self.injected = 0
+
+    def clones(self, packet: Packet) -> Iterable[Packet]:
+        if self.rng.random() < self.prob:
+            self.injected += 1
+            return (packet.clone(),)
+        return ()
+
+
+class ReorderingQueue(DropTailQueue):
+    """Drop-tail queue that randomly swaps the two head packets.
+
+    Models in-network reordering (multi-path, load balancing): the
+    packets still arrive, just not in FIFO order.  No invariant the
+    auditor checks may depend on delivery order, so runs through this
+    queue must stay clean.
+    """
+
+    def __init__(self, capacity_bytes: int, rng, swap_prob: float = 0.2) -> None:
+        super().__init__(capacity_bytes)
+        self._rng = rng
+        self.swap_prob = swap_prob
+        self.swaps = 0
+
+    def dequeue(self) -> Optional[Packet]:
+        if len(self._packets) >= 2 and self._rng.random() < self.swap_prob:
+            self._packets[0], self._packets[1] = (
+                self._packets[1], self._packets[0])
+            self.swaps += 1
+        return super().dequeue()
+
+
+class Reordering(Impairment):
+    """In-network reordering: swaps the link's egress queue for a
+    :class:`ReorderingQueue` while bound (original queue restored — with
+    any still-queued packets migrated — at unbind)."""
+
+    name = "reordering"
+
+    def __init__(self, swap_prob: float = 0.2, seed: int = 0) -> None:
+        super().__init__(seed)
+        if not 0.0 <= swap_prob <= 1.0:
+            raise ChaosError("swap_prob must be in [0, 1]")
+        self.swap_prob = swap_prob
+        self._original = None
+
+    def on_bind(self) -> None:
+        self._original = self.link.queue
+        replacement = ReorderingQueue(self._original.capacity_bytes,
+                                      self.rng, swap_prob=self.swap_prob)
+        self._migrate(self._original, replacement)
+        self.link.queue = replacement
+
+    def on_unbind(self) -> None:
+        self._migrate(self.link.queue, self._original)
+        self.link.queue = self._original
+        self._original = None
+
+    @staticmethod
+    def _migrate(source, target) -> None:
+        while True:
+            packet = source.dequeue()
+            if packet is None:
+                return
+            target.enqueue(packet)
+
+    @property
+    def swaps(self) -> int:
+        """Head swaps performed so far (0 while unbound)."""
+        queue = self.link.queue if self.link is not None else None
+        return queue.swaps if isinstance(queue, ReorderingQueue) else 0
+
+
+def attach_duplicator(link, rng, prob: float = 0.05) -> Callable[[], int]:
+    """Make ``link`` occasionally emit a duplicate of an offered packet.
+
+    Thin wrapper over :class:`Duplication` kept for the original
+    ``repro.audit.faults`` call sites: attaches the impairment with an
+    externally supplied ``rng`` and returns a callable reporting how
+    many duplicates were injected.
+    """
+    impairment = Duplication(prob=prob)
+    link.attach_impairment(impairment)
+    impairment.rng = rng  # honor the caller's stream, as faults.py did
+    return lambda: impairment.injected

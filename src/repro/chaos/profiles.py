@@ -1,0 +1,281 @@
+"""Named chaos profiles and the ambient chaos session.
+
+A :class:`ChaosProfile` is a reproducible bundle of impairments for the
+two bottleneck directions of an access network.  Profiles are named and
+registered so experiments can select them from the CLI
+(``--chaos PROFILE[:seed]``) and the sweep harness can enumerate them;
+the profile ``seed`` namespaces every impairment's RNG stream, so the
+same profile under two seeds produces two reproducible-but-different
+impairment schedules.
+
+The built-in catalogue:
+
+``wifi-bursty``
+    Gilbert–Elliott bursty loss both ways plus forward delay jitter —
+    a fading wireless hop.
+``flaky-uplink``
+    Forward-direction link flaps (outages) plus light residual loss —
+    an interface that keeps renegotiating.
+``brownout``
+    Forward bandwidth modulation (rate collapses to 25% and recovers on
+    a cycle) plus reverse jitter — a congested shared medium.
+``blackhole``
+    A 1-second silent forward blackhole early in the run — transient
+    unidirectional route loss.
+``corrupting-path``
+    2% per-packet payload corruption both ways — endpoints discard on
+    checksum, senders must recover via RTO/SACK.
+``middlebox-madness``
+    Forward reordering plus duplication both ways — legitimate-but-rude
+    middlebox behaviour the auditor must not flag.
+``dead-air``
+    The forward path is permanently blackholed — *no* flow can
+    complete, so every flow must abort with a structured reason; the
+    liveness contract's worst case.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Tuple, Union
+
+from repro.chaos import context as _context
+from repro.chaos.impairments import (
+    BandwidthModulation,
+    BlackholeWindow,
+    DelayJitter,
+    Duplication,
+    GilbertElliottLoss,
+    Impairment,
+    LinkFlap,
+    PayloadCorruption,
+    Reordering,
+)
+from repro.errors import ChaosError
+
+__all__ = [
+    "ChaosProfile",
+    "AppliedChaos",
+    "available_profiles",
+    "get_profile",
+    "parse_profile",
+    "register_profile",
+    "session",
+]
+
+#: A builder maps a profile seed to ``(direction, impairment)`` pairs,
+#: where direction is ``"forward"`` (the sender->receiver bottleneck)
+#: or ``"reverse"`` (the ACK path).
+ProfileBuilder = Callable[[int], List[Tuple[str, Impairment]]]
+
+_DIRECTIONS = ("forward", "reverse")
+
+
+@dataclass(frozen=True)
+class ChaosProfile:
+    """A named, seeded bundle of link impairments."""
+
+    name: str
+    description: str
+    builder: ProfileBuilder
+    seed: int = 0
+
+    def with_seed(self, seed: int) -> "ChaosProfile":
+        """This profile re-seeded (a new value, profiles are frozen)."""
+        return ChaosProfile(self.name, self.description, self.builder, seed)
+
+    def build(self) -> List[Tuple[str, Impairment]]:
+        """Fresh impairment instances for one application."""
+        placements = self.builder(self.seed)
+        for direction, _ in placements:
+            if direction not in _DIRECTIONS:
+                raise ChaosError(
+                    f"profile {self.name!r}: unknown direction "
+                    f"{direction!r} (expected one of {_DIRECTIONS})"
+                )
+        return placements
+
+    def apply(self, network) -> "AppliedChaos":
+        """Attach this profile's impairments to ``network``'s bottleneck
+        links (an :class:`~repro.net.topology.AccessNetwork`)."""
+        links = {
+            "forward": network.bottleneck,
+            "reverse": network.reverse_bottleneck,
+        }
+        placements: List[Tuple[object, Impairment]] = []
+        for direction, impairment in self.build():
+            link = links[direction]
+            link.attach_impairment(impairment)
+            placements.append((link, impairment))
+        return AppliedChaos(self, placements)
+
+    @property
+    def spec(self) -> str:
+        """The ``name:seed`` string that reproduces this profile."""
+        return f"{self.name}:{self.seed}"
+
+
+@dataclass
+class AppliedChaos:
+    """Handle for one profile application (supports detaching)."""
+
+    profile: ChaosProfile
+    placements: List[Tuple[object, Impairment]]
+
+    @property
+    def impairments(self) -> List[Impairment]:
+        """The attached impairment instances."""
+        return [impairment for _, impairment in self.placements]
+
+    def detach(self) -> None:
+        """Remove every attached impairment (restoring link state)."""
+        for link, impairment in self.placements:
+            link.detach_impairment(impairment)
+        self.placements = []
+
+
+# ======================================================================
+# Registry
+# ======================================================================
+
+_PROFILES: Dict[str, ChaosProfile] = {}
+
+
+def register_profile(profile: ChaosProfile) -> ChaosProfile:
+    """Register ``profile`` under its name (unique)."""
+    if profile.name in _PROFILES:
+        raise ChaosError(f"chaos profile {profile.name!r} already registered")
+    _PROFILES[profile.name] = profile
+    return profile
+
+
+def available_profiles() -> List[str]:
+    """All registered profile names, sorted."""
+    return sorted(_PROFILES)
+
+
+def get_profile(name: str, seed: int = 0) -> ChaosProfile:
+    """The named profile, re-seeded with ``seed``."""
+    profile = _PROFILES.get(name)
+    if profile is None:
+        raise ChaosError(
+            f"unknown chaos profile {name!r}; "
+            f"available: {', '.join(available_profiles())}"
+        )
+    return profile.with_seed(seed)
+
+
+def parse_profile(spec: str) -> ChaosProfile:
+    """Parse a ``PROFILE[:seed]`` CLI spec (seed defaults to 0)."""
+    name, _, seed_text = spec.partition(":")
+    seed = 0
+    if seed_text:
+        try:
+            seed = int(seed_text)
+        except ValueError:
+            raise ChaosError(
+                f"invalid chaos seed {seed_text!r} in spec {spec!r}"
+            ) from None
+    return get_profile(name, seed)
+
+
+@contextmanager
+def session(profile: Union[str, ChaosProfile]) -> Iterator[ChaosProfile]:
+    """Ambient chaos for a ``with`` block: every access network built
+    inside gets ``profile`` applied.  Accepts a profile object or a
+    ``PROFILE[:seed]`` spec string."""
+    if isinstance(profile, str):
+        profile = parse_profile(profile)
+    with _context.activated(profile):
+        yield profile
+
+
+# ======================================================================
+# Built-in catalogue
+# ======================================================================
+
+
+def _wifi_bursty(seed: int) -> List[Tuple[str, Impairment]]:
+    return [
+        ("forward", GilbertElliottLoss(p_enter_bad=0.02, p_exit_bad=0.3,
+                                       loss_bad=0.5, seed=seed)),
+        ("reverse", GilbertElliottLoss(p_enter_bad=0.01, p_exit_bad=0.4,
+                                       loss_bad=0.3, seed=seed)),
+        ("forward", DelayJitter(amplitude=0.004, seed=seed)),
+    ]
+
+
+def _flaky_uplink(seed: int) -> List[Tuple[str, Impairment]]:
+    return [
+        ("forward", LinkFlap(up_time=1.5, down_time=0.4, jitter=0.3,
+                             seed=seed)),
+        ("forward", GilbertElliottLoss(p_enter_bad=0.005, p_exit_bad=0.5,
+                                       loss_bad=0.25, seed=seed)),
+    ]
+
+
+def _brownout(seed: int) -> List[Tuple[str, Impairment]]:
+    return [
+        ("forward", BandwidthModulation(factors=(1.0, 0.25, 0.5, 0.75),
+                                        step=0.8, seed=seed)),
+        ("reverse", DelayJitter(amplitude=0.006, seed=seed)),
+    ]
+
+
+def _blackhole(seed: int) -> List[Tuple[str, Impairment]]:
+    return [
+        ("forward", BlackholeWindow(start=0.25, duration=1.0, seed=seed)),
+    ]
+
+
+def _corrupting_path(seed: int) -> List[Tuple[str, Impairment]]:
+    return [
+        ("forward", PayloadCorruption(prob=0.02, seed=seed)),
+        ("reverse", PayloadCorruption(prob=0.02, seed=seed)),
+    ]
+
+
+def _middlebox_madness(seed: int) -> List[Tuple[str, Impairment]]:
+    return [
+        ("forward", Reordering(swap_prob=0.3, seed=seed)),
+        ("forward", Duplication(prob=0.05, seed=seed)),
+        ("reverse", Duplication(prob=0.05, seed=seed)),
+    ]
+
+
+def _dead_air(seed: int) -> List[Tuple[str, Impairment]]:
+    return [
+        ("forward", BlackholeWindow(start=0.0, duration=float("inf"),
+                                    seed=seed)),
+    ]
+
+
+register_profile(ChaosProfile(
+    "wifi-bursty",
+    "Gilbert-Elliott bursty loss both ways + forward delay jitter",
+    _wifi_bursty))
+register_profile(ChaosProfile(
+    "flaky-uplink",
+    "forward link flaps (outages) + light residual bursty loss",
+    _flaky_uplink))
+register_profile(ChaosProfile(
+    "brownout",
+    "forward bandwidth collapses to 25% and recovers cyclically",
+    _brownout))
+register_profile(ChaosProfile(
+    "blackhole",
+    "1s silent forward blackhole window early in the run",
+    _blackhole))
+register_profile(ChaosProfile(
+    "corrupting-path",
+    "2% per-packet corruption both ways (endpoints discard)",
+    _corrupting_path))
+register_profile(ChaosProfile(
+    "middlebox-madness",
+    "forward reordering + duplication in both directions",
+    _middlebox_madness))
+register_profile(ChaosProfile(
+    "dead-air",
+    "forward path permanently blackholed; every flow must abort cleanly",
+    _dead_air))

@@ -16,6 +16,34 @@ class SimulationError(ReproError):
     """A violation of simulator invariants (e.g. scheduling into the past)."""
 
 
+class StallError(SimulationError):
+    """The simulator stopped making progress (a zero-delay event loop).
+
+    Raised by the :class:`~repro.sim.simulator.Simulator` watchdog when
+    more than ``stall_event_limit`` events fire without the clock
+    advancing.  Carries enough state to diagnose the cycle offline:
+    ``time`` (the instant the clock froze at), ``events_at_instant``
+    (how many events fired there), and ``pending`` — a rendered dump of
+    the next scheduled events, which names the callbacks feeding the
+    loop.
+    """
+
+    def __init__(self, time: float, events_at_instant: int,
+                 pending: "list[str]") -> None:
+        self.time = time
+        self.events_at_instant = events_at_instant
+        self.pending = list(pending)
+        lines = [
+            f"simulator stalled at t={time:.9f}: {events_at_instant} events "
+            f"fired without the clock advancing",
+            "next pending events:",
+        ]
+        lines.extend(f"  {entry}" for entry in self.pending)
+        if not self.pending:
+            lines.append("  (event queue empty)")
+        super().__init__("\n".join(lines))
+
+
 class ConfigurationError(ReproError):
     """An invalid parameter or inconsistent component configuration."""
 
@@ -34,6 +62,10 @@ class ProtocolError(TransportError):
 
 class WorkloadError(ReproError):
     """An invalid workload specification (bad distribution, bad rate)."""
+
+
+class ChaosError(ReproError):
+    """An invalid chaos impairment or profile specification."""
 
 
 class ExperimentError(ReproError):

@@ -153,10 +153,11 @@ def main(argv=None) -> int:
     )
     parser.add_argument("experiment",
                         help="experiment id (e.g. fig12), 'list' / 'all', "
-                             "'bench' (performance observatory) or 'audit' "
-                             "(offline trace auditing); for the last two the "
-                             "remaining arguments are forwarded to the "
-                             "subcommand")
+                             "'bench' (performance observatory), 'audit' "
+                             "(offline trace auditing) or 'chaos' (impairment "
+                             "profiles and survival sweeps); for the "
+                             "subcommands the remaining arguments are "
+                             "forwarded")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="workload scale factor (1.0 = default laptop "
                              "scale; 10.0 approximates paper scale)")
@@ -184,6 +185,11 @@ def main(argv=None) -> int:
                              "crash) a post-mortem bundle is written to DIR "
                              f"(default: {DEFAULT_AUDIT_DIR}) and the exit "
                              "status is 1")
+    parser.add_argument("--chaos", default=None, metavar="PROFILE[:seed]",
+                        help="run the experiments under a chaos profile "
+                             "(see 'chaos list'): every access network "
+                             "built gets the profile's impairments; "
+                             "composes with --telemetry and --audit")
     raw_argv = list(sys.argv[1:]) if argv is None else list(argv)
     if raw_argv and raw_argv[0] == "bench":
         # The observatory has its own flag set; hand the rest through.
@@ -195,6 +201,11 @@ def main(argv=None) -> int:
         from repro.audit.cli import main as audit_main
 
         return audit_main(raw_argv[1:])
+    if raw_argv and raw_argv[0] == "chaos":
+        # Impairment profiles and protocol survival sweeps.
+        from repro.chaos.cli import main as chaos_main
+
+        return chaos_main(raw_argv[1:])
 
     args = parser.parse_args(argv)
 
@@ -226,6 +237,12 @@ def main(argv=None) -> int:
         # Entered after telemetry so the auditor composes with an active
         # hub (observing its trace stream) instead of replacing it.
         audit = stack.enter_context(AuditSession(out_dir=args.audit))
+    if args.chaos is not None:
+        from repro import chaos
+
+        profile = stack.enter_context(chaos.session(args.chaos))
+        print(f"[chaos profile {profile.spec} active: "
+              f"{profile.description}]")
 
     with stack:
         for name in names:

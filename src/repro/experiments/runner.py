@@ -14,7 +14,7 @@ Two layers:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.errors import ExperimentError
 from repro.net.monitor import FlowThroughputMonitor
@@ -40,7 +40,7 @@ def launch_flow(
     config: Optional[TransportConfig] = None,
     context: Optional[ProtocolContext] = None,
     throughput_monitor: Optional[FlowThroughputMonitor] = None,
-    on_complete: Optional[callable] = None,
+    on_complete: Optional[Callable[[FlowRecord], None]] = None,
 ) -> FlowRecord:
     """Create sender+receiver for one flow and start it immediately.
 

@@ -5,19 +5,27 @@ sending side, a serializer limited to ``rate`` bytes/second (one packet
 at a time), a fixed propagation ``delay``, and an optional random loss
 process applied in flight (used for wireless access profiles).
 
+Beyond the built-in Bernoulli loss, a link carries an **impairment
+pipeline** (see :mod:`repro.chaos`): attached impairments judge every
+serialized packet (drop it, corrupt it, delay it) and may clone offered
+packets (duplicating middleboxes).  The pipeline is empty by default
+and every hook sits behind a single ``if self._impairments`` check, so
+chaos-off runs pay one falsy test per packet.
+
 Full-duplex connectivity is built from two links; see
 :meth:`repro.net.topology.Topology.connect`.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 from repro.errors import ConfigurationError
 from repro.net.packet import Packet
 from repro.net.queue import DropTailQueue
 from repro.telemetry.schema import (
-    EV_LINK_LOSS, EV_PKT_DELIVER, EV_PKT_ENQUEUE, EV_PKT_TX, EV_QUEUE_DROP,
+    EV_CHAOS_CLONE, EV_CHAOS_CORRUPT, EV_LINK_LOSS, EV_PKT_DELIVER,
+    EV_PKT_ENQUEUE, EV_PKT_TX, EV_QUEUE_DROP,
 )
 
 __all__ = ["Link", "LinkStats"]
@@ -27,7 +35,8 @@ class LinkStats:
     """Delivery counters for one link direction."""
 
     __slots__ = ("packets_sent", "bytes_sent", "packets_delivered",
-                 "bytes_delivered", "packets_lost_inflight")
+                 "bytes_delivered", "packets_lost_inflight",
+                 "packets_chaos_dropped", "packets_corrupted")
 
     def __init__(self) -> None:
         self.packets_sent = 0
@@ -35,6 +44,12 @@ class LinkStats:
         self.packets_delivered = 0
         self.bytes_delivered = 0
         self.packets_lost_inflight = 0
+        #: In-flight losses decided by an attached impairment (subset of
+        #: the chaos pipeline; disjoint from ``packets_lost_inflight``,
+        #: which counts the built-in Bernoulli process).
+        self.packets_chaos_dropped = 0
+        #: Packets delivered with the ``corrupted`` flag set.
+        self.packets_corrupted = 0
 
 
 class Link:
@@ -84,6 +99,7 @@ class Link:
         self.loss_rate = loss_rate
         self._loss_rng = sim.streams.get(f"link-loss:{name}") if loss_rate else None
         self._busy = False
+        self._impairments: List = []
         self.stats = LinkStats()
         # Aggregate (all-links) telemetry; instruments resolve to no-ops
         # when the registry is disabled.
@@ -94,6 +110,8 @@ class Link:
         self._m_inflight_loss = metrics.counter("link.inflight_loss")
         self._m_queue_drops = metrics.counter("queue.drops")
         self._m_queue_drop_bytes = metrics.counter("queue.drop_bytes")
+        self._m_chaos_drops = metrics.counter("chaos.drops")
+        self._m_chaos_corrupt = metrics.counter("chaos.corrupted")
 
     # ------------------------------------------------------------------
 
@@ -111,12 +129,66 @@ class Link:
             self.sim.streams.get(f"link-loss:{self.name}") if loss_rate else None
         )
 
+    # ------------------------------------------------------------------
+    # Impairment pipeline (see repro.chaos)
+    # ------------------------------------------------------------------
+
+    @property
+    def impairments(self) -> List:
+        """Attached chaos impairments, in judging order (read-only view)."""
+        return list(self._impairments)
+
+    def attach_impairment(self, impairment) -> None:
+        """Install ``impairment`` on this link (bound, then appended)."""
+        impairment.bind(self)
+        self._impairments.append(impairment)
+
+    def detach_impairment(self, impairment) -> None:
+        """Remove one attached impairment (unbinding where supported)."""
+        if impairment in self._impairments:
+            self._impairments.remove(impairment)
+            unbind = getattr(impairment, "unbind", None)
+            if unbind is not None:
+                unbind()
+
+    def detach_impairments(self) -> None:
+        """Remove every impairment (unbinding timers where supported)."""
+        for impairment in self._impairments:
+            unbind = getattr(impairment, "unbind", None)
+            if unbind is not None:
+                unbind()
+        self._impairments.clear()
+
+    # ------------------------------------------------------------------
+
     def transmission_time(self, packet: Packet) -> float:
         """Seconds needed to serialize ``packet`` at this link's rate."""
         return packet.size / self.rate
 
     def send(self, packet: Packet) -> None:
-        """Offer ``packet`` to this link (queue, then serialize in order)."""
+        """Offer ``packet`` to this link (queue, then serialize in order).
+
+        Attached impairments may clone the offered packet (in-network
+        duplication); clones are admitted directly so a clone is never
+        itself re-judged into further clones.
+        """
+        if self._impairments:
+            trace = self.sim.trace
+            for impairment in self._impairments:
+                for clone in impairment.clones(packet):
+                    if trace.lineage:
+                        # The causal edge the audit layer needs: a clone
+                        # carries the original's headers, so when it is
+                        # the copy that survives, the sender learns the
+                        # same contents the original would have taught.
+                        trace.record(self.sim.now, EV_CHAOS_CLONE,
+                                     self.name, clone_of=packet.uid,
+                                     chaos=impairment.name,
+                                     **clone.lineage_detail())
+                    self._admit(clone)
+        self._admit(packet)
+
+    def _admit(self, packet: Packet) -> None:
         if not self.queue.enqueue(packet):
             self.sim.note_drop(packet.flow_id)
             self._m_queue_drops.inc()
@@ -160,6 +232,8 @@ class Link:
                 self.sim.now, EV_LINK_LOSS, self.name,
                 packet=packet.describe(), uid=packet.uid,
             )
+        elif self._impairments:
+            self._finish_impaired(packet)
         else:
             self.sim.schedule(self.delay, self._deliver, packet)
         # Keep the pipe full: start the next packet immediately.
@@ -167,14 +241,55 @@ class Link:
         if len(self.queue):
             self._start_transmission()
 
+    def _finish_impaired(self, packet: Packet) -> None:
+        """Serialization finished on an impaired link: run the pipeline.
+
+        The first impairment to return a drop reason wins (the packet is
+        recorded as an in-flight loss, which keeps the auditor's per-link
+        packet-conservation balance intact); surviving packets accumulate
+        extra propagation delay (jitter) and may be corrupted in flight.
+        """
+        extra_delay = 0.0
+        for impairment in self._impairments:
+            reason = impairment.in_flight_fate(packet)
+            if reason is not None:
+                self.stats.packets_chaos_dropped += 1
+                self._m_chaos_drops.inc()
+                self.sim.note_drop(packet.flow_id)
+                self.sim.trace.record(
+                    self.sim.now, EV_LINK_LOSS, self.name,
+                    packet=packet.describe(), uid=packet.uid,
+                    chaos=impairment.name, reason=reason,
+                )
+                return
+            extra_delay += impairment.extra_delay(packet)
+            if not packet.corrupted and impairment.corrupts(packet):
+                packet.corrupted = True
+                self.stats.packets_corrupted += 1
+                self._m_chaos_corrupt.inc()
+                self.sim.trace.record(
+                    self.sim.now, EV_CHAOS_CORRUPT, self.name,
+                    packet=packet.describe(), uid=packet.uid,
+                    chaos=impairment.name,
+                )
+        self.sim.schedule(self.delay + extra_delay, self._deliver, packet)
+
     def _deliver(self, packet: Packet) -> None:
         self.stats.packets_delivered += 1
         self.stats.bytes_delivered += packet.size
         self._m_delivered_bytes.inc(packet.size)
         trace = self.sim.trace
         if trace.lineage:
-            trace.record(self.sim.now, EV_PKT_DELIVER, self.name,
-                         dst=self.dst.name, **packet.lineage_detail())
+            # ``corrupted`` matters to the auditor: a corrupted ACK is
+            # discarded at the endpoint, so its contents must not enter
+            # the reconstructed sender-knowledge state.
+            if packet.corrupted:
+                trace.record(self.sim.now, EV_PKT_DELIVER, self.name,
+                             dst=self.dst.name, corrupted=True,
+                             **packet.lineage_detail())
+            else:
+                trace.record(self.sim.now, EV_PKT_DELIVER, self.name,
+                             dst=self.dst.name, **packet.lineage_detail())
         self.dst.receive(packet)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

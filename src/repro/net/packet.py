@@ -87,6 +87,10 @@ class Packet:
     uid: int = field(default_factory=lambda: next(_packet_ids))
     #: Hop count, incremented at each router (loop diagnostics).
     hops: int = 0
+    #: True once a chaos impairment flipped bits in flight.  Endpoints
+    #: must discard corrupted packets (a checksum failure on real
+    #: hardware); the sender recovers through normal RTO/SACK machinery.
+    corrupted: bool = False
 
     def __post_init__(self) -> None:
         if self.size < HEADER_SIZE:
@@ -131,4 +135,6 @@ class Packet:
             parts.append(f"ack={self.ack}")
         if self.retransmit:
             parts.append("proactive-rtx" if self.proactive else "rtx")
+        if self.corrupted:
+            parts.append("corrupt")
         return " ".join(parts)

@@ -16,6 +16,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.chaos.context import current_profile
 from repro.errors import TopologyError
 from repro.net.link import Link
 from repro.net.node import Host, Node, Router
@@ -218,7 +219,7 @@ def access_network(
         queue_bytes=buffer_bytes,
     )
     topo.compute_routes()
-    return AccessNetwork(
+    network = AccessNetwork(
         topology=topo,
         senders=senders,
         receivers=receivers,
@@ -228,6 +229,14 @@ def access_network(
         rtt=rtt,
         buffer_bytes=buffer_bytes,
     )
+    # Ambient chaos (the --chaos flag / repro.chaos.session): every
+    # access network built while a profile is active gets its bottleneck
+    # impairments attached, without threading chaos through the 17
+    # experiment signatures.
+    profile = current_profile()
+    if profile is not None:
+        profile.apply(network)
+    return network
 
 
 def dumbbell(

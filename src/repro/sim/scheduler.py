@@ -134,6 +134,27 @@ class EventScheduler:
         self.compactions += 1
         self.backlog_gauge.set(0)
 
+    @staticmethod
+    def render_event(event) -> str:
+        """One diagnostic line for ``event`` (shared with the stall dump)."""
+        name = getattr(event.callback, "__qualname__",
+                       repr(event.callback))
+        args = ", ".join(repr(a) for a in event.args)
+        return f"t={event.time:.9f} prio={event.priority} {name}({args})"
+
+    def snapshot(self, limit: int = 10) -> List[str]:
+        """Render the next ``limit`` live events (for stall diagnostics).
+
+        O(n log n) over the raw heap — diagnostic-path only, never called
+        while the simulator is healthy.
+        """
+        live = sorted(e for e in self._heap if not e.cancelled)
+        out = [self.render_event(event) for event in live[:limit]]
+        remaining = len(live) - limit
+        if remaining > 0:
+            out.append(f"... and {remaining} more")
+        return out
+
     @property
     def cancelled_backlog(self) -> int:
         """Lazily-cancelled entries still sitting in the heap (exact if

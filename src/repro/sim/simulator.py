@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Optional
 
-from repro.errors import SimulationError
+from repro.errors import SimulationError, StallError
 from repro.sim.event import Event, EventHandle
 from repro.sim.scheduler import EventScheduler
 from repro.sim.randomness import RandomStreams
@@ -23,7 +23,13 @@ from repro.telemetry.context import current_hub
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.schema import EV_SIM_CRASH
 
-__all__ = ["Simulator", "Timer"]
+__all__ = ["Simulator", "Timer", "DEFAULT_STALL_EVENT_LIMIT"]
+
+#: Default no-progress watchdog threshold: events allowed to fire at one
+#: simulated instant before the run is declared stalled.  Real workloads
+#: fire at most a few thousand same-instant events (a burst release),
+#: so a million same-instant events can only be a zero-delay cycle.
+DEFAULT_STALL_EVENT_LIMIT = 1_000_000
 
 
 class Simulator:
@@ -45,6 +51,12 @@ class Simulator:
     profiler:
         Optional :class:`~repro.telemetry.profiling.SimProfiler` that
         receives per-event wall-clock timings and heap-depth readings.
+    stall_event_limit:
+        No-progress watchdog threshold: when more than this many events
+        fire without the simulated clock advancing, :meth:`run` raises a
+        diagnosable :class:`~repro.errors.StallError` carrying a dump of
+        the next pending events instead of spinning forever.  ``None``
+        disables the watchdog.
 
     When a telemetry session is active (see
     :func:`repro.telemetry.session`) any of the three left unspecified
@@ -54,7 +66,9 @@ class Simulator:
 
     def __init__(self, seed: int = 0, trace: Optional[TraceRecorder] = None,
                  metrics: Optional[MetricsRegistry] = None,
-                 profiler=None) -> None:
+                 profiler=None,
+                 stall_event_limit: Optional[int] = DEFAULT_STALL_EVENT_LIMIT,
+                 ) -> None:
         hub = current_hub()
         if hub is not None:
             if trace is None:
@@ -75,6 +89,13 @@ class Simulator:
         self._queue.backlog_gauge = self.metrics.gauge(
             "scheduler.cancelled_backlog")
         self.profiler = profiler
+        #: No-progress watchdog: when this many events fire at a single
+        #: simulated instant, :meth:`run` raises
+        #: :class:`~repro.errors.StallError` with a pending-event dump
+        #: instead of spinning forever.  ``None`` disables the watchdog.
+        self.stall_event_limit = stall_event_limit
+        self._stall_time = float("nan")
+        self._stall_count = 0
         #: Number of events executed so far (diagnostic).
         self.events_run = 0
         #: Ground-truth per-flow packet drops (queue overflow + in-flight
@@ -152,6 +173,7 @@ class Simulator:
         self._stopped = False
         fired = 0
         profiler = self.profiler
+        stall_limit = self.stall_event_limit
         if profiler is not None:
             profiler.begin_run()
         try:
@@ -169,6 +191,23 @@ class Simulator:
                 if event is None:  # pragma: no cover - raced cancellation
                     break
                 self._now = event.time
+                if stall_limit is not None:
+                    if event.time == self._stall_time:
+                        self._stall_count += 1
+                        if self._stall_count > stall_limit:
+                            # Lead the dump with the event about to fire:
+                            # it is already popped (so not in the queue
+                            # snapshot), and in a tight zero-delay cycle
+                            # it IS the loop.
+                            raise StallError(
+                                event.time, self._stall_count,
+                                ["firing: "
+                                 + self._queue.render_event(event)]
+                                + self._queue.snapshot(),
+                            )
+                    else:
+                        self._stall_time = event.time
+                        self._stall_count = 1
                 if profiler is None:
                     event.fire()
                 else:

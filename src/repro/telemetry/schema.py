@@ -22,6 +22,14 @@ Schema versions
   ``pkt.enqueue``, ``pkt.tx``, ``pkt.deliver``, ``pkt.ack_gen``) emitted
   only when a trace recorder's ``lineage`` flag is on, plus the
   ``sim.crash`` post-mortem marker.
+* **v3** — adds the chaos-engine family (``chaos.corrupt`` in-flight
+  corruption, ``chaos.flap`` link up/down transitions, ``chaos.rate``
+  bandwidth modulation steps, ``chaos.clone`` in-network duplication —
+  the causal edge from a duplicating middlebox's clone back to the
+  packet it copied), a ``reason`` key on ``sender.failed``
+  (the structured abort reason the liveness contract requires), and an
+  optional ``corrupted`` key on ``pkt.deliver`` so audit checkers can
+  exclude discarded-at-endpoint packets from sender-knowledge state.
 """
 
 from __future__ import annotations
@@ -43,10 +51,13 @@ __all__ = [
     # Event-name constants (v2: packet lineage + post-mortem).
     "EV_PKT_SEND", "EV_PKT_ENQUEUE", "EV_PKT_TX", "EV_PKT_DELIVER",
     "EV_PKT_ACK_GEN", "EV_SIM_CRASH",
+    # Event-name constants (v3: chaos engine).
+    "EV_CHAOS_CORRUPT", "EV_CHAOS_FLAP", "EV_CHAOS_RATE",
+    "EV_CHAOS_CLONE",
 ]
 
 #: Version of the event contract documented here (see module docstring).
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 # -- Experiment harness (flow lifecycle). ------------------------------
 EV_FLOW_START = "flow.start"
@@ -82,6 +93,22 @@ EV_PKT_DELIVER = "pkt.deliver"
 EV_PKT_ACK_GEN = "pkt.ack_gen"
 #: The simulator aborted on an exception (post-mortem marker).
 EV_SIM_CRASH = "sim.crash"
+# -- Chaos engine (v3; see repro.chaos). -------------------------------
+#: An impairment corrupted a packet in flight (delivered, then
+#: discarded by the endpoint's checksum stand-in).
+EV_CHAOS_CORRUPT = "chaos.corrupt"
+#: A link-flap impairment took the link down or brought it back up.
+EV_CHAOS_FLAP = "chaos.flap"
+#: A bandwidth-modulation impairment changed the link's serialization
+#: rate.
+EV_CHAOS_RATE = "chaos.rate"
+#: A duplicating middlebox admitted a clone of an offered packet
+#: (``uid`` is the clone, ``clone_of`` the copied original).  Emitted
+#: only when ``trace.lineage`` is on: the audit layer needs the causal
+#: edge so a cloned ACK credits the sender with the same knowledge the
+#: original would have, and the lineage tracer gives the clone a proper
+#: span instead of an orphan.
+EV_CHAOS_CLONE = "chaos.clone"
 
 #: kind -> detail keys every emission must carry.
 EVENT_SCHEMA: Dict[str, FrozenSet[str]] = {
@@ -91,7 +118,7 @@ EVENT_SCHEMA: Dict[str, FrozenSet[str]] = {
     EV_SENDER_RECOVERY: frozenset({"flow", "point"}),
     EV_SENDER_RTO: frozenset({"flow", "timeouts"}),
     EV_SENDER_DONE: frozenset({"flow", "fct", "retx", "proactive"}),
-    EV_SENDER_FAILED: frozenset({"flow"}),
+    EV_SENDER_FAILED: frozenset({"flow", "reason"}),
     EV_HALFBACK_PHASE: frozenset({"flow", "phase"}),
     EV_HALFBACK_FRONTIER: frozenset({"flow", "ack", "pointer"}),
     EV_JUMPSTART_PACING: frozenset({"flow", "segments", "rate"}),
@@ -106,6 +133,11 @@ EVENT_SCHEMA: Dict[str, FrozenSet[str]] = {
     EV_PKT_DELIVER: frozenset({"uid", "flow", "dst"}),
     EV_PKT_ACK_GEN: frozenset({"uid", "flow", "parent", "ack"}),
     EV_SIM_CRASH: frozenset({"error"}),
+    # Chaos engine (v3).
+    EV_CHAOS_CORRUPT: frozenset({"packet", "uid", "chaos"}),
+    EV_CHAOS_FLAP: frozenset({"link", "up"}),
+    EV_CHAOS_RATE: frozenset({"link", "rate"}),
+    EV_CHAOS_CLONE: frozenset({"uid", "clone_of", "flow"}),
 }
 
 #: Kinds that carry a ``flow`` key and belong on per-flow timelines.
@@ -114,12 +146,14 @@ EVENT_SCHEMA: Dict[str, FrozenSet[str]] = {
 FLOW_EVENT_KINDS = frozenset(
     kind for kind, keys in EVENT_SCHEMA.items()
     if "flow" in keys and not kind.startswith("pkt.")
+    and kind != EV_CHAOS_CLONE
 )
 
 #: The per-packet causal-tracing family (plus the packet-keyed drop and
 #: loss events the lineage tracer also consumes).
 LINEAGE_EVENT_KINDS = frozenset({
     EV_PKT_SEND, EV_PKT_ENQUEUE, EV_PKT_TX, EV_PKT_DELIVER, EV_PKT_ACK_GEN,
+    EV_CHAOS_CLONE,
 })
 
 

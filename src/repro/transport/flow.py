@@ -103,6 +103,14 @@ class FlowRecord:
     final_srtt: Optional[float] = None
     #: RTT sampled from the handshake (seconds).
     handshake_rtt: Optional[float] = None
+    #: Corrupted packets the *sender* discarded on arrival (chaos runs).
+    corrupted_discards: int = 0
+    #: Why the sender gave up, when it did (``None`` for flows that are
+    #: still running or completed).  The liveness contract (see
+    #: :mod:`repro.chaos.sweep`) requires every failed flow to carry one
+    #: of these structured reasons, e.g. ``"max-flow-duration"`` or
+    #: ``"syn-retries-exhausted"``.
+    abort_reason: Optional[str] = None
     extra: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -111,6 +119,11 @@ class FlowRecord:
     def completed(self) -> bool:
         """True when the receiver has every byte."""
         return self.complete_time is not None
+
+    @property
+    def failed(self) -> bool:
+        """True once the sender aborted the flow (see :attr:`abort_reason`)."""
+        return self.abort_reason is not None
 
     @property
     def fct(self) -> Optional[float]:

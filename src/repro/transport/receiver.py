@@ -68,12 +68,21 @@ class Receiver:
         self.flow_bytes: Optional[int] = None
         self.complete_time: Optional[float] = None
         self.acks_sent = 0
+        #: Corrupted packets discarded on arrival (chaos runs); the
+        #: sender recovers through normal RTO/SACK machinery.
+        self.corrupted_discards = 0
         host.register(flow_id, self)
 
     # ------------------------------------------------------------------
 
     def on_packet(self, packet: Packet) -> None:
         """Host delivery entry point."""
+        if packet.corrupted:
+            # Checksum failure: discard before *any* parsing — corrupted
+            # contents (a SYN's flow size, a fast-open segment) must not
+            # initialize connection state.
+            self.corrupted_discards += 1
+            return
         if packet.kind == PacketType.SYN:
             self._handle_syn(packet)
         elif packet.kind == PacketType.HANDSHAKE_ACK:

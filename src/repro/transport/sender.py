@@ -164,7 +164,7 @@ class SenderBase:
             raise TransportError("sender already started")
         self.record.syn_time = self.sim.now
         self._deadline_handle = self.sim.schedule(
-            self.config.max_flow_duration, self._give_up
+            self.config.max_flow_duration, self._give_up, "max-flow-duration"
         )
         self._send_syn()
         if self.config.fast_open:
@@ -195,6 +195,11 @@ class SenderBase:
     def on_packet(self, packet: Packet) -> None:
         """Host delivery entry point."""
         if self.state in (SenderState.DONE, SenderState.FAILED):
+            return
+        if packet.corrupted:
+            # Checksum failure: discard silently; the RTO machinery
+            # recovers (retransmitted ACK information or SYN retry).
+            self.record.corrupted_discards += 1
             return
         if packet.kind == PacketType.SYN_ACK:
             self._handle_syn_ack(packet)
@@ -378,7 +383,7 @@ class SenderBase:
     def _on_rto(self) -> None:
         if self.state == SenderState.SYN_SENT:
             if self._syn_tries > self.config.max_syn_retries:
-                self._give_up()
+                self._give_up("syn-retries-exhausted")
                 return
             self.rtt.on_timeout()
             self._send_syn()
@@ -421,14 +426,24 @@ class SenderBase:
         self.on_complete_hook()
         self._teardown()
 
-    def _give_up(self) -> None:
+    def _give_up(self, reason: str = "max-flow-duration") -> None:
+        """Abort the flow, recording a structured ``reason``.
+
+        The chaos sweep's liveness contract (see
+        :mod:`repro.chaos.sweep`) requires every non-completing flow to
+        end here with a diagnosable reason rather than hang, so callers
+        must always pass one of the documented reason strings:
+        ``"max-flow-duration"`` (the per-flow deadline expired) or
+        ``"syn-retries-exhausted"`` (the handshake never completed).
+        """
         if self.state in (SenderState.DONE, SenderState.FAILED):
             return
         self.state = SenderState.FAILED
+        self.record.abort_reason = reason
         self._m_failed.inc()
         self.sim.trace.record(
             self.sim.now, EV_SENDER_FAILED, self.protocol_name,
-            flow=self.flow.flow_id,
+            flow=self.flow.flow_id, reason=reason,
         )
         self._teardown()
 

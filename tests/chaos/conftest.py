@@ -1,0 +1,78 @@
+"""Shared plumbing for the chaos tests.
+
+:func:`run_chaos_flow` runs one flow over a single-pair access network
+with impairments attached to the bottleneck directions *before* the
+first event, and returns everything a test wants to poke at afterwards.
+"""
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.net.topology import AccessNetwork, access_network
+from repro.protocols.registry import create_sender
+from repro.sim.simulator import Simulator
+from repro.sim.trace import TraceRecorder
+from repro.transport.config import TransportConfig
+from repro.transport.flow import FlowRecord, FlowSpec, next_flow_id
+from repro.transport.receiver import Receiver
+from repro.units import MSS, kb, mbps, ms
+
+
+class ScriptedRng:
+    """A ``random()`` source replaying a fixed script (asserts if drained)."""
+
+    def __init__(self, values):
+        self._values = list(values)
+
+    def random(self) -> float:
+        assert self._values, "scripted RNG ran out of values"
+        return self._values.pop(0)
+
+
+@dataclass
+class ChaosRun:
+    """Everything a chaos test inspects after one flow."""
+
+    sim: Simulator
+    net: AccessNetwork
+    sender: object
+    receiver: Receiver
+    record: FlowRecord
+
+
+def run_chaos_flow(
+    placements: List[Tuple[str, object]],
+    protocol: str = "halfback",
+    segments: int = 40,
+    seed: int = 1,
+    horizon: float = 120.0,
+    config: Optional[TransportConfig] = None,
+    lineage: bool = False,
+    bottleneck_rate: float = mbps(15),
+    rtt: float = ms(60),
+) -> ChaosRun:
+    """One flow with ``(direction, impairment)`` placements attached."""
+    trace = TraceRecorder(enabled=True, lineage=True) if lineage else None
+    sim = Simulator(seed=seed, trace=trace)
+    net = access_network(sim, n_pairs=1, bottleneck_rate=bottleneck_rate,
+                         rtt=rtt, buffer_bytes=kb(115))
+    links = {"forward": net.bottleneck, "reverse": net.reverse_bottleneck}
+    for direction, impairment in placements:
+        links[direction].attach_impairment(impairment)
+    sender_host, receiver_host = net.pair(0)
+    spec = FlowSpec(next_flow_id(), sender_host.name, receiver_host.name,
+                    size=segments * MSS, protocol=protocol)
+    record = FlowRecord(spec)
+
+    def finish(rcv: Receiver) -> None:
+        record.complete_time = sim.now
+        record.duplicate_receptions = rcv.duplicates
+
+    receiver = Receiver(sim, receiver_host, spec.flow_id, config=config,
+                        on_complete=finish)
+    sender = create_sender(sim, sender_host, spec, record=record,
+                           config=config)
+    sender.start()
+    sim.run(until=horizon)
+    return ChaosRun(sim=sim, net=net, sender=sender, receiver=receiver,
+                    record=record)

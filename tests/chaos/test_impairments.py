@@ -1,0 +1,277 @@
+"""Unit tests for the composable link impairments."""
+
+import pytest
+
+from repro.chaos.impairments import (
+    BandwidthModulation,
+    BlackholeWindow,
+    DelayJitter,
+    Duplication,
+    GilbertElliottLoss,
+    LinkFlap,
+    PayloadCorruption,
+    Reordering,
+    ReorderingQueue,
+)
+from repro.errors import ChaosError
+from repro.net.packet import Packet, PacketType
+from repro.net.topology import access_network
+from repro.sim.simulator import Simulator
+from repro.telemetry.schema import EV_CHAOS_CLONE, EV_CHAOS_CORRUPT
+from tests.chaos.conftest import ScriptedRng, run_chaos_flow
+
+
+def data_packet(seq: int = 0) -> Packet:
+    return Packet(src="a", dst="b", flow_id=1, kind=PacketType.DATA,
+                  size=1500, seq=seq)
+
+
+def one_pair_net(seed: int = 1):
+    sim = Simulator(seed=seed)
+    return sim, access_network(sim, n_pairs=1)
+
+
+class TestGilbertElliott:
+    def test_bad_state_entered_and_losses_marked_bursty(self):
+        imp = GilbertElliottLoss(p_enter_bad=1.0, p_exit_bad=0.0,
+                                 loss_good=0.0, loss_bad=1.0)
+        # enter-bad draw, then the loss draw.
+        imp.rng = ScriptedRng([0.5, 0.5])
+        assert imp.in_flight_fate(data_packet()) == "bursty-loss"
+        assert imp.bad
+        assert imp.losses == 1
+
+    def test_good_state_residual_loss_reason(self):
+        imp = GilbertElliottLoss(p_enter_bad=0.0, p_exit_bad=1.0,
+                                 loss_good=1.0, loss_bad=0.0)
+        imp.rng = ScriptedRng([0.5, 0.5])
+        assert imp.in_flight_fate(data_packet()) == "residual-loss"
+        assert not imp.bad
+
+    def test_bad_state_exits(self):
+        imp = GilbertElliottLoss(p_enter_bad=1.0, p_exit_bad=1.0,
+                                 loss_good=0.0, loss_bad=1.0)
+        imp.rng = ScriptedRng([0.5, 0.5, 0.5])
+        assert imp.in_flight_fate(data_packet()) == "bursty-loss"
+        # Next packet: the exit draw fires first, then loss_good=0.
+        assert imp.in_flight_fate(data_packet()) is None
+        assert not imp.bad
+
+    def test_losses_come_in_bursts(self):
+        # With a real stream, a sticky bad state (p_exit_bad small) must
+        # produce at least one run of consecutive losses.
+        sim = Simulator(seed=7)
+        imp = GilbertElliottLoss(p_enter_bad=0.2, p_exit_bad=0.1,
+                                 loss_bad=0.9)
+        imp.rng = sim.streams.get("ge-test")
+        fates = [imp.in_flight_fate(data_packet(i)) is not None
+                 for i in range(400)]
+        longest = run = 0
+        for lost in fates:
+            run = run + 1 if lost else 0
+            longest = max(longest, run)
+        assert longest >= 2, "expected bursty (consecutive) losses"
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ChaosError):
+            GilbertElliottLoss(p_enter_bad=1.5)
+
+
+class TestLinkFlap:
+    def test_flaps_toggle_and_drop_while_down(self):
+        sim, net = one_pair_net()
+        imp = LinkFlap(up_time=0.5, down_time=0.5, jitter=0.0)
+        net.bottleneck.attach_impairment(imp)
+        assert imp.up
+        sim.run(until=0.6)  # past the first toggle
+        assert imp.flaps == 1
+        assert not imp.up
+        assert imp.in_flight_fate(data_packet()) == "link-down"
+        sim.run(until=1.1)  # back up
+        assert imp.up
+        assert imp.in_flight_fate(data_packet()) is None
+
+    def test_unbind_cancels_timer_and_restores_up(self):
+        sim, net = one_pair_net()
+        imp = LinkFlap(up_time=0.5, down_time=0.5, jitter=0.0)
+        net.bottleneck.attach_impairment(imp)
+        sim.run(until=0.6)
+        net.bottleneck.detach_impairment(imp)
+        assert imp.up
+        flaps = imp.flaps
+        sim.run(until=5.0)
+        assert imp.flaps == flaps, "flap timer survived unbind"
+
+    def test_rejects_nonpositive_periods(self):
+        with pytest.raises(ChaosError):
+            LinkFlap(up_time=0.0)
+
+
+class TestBlackholeWindow:
+    def test_drops_only_inside_window(self):
+        sim, net = one_pair_net()
+        imp = BlackholeWindow(start=1.0, duration=2.0)
+        net.bottleneck.attach_impairment(imp)
+        fates = {}
+        for when in (0.5, 1.5, 2.9, 3.5):
+            sim.schedule_at(
+                when, lambda w=when: fates.update(
+                    {w: imp.in_flight_fate(data_packet())}))
+        sim.run(until=4.0)
+        assert fates == {0.5: None, 1.5: "blackhole",
+                         2.9: "blackhole", 3.5: None}
+
+    def test_infinite_duration_swallows_everything(self):
+        sim, net = one_pair_net()
+        imp = BlackholeWindow(start=0.0, duration=float("inf"))
+        net.bottleneck.attach_impairment(imp)
+        assert imp.in_flight_fate(data_packet()) == "blackhole"
+
+
+class TestDelayJitter:
+    def test_extra_delay_bounded_by_amplitude(self):
+        imp = DelayJitter(amplitude=0.01)
+        imp.rng = ScriptedRng([0.0, 0.5, 0.999])
+        delays = [imp.extra_delay(data_packet()) for _ in range(3)]
+        assert delays[0] == 0.0
+        assert delays[1] == pytest.approx(0.005)
+        assert all(0.0 <= d <= 0.01 for d in delays)
+
+
+class TestBandwidthModulation:
+    def test_steps_through_factors_and_restores_on_unbind(self):
+        sim, net = one_pair_net()
+        base = net.bottleneck.rate
+        imp = BandwidthModulation(factors=(1.0, 0.25, 0.5), step=1.0)
+        net.bottleneck.attach_impairment(imp)
+        sim.run(until=1.1)
+        assert net.bottleneck.rate == pytest.approx(base * 0.25)
+        sim.run(until=2.1)
+        assert net.bottleneck.rate == pytest.approx(base * 0.5)
+        net.bottleneck.detach_impairment(imp)
+        assert net.bottleneck.rate == pytest.approx(base)
+        steps = imp.steps
+        sim.run(until=5.0)
+        assert imp.steps == steps, "modulation timer survived unbind"
+
+    def test_rejects_nonpositive_factor(self):
+        with pytest.raises(ChaosError):
+            BandwidthModulation(factors=(1.0, 0.0))
+
+
+class TestPayloadCorruption:
+    def test_corrupted_packets_discarded_and_flow_recovers(self):
+        run = run_chaos_flow(
+            [("forward", PayloadCorruption(prob=0.05)),
+             ("reverse", PayloadCorruption(prob=0.05))],
+            protocol="halfback", segments=60, seed=3)
+        assert run.record.completed
+        corrupted = (run.net.bottleneck.stats.packets_corrupted
+                     + run.net.reverse_bottleneck.stats.packets_corrupted)
+        assert corrupted > 0, "5% corruption never fired over 60 segments"
+        discards = (run.receiver.corrupted_discards
+                    + run.record.corrupted_discards)
+        assert discards == corrupted
+
+    def test_corrupt_event_traced_under_lineage(self):
+        run = run_chaos_flow(
+            [("forward", PayloadCorruption(prob=0.2))],
+            segments=40, seed=5, lineage=True)
+        events = run.sim.trace.records(EV_CHAOS_CORRUPT)
+        assert events
+        assert all(e.detail["chaos"] == "payload-corruption"
+                   for e in events)
+
+
+class TestDuplication:
+    def test_clones_have_fresh_uids(self):
+        imp = Duplication(prob=0.5)
+        imp.rng = ScriptedRng([0.0])
+        original = data_packet(seq=7)
+        clones = list(imp.clones(original))
+        assert len(clones) == 1
+        assert clones[0].uid != original.uid
+        assert clones[0].seq == original.seq
+        assert imp.injected == 1
+
+    def test_no_clone_above_probability(self):
+        imp = Duplication(prob=0.5)
+        imp.rng = ScriptedRng([0.9])
+        assert list(imp.clones(data_packet())) == []
+        assert imp.injected == 0
+
+    def test_clone_events_traced_with_causal_edge(self):
+        run = run_chaos_flow(
+            [("forward", Duplication(prob=0.3))],
+            segments=40, seed=2, lineage=True)
+        clones = run.sim.trace.records(EV_CHAOS_CLONE)
+        assert clones
+        sends = {r.detail["uid"]
+                 for r in run.sim.trace.records("pkt.send")}
+        for event in clones:
+            assert event.detail["clone_of"] in sends
+            assert event.detail["uid"] not in sends
+        assert run.record.completed
+        assert run.record.duplicate_receptions > 0
+
+    def test_clones_are_never_recloned(self):
+        # Even at prob ~1 a single offer admits a bounded clone count:
+        # the clone is admitted directly, not re-offered.
+        imp = Duplication(prob=0.99)
+        sim, net = one_pair_net()
+        net.bottleneck.attach_impairment(imp)
+        net.bottleneck.send(data_packet())
+        assert imp.injected <= 1
+
+
+class TestReordering:
+    def test_reordering_queue_swaps_heads(self):
+        queue = ReorderingQueue(1 << 20, ScriptedRng([0.0]), swap_prob=0.5)
+        first, second = data_packet(0), data_packet(1)
+        queue.enqueue(first)
+        queue.enqueue(second)
+        assert queue.dequeue() is second
+        assert queue.swaps == 1
+
+    def test_bind_swaps_queue_and_migrates_packets(self):
+        sim, net = one_pair_net()
+        original = net.bottleneck.queue
+        # Pre-load the egress queue, then bind: packets must survive.
+        parked = [data_packet(i) for i in range(3)]
+        for packet in parked:
+            original.enqueue(packet)
+        imp = Reordering(swap_prob=0.0)
+        net.bottleneck.attach_impairment(imp)
+        assert isinstance(net.bottleneck.queue, ReorderingQueue)
+        assert len(net.bottleneck.queue) == 3
+        net.bottleneck.detach_impairment(imp)
+        assert net.bottleneck.queue is original
+        assert len(original) == 3
+
+    def test_reordered_flow_still_completes(self):
+        run = run_chaos_flow([("forward", Reordering(swap_prob=0.4))],
+                             segments=50, seed=4)
+        assert run.record.completed
+        assert run.record.fct is not None
+
+
+class TestLifecycle:
+    def test_double_bind_rejected(self):
+        sim, net = one_pair_net()
+        imp = DelayJitter()
+        net.bottleneck.attach_impairment(imp)
+        with pytest.raises(ChaosError):
+            net.reverse_bottleneck.attach_impairment(imp)
+
+    def test_chaos_drops_recorded_as_link_loss_with_reason(self):
+        run = run_chaos_flow(
+            [("forward", BlackholeWindow(start=0.0,
+                                         duration=float("inf")))],
+            segments=10, seed=1, horizon=20.0, lineage=True)
+        assert not run.record.completed
+        stats = run.net.bottleneck.stats
+        assert stats.packets_chaos_dropped > 0
+        losses = run.sim.trace.records("link.loss")
+        assert losses
+        assert all(e.detail["reason"] == "blackhole" for e in losses)
+        assert all(e.detail["chaos"] == "blackhole" for e in losses)

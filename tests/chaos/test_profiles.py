@@ -1,0 +1,117 @@
+"""Profile registry, parsing, application, and the ambient session."""
+
+import pytest
+
+from repro.chaos.impairments import DelayJitter, GilbertElliottLoss
+from repro.chaos.profiles import (
+    ChaosProfile,
+    available_profiles,
+    get_profile,
+    parse_profile,
+    register_profile,
+    session,
+)
+from repro.errors import ChaosError
+from repro.net.topology import access_network
+from repro.sim.simulator import Simulator
+
+CATALOGUE = ("wifi-bursty", "flaky-uplink", "brownout", "blackhole",
+             "corrupting-path", "middlebox-madness", "dead-air")
+
+
+def one_pair_net(seed: int = 1):
+    sim = Simulator(seed=seed)
+    return sim, access_network(sim, n_pairs=1)
+
+
+class TestRegistry:
+    def test_catalogue_is_registered(self):
+        names = available_profiles()
+        for name in CATALOGUE:
+            assert name in names
+
+    def test_get_profile_reseeds(self):
+        profile = get_profile("wifi-bursty", seed=9)
+        assert profile.seed == 9
+        assert profile.spec == "wifi-bursty:9"
+        # The registry copy is untouched (profiles are frozen values).
+        assert get_profile("wifi-bursty").seed == 0
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ChaosError, match="unknown chaos profile"):
+            get_profile("does-not-exist")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ChaosError, match="already registered"):
+            register_profile(get_profile("blackhole"))
+
+
+class TestParse:
+    def test_bare_name_defaults_seed_zero(self):
+        assert parse_profile("brownout").seed == 0
+
+    def test_name_with_seed(self):
+        profile = parse_profile("brownout:17")
+        assert (profile.name, profile.seed) == ("brownout", 17)
+
+    def test_bad_seed_rejected(self):
+        with pytest.raises(ChaosError, match="invalid chaos seed"):
+            parse_profile("brownout:lots")
+
+
+class TestApply:
+    def test_apply_attaches_to_both_directions(self):
+        sim, net = one_pair_net()
+        applied = get_profile("wifi-bursty", seed=3).apply(net)
+        forward = net.bottleneck.impairments
+        reverse = net.reverse_bottleneck.impairments
+        assert len(forward) == 2  # gilbert-elliott + delay-jitter
+        assert len(reverse) == 1
+        assert len(applied.impairments) == 3
+
+    def test_detach_restores_clean_links(self):
+        sim, net = one_pair_net()
+        base_rate = net.bottleneck.rate
+        applied = get_profile("brownout", seed=1).apply(net)
+        sim.run(until=1.0)  # let the modulation step at least once
+        applied.detach()
+        assert net.bottleneck.impairments == []
+        assert net.reverse_bottleneck.impairments == []
+        assert net.bottleneck.rate == base_rate
+
+    def test_each_apply_builds_fresh_instances(self):
+        sim_a, net_a = one_pair_net(seed=1)
+        sim_b, net_b = one_pair_net(seed=2)
+        profile = get_profile("wifi-bursty")
+        first = profile.apply(net_a).impairments
+        second = profile.apply(net_b).impairments
+        assert not set(map(id, first)) & set(map(id, second))
+
+    def test_invalid_direction_rejected(self):
+        profile = ChaosProfile(
+            "sideways", "bad direction for the validation test",
+            lambda seed: [("sideways", DelayJitter(seed=seed))])
+        with pytest.raises(ChaosError, match="unknown direction"):
+            profile.build()
+
+
+class TestSession:
+    def test_ambient_profile_applies_to_networks_built_inside(self):
+        with session("blackhole:3") as profile:
+            assert profile.spec == "blackhole:3"
+            sim, net = one_pair_net()
+            assert [i.name for i in net.bottleneck.impairments] == \
+                ["blackhole"]
+        sim, net = one_pair_net()
+        assert net.bottleneck.impairments == []
+
+    def test_session_accepts_profile_objects(self):
+        custom = ChaosProfile(
+            "session-test", "one reverse-path loss process",
+            lambda seed: [("reverse", GilbertElliottLoss(seed=seed))],
+            seed=5)
+        with session(custom):
+            sim, net = one_pair_net()
+            assert net.bottleneck.impairments == []
+            assert [i.name for i in net.reverse_bottleneck.impairments] == \
+                ["gilbert-elliott"]

@@ -1,0 +1,99 @@
+"""Survival-sweep harness: liveness contract, determinism, CLI."""
+
+import json
+
+from repro.chaos.cli import main as chaos_main
+from repro.chaos.profiles import get_profile
+from repro.chaos.sweep import run_cell, run_sweep, sweep_config
+
+
+class TestRunCell:
+    def test_recoverable_profile_completes_every_flow(self):
+        cell = run_cell("halfback", get_profile("wifi-bursty"),
+                        seed=11, n_flows=2, size=30_000)
+        assert cell.live
+        assert cell.completed == 2
+        assert cell.failed == cell.pending == 0
+        assert cell.mean_fct is not None and cell.mean_fct > 0
+
+    def test_dead_air_aborts_every_flow_with_a_reason(self):
+        cell = run_cell("halfback", get_profile("dead-air"),
+                        seed=11, n_flows=3, size=30_000)
+        assert cell.live, "aborting cleanly IS the liveness contract"
+        assert cell.completed == 0
+        assert cell.failed == 3
+        assert sum(cell.abort_reasons.values()) == 3
+        assert set(cell.abort_reasons) <= {"syn-retries-exhausted",
+                                           "max-flow-duration"}
+        assert "syn-retries-exhausted" in cell.abort_reasons, \
+            "the lowered max_syn_retries must fire before the deadline"
+
+    def test_audited_middlebox_cell_is_clean(self):
+        # Regression guard for the clone-knowledge fix: duplication can
+        # deliver a clone of an ACK whose original was queue-dropped;
+        # the sender learns the contents, so the auditor must too
+        # (chaos.clone events), or frontier-meet false-positives.
+        cell = run_cell("halfback",
+                        get_profile("middlebox-madness", seed=42),
+                        seed=42, n_flows=4, size=60_000, audit=True)
+        assert cell.violations == []
+        assert cell.live
+
+    def test_sweep_config_lowers_the_giveup_knobs(self):
+        config = sweep_config()
+        assert config.max_flow_duration == 30.0
+        assert config.max_syn_retries == 3
+
+
+class TestRunSweep:
+    def test_same_seed_sweeps_are_bit_identical(self):
+        kwargs = dict(protocols=["halfback", "tcp"],
+                      profiles=["blackhole", "dead-air"],
+                      seed=7, n_flows=2, size=30_000)
+        first = run_sweep(**kwargs)
+        second = run_sweep(**kwargs)
+        assert first.live
+        assert first.fingerprint == second.fingerprint
+        assert ([c.to_dict() for c in first.cells]
+                == [c.to_dict() for c in second.cells])
+
+    def test_different_seed_changes_the_fingerprint(self):
+        kwargs = dict(protocols=["halfback"], profiles=["wifi-bursty"],
+                      n_flows=2, size=30_000)
+        assert (run_sweep(seed=1, **kwargs).fingerprint
+                != run_sweep(seed=2, **kwargs).fingerprint)
+
+    def test_report_shape_and_rendering(self):
+        report = run_sweep(protocols=["tcp"], profiles=["blackhole"],
+                           seed=3, n_flows=2, size=30_000)
+        payload = report.to_dict()
+        assert payload["live"] is True
+        assert payload["audited"] is False
+        assert len(payload["cells"]) == 1
+        cell = payload["cells"][0]
+        assert cell["protocol"] == "tcp"
+        assert cell["profile"] == "blackhole"
+        rendered = report.format_report()
+        assert "blackhole" in rendered
+        assert "fingerprint" in rendered
+        assert "liveness contract held" in rendered
+
+
+class TestCli:
+    def test_list_prints_catalogue(self, capsys):
+        assert chaos_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "wifi-bursty" in out
+        assert "dead-air" in out
+
+    def test_sweep_subset_exits_zero_and_writes_json(self, tmp_path):
+        out_path = tmp_path / "sweep.json"
+        code = chaos_main([
+            "sweep", "--protocols", "tcp", "--profiles", "blackhole",
+            "--flows", "2", "--size", "30000", "--seed", "5",
+            "--json", str(out_path),
+        ])
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["live"] is True
+        assert payload["cells"][0]["protocol"] == "tcp"

@@ -1,0 +1,64 @@
+"""The no-progress watchdog: zero-delay cycles raise a diagnosable
+StallError; legitimate same-instant bursts do not."""
+
+import pytest
+
+from repro.errors import StallError
+from repro.sim.simulator import DEFAULT_STALL_EVENT_LIMIT, Simulator
+
+
+def spin(sim: Simulator) -> None:
+    """A zero-delay self-perpetuating cycle (the classic livelock)."""
+    sim.schedule(0.0, spin, sim)
+
+
+class TestWatchdog:
+    def test_zero_delay_cycle_raises_stall_error(self):
+        sim = Simulator(stall_event_limit=500)
+        sim.schedule(1.0, spin, sim)
+        with pytest.raises(StallError) as info:
+            sim.run(until=10.0)
+        exc = info.value
+        assert exc.time == pytest.approx(1.0)
+        assert exc.events_at_instant > 500
+
+    def test_stall_error_dumps_pending_events(self):
+        sim = Simulator(stall_event_limit=100)
+        spin(sim)
+        with pytest.raises(StallError) as info:
+            sim.run()
+        exc = info.value
+        assert exc.pending, "the dump must name the callbacks in the loop"
+        assert any("spin" in entry for entry in exc.pending)
+        message = str(exc)
+        assert "next pending events" in message
+        assert "without the clock advancing" in message
+
+    def test_legitimate_same_instant_burst_stays_clean(self):
+        sim = Simulator()  # default (1M-event) limit
+        fired = []
+        for index in range(5_000):
+            sim.schedule_at(1.0, fired.append, index)
+        sim.run()
+        assert len(fired) == 5_000
+        assert sim.now == pytest.approx(1.0)
+
+    def test_counter_resets_when_the_clock_advances(self):
+        # 300 events at each of many instants with a 500-event limit:
+        # only a *single-instant* pileup may trip the watchdog.
+        sim = Simulator(stall_event_limit=500)
+        for step in range(10):
+            for _ in range(300):
+                sim.schedule_at(float(step), lambda: None)
+        sim.run()
+        assert sim.events_run == 3_000
+
+    def test_none_disables_the_watchdog(self):
+        sim = Simulator(stall_event_limit=None)
+        spin(sim)
+        sim.run(max_events=2_000)  # must not raise
+        assert sim.events_run == 2_000
+        assert sim.now == 0.0
+
+    def test_default_limit_is_documented_constant(self):
+        assert Simulator().stall_event_limit == DEFAULT_STALL_EVENT_LIMIT

@@ -38,7 +38,7 @@ def assert_schema_clean(records):
 
 class TestSchemaHelpers:
     def test_schema_version_is_current(self):
-        assert SCHEMA_VERSION == 2
+        assert SCHEMA_VERSION == 3
 
     def test_required_keys_known_and_unknown(self):
         assert required_keys("halfback.frontier") == {"flow", "ack", "pointer"}
@@ -176,7 +176,9 @@ class TestLineageEvents:
         run, records = traced_flow("halfback", size=100_000, lineage=True)
         assert run.record.completed
         kinds = {r.kind for r in records}
-        assert LINEAGE_EVENT_KINDS <= kinds
+        # chaos.clone only fires on an impaired link (tests/chaos covers
+        # it); every unconditional hop kind must appear in a plain flow.
+        assert LINEAGE_EVENT_KINDS - {"chaos.clone"} <= kinds
         assert_schema_clean(records)
 
     def test_every_packet_has_a_send_span(self):
@@ -235,6 +237,9 @@ class TestEverySchemaKindIsExercised:
         # flow.start/flow.complete come from the experiment runner (not
         # run_one_flow); sender.failed needs an aborted flow;
         # reactive.probe and sim.crash are covered by direct-firing
-        # tests above.
+        # tests above; the chaos.* family needs an impaired link and is
+        # schema-asserted in tests/chaos/test_impairments.py.
         assert uncovered <= {"flow.start", "flow.complete", "sender.failed",
-                             "reactive.probe", "sender.rto", "sim.crash"}
+                             "reactive.probe", "sender.rto", "sim.crash",
+                             "chaos.corrupt", "chaos.flap", "chaos.rate",
+                             "chaos.clone"}
