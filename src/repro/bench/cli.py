@@ -94,6 +94,11 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="with --compare: exit 1 when any comparable "
                              "benchmark slowed by more than PCT percent "
                              "(omit for warn-only)")
+    parser.add_argument("--strict-compare", action="store_true",
+                        help="with --compare: fail (exit 1) on metadata "
+                             "mismatches — machine fingerprint, python "
+                             "version, or workload scale — instead of "
+                             "just warning")
     parser.add_argument("--label", default=None,
                         help="free-form label stored in the document "
                              "(e.g. a commit id)")
@@ -185,6 +190,8 @@ def main(argv=None) -> int:
         parser.error("--current requires --compare")
     if args.fail_threshold is not None and args.compare is None:
         parser.error("--fail-threshold requires --compare")
+    if args.strict_compare and args.compare is None:
+        parser.error("--strict-compare requires --compare")
 
     scale = args.scale
     if scale is None:
@@ -242,7 +249,8 @@ def main(argv=None) -> int:
             print(f"cannot load --compare baseline: {exc}", file=sys.stderr)
             return 2
         result = compare_reports(old_doc, new_doc,
-                                 fail_threshold=args.fail_threshold)
+                                 fail_threshold=args.fail_threshold,
+                                 strict=args.strict_compare)
         print()
         print(render_comparison(result))
         if result["failed"]:

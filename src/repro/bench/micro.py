@@ -153,6 +153,50 @@ def _sender_ack_processing(n: int, seed: int) -> Tuple[float, int]:
     return time.perf_counter() - started, segments
 
 
+class _SinkNode:
+    """Minimal delivery target for the link benchmark (counts packets)."""
+
+    name = "sink"
+
+    def __init__(self) -> None:
+        self.received = 0
+
+    def receive(self, packet) -> None:
+        self.received += 1
+
+
+def _link_deliver(n: int, seed: int) -> Tuple[float, int]:
+    """Full link datapath: admit, serialize, propagate, deliver.
+
+    ``Link._deliver`` is the hottest callback in macro runs (every
+    packet pays the chain once per hop), so this drives ``n`` packets
+    through one fast link into a sink endpoint and times the whole
+    drain — covering ``_admit``, ``_start_transmission``,
+    ``_finish_transmission``, ``_deliver`` and the events they
+    schedule.  Ops = packets delivered.
+    """
+    from repro.net.link import Link
+    from repro.net.packet import Packet, PacketType
+    from repro.sim.simulator import Simulator
+    from repro.units import gbps, us
+
+    sim = Simulator(seed=seed)
+    sink = _SinkNode()
+    link = Link(sim, "bench->sink", sink, rate=gbps(10), delay=us(10))
+    packets = [Packet(src="bench", dst="sink", flow_id=1,
+                      kind=PacketType.DATA, size=1500, seq=i)
+               for i in range(n)]
+    started = time.perf_counter()
+    for packet in packets:
+        link.send(packet)
+    sim.run()
+    elapsed = time.perf_counter() - started
+    if sink.received != n:  # pragma: no cover - sanity guard
+        raise RuntimeError(f"link benchmark lost packets: "
+                           f"{sink.received}/{n} delivered")
+    return elapsed, n
+
+
 def _trace_sink_serialization(n: int, seed: int) -> Tuple[float, int]:
     from repro.sim.trace import TraceRecord
     from repro.telemetry.export import JsonlTraceSink
@@ -282,6 +326,9 @@ MICRO_BENCHMARKS: Dict[str, MicroBenchmark] = {
         MicroBenchmark("sender_ack_processing",
                        "TCP sender per-ACK bookkeeping + window send",
                        _sender_ack_processing, default_n=4_000),
+        MicroBenchmark("link_deliver",
+                       "full link datapath: admit, serialize, deliver",
+                       _link_deliver, default_n=20_000),
         MicroBenchmark("trace_sink_serialization",
                        "JSONL trace-sink write of schema-shaped records",
                        _trace_sink_serialization, default_n=20_000),

@@ -25,6 +25,7 @@ __all__ = [
     "build_report",
     "compare_reports",
     "load_report",
+    "metadata_mismatches",
     "render_comparison",
     "validate_profile",
     "validate_report",
@@ -189,27 +190,59 @@ def _pct(old: float, new: float) -> Optional[float]:
     return (new - old) / old * 100.0
 
 
+#: Machine-metadata keys forming the host fingerprint: two timings are
+#: only directly comparable when all of these match.
+MACHINE_FINGERPRINT_KEYS = ("platform", "machine", "processor", "cpu_count")
+
+
+def metadata_mismatches(old: dict, new: dict) -> List[str]:
+    """Environment differences that make ``old`` vs ``new`` timings
+    apples-to-oranges: machine fingerprint, interpreter, workload scale.
+
+    Each is a human-readable warning; with ``strict`` comparisons any
+    mismatch fails the gate outright instead of merely annotating it.
+    """
+    mismatches: List[str] = []
+    old_m = old.get("machine") or {}
+    new_m = new.get("machine") or {}
+    old_fp = {k: old_m.get(k) for k in MACHINE_FINGERPRINT_KEYS}
+    new_fp = {k: new_m.get(k) for k in MACHINE_FINGERPRINT_KEYS}
+    if old_fp != new_fp:
+        changed = ", ".join(
+            f"{k} {old_fp[k]!r} vs {new_fp[k]!r}"
+            for k in MACHINE_FINGERPRINT_KEYS if old_fp[k] != new_fp[k])
+        mismatches.append(f"machine fingerprints (platform) differ "
+                          f"({changed}); timings are not directly "
+                          "comparable")
+    old_py = (old_m.get("implementation"), old_m.get("python"))
+    new_py = (new_m.get("implementation"), new_m.get("python"))
+    if old_py != new_py:
+        mismatches.append(f"python versions differ "
+                          f"({old_py[0]} {old_py[1]} vs "
+                          f"{new_py[0]} {new_py[1]}); interpreter speed "
+                          "changes masquerade as code speed changes")
+    if old.get("scale") != new.get("scale"):
+        mismatches.append(f"workload scales differ ({old.get('scale')} vs "
+                          f"{new.get('scale')}); counts will not match")
+    return mismatches
+
+
 def compare_reports(old: dict, new: dict,
-                    fail_threshold: Optional[float] = None) -> dict:
+                    fail_threshold: Optional[float] = None,
+                    strict: bool = False) -> dict:
     """Per-scenario deltas between two bench documents.
 
-    Returns ``{"rows", "notes", "regressions", "failed"}``: rows feed
-    :func:`render_comparison`; ``regressions`` lists rows whose slowdown
-    exceeds ``fail_threshold`` percent; ``failed`` is True iff a
-    threshold was given and at least one comparable row exceeded it.
+    Returns ``{"rows", "notes", "mismatches", "regressions", "failed"}``:
+    rows feed :func:`render_comparison`; ``regressions`` lists rows whose
+    slowdown exceeds ``fail_threshold`` percent; ``mismatches`` lists
+    environment differences (machine fingerprint, python version, scale)
+    that make the two documents apples-to-oranges; ``failed`` is True
+    when a threshold was given and a comparable row exceeded it, or —
+    with ``strict`` — when any metadata mismatch exists.
     """
     rows: List[dict] = []
-    notes: List[str] = []
-
-    if old.get("machine", {}).get("platform") != \
-            new.get("machine", {}).get("platform"):
-        notes.append("machine platforms differ "
-                     f"({old.get('machine', {}).get('platform')!r} vs "
-                     f"{new.get('machine', {}).get('platform')!r}); "
-                     "timings are not directly comparable")
-    if old.get("scale") != new.get("scale"):
-        notes.append(f"workload scales differ ({old.get('scale')} vs "
-                     f"{new.get('scale')}); counts will not match")
+    mismatches = metadata_mismatches(old, new)
+    notes: List[str] = list(mismatches)
 
     old_scen = old.get("scenarios") or {}
     new_scen = new.get("scenarios") or {}
@@ -270,9 +303,11 @@ def compare_reports(old: dict, new: dict,
     return {
         "rows": rows,
         "notes": notes,
+        "mismatches": mismatches,
         "regressions": regressions,
-        "failed": bool(regressions),
+        "failed": bool(regressions) or (strict and bool(mismatches)),
         "fail_threshold": fail_threshold,
+        "strict": strict,
     }
 
 
@@ -302,6 +337,9 @@ def render_comparison(result: dict) -> str:
     for note in result["notes"]:
         lines.append(f"note: {note}")
     threshold = result.get("fail_threshold")
+    if result.get("strict") and result.get("mismatches"):
+        lines.append(f"STRICT COMPARE: {len(result['mismatches'])} metadata "
+                     "mismatch(es) fail the gate (see notes above)")
     if result["regressions"]:
         names = ", ".join(f"{r['kind']}:{r['name']} ({r['pct']:+.1f}%)"
                           for r in result["regressions"])

@@ -54,6 +54,10 @@ def main(argv=None) -> int:
     p_sweep.add_argument("--json", default=None, metavar="PATH",
                          help="also write the full report (cells + "
                               "fingerprint) as JSON")
+    p_sweep.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes for the cell fan-out "
+                              "(default 1 = serial; results and "
+                              "fingerprint are identical either way)")
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -72,6 +76,7 @@ def main(argv=None) -> int:
         n_flows=args.flows,
         size=args.size,
         audit=args.audit,
+        jobs=args.jobs,
     )
     print(report.format_report())
     if args.json:

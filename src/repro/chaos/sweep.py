@@ -32,6 +32,7 @@ from repro.chaos.profiles import ChaosProfile, available_profiles, get_profile
 from repro.errors import StallError
 from repro.experiments.runner import launch_flow
 from repro.net.topology import access_network
+from repro.parallel import fanout_map
 from repro.protocols.registry import ProtocolContext, available_protocols
 from repro.sim.randomness import derive_seed
 from repro.sim.simulator import Simulator
@@ -258,6 +259,13 @@ def run_cell(
     return result
 
 
+def _run_cell_task(task) -> CellResult:
+    """Picklable per-cell worker for :func:`fanout_map`."""
+    protocol, profile, seed, n_flows, size, audit = task
+    return run_cell(protocol, profile, seed=seed, n_flows=n_flows,
+                    size=size, audit=audit)
+
+
 def run_sweep(
     protocols: Optional[Sequence[str]] = None,
     profiles: Optional[Sequence[str]] = None,
@@ -265,13 +273,17 @@ def run_sweep(
     n_flows: int = 4,
     size: int = 60_000,
     audit: bool = False,
+    jobs: int = 1,
 ) -> SweepReport:
     """Run the full protocol x profile survival matrix.
 
     ``protocols`` / ``profiles`` default to everything registered; pass
     subsets for a quick (or CI-sized) sweep.  Cells are independent —
     each gets its own simulator, topology, and derived seed — so the
-    matrix order never affects outcomes.
+    matrix order never affects outcomes, and ``jobs > 1`` fans the
+    cells out over worker processes.  Results merge in the serial cell
+    order, so the report (and its fingerprint) is bit-identical to a
+    ``jobs=1`` run.
     """
     if protocols is None:
         protocols = available_protocols()
@@ -279,10 +291,10 @@ def run_sweep(
         profiles = available_profiles()
     resolved = [get_profile(name, seed=seed) if isinstance(name, str)
                 else name for name in profiles]
-    cells = [
-        run_cell(protocol, profile, seed=seed, n_flows=n_flows,
-                 size=size, audit=audit)
+    tasks = [
+        (protocol, profile, seed, n_flows, size, audit)
         for profile in resolved
         for protocol in protocols
     ]
+    cells = fanout_map(_run_cell_task, tasks, jobs=jobs)
     return SweepReport(cells=cells, seed=seed, audited=audit)

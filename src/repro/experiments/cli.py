@@ -37,88 +37,88 @@ Runner = Callable[..., object]
 Formatter = Callable[[object], str]
 
 
-def _fig01(scale: float, seed: int):
+def _fig01(scale: float, seed: int, jobs: int = 1):
     from repro.experiments import fig01_tradeoff as m
     utils = tuple(round(0.1 * i, 2) for i in range(1, 10))
     return m.run(utilizations=utils, duration=max(5.0, 10 * scale), seed=seed), m.format_report
 
 
-def _fig02(scale: float, seed: int):
+def _fig02(scale: float, seed: int, jobs: int = 1):
     from repro.experiments import fig02_traffic_cdf as m
     return m.run(), m.format_report
 
 
-def _fig03(scale: float, seed: int):
+def _fig03(scale: float, seed: int, jobs: int = 1):
     from repro.experiments import fig03_example as m
     return m.run(seed=seed), m.format_report
 
 
-def _table1(scale: float, seed: int):
+def _table1(scale: float, seed: int, jobs: int = 1):
     from repro.experiments import table1_taxonomy as m
     return m.run(), m.format_report
 
 
-def _fig05(scale: float, seed: int):
+def _fig05(scale: float, seed: int, jobs: int = 1):
     from repro.experiments import fig05_retransmissions as m
-    return m.run(n_paths=int(260 * scale), seed=seed), m.format_report
+    return m.run(n_paths=int(260 * scale), seed=seed, jobs=jobs), m.format_report
 
 
-def _fig06(scale: float, seed: int):
+def _fig06(scale: float, seed: int, jobs: int = 1):
     from repro.experiments import fig06_planetlab_fct as m
-    return m.run(n_paths=int(260 * scale), seed=seed), m.format_report
+    return m.run(n_paths=int(260 * scale), seed=seed, jobs=jobs), m.format_report
 
 
-def _fig07(scale: float, seed: int):
+def _fig07(scale: float, seed: int, jobs: int = 1):
     from repro.experiments import fig07_rtt_counts as m
-    return m.run(n_paths=int(260 * scale), seed=seed), m.format_report
+    return m.run(n_paths=int(260 * scale), seed=seed, jobs=jobs), m.format_report
 
 
-def _fig08(scale: float, seed: int):
+def _fig08(scale: float, seed: int, jobs: int = 1):
     from repro.experiments import fig08_loss_fct as m
-    return m.run(n_paths=int(260 * scale), seed=seed), m.format_report
+    return m.run(n_paths=int(260 * scale), seed=seed, jobs=jobs), m.format_report
 
 
-def _fig09(scale: float, seed: int):
+def _fig09(scale: float, seed: int, jobs: int = 1):
     from repro.experiments import fig09_homenets as m
     return m.run(n_servers=max(4, int(40 * scale)), seed=seed), m.format_report
 
 
-def _fig10(scale: float, seed: int):
+def _fig10(scale: float, seed: int, jobs: int = 1):
     from repro.experiments import fig10_bufferbloat as m
     return m.run(duration=max(20.0, 60 * scale), seed=seed), m.format_report
 
 
-def _fig11(scale: float, seed: int):
+def _fig11(scale: float, seed: int, jobs: int = 1):
     from repro.experiments import fig11_flowsize as m
     return m.run(duration=max(10.0, 30 * scale), seed=seed), m.format_report
 
 
-def _fig12(scale: float, seed: int):
+def _fig12(scale: float, seed: int, jobs: int = 1):
     from repro.experiments import fig12_utilization as m
-    return m.run(duration=max(5.0, 15 * scale), seed=seed), m.format_report
+    return m.run(duration=max(5.0, 15 * scale), seed=seed, jobs=jobs), m.format_report
 
 
-def _fig13(scale: float, seed: int):
+def _fig13(scale: float, seed: int, jobs: int = 1):
     from repro.experiments import fig13_short_long as m
     return m.run(duration=max(20.0, 40 * scale), seed=seed), m.format_report
 
 
-def _fig14(scale: float, seed: int):
+def _fig14(scale: float, seed: int, jobs: int = 1):
     from repro.experiments import fig14_friendliness as m
     return m.run(duration=max(10.0, 30 * scale), seed=seed), m.format_report
 
 
-def _fig15(scale: float, seed: int):
+def _fig15(scale: float, seed: int, jobs: int = 1):
     from repro.experiments import fig15_throughput as m
     return m.run(seed=seed), m.format_report
 
 
-def _fig16(scale: float, seed: int):
+def _fig16(scale: float, seed: int, jobs: int = 1):
     from repro.experiments import fig16_web as m
-    return m.run(duration=max(15.0, 40 * scale), seed=seed), m.format_report
+    return m.run(duration=max(15.0, 40 * scale), seed=seed, jobs=jobs), m.format_report
 
 
-def _fig17(scale: float, seed: int):
+def _fig17(scale: float, seed: int, jobs: int = 1):
     from repro.experiments import fig17_ablation as m
     return m.run(duration=max(5.0, 15 * scale), seed=seed), m.format_report
 
@@ -163,6 +163,10 @@ def main(argv=None) -> int:
                              "scale; 10.0 approximates paper scale)")
     parser.add_argument("--seed", type=int, default=42,
                         help="master random seed")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for sweep-cell fan-out "
+                             "(figs 5-8, 12, 16; default 1 = serial; "
+                             "results are identical either way)")
     parser.add_argument("--telemetry", nargs="?", const=DEFAULT_TELEMETRY_DIR,
                         default=None, metavar="DIR",
                         help="enable the telemetry subsystem; streams a "
@@ -220,6 +224,15 @@ def main(argv=None) -> int:
             print(f"unknown experiment {name!r}; try 'list'", file=sys.stderr)
             return 2
 
+    jobs = args.jobs
+    if jobs > 1 and (args.telemetry is not None or args.audit is not None
+                     or args.chaos is not None):
+        # Observability sessions live in parent-process context variables
+        # and would silently not reach pool workers; keep the run honest.
+        print("[--jobs ignored: --telemetry/--audit/--chaos need in-process "
+              "runs]", file=sys.stderr)
+        jobs = 1
+
     hub = None
     audit = None
     stack = contextlib.ExitStack()
@@ -249,7 +262,7 @@ def main(argv=None) -> int:
             description, runner = EXPERIMENTS[name]
             print(f"== {name}: {description} (scale={args.scale}) ==")
             started = time.time()
-            result, formatter = runner(args.scale, args.seed)
+            result, formatter = runner(args.scale, args.seed, jobs)
             print(formatter(result))
             print(f"[{name} finished in {time.time() - started:.1f}s]\n")
     if hub is not None:

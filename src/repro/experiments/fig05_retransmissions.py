@@ -35,11 +35,12 @@ def run(
     protocols: Sequence[str] = PROTOCOLS_MAIN,
     seed: int = 42,
     trials: Optional[PlanetlabTrials] = None,
+    jobs: int = 1,
 ) -> Fig5Result:
     """Build Fig. 5's distributions from the shared trial set."""
     if trials is None:
         trials = run_planetlab_trials(n_paths=n_paths, protocols=protocols,
-                                      seed=seed)
+                                      seed=seed, jobs=jobs)
     counts: Dict[str, List[int]] = {}
     for protocol in trials.protocols():
         counts[protocol] = trials.collector(protocol).normal_retransmissions()

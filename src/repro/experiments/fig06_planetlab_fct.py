@@ -40,11 +40,12 @@ def run(
     protocols: Sequence[str] = PROTOCOLS_MAIN,
     seed: int = 42,
     trials: Optional[PlanetlabTrials] = None,
+    jobs: int = 1,
 ) -> Fig6Result:
     """Run (or reuse) the PlanetLab trial set and build the Fig. 6 data."""
     if trials is None:
         trials = run_planetlab_trials(n_paths=n_paths, protocols=protocols,
-                                      seed=seed)
+                                      seed=seed, jobs=jobs)
     fcts: Dict[str, List[float]] = {}
     for protocol in trials.protocols():
         fcts[protocol] = trials.collector(protocol).fcts()

@@ -37,11 +37,12 @@ def run(
     protocols: Sequence[str] = PROTOCOLS_MAIN,
     seed: int = 42,
     trials: Optional[PlanetlabTrials] = None,
+    jobs: int = 1,
 ) -> Fig7Result:
     """Build Fig. 7's distributions from the shared trial set."""
     if trials is None:
         trials = run_planetlab_trials(n_paths=n_paths, protocols=protocols,
-                                      seed=seed)
+                                      seed=seed, jobs=jobs)
     counts: Dict[str, List[float]] = {}
     for protocol in trials.protocols():
         counts[protocol] = trials.collector(protocol).rtt_counts()

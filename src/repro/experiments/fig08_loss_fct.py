@@ -38,11 +38,12 @@ def run(
     protocols: Sequence[str] = PROTOCOLS_MAIN,
     seed: int = 42,
     trials: Optional[PlanetlabTrials] = None,
+    jobs: int = 1,
 ) -> Fig8Result:
     """Build Fig. 8's lossy-subset distributions from the trial set."""
     if trials is None:
         trials = run_planetlab_trials(n_paths=n_paths, protocols=protocols,
-                                      seed=seed)
+                                      seed=seed, jobs=jobs)
     fcts: Dict[str, List[float]] = {}
     lossy_fraction: Dict[str, float] = {}
     for protocol in trials.protocols():

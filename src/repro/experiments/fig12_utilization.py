@@ -15,6 +15,7 @@ from typing import Dict, List, Sequence
 from repro.metrics.collapse import SweepPoint, feasible_capacity
 from repro.experiments.report import render_table
 from repro.experiments.scenarios import PROTOCOLS_ALL, run_utilization_point
+from repro.parallel import fanout_map
 
 __all__ = [
     "DEFAULT_UTILIZATIONS",
@@ -48,6 +49,15 @@ class UtilizationSweep:
         return self.points[protocol][0].mean_fct
 
 
+def _run_point_task(task):
+    """Picklable per-cell worker for :func:`fanout_map`."""
+    protocol, utilization, duration, seed, n_pairs, drain_time = task
+    return run_utilization_point(
+        protocol, utilization, duration=duration, seed=seed,
+        n_pairs=n_pairs, drain_time=drain_time,
+    )
+
+
 def sweep_protocols(
     protocols: Sequence[str],
     utilizations: Sequence[float] = DEFAULT_UTILIZATIONS,
@@ -56,20 +66,24 @@ def sweep_protocols(
     n_pairs: int = 16,
     collapse_factor: float = 4.0,
     drain_time: float = 30.0,
+    jobs: int = 1,
 ) -> UtilizationSweep:
     """Run the all-short-flow sweep for each protocol.
 
     The arrival schedule at a given utilization is identical across
-    protocols (same seed), per the paper's methodology.
+    protocols (same seed), per the paper's methodology.  Each
+    (protocol, utilization) cell is one self-contained simulation, so
+    ``jobs > 1`` fans the cells out over worker processes; curves merge
+    in the serial order and match a serial run exactly.
     """
+    tasks = [(protocol, utilization, duration, seed, n_pairs, drain_time)
+             for protocol in protocols for utilization in utilizations]
+    collectors = fanout_map(_run_point_task, tasks, jobs=jobs)
     points: Dict[str, List[SweepPoint]] = {}
-    for protocol in protocols:
+    for i, protocol in enumerate(protocols):
         curve: List[SweepPoint] = []
-        for utilization in utilizations:
-            collector = run_utilization_point(
-                protocol, utilization, duration=duration, seed=seed,
-                n_pairs=n_pairs, drain_time=drain_time,
-            )
+        for j, utilization in enumerate(utilizations):
+            collector = collectors[i * len(utilizations) + j]
             if not collector.records:
                 # Short (scaled-down) runs can draw zero Poisson
                 # arrivals at the lowest loads; the point carries no
@@ -97,11 +111,12 @@ def run(
     seed: int = 0,
     n_pairs: int = 16,
     collapse_factor: float = 4.0,
+    jobs: int = 1,
 ) -> UtilizationSweep:
     """The Fig. 12 sweep over all eight schemes."""
     return sweep_protocols(protocols, utilizations=utilizations,
                            duration=duration, seed=seed, n_pairs=n_pairs,
-                           collapse_factor=collapse_factor)
+                           collapse_factor=collapse_factor, jobs=jobs)
 
 
 def format_report(result: UtilizationSweep) -> str:

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Sequence
 
 from repro.metrics.stats import mean
+from repro.parallel import fanout_map
 from repro.protocols.registry import ProtocolContext
 from repro.sim.randomness import derive_seed
 from repro.sim.simulator import Simulator
@@ -175,6 +176,11 @@ def _run_cell(protocol: str, utilization: float, duration: float, seed: int,
     }
 
 
+def _run_cell_task(task) -> Dict[str, float]:
+    """Picklable per-cell worker for :func:`fanout_map`."""
+    return _run_cell(*task)
+
+
 def run(
     protocols: Sequence[str] = DEFAULT_PROTOCOLS,
     utilizations: Sequence[float] = DEFAULT_UTILIZATIONS,
@@ -184,17 +190,30 @@ def run(
     catalog: Optional[Sequence[WebPage]] = None,
     max_connections: int = 6,
     penalty: float = 60.0,
+    jobs: int = 1,
 ) -> Fig16Result:
-    """Sweep utilization per scheme with the synthetic page catalog."""
+    """Sweep utilization per scheme with the synthetic page catalog.
+
+    Each (protocol, utilization) cell runs in its own simulator with a
+    cell-derived seed, so ``jobs > 1`` fans the cells out over worker
+    processes; curves merge in the serial order and match a serial run
+    exactly.
+    """
     if catalog is None:
         catalog = build_catalog()
+    catalog = list(catalog)
     browser = BrowserModel(max_connections=max_connections)
+    tasks = [
+        (protocol, utilization, duration, seed, n_pairs, catalog, browser,
+         penalty)
+        for protocol in protocols for utilization in utilizations
+    ]
+    cells = fanout_map(_run_cell_task, tasks, jobs=jobs)
     curves: Dict[str, List[float]] = {p: [] for p in protocols}
     completion: Dict[str, List[float]] = {p: [] for p in protocols}
-    for protocol in protocols:
-        for utilization in utilizations:
-            cell = _run_cell(protocol, utilization, duration, seed, n_pairs,
-                             catalog, browser, penalty)
+    for i, protocol in enumerate(protocols):
+        for j in range(len(utilizations)):
+            cell = cells[i * len(utilizations) + j]
             curves[protocol].append(cell["mean"])
             completion[protocol].append(cell["completion"])
     return Fig16Result(utilizations=list(utilizations), curves=curves,

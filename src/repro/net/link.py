@@ -101,6 +101,11 @@ class Link:
         self._busy = False
         self._impairments: List = []
         self.stats = LinkStats()
+        # Cached recorder (rebound by the simulator when sim.trace is
+        # reassigned): the per-packet lineage guard below is a single
+        # attribute check when tracing is off.
+        self._trace = sim.trace
+        sim.watch_trace(self._rebind_trace)
         # Aggregate (all-links) telemetry; instruments resolve to no-ops
         # when the registry is disabled.
         metrics = sim.metrics
@@ -112,6 +117,11 @@ class Link:
         self._m_queue_drop_bytes = metrics.counter("queue.drop_bytes")
         self._m_chaos_drops = metrics.counter("chaos.drops")
         self._m_chaos_corrupt = metrics.counter("chaos.corrupted")
+
+    # ------------------------------------------------------------------
+
+    def _rebind_trace(self, recorder) -> None:
+        self._trace = recorder
 
     # ------------------------------------------------------------------
 
@@ -173,7 +183,7 @@ class Link:
         itself re-judged into further clones.
         """
         if self._impairments:
-            trace = self.sim.trace
+            trace = self._trace
             for impairment in self._impairments:
                 for clone in impairment.clones(packet):
                     if trace.lineage:
@@ -193,12 +203,12 @@ class Link:
             self.sim.note_drop(packet.flow_id)
             self._m_queue_drops.inc()
             self._m_queue_drop_bytes.inc(packet.size)
-            self.sim.trace.record(
+            self._trace.record(
                 self.sim.now, EV_QUEUE_DROP, self.name,
                 packet=packet.describe(), uid=packet.uid,
             )
             return
-        trace = self.sim.trace
+        trace = self._trace
         if trace.lineage:
             trace.record(self.sim.now, EV_PKT_ENQUEUE, self.name,
                          **packet.lineage_detail())
@@ -217,7 +227,7 @@ class Link:
         self.stats.bytes_sent += packet.size
         self._m_tx_packets.inc()
         self._m_tx_bytes.inc(packet.size)
-        trace = self.sim.trace
+        trace = self._trace
         if trace.lineage:
             trace.record(self.sim.now, EV_PKT_TX, self.name,
                          **packet.lineage_detail())
@@ -228,7 +238,7 @@ class Link:
             self.stats.packets_lost_inflight += 1
             self._m_inflight_loss.inc()
             self.sim.note_drop(packet.flow_id)
-            self.sim.trace.record(
+            self._trace.record(
                 self.sim.now, EV_LINK_LOSS, self.name,
                 packet=packet.describe(), uid=packet.uid,
             )
@@ -256,7 +266,7 @@ class Link:
                 self.stats.packets_chaos_dropped += 1
                 self._m_chaos_drops.inc()
                 self.sim.note_drop(packet.flow_id)
-                self.sim.trace.record(
+                self._trace.record(
                     self.sim.now, EV_LINK_LOSS, self.name,
                     packet=packet.describe(), uid=packet.uid,
                     chaos=impairment.name, reason=reason,
@@ -267,7 +277,7 @@ class Link:
                 packet.corrupted = True
                 self.stats.packets_corrupted += 1
                 self._m_chaos_corrupt.inc()
-                self.sim.trace.record(
+                self._trace.record(
                     self.sim.now, EV_CHAOS_CORRUPT, self.name,
                     packet=packet.describe(), uid=packet.uid,
                     chaos=impairment.name,
@@ -278,7 +288,7 @@ class Link:
         self.stats.packets_delivered += 1
         self.stats.bytes_delivered += packet.size
         self._m_delivered_bytes.inc(packet.size)
-        trace = self.sim.trace
+        trace = self._trace
         if trace.lineage:
             # ``corrupted`` matters to the auditor: a corrupted ACK is
             # discarded at the endpoint, so its contents must not enter

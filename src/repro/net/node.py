@@ -77,6 +77,13 @@ class Host(Node):
         self._endpoints: Dict[int, Endpoint] = {}
         self.default_handler: Optional[Callable[[Packet], None]] = None
         self.orphan_packets = 0
+        # Cached recorder (rebound when sim.trace is reassigned) so the
+        # per-packet lineage guard in send() is a single attribute check.
+        self._trace = sim.trace
+        sim.watch_trace(self._rebind_trace)
+
+    def _rebind_trace(self, recorder) -> None:
+        self._trace = recorder
 
     # ------------------------------------------------------------------
     # Endpoint registry
@@ -106,7 +113,7 @@ class Host(Node):
             raise TopologyError(
                 f"{self.name} asked to send packet with src={packet.src!r}"
             )
-        trace = self.sim.trace
+        trace = self._trace
         if trace.lineage:
             # Span creation: every packet's life starts here, with enough
             # header detail for the audit checkers to work stream-only.

@@ -6,12 +6,17 @@ of ``n`` payload bytes becomes ``ceil(n / MSS)`` segments indexed
 ``0..n-1``; ACKs carry the cumulative next-expected segment index plus up
 to three SACK ranges, mirroring the UDT-with-Selective-ACK transport the
 paper built on.
+
+:class:`Packet` is a hand-written ``__slots__`` class rather than a
+dataclass: packet construction sits on the per-segment hot path (every
+transmission, ACK and clone allocates one), and slots cut both the
+instance footprint and the attribute-access cost.  A hand-written class
+(not ``dataclass(slots=True)``) keeps Python 3.9 support.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field, replace
 from enum import Enum
 from typing import Any, Dict, Tuple
 
@@ -36,7 +41,6 @@ class PacketType(Enum):
     PROBE = "probe"  # PCP probe-train packets
 
 
-@dataclass
 class Packet:
     """A simulated packet.
 
@@ -67,36 +71,62 @@ class Packet:
         True for proactive retransmissions (Halfback ROPR, Proactive TCP
         duplicates) — excluded from the paper's "normal retransmission"
         counts.
+    flow_bytes:
+        Total flow payload bytes, carried on the SYN so the receiver
+        knows when the flow is complete (the simulator's stand-in for an
+        application-level content length).
+    uid:
+        Unique wire-level identity (fresh per clone), used by lineage
+        tracing.
+    hops:
+        Hop count, incremented at each router (loop diagnostics).
+    corrupted:
+        True once a chaos impairment flipped bits in flight.  Endpoints
+        must discard corrupted packets (a checksum failure on real
+        hardware); the sender recovers through normal RTO/SACK machinery.
     """
 
-    src: str
-    dst: str
-    flow_id: int
-    kind: PacketType
-    size: int
-    seq: int = -1
-    ack: int = -1
-    sack: SackRanges = ()
-    echo_time: float = -1.0
-    retransmit: bool = False
-    proactive: bool = False
-    #: Total flow payload bytes, carried on the SYN so the receiver knows
-    #: when the flow is complete (the simulator's stand-in for an
-    #: application-level content length).
-    flow_bytes: int = -1
-    uid: int = field(default_factory=lambda: next(_packet_ids))
-    #: Hop count, incremented at each router (loop diagnostics).
-    hops: int = 0
-    #: True once a chaos impairment flipped bits in flight.  Endpoints
-    #: must discard corrupted packets (a checksum failure on real
-    #: hardware); the sender recovers through normal RTO/SACK machinery.
-    corrupted: bool = False
+    __slots__ = ("src", "dst", "flow_id", "kind", "size", "seq", "ack",
+                 "sack", "echo_time", "retransmit", "proactive",
+                 "flow_bytes", "uid", "hops", "corrupted")
 
-    def __post_init__(self) -> None:
-        if self.size < HEADER_SIZE:
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        flow_id: int,
+        kind: PacketType,
+        size: int,
+        seq: int = -1,
+        ack: int = -1,
+        sack: SackRanges = (),
+        echo_time: float = -1.0,
+        retransmit: bool = False,
+        proactive: bool = False,
+        flow_bytes: int = -1,
+        uid: int = -1,
+        hops: int = 0,
+        corrupted: bool = False,
+    ) -> None:
+        if size < HEADER_SIZE:
             raise ValueError(
-                f"packet size {self.size} smaller than header ({HEADER_SIZE})"
+                f"packet size {size} smaller than header ({HEADER_SIZE})"
             )
+        self.src = src
+        self.dst = dst
+        self.flow_id = flow_id
+        self.kind = kind
+        self.size = size
+        self.seq = seq
+        self.ack = ack
+        self.sack = sack
+        self.echo_time = echo_time
+        self.retransmit = retransmit
+        self.proactive = proactive
+        self.flow_bytes = flow_bytes
+        self.uid = uid if uid >= 0 else next(_packet_ids)
+        self.hops = hops
+        self.corrupted = corrupted
 
     @property
     def payload(self) -> int:
@@ -124,7 +154,14 @@ class Packet:
         wire-level object with its own lineage span, so per-link packet
         conservation still balances.
         """
-        return replace(self, uid=next(_packet_ids))
+        return Packet(
+            self.src, self.dst, self.flow_id, self.kind, self.size,
+            seq=self.seq, ack=self.ack, sack=self.sack,
+            echo_time=self.echo_time, retransmit=self.retransmit,
+            proactive=self.proactive, flow_bytes=self.flow_bytes,
+            uid=next(_packet_ids), hops=self.hops,
+            corrupted=self.corrupted,
+        )
 
     def describe(self) -> str:
         """Short human-readable summary (used in traces and examples)."""
@@ -138,3 +175,6 @@ class Packet:
         if self.corrupted:
             parts.append("corrupt")
         return " ".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Packet uid={self.uid} {self.describe()} size={self.size}>"

@@ -1,0 +1,66 @@
+"""Process-parallel fan-out for sweep harnesses.
+
+Every sweep in this repository is a matrix of *cells*, and every cell
+is a deterministic function of its own derived seed — no cell reads
+another cell's state, the simulator uses no wall-clock time, and the
+named RNG streams are keyed by strings, not object identities.  That
+makes fan-out trivially safe: run each cell in a worker process and
+merge the results **in the original cell order**.  A parallel sweep is
+then bit-identical to a serial one — same records, same report, same
+fingerprint — only faster.
+
+:func:`fanout_map` is the one primitive: an order-preserving ``map``
+over a worker function, serial for ``jobs <= 1`` and a
+:class:`concurrent.futures.ProcessPoolExecutor` otherwise.  Workers
+must be module-level functions and the items/results picklable; all
+sweep cells here satisfy that (plain dataclasses end to end).
+
+Ambient observability sessions (``--telemetry`` / ``--audit`` /
+``--chaos``) live in context variables of the parent process and do not
+propagate into workers, so CLIs force ``jobs=1`` (with a warning) when
+one is active rather than silently dropping instrumentation.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Sequence, TypeVar
+
+__all__ = ["fanout_map", "resolve_jobs"]
+
+_Item = TypeVar("_Item")
+_Result = TypeVar("_Result")
+
+
+def resolve_jobs(jobs: int, n_items: int) -> int:
+    """Effective worker count: never more workers than items, never < 1."""
+    return max(1, min(jobs, n_items))
+
+
+def fanout_map(
+    worker: Callable[[_Item], _Result],
+    items: Iterable[_Item],
+    jobs: int = 1,
+) -> List[_Result]:
+    """Map ``worker`` over ``items``, preserving input order.
+
+    ``jobs <= 1`` (or a single item) runs serially in-process — the
+    zero-overhead baseline parallel runs must match.  Otherwise items
+    are dispatched to a process pool; ``Executor.map`` yields results
+    in submission order regardless of completion order, which is what
+    keeps merged sweep reports (and their fingerprints) bit-identical
+    to serial runs.
+
+    ``worker`` must be picklable (a module-level function), as must the
+    items and results.  A worker exception propagates to the caller,
+    matching the serial path's behavior.
+    """
+    items = list(items)
+    workers = resolve_jobs(jobs, len(items))
+    if workers <= 1:
+        return [worker(item) for item in items]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        # chunksize=1: cells are coarse (whole simulations), so the
+        # per-task IPC cost is noise and fine-grained dispatch keeps
+        # the pool busy when cell durations are skewed.
+        return list(pool.map(worker, items, chunksize=1))

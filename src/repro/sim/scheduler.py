@@ -4,6 +4,14 @@ A thin wrapper around :mod:`heapq` that understands lazily-cancelled
 events.  Separated from :class:`~repro.sim.simulator.Simulator` so the
 queue can be unit- and property-tested in isolation.
 
+The heap stores ``(time, priority, seq, event)`` tuples rather than the
+:class:`~repro.sim.event.Event` objects themselves.  The ``seq``
+tiebreaker is unique, so sift comparisons always resolve within the
+first three scalar slots and never fall through to the event — every
+comparison is a C-level tuple compare instead of a Python-level
+``Event.__lt__`` call, which is where timer-heavy workloads spend most
+of their scheduler time.
+
 Cancellation is lazy (O(1)): cancelled events stay in the heap until
 popped.  Timer-heavy workloads — an RTO timer restarted on every ACK —
 can therefore grow a large backlog of dead entries that every push/pop
@@ -19,7 +27,7 @@ see the churn.
 from __future__ import annotations
 
 import heapq
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.sim.event import Event
 from repro.telemetry.metrics import NULL_METRIC
@@ -33,9 +41,16 @@ DEFAULT_COMPACT_MIN = 256
 #: Compact when cancelled entries exceed this fraction of the heap.
 DEFAULT_COMPACT_FRACTION = 0.5
 
+#: Argument reprs longer than this are elided in diagnostic dumps so a
+#: StallError carrying full-payload packets stays readable.
+MAX_ARG_REPR = 120
+
+#: Heap entry layout: ``(time, priority, seq, event)``.
+_Entry = Tuple[float, int, int, Event]
+
 
 class EventScheduler:
-    """A min-heap of :class:`Event` ordered by (time, priority, seq).
+    """A min-heap of events ordered by (time, priority, seq).
 
     Parameters
     ----------
@@ -47,7 +62,7 @@ class EventScheduler:
 
     def __init__(self, compact_min: int = DEFAULT_COMPACT_MIN,
                  compact_fraction: float = DEFAULT_COMPACT_FRACTION) -> None:
-        self._heap: List[Event] = []
+        self._heap: List[_Entry] = []
         self._live = 0
         self._cancelled = 0
         self.compact_min = compact_min
@@ -62,7 +77,9 @@ class EventScheduler:
 
     def push(self, event: Event) -> None:
         """Insert an event into the queue."""
-        heapq.heappush(self._heap, event)
+        heapq.heappush(
+            self._heap, (event.time, event.priority, event.seq, event)
+        )
         self._live += 1
 
     def pop(self) -> Optional[Event]:
@@ -71,8 +88,9 @@ class EventScheduler:
         Cancelled events encountered on the way are discarded.
         """
         discarded = 0
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[3]
             if event.cancelled:
                 discarded += 1
                 continue
@@ -88,15 +106,16 @@ class EventScheduler:
     def peek_time(self) -> Optional[float]:
         """Return the firing time of the next live event without popping."""
         discarded = 0
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
             discarded += 1
         if discarded:
             self._note_discarded(discarded)
-        if not self._heap:
+        if not heap:
             self._live = 0
             return None
-        return self._heap[0].time
+        return heap[0][0]
 
     def note_cancelled(self) -> None:
         """Record that one queued event was cancelled (for __len__ and
@@ -128,7 +147,7 @@ class EventScheduler:
             return
         if self._cancelled <= self.compact_fraction * len(self._heap):
             return
-        self._heap = [event for event in self._heap if not event.cancelled]
+        self._heap = [entry for entry in self._heap if not entry[3].cancelled]
         heapq.heapify(self._heap)
         self._cancelled = 0
         self.compactions += 1
@@ -136,10 +155,20 @@ class EventScheduler:
 
     @staticmethod
     def render_event(event) -> str:
-        """One diagnostic line for ``event`` (shared with the stall dump)."""
+        """One diagnostic line for ``event`` (shared with the stall dump).
+
+        Argument reprs are elided beyond :data:`MAX_ARG_REPR` characters
+        so a pending-event dump with full-payload packets stays readable.
+        """
         name = getattr(event.callback, "__qualname__",
                        repr(event.callback))
-        args = ", ".join(repr(a) for a in event.args)
+        parts = []
+        for arg in event.args:
+            text = repr(arg)
+            if len(text) > MAX_ARG_REPR:
+                text = text[:MAX_ARG_REPR - 3] + "..."
+            parts.append(text)
+        args = ", ".join(parts)
         return f"t={event.time:.9f} prio={event.priority} {name}({args})"
 
     def snapshot(self, limit: int = 10) -> List[str]:
@@ -148,8 +177,8 @@ class EventScheduler:
         O(n log n) over the raw heap — diagnostic-path only, never called
         while the simulator is healthy.
         """
-        live = sorted(e for e in self._heap if not e.cancelled)
-        out = [self.render_event(event) for event in live[:limit]]
+        live = sorted(e for e in self._heap if not e[3].cancelled)
+        out = [self.render_event(entry[3]) for entry in live[:limit]]
         remaining = len(live) - limit
         if remaining > 0:
             out.append(f"... and {remaining} more")

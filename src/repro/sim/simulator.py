@@ -82,7 +82,11 @@ class Simulator:
         self._running = False
         self._stopped = False
         self.streams = RandomStreams(seed)
-        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        # Trace-recorder watchers: hot-path components (links, hosts)
+        # cache the recorder locally so disabled observability costs a
+        # single attribute check; assigning ``sim.trace`` rebinds them.
+        self._trace_watchers: list = []
+        self._trace = trace if trace is not None else TraceRecorder(enabled=False)
         self.metrics = metrics if metrics is not None else MetricsRegistry(enabled=False)
         # Publish the lazily-cancelled backlog so the observatory can see
         # timer churn; a disabled registry hands back the no-op metric.
@@ -115,6 +119,39 @@ class Simulator:
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    # ------------------------------------------------------------------
+    # Trace recorder
+    # ------------------------------------------------------------------
+
+    @property
+    def trace(self) -> TraceRecorder:
+        """The active trace recorder.
+
+        Assigning a replacement recorder (telemetry sessions and the
+        Fig. 3 walk-through do this) rebinds every watcher registered
+        via :meth:`watch_trace`, so components that cached the recorder
+        keep seeing the live one.
+        """
+        return self._trace
+
+    @trace.setter
+    def trace(self, recorder: TraceRecorder) -> None:
+        self._trace = recorder
+        for rebind in self._trace_watchers:
+            rebind(recorder)
+
+    def watch_trace(self, rebind: Callable[[TraceRecorder], None]) -> None:
+        """Register ``rebind``; it is called immediately with the current
+        recorder and again whenever ``sim.trace`` is reassigned.
+
+        Topology-lifetime components (links, hosts) use this to cache
+        the recorder in an instance attribute, making the disabled-
+        observability guard on their per-packet paths a single attribute
+        check instead of a ``sim.trace`` indirection.
+        """
+        rebind(self._trace)
+        self._trace_watchers.append(rebind)
 
     # ------------------------------------------------------------------
     # Scheduling

@@ -33,15 +33,18 @@ The documented event-kind/detail-key contract lives in
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, Iterator, List, Optional
 
 __all__ = ["TraceRecord", "TraceRecorder"]
 
 
-@dataclass(frozen=True)
 class TraceRecord:
     """One trace event.
+
+    A hand-written ``__slots__`` class (not a dataclass): per-packet
+    tracing allocates one per hop event, so construction cost and
+    instance footprint matter.  Value equality is preserved for tests
+    and replay comparisons.
 
     Attributes
     ----------
@@ -56,10 +59,25 @@ class TraceRecord:
         Free-form key/value payload.
     """
 
-    time: float
-    kind: str
-    source: str
-    detail: Dict[str, Any] = field(default_factory=dict)
+    __slots__ = ("time", "kind", "source", "detail")
+
+    def __init__(self, time: float, kind: str, source: str,
+                 detail: Optional[Dict[str, Any]] = None) -> None:
+        self.time = time
+        self.kind = kind
+        self.source = source
+        self.detail = detail if detail is not None else {}
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceRecord):
+            return NotImplemented
+        return (self.time == other.time and self.kind == other.kind
+                and self.source == other.source
+                and self.detail == other.detail)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TraceRecord(time={self.time!r}, kind={self.kind!r}, "
+                f"source={self.source!r}, detail={self.detail!r})")
 
 
 class TraceRecorder:

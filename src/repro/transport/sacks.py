@@ -16,6 +16,7 @@ property-tested heavily (see ``tests/transport/test_sacks.py``).
 from __future__ import annotations
 
 from enum import IntEnum
+from heapq import heapify, heappop, heappush
 from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import TransportError
@@ -32,6 +33,14 @@ class SegmentState(IntEnum):
     SENT = 1
     ACKED = 2
     LOST = 3
+
+
+# Plain ints for the bytearray hot paths: comparing a bytearray element
+# against an IntEnum member goes through Enum.__eq__; these do not.
+_UNSENT = int(SegmentState.UNSENT)
+_SENT = int(SegmentState.SENT)
+_ACKED = int(SegmentState.ACKED)
+_LOST = int(SegmentState.LOST)
 
 
 class IntervalSet:
@@ -113,6 +122,13 @@ class SendScoreboard:
     ``n_segments`` is fixed at construction.  ``cum_ack`` is the lowest
     unacknowledged segment index (the "next expected" the receiver
     reports); the flow is fully acknowledged when ``cum_ack == n_segments``.
+
+    The per-ACK paths are incremental: segments already ACKed are
+    skipped at C speed (a ``bytearray.find`` over the not-yet-acked
+    mask), loss inference drains a lazily-validated min-heap of
+    ``(sack mark, seq)`` evidence entries instead of rescanning the
+    window, and ``first_lost`` peeks a min-heap of LOST candidates.
+    Per-ACK cost is O(newly-acked + log window) rather than O(window).
     """
 
     #: Duplicate-ACK / reordering threshold for SACK loss inference.
@@ -137,6 +153,26 @@ class SendScoreboard:
         # Simulated time of each segment's last (re)transmission, for
         # the round-based naive re-marking rule (see detect_lost).
         self._sent_time = [0.0] * n_segments
+        # 1 for every segment not yet ACKED.  ``bytearray.find(1, ...)``
+        # skips arbitrarily long acked runs at memchr speed, which is
+        # what makes re-announced SACK ranges and the cum-ack advance
+        # O(newly-acked) instead of O(range).
+        self._unacked = bytearray(b"\x01") * n_segments
+        # Loss-evidence min-heap of (sack mark, seq), one entry pushed
+        # per (re)transmission.  An entry is *live* while the segment is
+        # still SENT and the mark matches its latest transmission;
+        # detect_lost pops entries whose mark has DUPTHRESH SACKed
+        # segments beyond it and validates lazily (stale entries are
+        # discarded).  Marks only need draining once: highest_sacked is
+        # monotone, so an entry that stays above the threshold today is
+        # still in the heap tomorrow.
+        self._evidence_heap: List[Tuple[int, int]] = []
+        # Min-heap of segments that have been marked LOST, with a
+        # membership flag per seq so each appears at most once.  A LOST
+        # segment that is retransmitted flips back to SENT and its heap
+        # entry goes stale; first_lost validates on peek.
+        self._lost_heap: List[int] = []
+        self._in_lost_heap = bytearray(n_segments)
 
     # -- queries --------------------------------------------------------
 
@@ -169,14 +205,23 @@ class SendScoreboard:
 
     def lost_segments(self) -> List[int]:
         """Segments currently marked LOST, ascending."""
-        return [i for i in range(self.cum_ack, self.n_segments)
-                if self._state[i] == SegmentState.LOST]
+        state = self._state
+        return sorted(seq for seq in self._lost_heap if state[seq] == _LOST)
 
     def first_lost(self) -> Optional[int]:
-        """Lowest segment currently marked LOST, or None."""
-        for i in range(self.cum_ack, min(self.highest_sent + 1, self.n_segments)):
-            if self._state[i] == SegmentState.LOST:
-                return i
+        """Lowest segment currently marked LOST, or None.
+
+        O(1) when the candidate heap's head is live; stale heads
+        (retransmitted or since-ACKed segments) are popped lazily.
+        """
+        heap = self._lost_heap
+        state = self._state
+        while heap:
+            seq = heap[0]
+            if state[seq] == _LOST:
+                return seq
+            heappop(heap)
+            self._in_lost_heap[seq] = 0
         return None
 
     def unacked_segments(self) -> List[int]:
@@ -191,24 +236,29 @@ class SendScoreboard:
         if not 0 <= seq < self.n_segments:
             raise TransportError(f"segment {seq} out of range")
         state = self._state[seq]
-        if state == SegmentState.ACKED:
+        if state == _ACKED:
             # Proactive retransmission may race an ACK; keep ACKED.
             return
-        if state != SegmentState.SENT:
+        if state != _SENT:
             self._pipe += 1
-        self._state[seq] = SegmentState.SENT
-        self._sack_mark[seq] = max(seq, self.highest_sacked)
+        self._state[seq] = _SENT
+        mark = self.highest_sacked
+        if seq > mark:
+            mark = seq
+        self._sack_mark[seq] = mark
         self._sent_time[seq] = time
+        heappush(self._evidence_heap, (mark, seq))
         if seq > self.highest_sent:
             self.highest_sent = seq
 
     def _mark_acked(self, seq: int) -> bool:
         state = self._state[seq]
-        if state == SegmentState.ACKED:
+        if state == _ACKED:
             return False
-        if state == SegmentState.SENT:
+        if state == _SENT:
             self._pipe -= 1
-        self._state[seq] = SegmentState.ACKED
+        self._state[seq] = _ACKED
+        self._unacked[seq] = 0
         self.acked_count += 1
         return True
 
@@ -216,30 +266,48 @@ class SendScoreboard:
         """Apply one ACK.  ``cum`` is the next-expected segment index.
 
         Returns the segments newly acknowledged by this ACK, ascending.
+
+        Already-acked spans — a cumulative ACK re-covering old ground,
+        or SACK ranges re-announced on every ACK until the frontier
+        passes them — are skipped via ``bytearray.find`` over the
+        not-yet-acked mask, so the cost is O(newly-acked), not O(range).
         """
         if cum > self.n_segments:
             raise TransportError(f"cumulative ack {cum} beyond flow end")
         newly: List[int] = []
-        for seq in range(self.cum_ack, cum):
-            if self._mark_acked(seq):
-                newly.append(seq)
+        find_unacked = self._unacked.find
+        seq = find_unacked(1, self.cum_ack, cum)
+        while seq != -1:
+            self._mark_acked(seq)
+            newly.append(seq)
+            seq = find_unacked(1, seq + 1, cum)
         if cum > self.cum_ack:
             self.cum_ack = cum
         for start, end in sack:
             if start < 0 or end > self.n_segments or start >= end:
                 raise TransportError(f"bad SACK range ({start}, {end})")
-            for seq in range(start, end):
-                if self._mark_acked(seq):
-                    newly.append(seq)
+            seq = find_unacked(1, start, end)
+            while seq != -1:
+                self._mark_acked(seq)
+                newly.append(seq)
+                seq = find_unacked(1, seq + 1, end)
             if end - 1 > self.highest_sacked:
                 self.highest_sacked = end - 1
-        # Advance cum_ack over selectively-acked prefix.
-        while (self.cum_ack < self.n_segments
-               and self._state[self.cum_ack] == SegmentState.ACKED):
-            self.cum_ack += 1
+        # Advance cum_ack over the selectively-acked prefix (the next
+        # not-yet-acked segment, found at C speed).
+        frontier = find_unacked(1, self.cum_ack)
+        self.cum_ack = frontier if frontier != -1 else self.n_segments
         if cum - 1 > self.highest_sacked:
             self.highest_sacked = cum - 1
-        return sorted(newly)
+        newly.sort()
+        return newly
+
+    def _declare_lost(self, seq: int) -> None:
+        self._state[seq] = _LOST
+        self._pipe -= 1
+        if not self._in_lost_heap[seq]:
+            self._in_lost_heap[seq] = 1
+            heappush(self._lost_heap, seq)
 
     def detect_lost(
         self,
@@ -257,52 +325,72 @@ class SendScoreboard:
         prevents the classic storm where a fresh retransmission is
         instantly re-declared lost on stale SACK evidence.
 
+        The baseline rule is evaluated incrementally: each transmission
+        pushed a ``(mark, seq)`` entry onto the evidence heap, and since
+        ``highest_sacked`` is monotone, exactly the entries whose mark
+        has crossed the DUPTHRESH line need popping — everything else
+        stays put for a later ACK.  Stale entries (the segment was since
+        ACKed, or retransmitted under a newer mark) are discarded on
+        pop.  The mark is always >= the sequence number, so a popped
+        entry's segment automatically sits DUPTHRESH below the SACK
+        frontier — the classic "ceiling" bound needs no separate check.
+
         With ``track_retransmissions=False`` the naive round-based rule
         applies additionally: a SENT segment DUPTHRESH below the SACK
         frontier whose last transmission is older than ``rtx_round``
         (callers pass ~1 SRTT) is re-declared lost even without fresh
         evidence — one recovery round per RTT, so "each lost packet may
         require multiple retransmissions" (the paper's JumpStart
-        behaviour).
+        behaviour).  The age sweep inherently revisits every in-flight
+        segment below the frontier, so this mode keeps the bounded scan.
 
         Returns the segments newly marked LOST, ascending.
         """
         newly: List[int] = []
+        if track_retransmissions:
+            heap = self._evidence_heap
+            threshold = self.highest_sacked - self.DUPTHRESH
+            state = self._state
+            sack_mark = self._sack_mark
+            while heap and heap[0][0] <= threshold:
+                mark, seq = heappop(heap)
+                if state[seq] != _SENT or sack_mark[seq] != mark:
+                    continue  # stale: since ACKed/LOST or resent anew
+                self._declare_lost(seq)
+                newly.append(seq)
+            newly.sort()
+            return newly
         ceiling = self.highest_sacked - self.DUPTHRESH + 1
         for seq in range(self.cum_ack, max(self.cum_ack, ceiling)):
-            if self._state[seq] != SegmentState.SENT:
+            if self._state[seq] != _SENT:
                 continue
             fresh_evidence = (
                 self.highest_sacked >= self._sack_mark[seq] + self.DUPTHRESH
             )
             stale_round = (
-                not track_retransmissions
-                and rtx_round is not None
+                rtx_round is not None
                 and now - self._sent_time[seq] >= rtx_round
             )
             if not fresh_evidence and not stale_round:
                 continue
-            self._state[seq] = SegmentState.LOST
-            self._pipe -= 1
+            self._declare_lost(seq)
             newly.append(seq)
         return newly
 
     def mark_lost(self, seq: int) -> bool:
         """Explicitly mark one SENT segment LOST (RTO path).  Returns
         False if it was not in SENT state."""
-        if self._state[seq] != SegmentState.SENT:
+        if self._state[seq] != _SENT:
             return False
-        self._state[seq] = SegmentState.LOST
-        self._pipe -= 1
+        self._declare_lost(seq)
         return True
 
     def mark_all_in_flight_lost(self) -> int:
         """RTO: consider everything unacked lost.  Returns count marked."""
         count = 0
         for seq in range(self.cum_ack, min(self.highest_sent + 1, self.n_segments)):
-            if self._state[seq] == SegmentState.SENT:
-                self._state[seq] = SegmentState.LOST
-                self._pipe -= 1
+            if self._state[seq] == _SENT:
+                self._declare_lost(seq)
                 count += 1
         return count
 

@@ -248,7 +248,30 @@ class SenderBase:
             return
         if packet.echo_time >= 0:
             self.rtt.sample(self.sim.now - packet.echo_time)
-        newly = self.scoreboard.on_ack(packet.ack, packet.sack)
+        scoreboard = self.scoreboard
+        newly = scoreboard.on_ack(packet.ack, packet.sack)
+        # Fast path: a pure cumulative ACK on a clean connection — no
+        # SACK blocks on the wire, no recovery episode in progress, and
+        # no selectively-ACKed holes above the frontier (the common case
+        # for paced short flows).  With the SACK frontier below cum_ack
+        # both loss-inference rules are provably vacuous (any evidence
+        # mark is >= its segment >= cum_ack > highest_sacked - DUPTHRESH,
+        # and the naive rule's scan range is empty), so the recovery/loss
+        # machinery can be skipped outright.
+        if (not packet.sack and self.recovery_point < 0
+                and scoreboard.highest_sacked < scoreboard.cum_ack):
+            if newly:
+                self._grow_cwnd(len(newly))
+                if scoreboard.all_acked:
+                    self.rto_timer.cancel()
+                else:
+                    self.rto_timer.restart(self.rtt.rto)
+            self.on_ack_hook(packet, newly)
+            if scoreboard.all_acked:
+                self._complete()
+                return
+            self.send_window()
+            return
         lost_now = self.scoreboard.detect_lost(
             track_retransmissions=self.tracks_retransmissions,
             now=self.sim.now,

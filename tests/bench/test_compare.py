@@ -101,6 +101,39 @@ class TestCompareReports:
         result = compare_reports(old, new)
         assert any("platform" in note for note in result["notes"])
 
+    def test_strict_fails_on_machine_mismatch(self):
+        old = synthetic_report(platform="laptop")
+        new = synthetic_report(platform="ci-container")
+        assert not compare_reports(old, new)["failed"]
+        result = compare_reports(old, new, strict=True)
+        assert result["failed"]
+        assert result["mismatches"]
+        assert "STRICT COMPARE" in render_comparison(result)
+
+    def test_strict_passes_on_identical_metadata(self):
+        doc = synthetic_report()
+        result = compare_reports(doc, copy.deepcopy(doc), strict=True)
+        assert not result["failed"]
+        assert result["mismatches"] == []
+
+    def test_strict_fails_on_python_version_mismatch(self):
+        old = synthetic_report()
+        new = synthetic_report()
+        old["machine"].update(implementation="CPython", python="3.9.1")
+        new["machine"].update(implementation="CPython", python="3.12.0")
+        result = compare_reports(old, new, strict=True)
+        assert result["failed"]
+        assert any("python versions differ" in m
+                   for m in result["mismatches"])
+
+    def test_strict_fails_on_scale_mismatch(self):
+        old = synthetic_report()
+        new = synthetic_report()
+        new["scale"] = 0.3
+        result = compare_reports(old, new, strict=True)
+        assert result["failed"]
+        assert any("scales differ" in m for m in result["mismatches"])
+
     def test_render_mentions_regressions(self):
         result = compare_reports(synthetic_report(wall=1.0),
                                  synthetic_report(wall=2.0),
@@ -138,6 +171,24 @@ class TestCliGate:
         new = self.write(tmp_path, "new.json", synthetic_report(wall=9.0))
         code = bench_main(["--compare", old, "--current", new])
         assert code == 0
+
+    def test_strict_compare_fails_on_metadata_mismatch(self, tmp_path,
+                                                       capsys):
+        old = self.write(tmp_path, "old.json",
+                         synthetic_report(platform="laptop"))
+        new = self.write(tmp_path, "new.json",
+                         synthetic_report(platform="ci-container"))
+        # Warn-only without the flag...
+        assert bench_main(["--compare", old, "--current", new]) == 0
+        # ...a hard failure with it.
+        code = bench_main(["--compare", old, "--current", new,
+                           "--strict-compare"])
+        assert code == 1
+        assert "STRICT COMPARE" in capsys.readouterr().out
+
+    def test_strict_compare_requires_compare_flag(self, capsys):
+        with pytest.raises(SystemExit):
+            bench_main(["--strict-compare"])
 
     def test_exit_two_on_invalid_baseline(self, tmp_path, capsys):
         bad = tmp_path / "bad.json"

@@ -57,6 +57,16 @@ class TestRunSweep:
         assert ([c.to_dict() for c in first.cells]
                 == [c.to_dict() for c in second.cells])
 
+    def test_parallel_sweep_is_bit_identical_to_serial(self):
+        kwargs = dict(protocols=["halfback", "tcp"],
+                      profiles=["blackhole"],
+                      seed=7, n_flows=2, size=30_000)
+        serial = run_sweep(jobs=1, **kwargs)
+        fanned = run_sweep(jobs=2, **kwargs)
+        assert fanned.fingerprint == serial.fingerprint
+        assert ([c.to_dict() for c in fanned.cells]
+                == [c.to_dict() for c in serial.cells])
+
     def test_different_seed_changes_the_fingerprint(self):
         kwargs = dict(protocols=["halfback"], profiles=["wifi-bursty"],
                       n_flows=2, size=30_000)

@@ -1,0 +1,55 @@
+"""Process-parallel sweep fan-out must match serial runs bit for bit.
+
+Each sweep cell is a self-contained simulation keyed by a derived seed,
+and the harness merges worker results in the serial cell order, so a
+``jobs > 1`` run is required to produce exactly the same records and
+reports as ``jobs=1``.  These are deliberately tiny workloads — the
+point is the merge order and seeding, not the physics.
+"""
+
+import dataclasses
+
+from repro.experiments import fig12_utilization as fig12
+from repro.experiments import fig16_web as fig16
+from repro.experiments.planetlab_runs import run_planetlab_trials
+
+
+def _comparable(record):
+    """A record with the process-global flow-id counter factored out.
+
+    Flow ids only disambiguate flows within one run; they never enter
+    reports or fingerprints, so equivalence is everything-but-the-id.
+    """
+    doc = dataclasses.asdict(record)
+    doc["spec"].pop("flow_id")
+    return doc
+
+
+def test_planetlab_trials_parallel_matches_serial():
+    kwargs = dict(n_paths=4, protocols=("tcp", "halfback"), seed=5,
+                  flow_size=30_000)
+    serial = run_planetlab_trials(jobs=1, **kwargs)
+    fanned = run_planetlab_trials(jobs=2, **kwargs)
+    assert fanned.paths == serial.paths
+    for protocol in kwargs["protocols"]:
+        assert ([_comparable(r) for r in fanned.by_protocol[protocol].records]
+                == [_comparable(r)
+                    for r in serial.by_protocol[protocol].records])
+
+
+def test_fig12_sweep_parallel_matches_serial():
+    kwargs = dict(protocols=["tcp", "halfback"], utilizations=(0.2, 0.4),
+                  duration=2.0, seed=3, n_pairs=4)
+    serial = fig12.sweep_protocols(jobs=1, **kwargs)
+    fanned = fig12.sweep_protocols(jobs=2, **kwargs)
+    assert fanned.points == serial.points
+    assert fig12.format_report(fanned) == fig12.format_report(serial)
+
+
+def test_fig16_web_parallel_matches_serial():
+    kwargs = dict(protocols=["tcp", "halfback"], utilizations=(0.2, 0.4),
+                  duration=4.0, seed=3, n_pairs=4)
+    serial = fig16.run(jobs=1, **kwargs)
+    fanned = fig16.run(jobs=2, **kwargs)
+    assert fanned.curves == serial.curves
+    assert fig16.format_report(fanned) == fig16.format_report(serial)

@@ -3,7 +3,7 @@
 from hypothesis import given, strategies as st
 
 from repro.sim.event import Event
-from repro.sim.scheduler import EventScheduler
+from repro.sim.scheduler import MAX_ARG_REPR, EventScheduler
 
 
 def test_pop_empty_returns_none():
@@ -149,6 +149,87 @@ def test_random_interleaving_preserves_order_and_accounting(ops):
         [e.seq for e in sorted(model, key=sort_key)]
     assert len(queue) == 0
     assert queue.cancelled_backlog == 0 or queue.heap_depth > 0
+
+
+@given(st.lists(st.tuples(st.sampled_from(["push", "pop", "peek", "cancel",
+                                           "churn"]),
+                          st.floats(min_value=0.0, max_value=100.0,
+                                    allow_nan=False),
+                          st.integers(min_value=-3, max_value=3),
+                          st.integers(min_value=0, max_value=10**6)),
+                max_size=300))
+def test_mixed_peek_pop_cancel_compaction_interleavings(ops):
+    """peek/pop/cancel under maximally-eager compaction.
+
+    ``churn`` (push + immediate cancel) feeds the compactor dead
+    entries; with ``compact_min=2`` compaction fires constantly, so
+    this checks that it never disturbs ``peek_time``, pop order,
+    ``__len__`` exactness, or backlog accounting mid-stream.
+    """
+    queue = EventScheduler(compact_min=2)
+    model = []  # live events, insertion order
+
+    def sort_key(event):
+        return (event.time, event.priority, event.seq)
+
+    for op, time_, priority, pick in ops:
+        if op == "push":
+            event = Event(time_, lambda: None, priority=priority)
+            queue.push(event)
+            model.append(event)
+        elif op == "churn":
+            event = Event(time_, lambda: None, priority=priority)
+            queue.push(event)
+            event.cancel()
+            queue.note_cancelled()
+        elif op == "cancel" and model:
+            victim = model.pop(pick % len(model))
+            victim.cancel()
+            queue.note_cancelled()
+        elif op == "peek":
+            expected = (min(model, key=sort_key).time if model else None)
+            assert queue.peek_time() == expected
+        elif op == "pop":
+            expected = min(model, key=sort_key) if model else None
+            assert queue.pop() is expected
+            if expected is not None:
+                model.remove(expected)
+        assert len(queue) == len(model)
+        assert queue.cancelled_backlog >= 0
+
+    drained = []
+    while True:
+        event = queue.pop()
+        if event is None:
+            break
+        drained.append(event)
+    assert drained == sorted(model, key=sort_key)
+    assert len(queue) == 0
+    assert queue.cancelled_backlog >= 0
+
+
+# ----------------------------------------------------------------------
+# render_event arg-repr truncation
+# ----------------------------------------------------------------------
+
+
+class TestRenderEvent:
+    def test_long_arg_reprs_are_truncated(self):
+        queue = EventScheduler()
+        huge = "x" * (10 * MAX_ARG_REPR)
+        event = Event(1.0, lambda a, b: None, (huge, list(range(500))))
+        text = queue.render_event(event)
+        assert "..." in text
+        # Neither oversized operand repr survives in full.
+        assert len(text) < 2 * MAX_ARG_REPR + 100
+        assert repr(huge) not in text
+
+    def test_short_args_render_unchanged(self):
+        queue = EventScheduler()
+        event = Event(2.5, lambda a: None, ("ack",))
+        text = queue.render_event(event)
+        assert "'ack'" in text
+        assert "..." not in text
 
 
 # ----------------------------------------------------------------------

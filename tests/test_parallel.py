@@ -1,0 +1,58 @@
+"""fanout_map: ordering, serial path, worker clamping, error paths."""
+
+import pytest
+
+from repro.parallel import fanout_map, resolve_jobs
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    if x == 3:
+        raise ValueError("boom")
+    return x
+
+
+class TestResolveJobs:
+    def test_clamps_to_item_count(self):
+        assert resolve_jobs(8, 3) == 3
+
+    def test_never_below_one(self):
+        assert resolve_jobs(0, 5) == 1
+        assert resolve_jobs(-2, 5) == 1
+        assert resolve_jobs(4, 0) == 1
+
+
+class TestFanoutMap:
+    def test_serial_path_preserves_order(self):
+        assert fanout_map(_square, [3, 1, 2], jobs=1) == [9, 1, 4]
+
+    def test_parallel_matches_serial_in_order(self):
+        items = list(range(12))
+        assert fanout_map(_square, items, jobs=4) == \
+            [_square(i) for i in items]
+
+    def test_jobs_beyond_item_count_still_works(self):
+        assert fanout_map(_square, [5, 6], jobs=16) == [25, 36]
+
+    def test_single_item_stays_in_process(self):
+        # One item resolves to one worker -> the serial fast path.
+        marker = object()  # unpicklable if it ever crossed a process
+        assert fanout_map(lambda _: marker, [0], jobs=8) == [marker]
+
+    def test_empty_items(self):
+        assert fanout_map(_square, [], jobs=4) == []
+
+    def test_accepts_any_iterable(self):
+        gen = (i for i in range(4))
+        assert fanout_map(_square, gen, jobs=2) == [0, 1, 4, 9]
+
+    def test_worker_exception_propagates_serially(self):
+        with pytest.raises(ValueError):
+            fanout_map(_boom, [1, 2, 3], jobs=1)
+
+    def test_worker_exception_propagates_from_pool(self):
+        with pytest.raises(ValueError):
+            fanout_map(_boom, [1, 2, 3, 4], jobs=2)

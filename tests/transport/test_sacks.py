@@ -231,6 +231,150 @@ class TestSendScoreboard:
         assert sb.all_acked == (sb.acked_count == n)
 
 
+class _ModelScoreboard:
+    """O(window)-per-operation reference for ``SendScoreboard``.
+
+    Re-implements the documented semantics with plain lists and full
+    rescans; the property test below drives it in lockstep with the
+    incremental (memchr + evidence-heap) implementation and demands
+    identical observable state after every operation.
+    """
+
+    DUPTHRESH = SendScoreboard.DUPTHRESH
+
+    def __init__(self, n_segments):
+        self.n = n_segments
+        self.state = [SegmentState.UNSENT] * n_segments
+        self.cum_ack = 0
+        self.highest_sent = -1
+        self.highest_sacked = -1
+        self.sack_mark = [0] * n_segments
+        self.sent_time = [0.0] * n_segments
+
+    def mark_sent(self, seq, time=0.0):
+        if self.state[seq] == SegmentState.ACKED:
+            return
+        self.state[seq] = SegmentState.SENT
+        self.sack_mark[seq] = max(seq, self.highest_sacked)
+        self.sent_time[seq] = time
+        self.highest_sent = max(self.highest_sent, seq)
+
+    def on_ack(self, cum, sack=()):
+        newly = []
+        for seq in range(self.cum_ack, cum):
+            if self.state[seq] != SegmentState.ACKED:
+                self.state[seq] = SegmentState.ACKED
+                newly.append(seq)
+        self.cum_ack = max(self.cum_ack, cum)
+        for start, end in sack:
+            for seq in range(start, end):
+                if self.state[seq] != SegmentState.ACKED:
+                    self.state[seq] = SegmentState.ACKED
+                    newly.append(seq)
+            self.highest_sacked = max(self.highest_sacked, end - 1)
+        while (self.cum_ack < self.n
+               and self.state[self.cum_ack] == SegmentState.ACKED):
+            self.cum_ack += 1
+        self.highest_sacked = max(self.highest_sacked, cum - 1)
+        return sorted(newly)
+
+    def detect_lost(self, track_retransmissions=True, now=0.0,
+                    rtx_round=None):
+        newly = []
+        if track_retransmissions:
+            for seq in range(self.n):
+                if (self.state[seq] == SegmentState.SENT
+                        and self.highest_sacked
+                        >= self.sack_mark[seq] + self.DUPTHRESH):
+                    newly.append(seq)
+        else:
+            ceiling = self.highest_sacked - self.DUPTHRESH + 1
+            for seq in range(self.cum_ack, max(self.cum_ack, ceiling)):
+                if self.state[seq] != SegmentState.SENT:
+                    continue
+                fresh = (self.highest_sacked
+                         >= self.sack_mark[seq] + self.DUPTHRESH)
+                stale = (rtx_round is not None
+                         and now - self.sent_time[seq] >= rtx_round)
+                if fresh or stale:
+                    newly.append(seq)
+        for seq in newly:
+            self.state[seq] = SegmentState.LOST
+        return newly
+
+    def mark_all_in_flight_lost(self):
+        count = 0
+        for seq in range(self.cum_ack,
+                         min(self.highest_sent + 1, self.n)):
+            if self.state[seq] == SegmentState.SENT:
+                self.state[seq] = SegmentState.LOST
+                count += 1
+        return count
+
+    def pipe(self):
+        return sum(1 for s in self.state if s == SegmentState.SENT)
+
+    def lost_segments(self):
+        return [i for i, s in enumerate(self.state)
+                if s == SegmentState.LOST]
+
+
+class TestScoreboardModelEquivalence:
+    @settings(max_examples=80)
+    @given(st.data())
+    def test_incremental_paths_match_reference_model(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=24))
+        sb = SendScoreboard(n)
+        model = _ModelScoreboard(n)
+        clock = 0.0
+        for _ in range(data.draw(st.integers(min_value=1, max_value=80))):
+            clock += 1.0
+            action = data.draw(st.sampled_from(
+                ["send", "resend_lost", "ack", "sack", "detect",
+                 "detect_naive", "rto"]))
+            if action == "send":
+                nxt = sb.next_unsent()
+                if nxt is not None:
+                    sb.mark_sent(nxt, time=clock)
+                    model.mark_sent(nxt, time=clock)
+            elif action == "resend_lost":
+                seq = sb.first_lost()
+                if seq is not None:
+                    sb.mark_sent(seq, time=clock)
+                    model.mark_sent(seq, time=clock)
+            elif action in ("ack", "sack"):
+                cum = data.draw(st.integers(min_value=0, max_value=n))
+                sack = ()
+                if action == "sack":
+                    start = data.draw(st.integers(min_value=0,
+                                                  max_value=n - 1))
+                    end = data.draw(st.integers(min_value=start + 1,
+                                                max_value=n))
+                    sack = ((start, end),)
+                assert sb.on_ack(cum, sack=sack) == \
+                    model.on_ack(cum, sack=sack)
+            elif action == "detect":
+                assert sb.detect_lost() == model.detect_lost()
+            elif action == "detect_naive":
+                assert sb.detect_lost(track_retransmissions=False,
+                                      now=clock, rtx_round=2.0) == \
+                    model.detect_lost(track_retransmissions=False,
+                                      now=clock, rtx_round=2.0)
+            else:
+                assert sb.mark_all_in_flight_lost() == \
+                    model.mark_all_in_flight_lost()
+            # Full observable-state equivalence after every operation.
+            assert [sb.state(i) for i in range(n)] == model.state
+            assert sb.cum_ack == model.cum_ack
+            assert sb.highest_sent == model.highest_sent
+            assert sb.highest_sacked == model.highest_sacked
+            assert sb.pipe == model.pipe()
+            assert sb.lost_segments() == model.lost_segments()
+            assert sb.first_lost() == (model.lost_segments() or [None])[0]
+            assert sb.all_acked == all(s == SegmentState.ACKED
+                                       for s in model.state)
+
+
 class TestReceiveTracker:
     def test_in_order_delivery_advances_cum(self):
         tr = ReceiveTracker(5)

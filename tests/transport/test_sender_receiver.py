@@ -23,6 +23,43 @@ def test_clean_path_delivers_everything():
     assert run.receiver.duplicates == 0
 
 
+def test_clean_flow_takes_ack_fast_path(monkeypatch):
+    # On a loss-free in-order path every ACK is a pure cumulative ACK
+    # with no recovery in progress, so the sender's fast path must skip
+    # the loss-inference machinery entirely.
+    from repro.transport.sacks import SendScoreboard
+
+    calls = {"n": 0}
+    original = SendScoreboard.detect_lost
+
+    def counting(self, *args, **kwargs):
+        calls["n"] += 1
+        return original(self, *args, **kwargs)
+
+    monkeypatch.setattr(SendScoreboard, "detect_lost", counting)
+    run = run_one_flow("tcp", size=100_000)
+    assert run.record.completed
+    assert calls["n"] == 0
+
+
+def test_lossy_flow_still_runs_loss_inference(monkeypatch):
+    # Sanity for the fast-path guard: once SACK blocks appear the slow
+    # path (and with it detect_lost) must still be exercised.
+    from repro.transport.sacks import SendScoreboard
+
+    calls = {"n": 0}
+    original = SendScoreboard.detect_lost
+
+    def counting(self, *args, **kwargs):
+        calls["n"] += 1
+        return original(self, *args, **kwargs)
+
+    monkeypatch.setattr(SendScoreboard, "detect_lost", counting)
+    run = run_one_flow("tcp", size=100_000, loss_rate=0.03, seed=4)
+    assert run.record.completed
+    assert calls["n"] > 0
+
+
 def test_single_segment_flow():
     run = run_one_flow("tcp", size=1)
     assert run.record.completed
