@@ -309,6 +309,94 @@ def _flow_chaos_on(n: int, seed: int) -> Tuple[float, int]:
     return _halfback_flow_chaos(n, seed, profile="wifi-bursty")
 
 
+def _sketch_insert(n: int, seed: int) -> Tuple[float, int]:
+    """Per-value cost of the mergeable quantile sketch — the price every
+    completed flow pays when streaming aggregation is on."""
+    from repro.obs.sketch import QuantileSketch
+
+    rng = random.Random(seed)
+    # FCT-shaped values: tenths of a millisecond to tens of seconds.
+    values = [rng.lognormvariate(-3.0, 2.0) for _ in range(n)]
+    sketch = QuantileSketch()
+    started = time.perf_counter()
+    for value in values:
+        sketch.insert(value)
+    return time.perf_counter() - started, n
+
+
+def _sketch_merge(n: int, seed: int) -> Tuple[float, int]:
+    """Cost of folding shard sketches together (the `--jobs N` reduce
+    step); ops = shard merges performed."""
+    from repro.obs.sketch import QuantileSketch
+
+    rng = random.Random(seed)
+    n_shards = 32
+    shards = []
+    for _ in range(n_shards):
+        shard = QuantileSketch()
+        for _ in range(2_000):
+            shard.insert(rng.lognormvariate(-3.0, 2.0))
+        shards.append(shard)
+    merges = 0
+    started = time.perf_counter()
+    while merges < n:
+        target = QuantileSketch()
+        for shard in shards:
+            target.merge(shard)
+            merges += 1
+    return time.perf_counter() - started, merges
+
+
+def _halfback_flow_obs(n: int, seed: int, observed: bool) -> Tuple[float, int]:
+    """One end-to-end Halfback flow via the experiment runner, with the
+    streaming observatory on or off.
+
+    The on variant activates a progress plane (rendering disabled) with
+    a live shard reporter and streams the finished record into a
+    :class:`~repro.obs.aggregate.StreamingFlowAggregator`, so
+    ``flow_obs_on / flow_obs_off`` is the observatory's per-event cost
+    multiplier — and the off variant pays exactly the ambient-reporter
+    ``None`` check the <2% overhead gate bounds.
+    """
+    import contextlib
+
+    from repro.experiments.runner import ScheduledFlow, TrafficRunner
+    from repro.net.topology import access_network
+    from repro.sim.simulator import Simulator
+    from repro.units import MSS, kb, mbps, ms
+
+    if observed:
+        from repro.obs import progress as progress_mod
+        from repro.obs.aggregate import StreamingFlowAggregator
+
+        plane = progress_mod.ProgressPlane(stream=None)
+        session = progress_mod.reporting(
+            progress_mod.ShardReporter(0, plane.apply))
+    else:
+        session = contextlib.nullcontext()
+    with session:
+        sim = Simulator(seed=seed)
+        net = access_network(sim, n_pairs=1, bottleneck_rate=mbps(50),
+                             rtt=ms(20), buffer_bytes=kb(115))
+        runner = TrafficRunner(sim, net)
+        runner.schedule([ScheduledFlow(time=0.0, size=n * MSS,
+                                       protocol="halfback")])
+        started = time.perf_counter()
+        runner.run()
+        if observed:
+            StreamingFlowAggregator().observe_all(runner.drain_records())
+        elapsed = time.perf_counter() - started
+    return elapsed, sim.events_run
+
+
+def _flow_obs_off(n: int, seed: int) -> Tuple[float, int]:
+    return _halfback_flow_obs(n, seed, observed=False)
+
+
+def _flow_obs_on(n: int, seed: int) -> Tuple[float, int]:
+    return _halfback_flow_obs(n, seed, observed=True)
+
+
 MICRO_BENCHMARKS: Dict[str, MicroBenchmark] = {
     bench.name: bench for bench in (
         MicroBenchmark("scheduler_push_pop",
@@ -347,6 +435,20 @@ MICRO_BENCHMARKS: Dict[str, MicroBenchmark] = {
                        "end-to-end Halfback flow under the wifi-bursty "
                        "chaos profile",
                        _flow_chaos_on, default_n=1_000),
+        MicroBenchmark("sketch_insert",
+                       "QuantileSketch.insert of FCT-shaped values",
+                       _sketch_insert, default_n=200_000),
+        MicroBenchmark("sketch_merge",
+                       "QuantileSketch.merge across 32 populated shards",
+                       _sketch_merge, default_n=2_000),
+        MicroBenchmark("flow_obs_off",
+                       "runner flow, streaming observatory off (ambient "
+                       "no-op fast path)",
+                       _flow_obs_off, default_n=1_000),
+        MicroBenchmark("flow_obs_on",
+                       "runner flow with live shard reporter + streaming "
+                       "FCT aggregation",
+                       _flow_obs_on, default_n=1_000),
     )
 }
 

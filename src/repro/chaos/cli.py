@@ -58,6 +58,17 @@ def main(argv=None) -> int:
                          help="worker processes for the cell fan-out "
                               "(default 1 = serial; results and "
                               "fingerprint are identical either way)")
+    p_sweep.add_argument("--progress", nargs="?", const="-", default=None,
+                         metavar="DIR",
+                         help="live per-cell progress plane (refreshing "
+                              "status on stderr); with DIR also exports "
+                              "progress.prom and progress.jsonl there")
+    p_sweep.add_argument("--manifest", default="run_manifest.json",
+                         metavar="PATH",
+                         help="where to write the run manifest "
+                              "(default: run_manifest.json)")
+    p_sweep.add_argument("--no-manifest", action="store_true",
+                         help="skip writing the run manifest")
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -67,23 +78,55 @@ def main(argv=None) -> int:
             print(f"{name:18s} {_PROFILES[name].description}")
         return 0
 
+    import contextlib
+
     from repro.chaos.sweep import run_sweep
 
-    report = run_sweep(
-        protocols=_split(args.protocols),
-        profiles=_split(args.profiles),
-        seed=args.seed,
-        n_flows=args.flows,
-        size=args.size,
-        audit=args.audit,
-        jobs=args.jobs,
-    )
+    manifest = None
+    if not args.no_manifest:
+        from repro.obs.manifest import RunManifest
+
+        manifest = RunManifest("chaos:sweep", args=vars(args),
+                               seed=args.seed)
+        manifest.record_config({
+            "protocols": _split(args.protocols),
+            "profiles": _split(args.profiles),
+            "seed": args.seed, "flows": args.flows, "size": args.size,
+            "audit": args.audit, "jobs": args.jobs,
+        })
+
+    stack = contextlib.ExitStack()
+    if args.progress is not None:
+        from repro.obs import progress as progress_mod
+
+        stack.enter_context(progress_mod.plane(
+            out_dir=None if args.progress == "-" else args.progress))
+    with stack:
+        stage = (manifest.stage("sweep") if manifest is not None
+                 else contextlib.nullcontext())
+        with stage:
+            report = run_sweep(
+                protocols=_split(args.protocols),
+                profiles=_split(args.profiles),
+                seed=args.seed,
+                n_flows=args.flows,
+                size=args.size,
+                audit=args.audit,
+                jobs=args.jobs,
+            )
     print(report.format_report())
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
         print(f"json report: {args.json}")
-    return 0 if report.live else 1
+    status = 0 if report.live else 1
+    if manifest is not None:
+        manifest.set_result_fingerprint(report.fingerprint,
+                                        live=report.live)
+        manifest.set_exit_status(status)
+        path = manifest.write(args.manifest)
+        print(f"run manifest: {path}")
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -32,6 +32,8 @@ from repro.chaos.profiles import ChaosProfile, available_profiles, get_profile
 from repro.errors import StallError
 from repro.experiments.runner import launch_flow
 from repro.net.topology import access_network
+from repro.obs import progress as _progress
+from repro.obs.sketch import QuantileSketch
 from repro.parallel import fanout_map
 from repro.protocols.registry import ProtocolContext, available_protocols
 from repro.sim.randomness import derive_seed
@@ -88,6 +90,9 @@ class CellResult:
     events: int = 0
     #: Mean FCT over completed flows, seconds (None when none completed).
     mean_fct: Optional[float] = None
+    #: Mergeable FCT quantile sketch over completed flows (fed one FCT
+    #: at a time — the cell never retains per-flow record lists for it).
+    fct_sketch: QuantileSketch = field(default_factory=QuantileSketch)
 
     @property
     def live(self) -> bool:
@@ -111,6 +116,7 @@ class CellResult:
             "events": self.events,
             "mean_fct": (None if self.mean_fct is None
                          else round(self.mean_fct, 9)),
+            "fct_sketch": self.fct_sketch.to_dict(),
         }
 
     def summary(self) -> str:
@@ -148,12 +154,22 @@ class SweepReport:
                                sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
+    def merged_fct_sketch(self) -> QuantileSketch:
+        """All cells' FCT sketches merged into one.
+
+        Sketch merging is associative and commutative over integer
+        bucket counts, so this is bit-identical however the cells were
+        computed — serial, ``--jobs N``, or re-merged from shards.
+        """
+        return QuantileSketch.merged(cell.fct_sketch for cell in self.cells)
+
     def to_dict(self) -> Dict[str, object]:
         return {
             "seed": self.seed,
             "audited": self.audited,
             "live": self.live,
             "fingerprint": self.fingerprint,
+            "fct_sketch": self.merged_fct_sketch().to_dict(),
             "cells": [cell.to_dict() for cell in self.cells],
         }
 
@@ -181,6 +197,14 @@ class SweepReport:
                 if cell.stalled:
                     lines.extend(f"      {entry}" for entry in cell.stall_dump)
                 lines.extend(f"      {v}" for v in cell.violations[:4])
+        merged = self.merged_fct_sketch()
+        if merged.count:
+            quantiles = " ".join(
+                f"p{str(q * 100).rstrip('0').rstrip('.')}="
+                f"{merged.quantile(q):.4f}s"
+                for q in (0.50, 0.90, 0.99, 0.999))
+            lines.append(f"merged FCT sketch ({merged.count} completed "
+                         f"flows): {quantiles}")
         verdict = ("liveness contract held for every cell"
                    if self.live else "LIVENESS CONTRACT BROKEN")
         lines.append(verdict)
@@ -231,19 +255,21 @@ def run_cell(
             result.stalled = True
             result.stall_dump = list(exc.pending)
         result.events = sim.events_run
-        fcts = []
+        _progress.heartbeat(events=sim.events_run)
+        fct_sum = 0.0
         for record in records:
             if record.completed:
                 result.completed += 1
-                fcts.append(record.fct)
+                fct_sum += record.fct
+                result.fct_sketch.insert(record.fct)
             elif record.failed:
                 result.failed += 1
                 result.abort_reasons[record.abort_reason] = (
                     result.abort_reasons.get(record.abort_reason, 0) + 1)
             else:
                 result.pending += 1
-        if fcts:
-            result.mean_fct = sum(fcts) / len(fcts)
+        if result.completed:
+            result.mean_fct = fct_sum / result.completed
 
     if audit:
         # Imported lazily: repro.audit re-exports fault helpers that now

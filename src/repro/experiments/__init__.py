@@ -18,6 +18,7 @@ from repro.experiments.scenarios import (
     mixed_schedule,
     run_single_path_flow,
     run_utilization_point,
+    run_utilization_point_stats,
     run_workload,
     short_flow_schedule,
 )
@@ -35,6 +36,7 @@ __all__ = [
     "mixed_schedule",
     "run_single_path_flow",
     "run_utilization_point",
+    "run_utilization_point_stats",
     "run_workload",
     "short_flow_schedule",
 ]

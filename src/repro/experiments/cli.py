@@ -15,12 +15,27 @@ span, the paper's invariants are checked live, and the first violation
 (or crash) dumps a post-mortem bundle into ``DIR``.  Both flags
 compose — with ``--telemetry`` the auditor observes the telemetry hub's
 trace stream.
+
+``--telemetry`` and ``--chaos`` now compose with ``--jobs N``: pool
+workers re-create the sessions themselves (per-worker trace files are
+shard-suffixed, the chaos profile is re-parsed from its deterministic
+spec).  Only ``--audit`` still forces a serial run — its flight
+recorder is single-process by design.
+
+``--progress [DIR]`` turns on the live progress plane (refreshing
+status line on stderr; with DIR also ``progress.prom`` + snapshot
+JSONL), and every run writes a schema-validated ``run_manifest.json``
+(``--manifest PATH`` to move it, ``--no-manifest`` to skip).
 """
 
 from __future__ import annotations
 
 import argparse
 import contextlib
+import glob
+import hashlib
+import json
+import os
 import sys
 import time
 from typing import Callable, Dict, Tuple
@@ -194,6 +209,18 @@ def main(argv=None) -> int:
                              "(see 'chaos list'): every access network "
                              "built gets the profile's impairments; "
                              "composes with --telemetry and --audit")
+    parser.add_argument("--progress", nargs="?", const="-", default=None,
+                        metavar="DIR",
+                        help="live multi-shard progress plane (refreshing "
+                             "status on stderr); with DIR also exports "
+                             "progress.prom (Prometheus text) and "
+                             "progress.jsonl snapshots there")
+    parser.add_argument("--manifest", default="run_manifest.json",
+                        metavar="PATH",
+                        help="where to write the run manifest "
+                             "(default: run_manifest.json)")
+    parser.add_argument("--no-manifest", action="store_true",
+                        help="skip writing the run manifest")
     raw_argv = list(sys.argv[1:]) if argv is None else list(argv)
     if raw_argv and raw_argv[0] == "bench":
         # The observatory has its own flag set; hand the rest through.
@@ -225,13 +252,23 @@ def main(argv=None) -> int:
             return 2
 
     jobs = args.jobs
-    if jobs > 1 and (args.telemetry is not None or args.audit is not None
-                     or args.chaos is not None):
-        # Observability sessions live in parent-process context variables
-        # and would silently not reach pool workers; keep the run honest.
-        print("[--jobs ignored: --telemetry/--audit/--chaos need in-process "
-              "runs]", file=sys.stderr)
+    if jobs > 1 and args.audit is not None:
+        # The auditor's flight recorder is a single-process flight
+        # recorder; telemetry/chaos propagate to workers (WorkerEnv).
+        print("[--jobs ignored: --audit needs an in-process run]",
+              file=sys.stderr)
         jobs = 1
+
+    manifest = None
+    if not args.no_manifest:
+        from repro.obs.manifest import RunManifest
+
+        manifest = RunManifest("experiments:" + args.experiment,
+                               args=vars(args), seed=args.seed)
+        manifest.record_config({
+            "experiments": names, "scale": args.scale, "seed": args.seed,
+            "jobs": jobs, "chaos": args.chaos,
+        })
 
     hub = None
     audit = None
@@ -256,26 +293,78 @@ def main(argv=None) -> int:
         profile = stack.enter_context(chaos.session(args.chaos))
         print(f"[chaos profile {profile.spec} active: "
               f"{profile.description}]")
+    if args.telemetry is not None or args.chaos is not None:
+        from repro.parallel import WorkerEnv, worker_env
 
+        # Declare the sessions pool workers must mirror; a serial run
+        # ignores this (the parent's own sessions are already active).
+        stack.enter_context(worker_env(WorkerEnv(
+            telemetry_dir=args.telemetry,
+            telemetry_format=args.telemetry_format,
+            telemetry_kinds=args.telemetry_kinds,
+            chaos_spec=args.chaos)))
+    if args.progress is not None:
+        from repro.obs import progress as progress_mod
+
+        stack.enter_context(progress_mod.plane(
+            out_dir=None if args.progress == "-" else args.progress))
+
+    digest = hashlib.sha256()
     with stack:
         for name in names:
             description, runner = EXPERIMENTS[name]
             print(f"== {name}: {description} (scale={args.scale}) ==")
             started = time.time()
-            result, formatter = runner(args.scale, args.seed, jobs)
-            print(formatter(result))
+            stage = (manifest.stage(name) if manifest is not None
+                     else contextlib.nullcontext())
+            with stage:
+                result, formatter = runner(args.scale, args.seed, jobs)
+                report = formatter(result)
+            digest.update(report.encode("utf-8"))
+            print(report)
             print(f"[{name} finished in {time.time() - started:.1f}s]\n")
     if hub is not None:
         # The session is closed (exports flushed, metrics.json/profile.json
         # written), but the in-memory views remain readable.
         print("== telemetry ==")
         print(hub.summary(max_flows=args.timeline_flows))
+    status = 0
     if audit is not None:
         print("== audit ==")
         print(audit.report())
         if not audit.clean:
-            return 1
-    return 0
+            status = 1
+    if manifest is not None:
+        if hub is not None:
+            manifest.record_telemetry(
+                hub.dropped_records,
+                shards=_shard_telemetry(args.telemetry))
+        manifest.set_result_fingerprint(digest.hexdigest(),
+                                        experiments=names)
+        manifest.set_exit_status(status)
+        path = manifest.write(args.manifest)
+        print(f"[run manifest: {path}]")
+    return status
+
+
+def _shard_telemetry(out_dir):
+    """Per-shard drop counters from worker ``metrics-shard*.json`` files
+    (empty when the run was serial)."""
+    shards = []
+    if out_dir is None:
+        return shards
+    for path in sorted(glob.glob(os.path.join(out_dir,
+                                              "metrics-shard*.json"))):
+        try:
+            with open(path, encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError):  # pragma: no cover - torn write
+            continue
+        shards.append({
+            "shard": int(doc.get("shard", -1)),
+            "dropped_records": int(doc.get("trace_dropped_records", 0)),
+        })
+    return shards
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -9,12 +9,14 @@ with far better FCT).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
 from repro.metrics.collapse import SweepPoint, feasible_capacity
 from repro.experiments.report import render_table
-from repro.experiments.scenarios import PROTOCOLS_ALL, run_utilization_point
+from repro.experiments.scenarios import PROTOCOLS_ALL, \
+    run_utilization_point_stats
+from repro.obs.aggregate import StreamingFlowAggregator
 from repro.parallel import fanout_map
 
 __all__ = [
@@ -39,6 +41,11 @@ class UtilizationSweep:
     points: Dict[str, List[SweepPoint]]
     feasible: Dict[str, float]
     collapse_factor: float
+    #: Per-protocol streamed statistics: every cell's constant-size
+    #: :class:`~repro.obs.aggregate.FlowStats` merged in serial cell
+    #: order — the sweep's FCT quantile sketches and fingerprint.
+    aggregate: StreamingFlowAggregator = field(
+        default_factory=StreamingFlowAggregator)
 
     def curve(self, protocol: str) -> List[SweepPoint]:
         """The (utilization, mean FCT) curve for one scheme."""
@@ -50,11 +57,17 @@ class UtilizationSweep:
 
 
 def _run_point_task(task):
-    """Picklable per-cell worker for :func:`fanout_map`."""
+    """Picklable per-cell worker for :func:`fanout_map`.
+
+    Returns a constant-size :class:`FlowStats` rather than the per-flow
+    record list, so parent memory (and the pickled payload) stays flat
+    no matter how many flows a cell ran.
+    """
     protocol, utilization, duration, seed, n_pairs, drain_time = task
-    return run_utilization_point(
+    return run_utilization_point_stats(
         protocol, utilization, duration=duration, seed=seed,
         n_pairs=n_pairs, drain_time=drain_time,
+        penalty=INCOMPLETE_PENALTY,
     )
 
 
@@ -78,13 +91,14 @@ def sweep_protocols(
     """
     tasks = [(protocol, utilization, duration, seed, n_pairs, drain_time)
              for protocol in protocols for utilization in utilizations]
-    collectors = fanout_map(_run_point_task, tasks, jobs=jobs)
+    cells = fanout_map(_run_point_task, tasks, jobs=jobs)
     points: Dict[str, List[SweepPoint]] = {}
+    aggregate = StreamingFlowAggregator(penalty=INCOMPLETE_PENALTY)
     for i, protocol in enumerate(protocols):
         curve: List[SweepPoint] = []
         for j, utilization in enumerate(utilizations):
-            collector = collectors[i * len(utilizations) + j]
-            if not collector.records:
+            stats = cells[i * len(utilizations) + j]
+            if not stats.flows:
                 # Short (scaled-down) runs can draw zero Poisson
                 # arrivals at the lowest loads; the point carries no
                 # information, and the schedule is seed-identical
@@ -92,16 +106,20 @@ def sweep_protocols(
                 continue
             curve.append(SweepPoint(
                 utilization=utilization,
-                mean_fct=collector.mean_fct(penalty=INCOMPLETE_PENALTY),
-                completion_rate=collector.completion_rate(),
+                mean_fct=stats.mean_fct(penalized=True),
+                completion_rate=stats.completion_rate(),
             ))
+            # Merge in serial cell order so the sweep aggregate (and
+            # its fingerprint) is bit-identical for any --jobs value.
+            aggregate.group(protocol).merge(stats)
         points[protocol] = curve
     feasible = {
         protocol: feasible_capacity(curve, factor=collapse_factor)
         for protocol, curve in points.items()
     }
     return UtilizationSweep(points=points, feasible=feasible,
-                            collapse_factor=collapse_factor)
+                            collapse_factor=collapse_factor,
+                            aggregate=aggregate)
 
 
 def run(
@@ -134,7 +152,14 @@ def format_report(result: UtilizationSweep) -> str:
             f"{result.feasible[protocol] * 100:.0f}%",
             f"{paper_feasible.get(protocol, 0) * 100:.0f}%",
         ])
-    return render_table(
+    table = render_table(
         ["scheme", "low-load mean FCT", "feasible capacity", "paper"],
         rows, title="Fig. 12 — all-short-flow utilization sweep",
     )
+    parts = [table]
+    if result.aggregate.groups:
+        parts.append(result.aggregate.render(
+            title="Fig. 12 — streamed FCT quantiles"))
+        parts.append(f"aggregate fingerprint: "
+                     f"{result.aggregate.fingerprint()}")
+    return "\n\n".join(parts)

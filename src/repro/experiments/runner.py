@@ -19,6 +19,7 @@ from typing import Callable, List, Optional, Sequence
 from repro.errors import ExperimentError
 from repro.net.monitor import FlowThroughputMonitor
 from repro.net.topology import AccessNetwork
+from repro.obs import progress as _progress
 from repro.protocols.registry import ProtocolContext, create_sender
 from repro.sim.simulator import Simulator
 from repro.telemetry.schema import EV_FLOW_COMPLETE, EV_FLOW_START
@@ -70,6 +71,9 @@ def launch_flow(
         sim.metrics.inc("flows.completed")
         sim.trace.record(sim.now, EV_FLOW_COMPLETE, "runner",
                          flow=spec.flow_id, fct=record.fct)
+        # Advisory heartbeat for the live progress plane (no-op without
+        # one); simulator event counts ride along for throughput/ETA.
+        _progress.flow_completed(events=sim.events_run)
         if on_complete is not None:
             on_complete(record)
 
@@ -166,6 +170,16 @@ class TrafficRunner:
                 record.spec.flow_id, 0
             )
         return self.records
+
+    def drain_records(self) -> List[FlowRecord]:
+        """Hand the accumulated records over and forget them.
+
+        The streaming-aggregation hook: callers fold the returned
+        records into a :class:`~repro.obs.aggregate.FlowStats` and let
+        them go, so the runner holds no per-flow state between batches.
+        """
+        records, self.records = self.records, []
+        return records
 
     # ------------------------------------------------------------------
 

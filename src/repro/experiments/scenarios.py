@@ -16,6 +16,7 @@ from typing import List, Optional, Sequence
 from repro.errors import ExperimentError
 from repro.metrics.fct import FctCollector
 from repro.net.topology import AccessNetwork, access_network
+from repro.obs.aggregate import FlowStats
 from repro.planetlab.paths import PathSpec, build_path
 from repro.protocols.registry import ProtocolContext
 from repro.sim.randomness import derive_seed
@@ -37,6 +38,7 @@ __all__ = [
     "mixed_schedule",
     "run_workload",
     "run_utilization_point",
+    "run_utilization_point_stats",
     "run_single_path_flow",
     "PROTOCOLS_MAIN",
     "PROTOCOLS_ALL",
@@ -199,6 +201,38 @@ def run_utilization_point(
     return run_workload(schedule, seed=derive_seed(seed, protocol),
                         n_pairs=n_pairs, buffer_bytes=buffer_bytes,
                         drain_time=drain_time, config=config)
+
+
+def run_utilization_point_stats(
+    protocol: str,
+    utilization: float,
+    duration: float = 30.0,
+    seed: int = 0,
+    sizes: Optional[SizeDistribution] = None,
+    n_pairs: int = 16,
+    buffer_bytes: Optional[int] = None,
+    drain_time: float = 30.0,
+    config: Optional[TransportConfig] = None,
+    penalty: Optional[float] = None,
+) -> FlowStats:
+    """Streaming variant of :func:`run_utilization_point`.
+
+    Runs the identical simulation but folds every record into a
+    constant-size :class:`~repro.obs.aggregate.FlowStats` (records are
+    drained, not returned), so a sweep worker's result payload is a few
+    hundred bytes however many flows ran.  Because the fold mirrors
+    :class:`~repro.metrics.fct.FctCollector` operation for operation,
+    the penalized mean and completion rate are bit-identical to the
+    record-list path.
+    """
+    schedule = short_flow_schedule(protocol, utilization, duration, seed,
+                                   sizes=sizes)
+    sim = Simulator(seed=derive_seed(seed, protocol))
+    net = build_emulab(sim, n_pairs=n_pairs, buffer_bytes=buffer_bytes)
+    runner = TrafficRunner(sim, net, config=config, drain_time=drain_time)
+    runner.schedule(schedule)
+    runner.run()
+    return FlowStats(penalty=penalty).observe_all(runner.drain_records())
 
 
 def run_single_path_flow(

@@ -15,18 +15,36 @@ over a worker function, serial for ``jobs <= 1`` and a
 must be module-level functions and the items/results picklable; all
 sweep cells here satisfy that (plain dataclasses end to end).
 
-Ambient observability sessions (``--telemetry`` / ``--audit`` /
-``--chaos``) live in context variables of the parent process and do not
-propagate into workers, so CLIs force ``jobs=1`` (with a warning) when
-one is active rather than silently dropping instrumentation.
+Two ambient integrations make parallel runs observable instead of
+opaque:
+
+* **progress** — when a :class:`repro.obs.progress.ProgressPlane` is
+  active in the parent, every item becomes a *shard*: workers post
+  start/heartbeat/done events over a ``multiprocessing.Queue`` and the
+  parent renders the live status table / Prometheus / JSONL exports.
+  Serial runs report inline through the same plane.
+* **worker environment** — ``--telemetry`` and ``--chaos`` sessions
+  live in parent-process context variables that a pool worker would
+  silently miss.  :func:`worker_env` declares a picklable
+  :class:`WorkerEnv` that the pool initializer re-activates inside
+  every worker: per-worker telemetry hubs stream to shard-suffixed
+  trace files (``trace-shard0.jsonl`` ...) and the chaos profile is
+  re-parsed from its deterministic spec.  Only ``--audit`` still
+  forces serial runs (its flight recorder is single-process by
+  design).
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, List, Sequence, TypeVar
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, List, Optional, TypeVar
 
-__all__ = ["fanout_map", "resolve_jobs"]
+from repro.obs import progress as _progress
+
+__all__ = ["WorkerEnv", "current_worker_env", "fanout_map", "resolve_jobs",
+           "worker_env"]
 
 _Item = TypeVar("_Item")
 _Result = TypeVar("_Result")
@@ -35,6 +53,125 @@ _Result = TypeVar("_Result")
 def resolve_jobs(jobs: int, n_items: int) -> int:
     """Effective worker count: never more workers than items, never < 1."""
     return max(1, min(jobs, n_items))
+
+
+# ----------------------------------------------------------------------
+# Worker environment propagation
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkerEnv:
+    """Picklable description of the observability sessions every pool
+    worker must re-create (parent context variables don't cross the
+    process boundary)."""
+
+    #: Telemetry export directory (per-worker files are shard-suffixed).
+    telemetry_dir: Optional[str] = None
+    telemetry_format: str = "jsonl"
+    telemetry_kinds: Optional[str] = None
+    #: ``PROFILE[:seed]`` chaos spec — deterministic, so re-parsing in
+    #: the worker reproduces the parent's profile exactly.
+    chaos_spec: Optional[str] = None
+
+    @property
+    def empty(self) -> bool:
+        return self.telemetry_dir is None and self.chaos_spec is None
+
+
+_active_env: Optional[WorkerEnv] = None
+
+
+def current_worker_env() -> Optional[WorkerEnv]:
+    """The ambient worker environment, or None."""
+    return _active_env
+
+
+@contextmanager
+def worker_env(env: Optional[WorkerEnv]) -> Iterator[Optional[WorkerEnv]]:
+    """Declare the environment pool workers must mirror for a block."""
+    global _active_env
+    previous = _active_env
+    _active_env = env
+    try:
+        yield env
+    finally:
+        _active_env = previous
+
+
+# Worker-process globals, set once per worker by _worker_init.
+_worker_queue = None
+_worker_hub = None
+
+
+def _worker_init(env: Optional[WorkerEnv], counter, queue) -> None:
+    """Pool initializer: runs once in each worker process."""
+    global _worker_queue, _worker_hub
+    _worker_queue = queue
+    if env is None or env.empty:
+        return
+    with counter.get_lock():
+        shard = counter.value
+        counter.value += 1
+    if env.telemetry_dir is not None:
+        from multiprocessing.util import Finalize
+
+        from repro import telemetry
+
+        hub = telemetry.Telemetry(
+            out_dir=env.telemetry_dir, trace_format=env.telemetry_format,
+            kinds=env.telemetry_kinds, shard=shard)
+        telemetry.activate(hub)
+        _worker_hub = hub
+        # Pool workers exit via multiprocessing's bootstrap (atexit
+        # handlers never run there); Finalize hooks do, so the sink is
+        # flushed and metrics-shard<N>.json written on clean shutdown.
+        Finalize(hub, hub.close, exitpriority=10)
+    if env.chaos_spec is not None:
+        from repro.chaos import context as _chaos_context
+        from repro.chaos.profiles import parse_profile
+
+        _chaos_context.activate(parse_profile(env.chaos_spec))
+
+
+def _item_label(item) -> str:
+    """A short human label for the shard table (best effort)."""
+    if isinstance(item, tuple):
+        parts = [str(part) for part in item if isinstance(part, (str, int))]
+        label = ":".join(parts[:3])
+    else:
+        label = str(item)
+    return label[:48]
+
+
+def _run_reported(worker: Callable[[_Item], _Result], index: int,
+                  item: _Item, post) -> _Result:
+    """Execute one item under a shard reporter posting via ``post``."""
+    reporter = _progress.ShardReporter(index, post)
+    reporter.started(label=_item_label(item))
+    with _progress.reporting(reporter):
+        result = worker(item)
+    reporter.done()
+    return result
+
+
+def _pool_task(payload):
+    """Picklable per-item wrapper running inside a pool worker."""
+    worker, index, item = payload
+    if _worker_queue is not None:
+        result = _run_reported(worker, index, item, _worker_queue.put)
+    else:
+        result = worker(item)
+    if _worker_hub is not None:
+        # Keep the shard trace file durable even if the pool is torn
+        # down abruptly; per-item flushes are noise next to a cell.
+        _worker_hub.flush()
+    return result
+
+
+# ----------------------------------------------------------------------
+# The fan-out primitive
+# ----------------------------------------------------------------------
 
 
 def fanout_map(
@@ -54,13 +191,38 @@ def fanout_map(
     ``worker`` must be picklable (a module-level function), as must the
     items and results.  A worker exception propagates to the caller,
     matching the serial path's behavior.
+
+    When a progress plane (:mod:`repro.obs.progress`) is active, every
+    item reports as one shard; when a :class:`WorkerEnv` is declared
+    (see :func:`worker_env`), pool workers re-activate the parent's
+    telemetry/chaos sessions before running their first item.
     """
     items = list(items)
     workers = resolve_jobs(jobs, len(items))
+    plane = _progress.current_plane()
+    if plane is not None:
+        plane.begin(len(items))
     if workers <= 1:
-        return [worker(item) for item in items]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+        if plane is None:
+            return [worker(item) for item in items]
+        return [_run_reported(worker, index, item, plane.apply)
+                for index, item in enumerate(items)]
+
+    import multiprocessing
+
+    env = _active_env
+    counter = multiprocessing.Value("i", 0)
+    queue = plane.queue() if plane is not None else None
+    payloads = [(worker, index, item) for index, item in enumerate(items)]
+    with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_worker_init,
+            initargs=(env, counter, queue)) as pool:
         # chunksize=1: cells are coarse (whole simulations), so the
         # per-task IPC cost is noise and fine-grained dispatch keeps
         # the pool busy when cell durations are skewed.
-        return list(pool.map(worker, items, chunksize=1))
+        results = list(pool.map(_pool_task, payloads, chunksize=1))
+    if plane is not None:
+        plane.sync()
+        plane.tick(force=True)
+    return results

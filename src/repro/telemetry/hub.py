@@ -76,6 +76,11 @@ class Telemetry:
     flush_every / max_bytes:
         Passed through to the streaming sink (see
         :class:`~repro.telemetry.export.TraceSink`).
+    shard:
+        Optional shard id for hubs living inside pool workers.  Suffixes
+        every exported filename (``trace-shard3.jsonl``,
+        ``metrics-shard3.json`` ...) so parallel workers sharing one
+        output directory never clobber each other.
     """
 
     def __init__(
@@ -87,19 +92,23 @@ class Telemetry:
         profile: bool = True,
         flush_every: int = 1000,
         max_bytes: Optional[int] = None,
+        shard: Optional[int] = None,
     ) -> None:
         self.out_dir = str(out_dir) if out_dir is not None else None
+        self.shard = shard
         self.metrics = MetricsRegistry()
         self.profiler: Optional[SimProfiler] = SimProfiler() if profile else None
         self.sink: Optional[TraceSink] = None
         if self.out_dir is not None and trace_format is not None:
             if trace_format == "jsonl":
                 self.sink = JsonlTraceSink(
-                    os.path.join(self.out_dir, "trace.jsonl"),
+                    os.path.join(self.out_dir,
+                                 self._shard_name("trace", "jsonl")),
                     flush_every=flush_every, max_bytes=max_bytes)
             elif trace_format == "csv":
                 self.sink = CsvTraceSink(
-                    os.path.join(self.out_dir, "trace.csv"),
+                    os.path.join(self.out_dir,
+                                 self._shard_name("trace", "csv")),
                     flush_every=flush_every, max_bytes=max_bytes)
             else:
                 raise ValueError(
@@ -113,6 +122,19 @@ class Telemetry:
             sink=self.sink,
         )
         self._closed = False
+
+    def _shard_name(self, stem: str, ext: str) -> str:
+        """``trace.jsonl`` for the parent, ``trace-shard3.jsonl`` for
+        shard 3."""
+        if self.shard is None:
+            return f"{stem}.{ext}"
+        return f"{stem}-shard{self.shard}.{ext}"
+
+    @property
+    def dropped_records(self) -> int:
+        """Records the in-memory ring buffer evicted (the streaming
+        sink, when configured, still saw every one)."""
+        return self.trace.dropped_records
 
     # ------------------------------------------------------------------
     # Views
@@ -129,8 +151,9 @@ class Telemetry:
         if self.sink is not None:
             paths.extend(self.sink.paths)
         if self.out_dir is not None:
-            for name in ("metrics.json", "profile.json"):
-                path = os.path.join(self.out_dir, name)
+            for stem in ("metrics", "profile"):
+                path = os.path.join(self.out_dir,
+                                    self._shard_name(stem, "json"))
                 if os.path.exists(path):
                     paths.append(path)
         return paths
@@ -144,6 +167,8 @@ class Telemetry:
             parts.append(f"trace ring buffer dropped "
                          f"{self.trace.dropped_records} records "
                          f"(oldest first); the streamed export is complete")
+        else:
+            parts.append("trace ring buffer dropped 0 records")
         if self.profiler is not None:
             parts.append(self.profiler.report())
         paths = self.export_paths()
@@ -169,14 +194,20 @@ class Telemetry:
             self.sink.close()
         if self.out_dir is not None:
             os.makedirs(self.out_dir, exist_ok=True)
-            with open(os.path.join(self.out_dir, "metrics.json"), "w",
+            metrics_doc = self.metrics.snapshot()
+            metrics_doc["trace_dropped_records"] = self.trace.dropped_records
+            if self.shard is not None:
+                metrics_doc["shard"] = self.shard
+            with open(os.path.join(self.out_dir,
+                                   self._shard_name("metrics", "json")), "w",
                       encoding="utf-8") as fh:
-                json.dump(self.metrics.snapshot(), fh, sort_keys=True,
+                json.dump(metrics_doc, fh, sort_keys=True,
                           indent=2, default=str)
                 fh.write("\n")
             if self.profiler is not None:
-                with open(os.path.join(self.out_dir, "profile.json"), "w",
-                          encoding="utf-8") as fh:
+                with open(os.path.join(self.out_dir,
+                                       self._shard_name("profile", "json")),
+                          "w", encoding="utf-8") as fh:
                     json.dump(self.profiler.snapshot(), fh, sort_keys=True,
                               indent=2, default=str)
                     fh.write("\n")

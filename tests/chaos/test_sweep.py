@@ -98,12 +98,22 @@ class TestCli:
 
     def test_sweep_subset_exits_zero_and_writes_json(self, tmp_path):
         out_path = tmp_path / "sweep.json"
+        manifest_path = tmp_path / "run_manifest.json"
         code = chaos_main([
             "sweep", "--protocols", "tcp", "--profiles", "blackhole",
             "--flows", "2", "--size", "30000", "--seed", "5",
             "--json", str(out_path),
+            "--manifest", str(manifest_path),
         ])
         assert code == 0
         payload = json.loads(out_path.read_text())
         assert payload["live"] is True
         assert payload["cells"][0]["protocol"] == "tcp"
+        # The sweep's merged FCT sketch rides along in the JSON report.
+        assert payload["fct_sketch"]["count"] == payload["cells"][0]["completed"]
+
+        from repro.obs.manifest import validate_manifest
+
+        manifest = json.loads(manifest_path.read_text())
+        assert validate_manifest(manifest) == []
+        assert manifest["result"]["fingerprint"] == payload["fingerprint"]

@@ -51,12 +51,38 @@ class TestCli:
                     "fig13", "fig14", "fig15", "fig16", "fig17"}
         assert expected == set(EXPERIMENTS)
 
-    def test_run_cheap_experiment_end_to_end(self, capsys):
+    def test_run_cheap_experiment_end_to_end(self, capsys, tmp_path,
+                                             monkeypatch):
+        monkeypatch.chdir(tmp_path)
         assert main(["fig2"]) == 0
         out = capsys.readouterr().out
         assert "traffic" in out
         assert "internet" in out
+        # Every run writes a schema-valid manifest by default.
+        import json
 
-    def test_fig3_via_cli(self, capsys):
+        from repro.obs.manifest import validate_manifest
+
+        doc = json.loads((tmp_path / "run_manifest.json").read_text())
+        assert validate_manifest(doc) == []
+        assert doc["command"] == "experiments:fig2"
+        assert doc["exit_status"] == 0
+        assert doc["result"]["fingerprint"]
+
+    def test_fig3_via_cli(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
         assert main(["fig3", "--seed", "1"]) == 0
         assert "ROPR order" in capsys.readouterr().out
+
+    def test_no_manifest_flag(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["fig2", "--no-manifest"]) == 0
+        capsys.readouterr()
+        assert not (tmp_path / "run_manifest.json").exists()
+
+    def test_manifest_custom_path(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        target = tmp_path / "out" / "m.json"
+        assert main(["fig2", "--manifest", str(target)]) == 0
+        capsys.readouterr()
+        assert target.exists()

@@ -1,0 +1,189 @@
+"""Property tests for the mergeable quantile sketch and count histogram.
+
+The two contracts everything downstream leans on:
+
+1. **Accuracy** — a quantile query returns a value within the configured
+   relative error of the exact rank item (the rank the sketch itself
+   targets via :meth:`QuantileSketch.rank_index`).
+2. **Merge identity** — merging is associative and commutative, and the
+   serialized form is bit-identical no matter how the same values were
+   sharded or in which order the shards were merged.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.obs.sketch import (
+    CountHistogram,
+    DEFAULT_RELATIVE_ACCURACY,
+    MIN_TRACKABLE,
+    QuantileSketch,
+    canonical_json,
+)
+
+#: FCT-like magnitudes: sub-millisecond to minutes.
+values_strategy = st.lists(
+    st.floats(min_value=1e-4, max_value=600.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=300)
+
+quantile_strategy = st.floats(min_value=0.0, max_value=1.0,
+                              allow_nan=False)
+
+
+class TestAccuracy:
+    @given(values=values_strategy, q=quantile_strategy,
+           alpha=st.sampled_from([0.005, 0.01, 0.05]))
+    @settings(max_examples=200, deadline=None)
+    def test_quantile_within_relative_bound(self, values, q, alpha):
+        sketch = QuantileSketch(alpha)
+        sketch.extend(values)
+        true_value = sorted(values)[sketch.rank_index(q)]
+        estimate = sketch.quantile(q)
+        assert abs(estimate - true_value) <= alpha * true_value * (1 + 1e-9)
+
+    @given(values=values_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_extrema_are_exact(self, values):
+        sketch = QuantileSketch()
+        sketch.extend(values)
+        assert sketch.minimum == min(values)
+        assert sketch.maximum == max(values)
+        assert sketch.count == len(values)
+
+    def test_sub_threshold_values_hit_the_zero_bucket(self):
+        sketch = QuantileSketch()
+        sketch.insert(MIN_TRACKABLE / 10)
+        sketch.insert(1.0)
+        assert sketch.quantile(0.0) == 0.0
+        assert sketch.count == 2
+
+    def test_rejects_negative_and_non_finite(self):
+        sketch = QuantileSketch()
+        with pytest.raises(ConfigurationError):
+            sketch.insert(-1.0)
+        with pytest.raises(ConfigurationError):
+            sketch.insert(float("nan"))
+        with pytest.raises(ConfigurationError):
+            sketch.insert(float("inf"))
+
+    def test_empty_sketch_has_no_quantile(self):
+        with pytest.raises(ConfigurationError):
+            QuantileSketch().quantile(0.5)
+
+    def test_bad_accuracy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QuantileSketch(0.0)
+        with pytest.raises(ConfigurationError):
+            QuantileSketch(1.0)
+
+
+class TestMergeIdentity:
+    @given(values=values_strategy,
+           n_shards=st.integers(min_value=1, max_value=8),
+           data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_bit_identical_across_shard_counts_and_merge_orders(
+            self, values, n_shards, data):
+        """Shard the same values arbitrarily, merge the shards in a
+        random order: the serialized sketch must match a single-pass
+        sketch byte for byte."""
+        serial = QuantileSketch()
+        serial.extend(values)
+
+        shards = [QuantileSketch() for _ in range(n_shards)]
+        for value in values:
+            index = data.draw(st.integers(0, n_shards - 1))
+            shards[index].insert(value)
+        order = data.draw(st.permutations(range(n_shards)))
+        merged = QuantileSketch.merged(shards[i] for i in order)
+
+        assert canonical_json(merged.to_dict()) == \
+            canonical_json(serial.to_dict())
+        assert merged.fingerprint() == serial.fingerprint()
+
+    @given(values=values_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_merge_is_commutative(self, values):
+        half = len(values) // 2
+        a1, b1 = QuantileSketch(), QuantileSketch()
+        a1.extend(values[:half])
+        b1.extend(values[half:])
+        a2, b2 = QuantileSketch(), QuantileSketch()
+        a2.extend(values[:half])
+        b2.extend(values[half:])
+        assert a1.merge(b1).to_dict() == b2.merge(a2).to_dict()
+
+    def test_merge_rejects_mismatched_accuracy(self):
+        with pytest.raises(ConfigurationError):
+            QuantileSketch(0.01).merge(QuantileSketch(0.02))
+
+    @given(values=values_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_preserves_everything(self, values):
+        sketch = QuantileSketch()
+        sketch.extend(values)
+        clone = QuantileSketch.from_dict(
+            json.loads(canonical_json(sketch.to_dict())))
+        assert clone == sketch
+        assert clone.fingerprint() == sketch.fingerprint()
+        assert clone.quantile(0.99) == sketch.quantile(0.99)
+
+    def test_from_dict_rejects_wrong_schema(self):
+        with pytest.raises(ConfigurationError):
+            QuantileSketch.from_dict({"schema": "bogus/1"})
+
+
+counts_strategy = st.lists(st.integers(min_value=0, max_value=40),
+                           min_size=1, max_size=200)
+
+
+class TestCountHistogram:
+    @given(counts=counts_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_exact_statistics(self, counts):
+        hist = CountHistogram()
+        for value in counts:
+            hist.insert(value)
+        assert hist.count == len(counts)
+        assert hist.total == sum(counts)
+        assert hist.mean() == pytest.approx(sum(counts) / len(counts))
+        threshold = 3
+        expected = sum(1 for v in counts if v >= threshold) / len(counts)
+        assert hist.fraction_at_least(threshold) == pytest.approx(expected)
+
+    @given(counts=counts_strategy,
+           n_shards=st.integers(min_value=1, max_value=6),
+           data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_merge_bit_identity(self, counts, n_shards, data):
+        serial = CountHistogram()
+        for value in counts:
+            serial.insert(value)
+        shards = [CountHistogram() for _ in range(n_shards)]
+        for value in counts:
+            shards[data.draw(st.integers(0, n_shards - 1))].insert(value)
+        merged = CountHistogram()
+        for index in data.draw(st.permutations(range(n_shards))):
+            merged.merge(shards[index])
+        assert canonical_json(merged.to_dict()) == \
+            canonical_json(serial.to_dict())
+        assert merged.fingerprint() == serial.fingerprint()
+
+    def test_round_trip(self):
+        hist = CountHistogram()
+        hist.insert(0, 5)
+        hist.insert(3, 2)
+        clone = CountHistogram.from_dict(hist.to_dict())
+        assert clone == hist
+        assert clone.fingerprint() == hist.fingerprint()
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ConfigurationError):
+            CountHistogram().insert(-1)
+
+    def test_default_accuracy_documented_value(self):
+        assert DEFAULT_RELATIVE_ACCURACY == 0.01

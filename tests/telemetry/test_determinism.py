@@ -24,7 +24,8 @@ def run_fig3(out_dir: Path, audit_dir: Path = None) -> None:
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src")
     argv = [sys.executable, "-m", "repro", "fig3", "--seed", "42",
-            "--telemetry", str(out_dir)]
+            "--telemetry", str(out_dir),
+            "--manifest", str(out_dir / "run_manifest.json")]
     if audit_dir is not None:
         argv += ["--audit", str(audit_dir)]
     result = subprocess.run(
