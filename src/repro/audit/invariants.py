@@ -48,7 +48,8 @@ from repro.telemetry.schema import (
     EV_SENDER_RTO,
 )
 
-__all__ = ["Violation", "Checker", "AckKnowledge", "default_checkers"]
+__all__ = ["Violation", "Checker", "AckKnowledge", "FctConservationChecker",
+           "default_checkers"]
 
 
 @dataclass
@@ -580,6 +581,60 @@ class RtoSanityChecker(Checker):
         return []
 
 
+class FctConservationChecker(Checker):
+    """The FCT-attribution conservation invariant (PR 7).
+
+    :class:`repro.obs.spans.FlowSpanBuilder` partitions every completed
+    flow's ``[flow.start, flow.complete]`` window into named components;
+    this checker runs a builder over the audited stream and flags any
+    flow whose components do not sum back to its FCT within float
+    tolerance — either a builder classification hole or an emitter
+    breaking the lineage contract the attribution rests on.  The
+    ``fct`` detail on ``flow.complete`` is cross-checked against the
+    observed window too.
+    """
+
+    name = "fct-conservation"
+
+    def __init__(self) -> None:
+        # Deferred import: repro.audit must stay importable without
+        # pulling the whole obs package in at module-import time.
+        from repro.obs.spans import CONSERVATION_TOLERANCE, FlowSpanBuilder
+
+        self._tolerance = CONSERVATION_TOLERANCE
+        self._queued: List[Violation] = []
+        self._builder = FlowSpanBuilder(on_complete=self._judge)
+
+    def _judge(self, breakdown) -> None:
+        tolerance = self._tolerance * max(1.0, breakdown.fct)
+        error = breakdown.conservation_error
+        if error > tolerance:
+            parts = ", ".join(
+                f"{name}={value:.6f}"
+                for name, value in sorted(breakdown.components.items()))
+            self._queued.append(Violation(
+                self.name, breakdown.complete,
+                f"components sum off FCT by {error:.3e}s "
+                f"(fct={breakdown.fct:.6f}s: {parts})",
+                flow=breakdown.flow,
+            ))
+        if (breakdown.fct_event is not None
+                and abs(breakdown.fct_event - breakdown.fct) > tolerance):
+            self._queued.append(Violation(
+                self.name, breakdown.complete,
+                f"flow.complete fct={breakdown.fct_event:.6f}s disagrees "
+                f"with observed window {breakdown.fct:.6f}s",
+                flow=breakdown.flow,
+            ))
+
+    def observe(self, record) -> List[Violation]:
+        self._builder.observe(record)
+        if not self._queued:
+            return []
+        queued, self._queued = self._queued, []
+        return queued
+
+
 def default_checkers() -> List[Checker]:
     """The full registry, sharing one :class:`AckKnowledge` instance.
 
@@ -597,5 +652,6 @@ def default_checkers() -> List[Checker]:
         NeverRetransmitAckedChecker(knowledge),
         FrontierMeetChecker(knowledge),
         RtoSanityChecker(),
+        FctConservationChecker(),
     ]
     return checkers

@@ -397,6 +397,53 @@ def _flow_obs_on(n: int, seed: int) -> Tuple[float, int]:
     return _halfback_flow_obs(n, seed, observed=True)
 
 
+def _halfback_flow_breakdown(n: int, seed: int,
+                             observed: bool) -> Tuple[float, int]:
+    """One runner flow with FCT attribution on or off.
+
+    The on variant runs under a :class:`~repro.obs.critical.
+    BreakdownSession` (lineage trace on, span builder classifying every
+    packet event), so ``flow_breakdown_on / flow_breakdown_off`` is the
+    attribution pipeline's per-event cost multiplier — and the off
+    variant pays exactly one falsy ``_sessions`` check per completed
+    flow, the cost the <2% overhead gate bounds.
+    """
+    import contextlib
+
+    from repro.experiments.runner import ScheduledFlow, TrafficRunner
+    from repro.net.topology import access_network
+    from repro.sim.simulator import Simulator
+    from repro.units import MSS, kb, mbps, ms
+
+    if observed:
+        from repro.obs.critical import BreakdownSession
+
+        session = BreakdownSession()
+    else:
+        session = contextlib.nullcontext()
+    with session:
+        sim = Simulator(seed=seed)
+        net = access_network(sim, n_pairs=1, bottleneck_rate=mbps(50),
+                             rtt=ms(20), buffer_bytes=kb(115))
+        runner = TrafficRunner(sim, net)
+        runner.schedule([ScheduledFlow(time=0.0, size=n * MSS,
+                                       protocol="halfback")])
+        started = time.perf_counter()
+        runner.run()
+        elapsed = time.perf_counter() - started
+    if observed and not session.aggregate.flows:  # pragma: no cover
+        raise RuntimeError("breakdown benchmark observed no flows")
+    return elapsed, sim.events_run
+
+
+def _flow_breakdown_off(n: int, seed: int) -> Tuple[float, int]:
+    return _halfback_flow_breakdown(n, seed, observed=False)
+
+
+def _flow_breakdown_on(n: int, seed: int) -> Tuple[float, int]:
+    return _halfback_flow_breakdown(n, seed, observed=True)
+
+
 MICRO_BENCHMARKS: Dict[str, MicroBenchmark] = {
     bench.name: bench for bench in (
         MicroBenchmark("scheduler_push_pop",
@@ -449,6 +496,14 @@ MICRO_BENCHMARKS: Dict[str, MicroBenchmark] = {
                        "runner flow with live shard reporter + streaming "
                        "FCT aggregation",
                        _flow_obs_on, default_n=1_000),
+        MicroBenchmark("flow_breakdown_off",
+                       "runner flow, FCT attribution off (ambient "
+                       "no-op fast path)",
+                       _flow_breakdown_off, default_n=1_000),
+        MicroBenchmark("flow_breakdown_on",
+                       "runner flow under a BreakdownSession (lineage "
+                       "trace + critical-path span builder)",
+                       _flow_breakdown_on, default_n=1_000),
     )
 }
 

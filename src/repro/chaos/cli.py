@@ -51,6 +51,12 @@ def main(argv=None) -> int:
     p_sweep.add_argument("--audit", action="store_true",
                          help="run the invariant auditor over every cell "
                               "(violations break the cell)")
+    p_sweep.add_argument("--breakdown", action="store_true",
+                         help="attribute every completed flow's FCT to "
+                              "critical-path components and append the "
+                              "time-in-component table (also keyed into "
+                              "--json output; cell fingerprints are "
+                              "unchanged)")
     p_sweep.add_argument("--json", default=None, metavar="PATH",
                          help="also write the full report (cells + "
                               "fingerprint) as JSON")
@@ -93,6 +99,7 @@ def main(argv=None) -> int:
             "profiles": _split(args.profiles),
             "seed": args.seed, "flows": args.flows, "size": args.size,
             "audit": args.audit, "jobs": args.jobs,
+            "breakdown": args.breakdown,
         })
 
     stack = contextlib.ExitStack()
@@ -113,6 +120,7 @@ def main(argv=None) -> int:
                 size=args.size,
                 audit=args.audit,
                 jobs=args.jobs,
+                breakdown=args.breakdown,
             )
     print(report.format_report())
     if args.json:

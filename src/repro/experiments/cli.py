@@ -52,88 +52,90 @@ Runner = Callable[..., object]
 Formatter = Callable[[object], str]
 
 
-def _fig01(scale: float, seed: int, jobs: int = 1):
+def _fig01(scale: float, seed: int, jobs: int = 1, breakdown: bool = False):
     from repro.experiments import fig01_tradeoff as m
     utils = tuple(round(0.1 * i, 2) for i in range(1, 10))
     return m.run(utilizations=utils, duration=max(5.0, 10 * scale), seed=seed), m.format_report
 
 
-def _fig02(scale: float, seed: int, jobs: int = 1):
+def _fig02(scale: float, seed: int, jobs: int = 1, breakdown: bool = False):
     from repro.experiments import fig02_traffic_cdf as m
     return m.run(), m.format_report
 
 
-def _fig03(scale: float, seed: int, jobs: int = 1):
+def _fig03(scale: float, seed: int, jobs: int = 1, breakdown: bool = False):
     from repro.experiments import fig03_example as m
     return m.run(seed=seed), m.format_report
 
 
-def _table1(scale: float, seed: int, jobs: int = 1):
+def _table1(scale: float, seed: int, jobs: int = 1, breakdown: bool = False):
     from repro.experiments import table1_taxonomy as m
     return m.run(), m.format_report
 
 
-def _fig05(scale: float, seed: int, jobs: int = 1):
+def _fig05(scale: float, seed: int, jobs: int = 1, breakdown: bool = False):
     from repro.experiments import fig05_retransmissions as m
     return m.run(n_paths=int(260 * scale), seed=seed, jobs=jobs), m.format_report
 
 
-def _fig06(scale: float, seed: int, jobs: int = 1):
+def _fig06(scale: float, seed: int, jobs: int = 1, breakdown: bool = False):
     from repro.experiments import fig06_planetlab_fct as m
-    return m.run(n_paths=int(260 * scale), seed=seed, jobs=jobs), m.format_report
+    return m.run(n_paths=int(260 * scale), seed=seed, jobs=jobs,
+                 breakdown=breakdown), m.format_report
 
 
-def _fig07(scale: float, seed: int, jobs: int = 1):
+def _fig07(scale: float, seed: int, jobs: int = 1, breakdown: bool = False):
     from repro.experiments import fig07_rtt_counts as m
     return m.run(n_paths=int(260 * scale), seed=seed, jobs=jobs), m.format_report
 
 
-def _fig08(scale: float, seed: int, jobs: int = 1):
+def _fig08(scale: float, seed: int, jobs: int = 1, breakdown: bool = False):
     from repro.experiments import fig08_loss_fct as m
     return m.run(n_paths=int(260 * scale), seed=seed, jobs=jobs), m.format_report
 
 
-def _fig09(scale: float, seed: int, jobs: int = 1):
+def _fig09(scale: float, seed: int, jobs: int = 1, breakdown: bool = False):
     from repro.experiments import fig09_homenets as m
     return m.run(n_servers=max(4, int(40 * scale)), seed=seed), m.format_report
 
 
-def _fig10(scale: float, seed: int, jobs: int = 1):
+def _fig10(scale: float, seed: int, jobs: int = 1, breakdown: bool = False):
     from repro.experiments import fig10_bufferbloat as m
     return m.run(duration=max(20.0, 60 * scale), seed=seed), m.format_report
 
 
-def _fig11(scale: float, seed: int, jobs: int = 1):
+def _fig11(scale: float, seed: int, jobs: int = 1, breakdown: bool = False):
     from repro.experiments import fig11_flowsize as m
     return m.run(duration=max(10.0, 30 * scale), seed=seed), m.format_report
 
 
-def _fig12(scale: float, seed: int, jobs: int = 1):
+def _fig12(scale: float, seed: int, jobs: int = 1, breakdown: bool = False):
     from repro.experiments import fig12_utilization as m
-    return m.run(duration=max(5.0, 15 * scale), seed=seed, jobs=jobs), m.format_report
+    return m.run(duration=max(5.0, 15 * scale), seed=seed, jobs=jobs,
+                 breakdown=breakdown), m.format_report
 
 
-def _fig13(scale: float, seed: int, jobs: int = 1):
+def _fig13(scale: float, seed: int, jobs: int = 1, breakdown: bool = False):
     from repro.experiments import fig13_short_long as m
     return m.run(duration=max(20.0, 40 * scale), seed=seed), m.format_report
 
 
-def _fig14(scale: float, seed: int, jobs: int = 1):
+def _fig14(scale: float, seed: int, jobs: int = 1, breakdown: bool = False):
     from repro.experiments import fig14_friendliness as m
     return m.run(duration=max(10.0, 30 * scale), seed=seed), m.format_report
 
 
-def _fig15(scale: float, seed: int, jobs: int = 1):
+def _fig15(scale: float, seed: int, jobs: int = 1, breakdown: bool = False):
     from repro.experiments import fig15_throughput as m
     return m.run(seed=seed), m.format_report
 
 
-def _fig16(scale: float, seed: int, jobs: int = 1):
+def _fig16(scale: float, seed: int, jobs: int = 1, breakdown: bool = False):
     from repro.experiments import fig16_web as m
     return m.run(duration=max(15.0, 40 * scale), seed=seed, jobs=jobs), m.format_report
 
 
-def _fig17(scale: float, seed: int, jobs: int = 1):
+def _fig17(scale: float, seed: int, jobs: int = 1, breakdown: bool = False):
     from repro.experiments import fig17_ablation as m
     return m.run(duration=max(5.0, 15 * scale), seed=seed), m.format_report
 
@@ -169,8 +171,10 @@ def main(argv=None) -> int:
     parser.add_argument("experiment",
                         help="experiment id (e.g. fig12), 'list' / 'all', "
                              "'bench' (performance observatory), 'audit' "
-                             "(offline trace auditing) or 'chaos' (impairment "
-                             "profiles and survival sweeps); for the "
+                             "(offline trace auditing), 'chaos' (impairment "
+                             "profiles and survival sweeps), 'explain' "
+                             "(per-flow FCT attribution from a trace) or "
+                             "'manifest' (run-manifest validation); for the "
                              "subcommands the remaining arguments are "
                              "forwarded")
     parser.add_argument("--scale", type=float, default=1.0,
@@ -204,6 +208,22 @@ def main(argv=None) -> int:
                              "crash) a post-mortem bundle is written to DIR "
                              f"(default: {DEFAULT_AUDIT_DIR}) and the exit "
                              "status is 1")
+    parser.add_argument("--breakdown", action="store_true",
+                        help="attribute every completed flow's FCT to "
+                             "critical-path components (serialization, "
+                             "queue wait, propagation, pacing, loss "
+                             "detection, retransmission, RTO idle) and "
+                             "print per-protocol time-in-component tables; "
+                             "fig6/fig12 reports gain breakdown + 'where "
+                             "Halfback wins' tables that are bit-identical "
+                             "for any --jobs value")
+    parser.add_argument("--trace-viewer", default=None, metavar="PATH",
+                        help="export retained flow/packet/recovery span "
+                             "timelines as Perfetto/Chrome trace_event "
+                             "JSON to PATH (implies --breakdown; open at "
+                             "ui.perfetto.dev; spans are retained from "
+                             "the in-process run, so combine with a "
+                             "serial --jobs 1 run)")
     parser.add_argument("--chaos", default=None, metavar="PROFILE[:seed]",
                         help="run the experiments under a chaos profile "
                              "(see 'chaos list'): every access network "
@@ -237,6 +257,16 @@ def main(argv=None) -> int:
         from repro.chaos.cli import main as chaos_main
 
         return chaos_main(raw_argv[1:])
+    if raw_argv and raw_argv[0] == "manifest":
+        # Run-manifest utilities (schema validation).
+        from repro.obs.cli import manifest_main
+
+        return manifest_main(raw_argv[1:])
+    if raw_argv and raw_argv[0] == "explain":
+        # Post-mortem FCT attribution from a recorded trace.
+        from repro.obs.cli import explain_main
+
+        return explain_main(raw_argv[1:])
 
     args = parser.parse_args(argv)
 
@@ -251,6 +281,7 @@ def main(argv=None) -> int:
             print(f"unknown experiment {name!r}; try 'list'", file=sys.stderr)
             return 2
 
+    breakdown = args.breakdown or args.trace_viewer is not None
     jobs = args.jobs
     if jobs > 1 and args.audit is not None:
         # The auditor's flight recorder is a single-process flight
@@ -267,7 +298,7 @@ def main(argv=None) -> int:
                                args=vars(args), seed=args.seed)
         manifest.record_config({
             "experiments": names, "scale": args.scale, "seed": args.seed,
-            "jobs": jobs, "chaos": args.chaos,
+            "jobs": jobs, "chaos": args.chaos, "breakdown": breakdown,
         })
 
     hub = None
@@ -293,6 +324,15 @@ def main(argv=None) -> int:
         profile = stack.enter_context(chaos.session(args.chaos))
         print(f"[chaos profile {profile.spec} active: "
               f"{profile.description}]")
+    breakdown_session = None
+    if breakdown:
+        from repro.obs.critical import BreakdownSession
+
+        # Entered after telemetry/audit so the span builder observes the
+        # already-composed trace stream; standalone --breakdown installs
+        # its own ring-bounded recorder (same pattern as --audit).
+        breakdown_session = stack.enter_context(BreakdownSession(
+            keep_spans=args.trace_viewer is not None))
     if args.telemetry is not None or args.chaos is not None:
         from repro.parallel import WorkerEnv, worker_env
 
@@ -318,11 +358,31 @@ def main(argv=None) -> int:
             stage = (manifest.stage(name) if manifest is not None
                      else contextlib.nullcontext())
             with stage:
-                result, formatter = runner(args.scale, args.seed, jobs)
+                result, formatter = runner(args.scale, args.seed, jobs,
+                                           breakdown)
                 report = formatter(result)
             digest.update(report.encode("utf-8"))
             print(report)
             print(f"[{name} finished in {time.time() - started:.1f}s]\n")
+    if breakdown_session is not None:
+        print("== breakdown ==")
+        agg = breakdown_session.aggregate
+        if agg.flows:
+            print(agg.render(title="FCT attribution (time in component)"))
+            wins = agg.render_halfback_vs_tcp()
+            if wins is not None:
+                print(wins)
+        else:
+            print("no flows observed by the run-level session"
+                  + (" (per-trial breakdowns ran in --jobs workers; see "
+                     "the figure reports above)" if jobs > 1 else ""))
+        if args.trace_viewer is not None:
+            from repro.obs.traceviewer import write_trace_viewer
+
+            count = write_trace_viewer(args.trace_viewer,
+                                       breakdown_session.completed)
+            print(f"[trace viewer: {args.trace_viewer} ({count} events; "
+                  f"open at ui.perfetto.dev)]")
     if hub is not None:
         # The session is closed (exports flushed, metrics.json/profile.json
         # written), but the in-memory views remain readable.

@@ -19,6 +19,7 @@ from typing import Callable, List, Optional, Sequence
 from repro.errors import ExperimentError
 from repro.net.monitor import FlowThroughputMonitor
 from repro.net.topology import AccessNetwork
+from repro.obs import critical as _critical
 from repro.obs import progress as _progress
 from repro.protocols.registry import ProtocolContext, create_sender
 from repro.sim.simulator import Simulator
@@ -71,6 +72,12 @@ def launch_flow(
         sim.metrics.inc("flows.completed")
         sim.trace.record(sim.now, EV_FLOW_COMPLETE, "runner",
                          flow=spec.flow_id, fct=record.fct)
+        # Trace observers run synchronously inside record(), so an
+        # ambient breakdown session has finalized this flow's FCT
+        # attribution by now; one falsy check when no session is active.
+        breakdown = _critical.take_breakdown(spec.flow_id)
+        if breakdown is not None:
+            record.extra["breakdown"] = breakdown
         # Advisory heartbeat for the live progress plane (no-op without
         # one); simulator event counts ride along for throughput/ETA.
         _progress.flow_completed(events=sim.events_run)

@@ -227,11 +227,15 @@ class Link:
         self.stats.bytes_sent += packet.size
         self._m_tx_packets.inc()
         self._m_tx_bytes.inc(packet.size)
+        transmission_time = self.transmission_time(packet)
         trace = self._trace
         if trace.lineage:
+            # ``ser`` (schema v4): span consumers need where serialization
+            # ends inside the tx -> deliver window, and the rate may have
+            # changed by delivery time (chaos bandwidth modulation).
             trace.record(self.sim.now, EV_PKT_TX, self.name,
-                         **packet.lineage_detail())
-        self.sim.schedule(self.transmission_time(packet), self._finish_transmission, packet)
+                         ser=transmission_time, **packet.lineage_detail())
+        self.sim.schedule(transmission_time, self._finish_transmission, packet)
 
     def _finish_transmission(self, packet: Packet) -> None:
         if self._loss_rng is not None and self._loss_rng.random() < self.loss_rate:

@@ -25,6 +25,14 @@ Four parts (see the module docstrings for detail):
 """
 
 from repro.obs import progress
+from repro.obs.critical import (
+    BreakdownAggregator,
+    BreakdownSession,
+    BreakdownStats,
+    take_breakdown,
+)
+from repro.obs.spans import COMPONENTS, FlowBreakdown, FlowSpanBuilder
+from repro.obs.traceviewer import trace_viewer_doc, write_trace_viewer
 from repro.obs.aggregate import (
     FlowStats,
     REPORT_QUANTILES,
@@ -46,8 +54,14 @@ from repro.obs.sketch import (
 )
 
 __all__ = [
+    "BreakdownAggregator",
+    "BreakdownSession",
+    "BreakdownStats",
+    "COMPONENTS",
     "CountHistogram",
     "DEFAULT_RELATIVE_ACCURACY",
+    "FlowBreakdown",
+    "FlowSpanBuilder",
     "FlowStats",
     "MANIFEST_SCHEMA",
     "MANIFEST_SCHEMA_ID",
@@ -60,5 +74,8 @@ __all__ = [
     "canonical_json",
     "config_digest",
     "progress",
+    "take_breakdown",
+    "trace_viewer_doc",
     "validate_manifest",
+    "write_trace_viewer",
 ]

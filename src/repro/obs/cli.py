@@ -1,0 +1,177 @@
+"""Observability CLIs: ``repro explain`` and ``repro manifest``.
+
+``python -m repro explain [--flow ID | --slowest] trace.jsonl`` is the
+post-mortem half of the FCT-attribution tentpole: it replays a recorded
+JSONL trace through the :mod:`repro.obs.spans` builder and prints one
+flow's critical path — the component table, a merged interval timeline
+annotated with recovery/RTO/phase markers, and the conservation check.
+Without a flow selector it lists the slowest completed flows so the
+interesting ID is one run away.
+
+``python -m repro manifest validate PATH`` exposes the dependency-free
+:func:`repro.obs.manifest.validate_manifest` outside CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Tuple
+
+from repro.obs.spans import COMPONENTS, FlowBreakdown, FlowSpanBuilder
+
+__all__ = ["explain_main", "manifest_main"]
+
+
+# ----------------------------------------------------------------------
+# repro manifest
+# ----------------------------------------------------------------------
+
+def manifest_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro manifest", description="Run-manifest utilities.")
+    sub = parser.add_subparsers(dest="command", required=True)
+    validate = sub.add_parser(
+        "validate", help="Validate a run_manifest.json against the schema.")
+    validate.add_argument("path", help="Manifest JSON file to validate.")
+    args = parser.parse_args(argv)
+
+    from repro.obs.manifest import validate_manifest
+    try:
+        with open(args.path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read manifest {args.path}: {exc}",
+              file=sys.stderr)
+        return 1
+    problems = validate_manifest(doc)
+    if problems:
+        print(f"{args.path}: {len(problems)} problem(s)")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(f"{args.path}: valid ({doc.get('schema')}, "
+          f"command={doc.get('command')!r})")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# repro explain
+# ----------------------------------------------------------------------
+
+def _scan_flows(path: str) -> List[Tuple[float, int, str]]:
+    """(fct, flow, protocol) for every completed flow in the trace."""
+    from repro.audit.replay import iter_trace
+    builder = FlowSpanBuilder()
+    completed: List[Tuple[float, int, str]] = []
+    builder.on_complete = lambda b: completed.append(
+        (b.fct, b.flow, b.protocol))
+    for record in iter_trace(path):
+        builder.observe(record)
+    return completed
+
+
+def _build_breakdown(path: str, flow_id: int) -> Optional[FlowBreakdown]:
+    from repro.audit.replay import iter_trace
+    found: List[FlowBreakdown] = []
+
+    def keep(breakdown: FlowBreakdown) -> None:
+        if breakdown.flow == flow_id:
+            found.append(breakdown)
+
+    builder = FlowSpanBuilder(keep_spans=True, focus_flow=flow_id,
+                              on_complete=keep)
+    for record in iter_trace(path):
+        builder.observe(record)
+        if found:
+            break
+    return found[0] if found else None
+
+
+def _render_breakdown(breakdown: FlowBreakdown) -> str:
+    lines = [
+        f"flow {breakdown.flow} [{breakdown.protocol}] "
+        f"size={breakdown.size}B "
+        f"start={breakdown.start * 1e3:.3f}ms "
+        f"fct={breakdown.fct * 1e3:.3f}ms",
+        "",
+        "critical-path components:",
+    ]
+    fct = breakdown.fct or 1.0
+    for component in COMPONENTS:
+        value = breakdown.components.get(component, 0.0)
+        if value <= 0.0:
+            continue
+        bar = "#" * max(1, int(round(40 * value / fct)))
+        lines.append(f"  {component:<15s} {value * 1e3:>9.3f}ms "
+                     f"{100 * value / fct:5.1f}%  {bar}")
+    total = sum(breakdown.components.values())
+    lines.append(f"  {'total':<15s} {total * 1e3:>9.3f}ms "
+                 f"(conservation error {breakdown.conservation_error:.3e}s"
+                 f"{', OK' if breakdown.conserved else ', VIOLATED'})")
+    if breakdown.intervals:
+        lines.append("")
+        lines.append("timeline:")
+        markers = list(breakdown.episodes)
+        mi = 0
+        for t0, t1, component in breakdown.intervals:
+            while mi < len(markers) and markers[mi][0] <= t0:
+                t, kind, detail = markers[mi]
+                lines.append(f"  {t * 1e3:>10.3f}ms  * {kind} {detail}")
+                mi += 1
+            lines.append(f"  {t0 * 1e3:>10.3f}ms  {component:<15s} "
+                         f"({(t1 - t0) * 1e3:.3f}ms)")
+        for t, kind, detail in markers[mi:]:
+            lines.append(f"  {t * 1e3:>10.3f}ms  * {kind} {detail}")
+        lines.append(f"  {breakdown.complete * 1e3:>10.3f}ms  flow.complete")
+    return "\n".join(lines)
+
+
+def explain_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro explain",
+        description="Explain one flow's FCT from a recorded JSONL trace.")
+    parser.add_argument("trace", help="JSONL trace file "
+                        "(--telemetry trace.jsonl or audit ring.jsonl).")
+    parser.add_argument("--flow", type=int, default=None,
+                        help="Flow id to explain.")
+    parser.add_argument("--slowest", action="store_true",
+                        help="Explain the completed flow with the "
+                        "largest FCT.")
+    parser.add_argument("--top", type=int, default=10,
+                        help="How many flows to list when no flow is "
+                        "selected (default: 10).")
+    args = parser.parse_args(argv)
+
+    try:
+        completed = _scan_flows(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if not completed:
+        print(f"{args.trace}: no completed flows in trace "
+              "(was it recorded with lineage events on, e.g. --audit or "
+              "--breakdown?)")
+        return 1
+
+    flow_id = args.flow
+    if flow_id is None and args.slowest:
+        flow_id = max(completed)[1]
+    if flow_id is None:
+        completed.sort(reverse=True)
+        print(f"{args.trace}: {len(completed)} completed flow(s); "
+              f"slowest {min(args.top, len(completed))}:")
+        for fct, flow, protocol in completed[:args.top]:
+            print(f"  flow {flow:<6d} [{protocol:<10s}] "
+                  f"fct={fct * 1e3:.3f}ms")
+        print("rerun with --flow ID (or --slowest) for the critical path")
+        return 0
+
+    breakdown = _build_breakdown(args.trace, flow_id)
+    if breakdown is None:
+        print(f"error: flow {flow_id} did not complete in {args.trace}",
+              file=sys.stderr)
+        return 1
+    print(_render_breakdown(breakdown))
+    return 0

@@ -52,6 +52,11 @@ UPDATE_INTERVAL = 0.25
 #: Default seconds between rendered status refreshes.
 REFRESH_INTERVAL = 1.0
 
+#: Seconds between plain status lines on a non-TTY stream (CI logs).
+#: A redirected stream cannot rewrite in place, so every refresh is a
+#: permanent log line; once every few seconds is plenty.
+NONTTY_REFRESH_INTERVAL = 10.0
+
 #: Default seconds between Prometheus/JSONL snapshot writes.
 SNAPSHOT_INTERVAL = 5.0
 
@@ -214,6 +219,11 @@ class ProgressPlane:
                  snapshot_every: float = SNAPSHOT_INTERVAL) -> None:
         self.out_dir = out_dir
         self.stream = sys.stderr if stream == "stderr" else stream
+        # Decide the rendering mode once: a pipe's isatty() answer will
+        # not change mid-run, and caching it keeps tick() cheap.
+        self._is_tty = bool(
+            getattr(self.stream, "isatty", lambda: False)()
+        ) if self.stream is not None else False
         self.refresh = refresh
         self.snapshot_every = snapshot_every
         self.total_shards = 0
@@ -391,9 +401,13 @@ class ProgressPlane:
     def tick(self, force: bool = False) -> None:
         """Render/export if the respective intervals have elapsed."""
         now = time.perf_counter()
+        # Non-TTY streams get full permanent lines, so refresh far less
+        # often than a terminal that repaints in place.
+        interval = (self.refresh if self._is_tty
+                    else max(self.refresh, NONTTY_REFRESH_INTERVAL))
         if self.stream is not None and (force
                                         or now - self._last_render
-                                        >= self.refresh):
+                                        >= interval):
             self._last_render = now
             self._render_to_stream()
         if self.out_dir is not None and (force
@@ -405,12 +419,12 @@ class ProgressPlane:
     def _render_to_stream(self) -> None:
         line = self.render_line()
         try:
-            if getattr(self.stream, "isatty", lambda: False)():
+            if self._is_tty:
                 self.stream.write("\r\x1b[2K" + line)
                 self.stream.flush()
-                self._rendered_once = True
             else:
                 self.stream.write(line + "\n")
+            self._rendered_once = True
         except ValueError:  # stream closed (interpreter teardown)
             self.stream = None
 
@@ -460,7 +474,13 @@ class ProgressPlane:
             self._queue = None
         if self.stream is not None and self._rendered_once:
             try:
-                self.stream.write("\n")
+                if self._is_tty:
+                    # Clear the in-place [obs] status line so the next
+                    # shell prompt or report starts on a clean row.
+                    self.stream.write("\r\x1b[2K")
+                else:
+                    # Permanent logs get one final authoritative line.
+                    self.stream.write(self.render_line() + "\n")
                 self.stream.flush()
             except ValueError:  # pragma: no cover - closed stream
                 pass

@@ -1,0 +1,124 @@
+"""Perfetto / Chrome ``trace_event`` JSON export of flow span timelines.
+
+``--trace-viewer out.json`` turns retained :class:`FlowBreakdown` spans
+(:mod:`repro.obs.spans` with ``keep_spans``) into the Trace Event
+Format both ``chrome://tracing`` and https://ui.perfetto.dev open
+directly: one process ("repro run"), and per flow three named threads —
+a *components* track of duration events (one ``X`` slice per attributed
+interval), a *packets* track (one slice per packet span, send →
+deliver/loss), and a *recovery* track of instant markers for
+recovery/RTO/Halfback-phase episodes.
+
+Simulation seconds map to trace microseconds (the format's native
+unit), so a 60 ms flow renders as a 60 ms slice.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List
+
+from repro.obs.spans import FlowBreakdown
+
+__all__ = ["trace_viewer_doc", "write_trace_viewer"]
+
+_PID = 1
+
+#: Track offsets inside a flow's tid block.
+_TRACK_COMPONENTS = 0
+_TRACK_PACKETS = 1
+_TRACK_EPISODES = 2
+_TRACKS_PER_FLOW = 3
+
+
+def _us(seconds: float) -> float:
+    return seconds * 1e6
+
+
+def trace_viewer_doc(breakdowns: Iterable[FlowBreakdown],
+                     max_events: int = 500_000) -> Dict[str, Any]:
+    """Build the ``trace_event`` document for retained flow spans.
+
+    ``max_events`` caps the output (components first, then packets, then
+    episodes, in flow order) so a pathological run cannot produce an
+    unloadable multi-gigabyte JSON.
+    """
+    events: List[Dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": _PID,
+        "args": {"name": "repro run"},
+    }]
+    truncated = False
+    for index, flow in enumerate(breakdowns):
+        base_tid = index * _TRACKS_PER_FLOW + 1
+        label = f"flow {flow.flow} [{flow.protocol}]"
+        for offset, suffix in ((_TRACK_COMPONENTS, "components"),
+                               (_TRACK_PACKETS, "packets"),
+                               (_TRACK_EPISODES, "recovery")):
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": _PID,
+                "tid": base_tid + offset,
+                "args": {"name": f"{label} {suffix}"},
+            })
+        # Whole-flow envelope slice on the components track.
+        events.append({
+            "name": label, "ph": "X", "pid": _PID,
+            "tid": base_tid + _TRACK_COMPONENTS,
+            "ts": _us(flow.start), "dur": _us(flow.fct),
+            "cat": "flow",
+            "args": {"protocol": flow.protocol, "size": flow.size,
+                     "fct_ms": flow.fct * 1e3},
+        })
+        for t0, t1, component in flow.intervals:
+            if len(events) >= max_events:
+                truncated = True
+                break
+            events.append({
+                "name": component, "ph": "X", "pid": _PID,
+                "tid": base_tid + _TRACK_COMPONENTS,
+                "ts": _us(t0), "dur": _us(t1 - t0),
+                "cat": "component", "args": {},
+            })
+        for pkt in flow.packets:
+            if len(events) >= max_events:
+                truncated = True
+                break
+            name = f"{pkt['cls']} seq={pkt['seq']}"
+            if pkt.get("retransmit"):
+                name = "retx " + name
+            events.append({
+                "name": name, "ph": "X", "pid": _PID,
+                "tid": base_tid + _TRACK_PACKETS,
+                "ts": _us(pkt["t_send"]),
+                "dur": _us(pkt["t_end"] - pkt["t_send"]),
+                "cat": "packet",
+                "args": {"uid": pkt["uid"], "fate": pkt["fate"]},
+            })
+        for t, kind, detail in flow.episodes:
+            if len(events) >= max_events:
+                truncated = True
+                break
+            events.append({
+                "name": f"{kind}: {detail}", "ph": "i", "pid": _PID,
+                "tid": base_tid + _TRACK_EPISODES,
+                "ts": _us(t), "s": "t", "cat": "episode", "args": {},
+            })
+        if truncated:
+            break
+    doc: Dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"generator": "repro.obs.traceviewer"},
+    }
+    if truncated:
+        doc["otherData"]["truncated"] = True
+    return doc
+
+
+def write_trace_viewer(path: str, breakdowns: Iterable[FlowBreakdown],
+                       max_events: int = 500_000) -> int:
+    """Write the trace-viewer JSON to ``path``; returns event count."""
+    doc = trace_viewer_doc(breakdowns, max_events=max_events)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+        fh.write("\n")
+    return len(doc["traceEvents"])

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.net.packet import Packet
+from repro.transport.sacks import SegmentState
 from repro.transport.sender import SenderBase, SenderState
 from repro.telemetry.schema import EV_REACTIVE_PROBE
 
@@ -74,9 +75,13 @@ class ReactiveTcpSender(SenderBase):
             # SACK-driven recovery is already working on the loss; the
             # probe exists for *tail* loss, where no feedback arrives.
             return
-        # Probe with the highest unacknowledged segment: it regenerates
-        # the tail ACK/SACK that dupack-based recovery needs.
-        candidates = self.scoreboard.unacked_segments()
+        # Probe with the highest unacknowledged *transmitted* segment:
+        # it regenerates the tail ACK/SACK that dupack-based recovery
+        # needs.  Never-sent segments are excluded — a probe is a
+        # retransmission, and first-transmitting the tail out of order
+        # would strand the cwnd-limited segments below it.
+        candidates = [seq for seq in self.scoreboard.unacked_segments()
+                      if self.scoreboard.state(seq) != SegmentState.UNSENT]
         if not candidates:
             return
         probe = candidates[-1]

@@ -30,6 +30,11 @@ Schema versions
   (the structured abort reason the liveness contract requires), and an
   optional ``corrupted`` key on ``pkt.deliver`` so audit checkers can
   exclude discarded-at-endpoint packets from sender-knowledge state.
+* **v4** — adds a ``ser`` key (serialization seconds at the emitting
+  link's current rate) to ``pkt.tx``.  The FCT breakdown span builder
+  (:mod:`repro.obs.spans`) needs the split point inside the
+  ``pkt.tx`` → ``pkt.deliver`` span: ``[tx, tx+ser)`` is wire
+  serialization, ``[tx+ser, deliver)`` is propagation.
 """
 
 from __future__ import annotations
@@ -57,7 +62,7 @@ __all__ = [
 ]
 
 #: Version of the event contract documented here (see module docstring).
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 # -- Experiment harness (flow lifecycle). ------------------------------
 EV_FLOW_START = "flow.start"
@@ -129,7 +134,7 @@ EVENT_SCHEMA: Dict[str, FrozenSet[str]] = {
     # Packet lineage (v2).
     EV_PKT_SEND: frozenset({"uid", "flow", "type", "dst"}),
     EV_PKT_ENQUEUE: frozenset({"uid", "flow"}),
-    EV_PKT_TX: frozenset({"uid", "flow"}),
+    EV_PKT_TX: frozenset({"uid", "flow", "ser"}),
     EV_PKT_DELIVER: frozenset({"uid", "flow", "dst"}),
     EV_PKT_ACK_GEN: frozenset({"uid", "flow", "parent", "ack"}),
     EV_SIM_CRASH: frozenset({"error"}),

@@ -173,6 +173,11 @@ class SendScoreboard:
         # entry goes stale; first_lost validates on peek.
         self._lost_heap: List[int] = []
         self._in_lost_heap = bytearray(n_segments)
+        # Monotone scan pointer for next_unsent: no state ever reverts
+        # to UNSENT, so skipping non-UNSENT segments is amortized O(1)
+        # even when an out-of-order send leaves a hole below
+        # highest_sent.
+        self._next_unsent = 0
 
     # -- queries --------------------------------------------------------
 
@@ -195,13 +200,20 @@ class SendScoreboard:
         return self._pipe
 
     def next_unsent(self) -> Optional[int]:
-        """Lowest UNSENT segment, or None."""
-        start = max(self.highest_sent + 1, 0)
-        # Segments are sent in order except for retransmissions, so the
-        # next unsent is always just past the highest sent.
-        if start < self.n_segments:
-            return start
-        return None
+        """Lowest UNSENT segment, or None.
+
+        First transmissions are normally in order, but a tail probe may
+        transmit above a not-yet-sent segment; the hole below
+        ``highest_sent`` must still be offered here or the flow wedges
+        (nothing in flight, nothing LOST, "nothing" unsent).
+        """
+        state = self._state
+        seq = self._next_unsent
+        n = self.n_segments
+        while seq < n and state[seq] != _UNSENT:
+            seq += 1
+        self._next_unsent = seq
+        return seq if seq < n else None
 
     def lost_segments(self) -> List[int]:
         """Segments currently marked LOST, ascending."""

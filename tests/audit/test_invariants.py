@@ -285,5 +285,5 @@ class TestRegistry:
         assert names == {
             "ack-knowledge", "seq-ack-monotonicity", "packet-conservation",
             "pacing-evenness", "ropr-order", "ropr-never-acked",
-            "frontier-meet", "rto-sanity",
+            "frontier-meet", "rto-sanity", "fct-conservation",
         }

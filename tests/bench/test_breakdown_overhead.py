@@ -1,0 +1,87 @@
+"""FCT-attribution overhead gates.
+
+Two promises the critical-path breakdown makes:
+
+* **Off is free** — the only hot-path addition for non-``--breakdown``
+  runs is one falsy ``_sessions`` check per completed flow in the
+  experiment runner, so a run *without* the flag must stay within 2% of
+  the committed ``BENCH_2.json`` baseline throughput.  Wall-clock gates
+  are machine-fingerprinted and skipped in CI.
+* **On is advisory** — attributing a flow must not change it: the
+  observed and unobserved flow execute the same simulator events, and
+  span classification happens inside trace observers, never inside
+  protocol or network callbacks.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.bench.machine import machine_metadata
+from repro.bench.micro import run_micro_benchmark
+from repro.bench.scenarios import run_macro_scenario
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir,
+                             "BENCH_2.json")
+
+#: Metadata keys that must match for a timing comparison to mean anything.
+FINGERPRINT_KEYS = ("python", "implementation", "platform", "machine",
+                    "cpu_count")
+
+#: Allowed slowdown vs the committed baseline (the satellite's 2%).
+MAX_OVERHEAD = 0.02
+
+
+def load_baseline():
+    with open(BASELINE_PATH, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+class TestBreakdownOffOverhead:
+    def test_breakdown_off_within_two_percent_of_baseline(self):
+        if os.environ.get("CI"):
+            pytest.skip("wall-clock gate: CI containers are not the "
+                        "baseline machine")
+        baseline = load_baseline()
+        mine = machine_metadata()
+        for key in FINGERPRINT_KEYS:
+            if baseline["machine"].get(key) != mine.get(key):
+                pytest.skip(f"baseline recorded on a different machine "
+                            f"({key}: {baseline['machine'].get(key)!r} != "
+                            f"{mine.get(key)!r})")
+        base = baseline["scenarios"]["fig3_walkthrough"]
+        runs = [
+            run_macro_scenario("fig3_walkthrough", scale=baseline["scale"],
+                               seed=base["seed"], measure_memory=False)
+            for _ in range(3)
+        ]
+        # Same workload or the throughput numbers are incomparable.
+        assert {r["events"] for r in runs} == {base["events"]}, \
+            "fig3_walkthrough workload drifted from the baseline"
+        best = max(r["events_per_sec"] for r in runs)
+        floor = (1.0 - MAX_OVERHEAD) * base["events_per_sec"]
+        assert best >= floor, (
+            f"breakdown-off throughput regressed beyond {MAX_OVERHEAD:.0%}: "
+            f"best of 3 = {best:.0f} events/s vs baseline "
+            f"{base['events_per_sec']:.0f} (floor {floor:.0f})")
+
+
+class TestBreakdownMicrobenchmarks:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        off = run_micro_benchmark("flow_breakdown_off", repetitions=1,
+                                  warmup=0, n=150, seed=7)
+        on = run_micro_benchmark("flow_breakdown_on", repetitions=1,
+                                 warmup=0, n=150, seed=7)
+        return off, on
+
+    def test_attributed_flow_runs_identical_events(self, pair):
+        off, on = pair
+        # Attribution is advisory: same workload, same seed, same events.
+        assert off["ops"] == on["ops"] > 0
+
+    def test_benchmarks_report_positive_timings(self, pair):
+        for block in pair:
+            assert block["median_ns_per_op"] > 0
+            assert block["min_ns_per_op"] <= block["median_ns_per_op"]

@@ -67,6 +67,33 @@ class TestRunSweep:
         assert ([c.to_dict() for c in fanned.cells]
                 == [c.to_dict() for c in serial.cells])
 
+    def test_breakdown_leaves_the_fingerprint_unchanged(self):
+        kwargs = dict(protocols=["halfback", "tcp"],
+                      profiles=["wifi-bursty"],
+                      seed=7, n_flows=2, size=30_000)
+        plain = run_sweep(**kwargs)
+        attributed = run_sweep(breakdown=True, **kwargs)
+        # Attribution is observational: the sweep result — and its
+        # verdict fingerprint — must not move.
+        assert attributed.fingerprint == plain.fingerprint
+        merged = attributed.merged_breakdown()
+        assert merged is not None and merged.flows > 0
+        assert plain.merged_breakdown() is None
+        # The merged tables ride the JSON report and render.
+        assert "breakdown" in attributed.to_dict()
+        assert "FCT attribution under chaos" in attributed.format_report()
+
+    def test_breakdown_parallel_matches_serial(self):
+        kwargs = dict(protocols=["halfback", "tcp"],
+                      profiles=["wifi-bursty"],
+                      seed=7, n_flows=2, size=30_000, breakdown=True)
+        serial = run_sweep(jobs=1, **kwargs)
+        fanned = run_sweep(jobs=2, **kwargs)
+        assert fanned.fingerprint == serial.fingerprint
+        assert (fanned.merged_breakdown().fingerprint()
+                == serial.merged_breakdown().fingerprint())
+        assert fanned.format_report() == serial.format_report()
+
     def test_different_seed_changes_the_fingerprint(self):
         kwargs = dict(protocols=["halfback"], profiles=["wifi-bursty"],
                       n_flows=2, size=30_000)

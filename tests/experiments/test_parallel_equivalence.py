@@ -46,6 +46,35 @@ def test_fig12_sweep_parallel_matches_serial():
     assert fig12.format_report(fanned) == fig12.format_report(serial)
 
 
+def test_fig6_breakdown_parallel_matches_serial():
+    from repro.experiments import fig06_planetlab_fct as fig6
+
+    kwargs = dict(n_paths=4, protocols=("tcp", "halfback"), seed=5,
+                  breakdown=True)
+    serial = fig6.run(jobs=1, **kwargs)
+    fanned = fig6.run(jobs=2, **kwargs)
+    assert serial.breakdown is not None
+    # The acceptance bar: the attribution tables (and the fingerprint
+    # line inside the report) are byte-identical for any --jobs value.
+    assert fanned.breakdown.fingerprint() == serial.breakdown.fingerprint()
+    assert fig6.format_report(fanned) == fig6.format_report(serial)
+
+
+def test_fig12_breakdown_parallel_matches_serial():
+    kwargs = dict(protocols=["tcp", "halfback"], utilizations=(0.2, 0.4),
+                  duration=2.0, seed=3, n_pairs=4, breakdown=True)
+    serial = fig12.sweep_protocols(jobs=1, **kwargs)
+    fanned = fig12.sweep_protocols(jobs=2, **kwargs)
+    assert serial.breakdown is not None
+    assert fanned.breakdown.fingerprint() == serial.breakdown.fingerprint()
+    assert fig12.format_report(fanned) == fig12.format_report(serial)
+    # Attribution is observational: the curves and the streamed
+    # aggregate are what a breakdown-off run produces, bit for bit.
+    plain = fig12.sweep_protocols(jobs=1, **{**kwargs, "breakdown": False})
+    assert plain.points == serial.points
+    assert plain.aggregate.fingerprint() == serial.aggregate.fingerprint()
+
+
 def test_fig16_web_parallel_matches_serial():
     kwargs = dict(protocols=["tcp", "halfback"], utilizations=(0.2, 0.4),
                   duration=4.0, seed=3, n_pairs=4)

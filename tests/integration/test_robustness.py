@@ -29,6 +29,20 @@ def test_every_scheme_delivers_under_bounded_loss(protocol, segments, loss,
     assert run.receiver.tracker.count == segments
 
 
+def test_reactive_probe_never_strands_a_cwnd_limited_hole():
+    """Regression: the PTO probe used to first-transmit the highest
+    *unacked* segment — including never-sent tail segments — leaving a
+    hole below ``highest_sent`` that ``next_unsent`` (then defined as
+    ``highest_sent + 1``) could never offer again.  With the hole
+    neither in flight nor LOST nor "unsent", every RTO found nothing to
+    do and the flow wedged forever.  This seed hits that exact shape:
+    segment 5 unsent, segment 6 probed, infinite RTO loop."""
+    run = run_one_flow("reactive", size=7 * MSS, loss_rate=0.25, seed=1,
+                       horizon=250.0)
+    assert run.record.completed
+    assert run.receiver.tracker.complete
+
+
 @settings(max_examples=15, deadline=None)
 @given(
     protocol=st.sampled_from(["tcp", "jumpstart", "halfback"]),

@@ -1,0 +1,91 @@
+"""The ``repro explain`` and ``repro manifest`` subcommands."""
+
+import json
+
+import pytest
+
+from repro.obs.cli import explain_main, manifest_main
+
+
+@pytest.fixture(scope="module")
+def trace_path(tmp_path_factory):
+    """A lineage-on JSONL trace of two real flows (tcp + halfback)."""
+    from repro.experiments.runner import ScheduledFlow, TrafficRunner
+    from repro.net.topology import access_network
+    from repro.sim.simulator import Simulator
+    from repro.sim.trace import TraceRecorder
+    from repro.telemetry.export import JsonlTraceSink
+    from repro.units import kb, mbps, ms
+
+    trace = TraceRecorder(enabled=True, lineage=True)
+    sim = Simulator(seed=11, trace=trace)
+    net = access_network(sim, n_pairs=2, bottleneck_rate=mbps(50),
+                         rtt=ms(20), buffer_bytes=kb(115))
+    runner = TrafficRunner(sim, net)
+    runner.schedule([
+        ScheduledFlow(time=0.0, size=30_000, protocol="halfback"),
+        ScheduledFlow(time=0.0, size=30_000, protocol="tcp"),
+    ])
+    runner.run()
+    path = tmp_path_factory.mktemp("explain") / "trace.jsonl"
+    sink = JsonlTraceSink(str(path))
+    for record in trace.records():
+        sink.write(record)
+    sink.close()
+    return str(path)
+
+
+class TestExplain:
+    def test_listing_without_selector(self, trace_path, capsys):
+        assert explain_main([trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "2 completed flow(s)" in out
+        assert "halfback" in out and "tcp" in out
+        assert "--flow ID" in out
+
+    def test_slowest_prints_the_critical_path(self, trace_path, capsys):
+        assert explain_main(["--slowest", trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "critical-path components:" in out
+        assert "conservation error" in out and "OK" in out
+        assert "timeline:" in out
+        assert "flow.complete" in out
+
+    def test_explicit_flow_id(self, trace_path, capsys):
+        explain_main([trace_path])
+        listing = capsys.readouterr().out
+        flow_id = int(listing.split("flow ")[1].split()[0])
+        assert explain_main(["--flow", str(flow_id), trace_path]) == 0
+        assert f"flow {flow_id} [" in capsys.readouterr().out
+
+    def test_unknown_flow_fails(self, trace_path, capsys):
+        assert explain_main(["--flow", "424242", trace_path]) == 1
+        assert "did not complete" in capsys.readouterr().err
+
+    def test_lineage_free_trace_gets_a_hint(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert explain_main([str(path)]) == 1
+        assert "lineage" in capsys.readouterr().out
+
+
+class TestManifestValidate:
+    def test_valid_manifest_passes(self, tmp_path, capsys):
+        from repro.obs.manifest import RunManifest
+
+        manifest = RunManifest("fig3", args={"seed": 1}, seed=1)
+        manifest.set_exit_status(0)
+        path = manifest.write(str(tmp_path / "run_manifest.json"))
+        assert manifest_main(["validate", path]) == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_invalid_manifest_lists_problems(self, tmp_path, capsys):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"schema": "not-a-manifest"}))
+        assert manifest_main(["validate", str(path)]) == 1
+        assert "problem(s)" in capsys.readouterr().out
+
+    def test_unreadable_file_fails_cleanly(self, tmp_path, capsys):
+        assert manifest_main(["validate",
+                              str(tmp_path / "missing.json")]) == 1
+        assert "cannot read" in capsys.readouterr().err

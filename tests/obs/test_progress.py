@@ -148,6 +148,41 @@ class TestProgressPlane:
         assert stream.getvalue().endswith("\n")
         assert "[obs]" in stream.getvalue()
 
+    def test_non_tty_refreshes_are_throttled(self):
+        # A redirected stream cannot repaint in place: back-to-back
+        # ticks inside one NONTTY_REFRESH_INTERVAL window must not spray
+        # one log line each (the CI-log garbage this guards against).
+        stream = io.StringIO()
+        p = ProgressPlane(stream=stream)
+        for i in range(20):
+            p.apply(ProgressEvent(0, "update", flows_done=i))
+        lines = stream.getvalue().splitlines()
+        assert len(lines) <= 2
+        assert "\r" not in stream.getvalue()
+
+    def test_non_tty_close_writes_final_summary_line(self):
+        stream = io.StringIO()
+        p = ProgressPlane(stream=stream)
+        p.begin(1)
+        p.apply(ProgressEvent(0, "done", flows_done=3, events=42))
+        p.close()
+        last = stream.getvalue().splitlines()[-1]
+        assert last.startswith("[obs]")
+        assert "shards 1/1" in last
+
+    def test_tty_close_clears_the_status_line(self):
+        class _Tty(io.StringIO):
+            def isatty(self):
+                return True
+
+        stream = _Tty()
+        p = ProgressPlane(stream=stream, refresh=0.0)
+        p.apply(ProgressEvent(0, "update", flows_done=1))
+        assert "\r\x1b[2K[obs]" in stream.getvalue()
+        p.close()
+        # The line is wiped, not left dangling before the next prompt.
+        assert stream.getvalue().endswith("\r\x1b[2K")
+
     def test_queue_pump_and_close_drain(self, tmp_path):
         p = self._plane(out_dir=str(tmp_path))
         queue = p.queue()

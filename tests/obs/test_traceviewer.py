@@ -1,0 +1,81 @@
+"""The Perfetto / Chrome ``trace_event`` exporter."""
+
+import json
+
+import pytest
+
+from repro.obs.spans import FlowBreakdown
+from repro.obs.traceviewer import trace_viewer_doc, write_trace_viewer
+
+
+def flow(flow_id=1, protocol="halfback", start=0.0, fct=0.1):
+    return FlowBreakdown(
+        flow=flow_id, protocol=protocol, size=30_000, start=start,
+        complete=start + fct,
+        components={"propagation": fct * 0.8, "pacing": fct * 0.2},
+        intervals=[(start, start + fct * 0.8, "propagation"),
+                   (start + fct * 0.8, start + fct, "pacing")],
+        packets=[{"uid": 7, "seq": 0, "cls": "data", "retransmit": False,
+                  "t_send": start, "t_end": start + fct * 0.5,
+                  "fate": "delivered"},
+                 {"uid": 8, "seq": 1, "cls": "data", "retransmit": True,
+                  "t_send": start + fct * 0.5, "t_end": start + fct,
+                  "fate": "lost"}],
+        episodes=[(start + fct * 0.6, "phase", "ropr")],
+    )
+
+
+class TestTraceViewerDoc:
+    def test_document_shape(self):
+        doc = trace_viewer_doc([flow(1), flow(2, protocol="tcp",
+                                              start=0.2)])
+        events = doc["traceEvents"]
+        assert doc["displayTimeUnit"] == "ms"
+        assert "truncated" not in doc["otherData"]
+        # Process metadata leads; every event is well-formed.
+        assert events[0]["ph"] == "M"
+        assert events[0]["args"]["name"] == "repro run"
+        for event in events:
+            assert {"name", "ph", "pid"} <= set(event)
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+        # Three named tracks per flow.
+        threads = [e for e in events if e["name"] == "thread_name"]
+        assert len(threads) == 6
+        names = {e["args"]["name"] for e in threads}
+        assert "flow 1 [halfback] components" in names
+        assert "flow 2 [tcp] recovery" in names
+
+    def test_times_map_to_microseconds(self):
+        doc = trace_viewer_doc([flow(1, start=0.5, fct=0.1)])
+        envelope = next(e for e in doc["traceEvents"]
+                        if e.get("cat") == "flow")
+        assert envelope["ts"] == pytest.approx(500_000)
+        assert envelope["dur"] == pytest.approx(100_000)
+
+    def test_retransmissions_are_labelled(self):
+        doc = trace_viewer_doc([flow(1)])
+        packet_names = [e["name"] for e in doc["traceEvents"]
+                        if e.get("cat") == "packet"]
+        assert "data seq=0" in packet_names
+        assert "retx data seq=1" in packet_names
+
+    def test_episode_markers_are_instants(self):
+        doc = trace_viewer_doc([flow(1)])
+        episode = next(e for e in doc["traceEvents"]
+                       if e.get("cat") == "episode")
+        assert episode["ph"] == "i"
+        assert episode["name"] == "phase: ropr"
+
+    def test_truncation_flag_on_event_cap(self):
+        doc = trace_viewer_doc([flow(i) for i in range(10)], max_events=12)
+        assert doc["otherData"]["truncated"] is True
+        assert len(doc["traceEvents"]) <= 12 + 5  # per-flow metadata
+
+
+class TestWriteTraceViewer:
+    def test_writes_loadable_json(self, tmp_path):
+        path = tmp_path / "tv.json"
+        count = write_trace_viewer(str(path), [flow(1)])
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) == count > 0

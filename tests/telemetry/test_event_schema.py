@@ -38,7 +38,7 @@ def assert_schema_clean(records):
 
 class TestSchemaHelpers:
     def test_schema_version_is_current(self):
-        assert SCHEMA_VERSION == 3
+        assert SCHEMA_VERSION == 4
 
     def test_required_keys_known_and_unknown(self):
         assert required_keys("halfback.frontier") == {"flow", "ack", "pointer"}

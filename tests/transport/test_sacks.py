@@ -81,6 +81,19 @@ class TestSendScoreboard:
         assert sb.pipe == 2
         assert sb.next_unsent() == 2
 
+    def test_next_unsent_offers_holes_after_out_of_order_send(self):
+        # A tail probe can transmit above a never-sent segment; the
+        # hole must still be offered or the flow wedges (the reactive
+        # PTO deadlock regression).
+        sb = SendScoreboard(4)
+        sb.mark_sent(0)
+        sb.mark_sent(2)
+        assert sb.next_unsent() == 1
+        sb.mark_sent(1)
+        assert sb.next_unsent() == 3
+        sb.mark_sent(3)
+        assert sb.next_unsent() is None
+
     def test_cumulative_ack_moves_frontier(self):
         sb = SendScoreboard(5)
         for i in range(3):
@@ -314,6 +327,12 @@ class _ModelScoreboard:
     def pipe(self):
         return sum(1 for s in self.state if s == SegmentState.SENT)
 
+    def next_unsent(self):
+        for seq in range(self.n):
+            if self.state[seq] == SegmentState.UNSENT:
+                return seq
+        return None
+
     def lost_segments(self):
         return [i for i, s in enumerate(self.state)
                 if s == SegmentState.LOST]
@@ -330,13 +349,21 @@ class TestScoreboardModelEquivalence:
         for _ in range(data.draw(st.integers(min_value=1, max_value=80))):
             clock += 1.0
             action = data.draw(st.sampled_from(
-                ["send", "resend_lost", "ack", "sack", "detect",
-                 "detect_naive", "rto"]))
+                ["send", "send_out_of_order", "resend_lost", "ack",
+                 "sack", "detect", "detect_naive", "rto"]))
             if action == "send":
                 nxt = sb.next_unsent()
                 if nxt is not None:
                     sb.mark_sent(nxt, time=clock)
                     model.mark_sent(nxt, time=clock)
+            elif action == "send_out_of_order":
+                # A tail probe may first-transmit above a hole.
+                unsent = [i for i in range(n)
+                          if model.state[i] == SegmentState.UNSENT]
+                if unsent:
+                    seq = data.draw(st.sampled_from(unsent))
+                    sb.mark_sent(seq, time=clock)
+                    model.mark_sent(seq, time=clock)
             elif action == "resend_lost":
                 seq = sb.first_lost()
                 if seq is not None:
@@ -369,6 +396,7 @@ class TestScoreboardModelEquivalence:
             assert sb.highest_sent == model.highest_sent
             assert sb.highest_sacked == model.highest_sacked
             assert sb.pipe == model.pipe()
+            assert sb.next_unsent() == model.next_unsent()
             assert sb.lost_segments() == model.lost_segments()
             assert sb.first_lost() == (model.lost_segments() or [None])[0]
             assert sb.all_acked == all(s == SegmentState.ACKED
