@@ -53,8 +53,15 @@ class FlightRecorder:
         return list(self._ring)
 
     def dump(self, out_dir: str, violations, tracer=None,
-             reason: str = "violation") -> Optional[str]:
+             reason: str = "violation",
+             instant_group: Optional[List[str]] = None) -> Optional[str]:
         """Write the post-mortem bundle; no-op after the first dump.
+
+        ``instant_group`` is the rendered same-timestamp event group the
+        auditor was inside when the dump fired (entity + callback per
+        executed event, from the v5 provenance stamps); it is appended
+        to the post-mortem so tie-break context around the failure is
+        on disk even when the ring has already wrapped past it.
 
         Returns the bundle directory, or None if already dumped.
         """
@@ -85,11 +92,13 @@ class FlightRecorder:
 
         with open(os.path.join(out_dir, "postmortem.txt"), "w",
                   encoding="utf-8") as fh:
-            fh.write(self._report(violations, tracer, reason))
+            fh.write(self._report(violations, tracer, reason,
+                                  instant_group))
 
         return out_dir
 
-    def _report(self, violations, tracer, reason: str) -> str:
+    def _report(self, violations, tracer, reason: str,
+                instant_group: Optional[List[str]] = None) -> str:
         lines = [
             "repro.audit post-mortem bundle",
             f"reason: {reason}",
@@ -107,5 +116,10 @@ class FlightRecorder:
         flow = next((v.flow for v in violations if v.flow is not None), None)
         if tracer is not None and flow is not None:
             lines.append(tracer.render_flow(flow))
+            lines.append("")
+        if instant_group:
+            lines.append("same-timestamp event group at the dump instant "
+                         "(execution order):")
+            lines.extend(f"  {line}" for line in instant_group)
             lines.append("")
         return "\n".join(lines)

@@ -26,9 +26,13 @@ from repro.audit.recorder import FlightRecorder
 from repro.sim.trace import TraceRecorder
 from repro.telemetry import context
 from repro.telemetry.hub import DEFAULT_MAX_RECORDS
-from repro.telemetry.schema import EV_SIM_CRASH
+from repro.telemetry.schema import EV_SCHED_EXEC, EV_SIM_CRASH
 
 __all__ = ["Auditor", "AuditSession"]
+
+#: Post-mortems render at most this many events of the same-timestamp
+#: group the run was inside when the bundle was written.
+MAX_INSTANT_GROUP = 200
 
 
 class Auditor:
@@ -58,6 +62,12 @@ class Auditor:
         self.violations: List[Violation] = []
         self.events_audited = 0
         self._finalized = False
+        # The same-timestamp event group currently executing, rendered
+        # from v5 ``sched.exec`` provenance stamps ("entity callback
+        # (seq N, parent M)").  Bounded: a post-mortem wants the local
+        # tie-break context, not an unbounded same-instant burst.
+        self._instant: List[str] = []
+        self._instant_time: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Stream intake
@@ -68,6 +78,8 @@ class Auditor:
         self.events_audited += 1
         self.recorder.observe(record)
         self.tracer.observe(record)
+        if record.kind == EV_SCHED_EXEC:
+            self._track_instant(record)
         for checker in self.checkers:
             for violation in checker.observe(record):
                 self._add(violation)
@@ -100,10 +112,25 @@ class Auditor:
         self.violations.append(violation)
         self._dump("violation")
 
+    def _track_instant(self, record) -> None:
+        """Maintain the rendered group of events at the current instant."""
+        if record.time != self._instant_time:
+            self._instant_time = record.time
+            self._instant = []
+        if len(self._instant) < MAX_INSTANT_GROUP:
+            detail = record.detail
+            self._instant.append(
+                f"t={record.time:.9f} {record.source} "
+                f"{detail.get('callback', '?')} "
+                f"(seq {detail.get('seq')}, parent {detail.get('parent')})")
+        elif len(self._instant) == MAX_INSTANT_GROUP:
+            self._instant.append("  ... group truncated")
+
     def _dump(self, reason: str) -> None:
         if self.out_dir is not None:
             self.recorder.dump(self.out_dir, self.violations,
-                               tracer=self.tracer, reason=reason)
+                               tracer=self.tracer, reason=reason,
+                               instant_group=list(self._instant))
 
     # ------------------------------------------------------------------
     # Results
@@ -155,6 +182,7 @@ class AuditSession:
         self.profiler = None
         self._host_trace: Optional[TraceRecorder] = None
         self._restore_lineage = False
+        self._restore_provenance = False
         self._owns_context = False
 
     def __enter__(self) -> "AuditSession":
@@ -171,7 +199,12 @@ class AuditSession:
             context.activate(self)
             self._owns_context = True
         self._restore_lineage = self._host_trace.lineage
+        self._restore_provenance = getattr(self._host_trace,
+                                           "provenance", False)
         self._host_trace.lineage = True
+        # Provenance events feed the scheduler-nondeterminism checker
+        # and give post-mortems their same-instant group context.
+        self._host_trace.provenance = True
         self._host_trace.add_observer(self.auditor.observe)
         return self
 
@@ -180,6 +213,7 @@ class AuditSession:
         if trace is not None:
             trace.remove_observer(self.auditor.observe)
             trace.lineage = self._restore_lineage
+            trace.provenance = self._restore_provenance
         if self._owns_context:
             context.deactivate(self)
             self._owns_context = False

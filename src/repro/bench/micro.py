@@ -267,6 +267,52 @@ def _flow_audit_on(n: int, seed: int) -> Tuple[float, int]:
     return _halfback_flow(n, seed, audited=True)
 
 
+def _halfback_flow_provenance(n: int, seed: int,
+                              provenance: bool) -> Tuple[float, int]:
+    """One end-to-end Halfback flow with/without ``sched.exec``
+    provenance recording; ops = sim events.
+
+    The off variant is the instrumented-but-dormant hot path (the
+    per-event ``if prov`` check plus the per-schedule parent-stamp
+    guard) — the configuration every non-hb run pays, gated at <2%
+    against the pre-provenance baseline.  The on variant streams one
+    provenance record per executed event into an enabled recorder (ring
+    mode, sink-free) and is the hb observatory's cost multiplier.
+    """
+    from repro.net.topology import access_network
+    from repro.protocols.registry import create_sender
+    from repro.sim.simulator import Simulator
+    from repro.sim.trace import TraceRecorder
+    from repro.transport.flow import FlowRecord, FlowSpec, next_flow_id
+    from repro.transport.receiver import Receiver
+    from repro.units import MSS, kb, mbps, ms
+
+    trace = (TraceRecorder(enabled=True, provenance=True, max_records=4000)
+             if provenance else None)
+    sim = Simulator(seed=seed, trace=trace)
+    net = access_network(sim, n_pairs=1, bottleneck_rate=mbps(50),
+                         rtt=ms(20), buffer_bytes=kb(115))
+    sender_host, receiver_host = net.pair(0)
+    spec = FlowSpec(next_flow_id(), sender_host.name, receiver_host.name,
+                    size=n * MSS, protocol="halfback")
+    Receiver(sim, receiver_host, spec.flow_id)
+    sender = create_sender(sim, sender_host, spec,
+                           record=FlowRecord(spec))
+    sender.start()
+    started = time.perf_counter()
+    sim.run(until=300.0)
+    elapsed = time.perf_counter() - started
+    return elapsed, sim.events_run
+
+
+def _sched_provenance_off(n: int, seed: int) -> Tuple[float, int]:
+    return _halfback_flow_provenance(n, seed, provenance=False)
+
+
+def _sched_provenance_on(n: int, seed: int) -> Tuple[float, int]:
+    return _halfback_flow_provenance(n, seed, provenance=True)
+
+
 def _halfback_flow_chaos(n: int, seed: int,
                          profile: Optional[str]) -> Tuple[float, int]:
     """One end-to-end Halfback flow, optionally under a chaos profile.
@@ -474,6 +520,14 @@ MICRO_BENCHMARKS: Dict[str, MicroBenchmark] = {
                        "end-to-end Halfback flow under the invariant "
                        "auditor (lineage + checkers)",
                        _flow_audit_on, default_n=1_000),
+        MicroBenchmark("sched_provenance_off",
+                       "end-to-end Halfback flow, provenance dormant "
+                       "(default hot path)",
+                       _sched_provenance_off, default_n=1_000),
+        MicroBenchmark("sched_provenance_on",
+                       "end-to-end Halfback flow emitting sched.exec "
+                       "provenance per event",
+                       _sched_provenance_on, default_n=1_000),
         MicroBenchmark("flow_chaos_off",
                        "end-to-end Halfback flow, empty impairment "
                        "pipeline (chaos-off fast path)",

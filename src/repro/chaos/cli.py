@@ -102,6 +102,9 @@ def main(argv=None) -> int:
             "breakdown": args.breakdown,
         })
 
+    from repro.sim.simulator import reset_tie_break_stats, tie_break_stats
+
+    reset_tie_break_stats()
     stack = contextlib.ExitStack()
     if args.progress is not None:
         from repro.obs import progress as progress_mod
@@ -123,12 +126,17 @@ def main(argv=None) -> int:
                 breakdown=args.breakdown,
             )
     print(report.format_report())
+    ties = tie_break_stats()
+    print(f"[scheduler tie-breaks: {ties['groups']} same-timestamp "
+          f"group(s), max size {ties['max_group']}"
+          + (" — in-process sims only" if args.jobs > 1 else "") + "]")
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
         print(f"json report: {args.json}")
     status = 0 if report.live else 1
     if manifest is not None:
+        manifest.record_scheduler(ties["groups"], ties["max_group"])
         manifest.set_result_fingerprint(report.fingerprint,
                                         live=report.live)
         manifest.set_exit_status(status)

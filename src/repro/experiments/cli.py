@@ -174,9 +174,10 @@ def main(argv=None) -> int:
                              "(offline trace auditing), 'chaos' (impairment "
                              "profiles and survival sweeps), 'explain' "
                              "(per-flow FCT attribution from a trace) or "
-                             "'manifest' (run-manifest validation); for the "
-                             "subcommands the remaining arguments are "
-                             "forwarded")
+                             "'manifest' (run-manifest validation) or 'hb' "
+                             "(happens-before analysis over scheduler "
+                             "provenance); for the subcommands the "
+                             "remaining arguments are forwarded")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="workload scale factor (1.0 = default laptop "
                              "scale; 10.0 approximates paper scale)")
@@ -217,6 +218,12 @@ def main(argv=None) -> int:
                              "fig6/fig12 reports gain breakdown + 'where "
                              "Halfback wins' tables that are bit-identical "
                              "for any --jobs value")
+    parser.add_argument("--trace-viewer-max", type=int, default=500_000,
+                        metavar="N",
+                        help="event cap for the --trace-viewer export "
+                             "(default 500000); the export notes "
+                             "truncation and the run manifest records "
+                             "the cap and whether it was hit")
     parser.add_argument("--trace-viewer", default=None, metavar="PATH",
                         help="export retained flow/packet/recovery span "
                              "timelines as Perfetto/Chrome trace_event "
@@ -267,6 +274,11 @@ def main(argv=None) -> int:
         from repro.obs.cli import explain_main
 
         return explain_main(raw_argv[1:])
+    if raw_argv and raw_argv[0] == "hb":
+        # Happens-before graph, race check, and perturbation harness.
+        from repro.hb.cli import hb_main
+
+        return hb_main(raw_argv[1:])
 
     args = parser.parse_args(argv)
 
@@ -349,6 +361,10 @@ def main(argv=None) -> int:
         stack.enter_context(progress_mod.plane(
             out_dir=None if args.progress == "-" else args.progress))
 
+    from repro.sim.simulator import reset_tie_break_stats, tie_break_stats
+
+    # Count tie-break exposure from a clean slate for this invocation.
+    reset_tie_break_stats()
     digest = hashlib.sha256()
     with stack:
         for name in names:
@@ -379,15 +395,26 @@ def main(argv=None) -> int:
         if args.trace_viewer is not None:
             from repro.obs.traceviewer import write_trace_viewer
 
-            count = write_trace_viewer(args.trace_viewer,
-                                       breakdown_session.completed)
-            print(f"[trace viewer: {args.trace_viewer} ({count} events; "
+            export = write_trace_viewer(args.trace_viewer,
+                                        breakdown_session.completed,
+                                        max_events=args.trace_viewer_max)
+            truncated = (" — TRUNCATED at cap" if export.truncated else "")
+            print(f"[trace viewer: {args.trace_viewer} "
+                  f"({export.events} events{truncated}; "
                   f"open at ui.perfetto.dev)]")
+            if manifest is not None:
+                manifest.record_trace_viewer(
+                    args.trace_viewer, export.events, export.truncated,
+                    export.max_events)
     if hub is not None:
         # The session is closed (exports flushed, metrics.json/profile.json
         # written), but the in-memory views remain readable.
         print("== telemetry ==")
         print(hub.summary(max_flows=args.timeline_flows))
+    ties = tie_break_stats()
+    print(f"[scheduler tie-breaks: {ties['groups']} same-timestamp "
+          f"group(s), max size {ties['max_group']}"
+          + (" — in-process sims only" if jobs > 1 else "") + "]")
     status = 0
     if audit is not None:
         print("== audit ==")
@@ -395,6 +422,7 @@ def main(argv=None) -> int:
         if not audit.clean:
             status = 1
     if manifest is not None:
+        manifest.record_scheduler(ties["groups"], ties["max_group"])
         if hub is not None:
             manifest.record_telemetry(
                 hub.dropped_records,

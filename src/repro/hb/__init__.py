@@ -1,0 +1,43 @@
+"""Happens-before observatory over the scheduler provenance plane.
+
+The schema-v5 ``sched.exec`` family (see :mod:`repro.telemetry.schema`)
+records, for every executed simulator event, the entity whose state the
+callback mutates, the event's logical sequence number, and its
+*scheduling parent* — the event whose callback scheduled it.  This
+package turns that stream, together with the v2 ``pkt.*`` lineage
+events, into a first-class causal observability plane:
+
+* :mod:`repro.hb.graph` — the :class:`~repro.hb.graph.HBGraph` builder:
+  the happens-before DAG (program-order, scheduling, timer, message,
+  and ACK edges) with stats, race enumeration, and DOT / Perfetto
+  exporters;
+* :mod:`repro.hb.detect` — the streaming scheduler-nondeterminism audit
+  checker (same-timestamp event pairs on one entity with no causal
+  path), registered in :func:`repro.audit.invariants.default_checkers`;
+* :mod:`repro.hb.perturb` — the schedule-perturbation harness: re-run a
+  scenario under a salted tie-break permutation
+  (:func:`repro.sim.scheduler.tiebreak_permutation`) and assert the
+  report fingerprint is bit-identical;
+* :mod:`repro.hb.session` — :class:`~repro.hb.session.ProvenanceSession`,
+  the context manager that switches provenance (and lineage) recording
+  on for a scoped run;
+* :mod:`repro.hb.cli` — ``python -m repro hb {stats|races|export|perturb}``.
+
+Every fingerprint guarantee the repo makes — serial vs ``--jobs N``
+byte-identity, chaos-sweep reproducibility — rests on same-timestamp
+scheduler events commuting.  This package is what turns that assumption
+into a checked invariant (statically via the race check, dynamically
+via the perturbation harness).
+"""
+
+from repro.hb.detect import SchedulerNondeterminismChecker
+from repro.hb.graph import HBGraph, build_graph
+from repro.hb.perturb import PerturbationResult, perturb
+from repro.hb.session import ProvenanceSession
+
+__all__ = [
+    "HBGraph", "build_graph",
+    "SchedulerNondeterminismChecker",
+    "PerturbationResult", "perturb",
+    "ProvenanceSession",
+]

@@ -74,6 +74,14 @@ class Link:
         Probability each serialized packet is lost in flight.
     """
 
+    #: Happens-before partition (``Simulator._event_entity``): the
+    #: propagation pipe is independent of the serializer.  ``_deliver``
+    #: touches only the delivery counters and ``dst.receive``; it never
+    #: reads the egress queue, ``_busy``, or the loss RNG, so a delivery
+    #: commutes with a same-instant ``_finish_transmission`` of a later
+    #: packet and must not share an entity with the serializer side.
+    HB_PARTITIONS = {"_deliver": "pipe"}
+
     def __init__(
         self,
         sim,

@@ -95,6 +95,24 @@ MANIFEST_SCHEMA: Dict[str, Any] = {
             "required": ["fingerprint"],
             "properties": {"fingerprint": {"type": "string"}},
         },
+        "scheduler": {
+            "type": ["object", "null"],
+            "required": ["tie_break_groups", "max_tie_group"],
+            "properties": {
+                "tie_break_groups": {"type": "integer"},
+                "max_tie_group": {"type": "integer"},
+            },
+        },
+        "trace_viewer": {
+            "type": ["object", "null"],
+            "required": ["path", "events", "truncated", "max_events"],
+            "properties": {
+                "path": {"type": "string"},
+                "events": {"type": "integer"},
+                "truncated": {"type": "boolean"},
+                "max_events": {"type": "integer"},
+            },
+        },
         "exit_status": {"type": "integer"},
     },
 }
@@ -243,6 +261,8 @@ class RunManifest:
         self.config_digest: Optional[str] = None
         self.telemetry: Optional[Dict[str, Any]] = None
         self.result: Optional[Dict[str, Any]] = None
+        self.scheduler: Optional[Dict[str, Any]] = None
+        self.trace_viewer: Optional[Dict[str, Any]] = None
         self.exit_status = 0
         self._git = git_revision()
 
@@ -271,6 +291,28 @@ class RunManifest:
         self.telemetry = {"dropped_records": int(dropped_records)}
         if shards is not None:
             self.telemetry["shards"] = shards
+
+    def record_scheduler(self, tie_break_groups: int,
+                         max_tie_group: int) -> None:
+        """Record the run's tie-break exposure: how many same-timestamp
+        event groups the scheduler resolved (and the largest one) — the
+        surface the happens-before analysis (:mod:`repro.hb`) audits."""
+        self.scheduler = {
+            "tie_break_groups": int(tie_break_groups),
+            "max_tie_group": int(max_tie_group),
+        }
+
+    def record_trace_viewer(self, path: str, events: int, truncated: bool,
+                            max_events: int) -> None:
+        """Record a ``--trace-viewer`` export (including whether the
+        event cap truncated it) so the fact survives outside the JSON
+        artifact itself."""
+        self.trace_viewer = {
+            "path": str(path),
+            "events": int(events),
+            "truncated": bool(truncated),
+            "max_events": int(max_events),
+        }
 
     def set_result_fingerprint(self, fingerprint: str,
                                **extra: Any) -> None:
@@ -310,6 +352,8 @@ class RunManifest:
             "peak_rss_kb": peak_rss_kb(),
             "telemetry": self.telemetry,
             "result": self.result,
+            "scheduler": self.scheduler,
+            "trace_viewer": self.trace_viewer,
             "exit_status": self.exit_status,
         }
 

@@ -16,11 +16,21 @@ unit), so a 60 ms flow renders as a 60 ms slice.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterable, List
+from typing import Any, Dict, Iterable, List, NamedTuple
 
 from repro.obs.spans import FlowBreakdown
 
-__all__ = ["trace_viewer_doc", "write_trace_viewer"]
+__all__ = ["trace_viewer_doc", "write_trace_viewer", "TraceViewerExport"]
+
+
+class TraceViewerExport(NamedTuple):
+    """What :func:`write_trace_viewer` produced — run manifests record
+    all three fields so a truncated export is visible without opening
+    the (potentially huge) JSON."""
+
+    events: int
+    truncated: bool
+    max_events: int
 
 _PID = 1
 
@@ -115,10 +125,18 @@ def trace_viewer_doc(breakdowns: Iterable[FlowBreakdown],
 
 
 def write_trace_viewer(path: str, breakdowns: Iterable[FlowBreakdown],
-                       max_events: int = 500_000) -> int:
-    """Write the trace-viewer JSON to ``path``; returns event count."""
+                       max_events: int = 500_000) -> TraceViewerExport:
+    """Write the trace-viewer JSON to ``path``.
+
+    Returns a :class:`TraceViewerExport` with the written event count,
+    whether the ``max_events`` cap truncated the export, and the cap
+    itself.
+    """
     doc = trace_viewer_doc(breakdowns, max_events=max_events)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(doc, fh)
         fh.write("\n")
-    return len(doc["traceEvents"])
+    return TraceViewerExport(
+        events=len(doc["traceEvents"]),
+        truncated=bool(doc["otherData"].get("truncated", False)),
+        max_events=max_events)

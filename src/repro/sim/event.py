@@ -28,7 +28,8 @@ class Event:
     :meth:`repro.sim.simulator.Simulator.schedule`.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled",
+                 "parent")
 
     def __init__(
         self,
@@ -43,6 +44,12 @@ class Event:
         self.callback: Optional[Callable[..., Any]] = callback
         self.args = args
         self.cancelled = False
+        #: Sequence number of the event whose callback scheduled this one
+        #: (the happens-before *scheduling parent*).  Stamped by the
+        #: simulator only while provenance instrumentation is on; None
+        #: means "scheduled outside any event" (setup code) or
+        #: provenance off.
+        self.parent: Optional[int] = None
 
     def cancel(self) -> None:
         """Mark this event dead; the scheduler will skip it."""

@@ -12,6 +12,17 @@ comparison is a C-level tuple compare instead of a Python-level
 ``Event.__lt__`` call, which is where timer-heavy workloads spend most
 of their scheduler time.
 
+A seeded **tie-break permutation** mode backs the schedule-perturbation
+harness (:mod:`repro.hb.perturb`): :class:`PermutedEventScheduler`
+replaces the FIFO ``seq`` tie-break with a deterministic bijective
+scramble of it, so same-``(time, priority)`` events fire in a permuted
+(but still reproducible) order.  Such a permutation is always a *valid*
+causal execution — an event scheduled by another cannot exist in the
+heap before its parent fired — so any behavioural difference it exposes
+is a genuine execution-order sensitivity.  The ambient salt
+(:func:`tiebreak_permutation`) is picked up by ``Simulator`` at
+construction; the default scheduler's hot path is untouched.
+
 Cancellation is lazy (O(1)): cancelled events stay in the heap until
 popped.  Timer-heavy workloads — an RTO timer restarted on every ACK —
 can therefore grow a large backlog of dead entries that every push/pop
@@ -27,12 +38,14 @@ see the churn.
 from __future__ import annotations
 
 import heapq
-from typing import List, Optional, Tuple
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Tuple
 
 from repro.sim.event import Event
 from repro.telemetry.metrics import NULL_METRIC
 
-__all__ = ["EventScheduler"]
+__all__ = ["EventScheduler", "PermutedEventScheduler",
+           "tiebreak_permutation", "current_tiebreak_salt"]
 
 #: Never compact below this many cancelled entries (a small heap's
 #: rebuild cost is not worth saving, and tiny heaps skew the fraction).
@@ -45,8 +58,50 @@ DEFAULT_COMPACT_FRACTION = 0.5
 #: StallError carrying full-payload packets stays readable.
 MAX_ARG_REPR = 120
 
-#: Heap entry layout: ``(time, priority, seq, event)``.
+#: Heap entry layout: ``(time, priority, seq, event)``; the permuted
+#: scheduler stores ``(time, priority, mixed, seq, event)``.  The event
+#: is always the *last* slot, and every slot before it is a scalar, so
+#: sift comparisons never fall through to ``Event.__lt__``.
 _Entry = Tuple[float, int, int, Event]
+
+
+# ----------------------------------------------------------------------
+# Ambient tie-break permutation (schedule-perturbation harness)
+# ----------------------------------------------------------------------
+
+#: Ambient salt consumed by ``Simulator`` at construction; None means
+#: the canonical FIFO tie-break.
+_TIEBREAK_SALT: Optional[int] = None
+
+
+def current_tiebreak_salt() -> Optional[int]:
+    """The ambient tie-break permutation salt (None = FIFO order)."""
+    return _TIEBREAK_SALT
+
+
+@contextmanager
+def tiebreak_permutation(salt: int) -> Iterator[int]:
+    """Make simulators built inside the context permute same-timestamp
+    tie-breaks with ``salt`` (see :class:`PermutedEventScheduler`)."""
+    global _TIEBREAK_SALT
+    previous = _TIEBREAK_SALT
+    _TIEBREAK_SALT = int(salt)
+    try:
+        yield int(salt)
+    finally:
+        _TIEBREAK_SALT = previous
+
+
+_MASK64 = (1 << 64) - 1
+
+
+def _mix(seq: int, salt: int) -> int:
+    """Deterministic 64-bit scramble of ``seq`` under ``salt``
+    (splitmix64 finalizer) — the permuted tie-break key."""
+    x = (seq ^ (salt * 0x9E3779B97F4A7C15)) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
 
 
 class EventScheduler:
@@ -90,7 +145,7 @@ class EventScheduler:
         discarded = 0
         heap = self._heap
         while heap:
-            event = heapq.heappop(heap)[3]
+            event = heapq.heappop(heap)[-1]
             if event.cancelled:
                 discarded += 1
                 continue
@@ -107,7 +162,7 @@ class EventScheduler:
         """Return the firing time of the next live event without popping."""
         discarded = 0
         heap = self._heap
-        while heap and heap[0][3].cancelled:
+        while heap and heap[0][-1].cancelled:
             heapq.heappop(heap)
             discarded += 1
         if discarded:
@@ -147,7 +202,8 @@ class EventScheduler:
             return
         if self._cancelled <= self.compact_fraction * len(self._heap):
             return
-        self._heap = [entry for entry in self._heap if not entry[3].cancelled]
+        self._heap = [entry for entry in self._heap
+                      if not entry[-1].cancelled]
         heapq.heapify(self._heap)
         self._cancelled = 0
         self.compactions += 1
@@ -177,8 +233,8 @@ class EventScheduler:
         O(n log n) over the raw heap — diagnostic-path only, never called
         while the simulator is healthy.
         """
-        live = sorted(e for e in self._heap if not e[3].cancelled)
-        out = [self.render_event(entry[3]) for entry in live[:limit]]
+        live = sorted(e for e in self._heap if not e[-1].cancelled)
+        out = [self.render_event(entry[-1]) for entry in live[:limit]]
         remaining = len(live) - limit
         if remaining > 0:
             out.append(f"... and {remaining} more")
@@ -204,3 +260,45 @@ class EventScheduler:
 
     def __bool__(self) -> bool:
         return self.peek_time() is not None
+
+
+class PermutedEventScheduler(EventScheduler):
+    """An :class:`EventScheduler` with a seeded same-timestamp tie-break.
+
+    Orders same-``(time, priority)`` events by a salted bijective
+    scramble of their sequence number instead of FIFO.  Used by the
+    schedule-perturbation harness (:mod:`repro.hb.perturb`) to prove
+    that the canonical FIFO tie-break carries no hidden ordering
+    dependence: a permuted run must produce a bit-identical report
+    fingerprint.
+
+    Heap entries are ``(time, priority, mixed, seq, event)`` — ``seq``
+    stays as a final scalar tie-break so comparisons never reach the
+    event even in the astronomically unlikely case of a mixed-key
+    collision.
+    """
+
+    def __init__(self, salt: int,
+                 compact_min: int = DEFAULT_COMPACT_MIN,
+                 compact_fraction: float = DEFAULT_COMPACT_FRACTION) -> None:
+        super().__init__(compact_min=compact_min,
+                         compact_fraction=compact_fraction)
+        #: The permutation salt (exposed for diagnostics and manifests).
+        self.salt = int(salt)
+        # Event.seq is a process-global counter; anchoring the scramble
+        # to the first seq this scheduler sees makes a salted run
+        # reproducible regardless of how many events earlier simulators
+        # in the process already consumed.
+        self._seq_base: Optional[int] = None
+
+    def push(self, event: Event) -> None:
+        """Insert an event, keyed by the salted tie-break scramble."""
+        if self._seq_base is None:
+            self._seq_base = event.seq
+        heapq.heappush(
+            self._heap,
+            (event.time, event.priority,
+             _mix(event.seq - self._seq_base, self.salt),
+             event.seq, event),
+        )
+        self._live += 1

@@ -16,20 +16,54 @@ from typing import Any, Callable, Dict, Optional
 
 from repro.errors import SimulationError, StallError
 from repro.sim.event import Event, EventHandle
-from repro.sim.scheduler import EventScheduler
+from repro.sim.scheduler import (EventScheduler, PermutedEventScheduler,
+                                 current_tiebreak_salt)
 from repro.sim.randomness import RandomStreams
 from repro.sim.trace import TraceRecorder
 from repro.telemetry.context import current_hub
 from repro.telemetry.metrics import MetricsRegistry
-from repro.telemetry.schema import EV_SIM_CRASH
+from repro.telemetry.schema import EV_SCHED_EXEC, EV_SIM_CRASH
 
-__all__ = ["Simulator", "Timer", "DEFAULT_STALL_EVENT_LIMIT"]
+__all__ = ["Simulator", "Timer", "DEFAULT_STALL_EVENT_LIMIT",
+           "reset_tie_break_stats", "tie_break_stats"]
 
 #: Default no-progress watchdog threshold: events allowed to fire at one
 #: simulated instant before the run is declared stalled.  Real workloads
 #: fire at most a few thousand same-instant events (a burst release),
 #: so a million same-instant events can only be a zero-delay cycle.
 DEFAULT_STALL_EVENT_LIMIT = 1_000_000
+
+
+# ----------------------------------------------------------------------
+# Process-wide tie-break exposure accounting
+# ----------------------------------------------------------------------
+
+#: Process-wide accumulator of same-timestamp event groups across every
+#: simulator run since the last :func:`reset_tie_break_stats`.  CLIs
+#: reset it at startup and surface the totals in the run summary and
+#: ``run_manifest.json`` so order-sensitivity exposure is visible per
+#: run.  With ``--jobs N`` the counters cover simulators driven in this
+#: process only (worker processes keep their own).
+_TIE_BREAK_STATS = {"groups": 0, "max_group": 0}
+
+
+def reset_tie_break_stats() -> None:
+    """Zero the process-wide tie-break counters (CLIs call this once)."""
+    _TIE_BREAK_STATS["groups"] = 0
+    _TIE_BREAK_STATS["max_group"] = 0
+
+
+def tie_break_stats() -> Dict[str, int]:
+    """Snapshot of the process-wide tie-break counters.
+
+    ``groups`` counts same-timestamp event groups (two or more events
+    fired at one simulated instant within one :meth:`Simulator.run`
+    pass); ``max_group`` is the largest such group seen.  Every group is
+    a point where the scheduler's FIFO tie-break chose an order — the
+    exposure surface the happens-before analysis (:mod:`repro.hb`)
+    audits for commutativity.
+    """
+    return dict(_TIE_BREAK_STATS)
 
 
 class Simulator:
@@ -78,7 +112,12 @@ class Simulator:
             if profiler is None:
                 profiler = hub.profiler
         self._now = 0.0
-        self._queue = EventScheduler()
+        #: Ambient tie-break permutation salt captured at construction
+        #: (see :func:`repro.sim.scheduler.tiebreak_permutation`); None
+        #: means the canonical FIFO tie-break.
+        self.tiebreak_salt = current_tiebreak_salt()
+        self._queue = (EventScheduler() if self.tiebreak_salt is None
+                       else PermutedEventScheduler(self.tiebreak_salt))
         self._running = False
         self._stopped = False
         self.streams = RandomStreams(seed)
@@ -100,6 +139,25 @@ class Simulator:
         self.stall_event_limit = stall_event_limit
         self._stall_time = float("nan")
         self._stall_count = 0
+        #: Same-timestamp event groups fired by :meth:`run` (two or more
+        #: events at one simulated instant) and the largest group seen.
+        #: Each group is a point where the FIFO tie-break chose an order;
+        #: the totals roll up into the process-wide
+        #: :func:`tie_break_stats` for run summaries and manifests.
+        self.tie_break_groups = 0
+        self.tie_break_max = 0
+        self._tb_published_groups = 0
+        # Happens-before provenance plane (repro.hb).  ``_prov`` caches
+        # ``trace.enabled and trace.provenance`` so the hot loop pays a
+        # single local check; ``_exec_seq`` is the seq of the event whose
+        # callback is currently running (the scheduling parent stamped
+        # onto children).  The entity registry pins owners alive so
+        # ``id()`` reuse cannot misattribute events.
+        self._prov = self._trace.enabled and getattr(
+            self._trace, "provenance", False)
+        self._exec_seq: Optional[int] = None
+        self._entity_names: Dict[int, Any] = {}
+        self._entity_counts: Dict[str, int] = {}
         #: Number of events executed so far (diagnostic).
         self.events_run = 0
         #: Ground-truth per-flow packet drops (queue overflow + in-flight
@@ -138,8 +196,20 @@ class Simulator:
     @trace.setter
     def trace(self, recorder: TraceRecorder) -> None:
         self._trace = recorder
+        self._refresh_provenance()
         for rebind in self._trace_watchers:
             rebind(recorder)
+
+    def _refresh_provenance(self) -> bool:
+        """Re-cache the provenance-on flag from the active recorder.
+
+        Called when the recorder is replaced and on every :meth:`run`
+        entry, so sessions that flip ``trace.provenance`` in place (the
+        audit/hb sessions do) take effect at the next run.
+        """
+        self._prov = self._trace.enabled and getattr(
+            self._trace, "provenance", False)
+        return self._prov
 
     def watch_trace(self, rebind: Callable[[TraceRecorder], None]) -> None:
         """Register ``rebind``; it is called immediately with the current
@@ -185,8 +255,71 @@ class Simulator:
                 f"cannot schedule at t={time:.9f} before now={self._now:.9f}"
             )
         event = Event(time, callback, args, priority=priority)
+        if self._prov:
+            event.parent = self._exec_seq
         self._queue.push(event)
         return _TrackedHandle(event, self._queue)
+
+    # ------------------------------------------------------------------
+    # Happens-before provenance
+    # ------------------------------------------------------------------
+
+    def _event_entity(self, callback: Callable[..., Any]) -> str:
+        """Stable entity name for the state ``callback`` runs against.
+
+        The entity is the callback's owner: the bound-method receiver
+        (link, host, queue, timer, pacer, ...) or the function object
+        itself for free functions and closures.  Distinct owner
+        *instances* get distinct names — entity identity is the shared-
+        mutable-state proxy the nondeterminism checker keys on.
+
+        An owner holding genuinely independent halves can refine the
+        proxy with a class-level ``HB_PARTITIONS`` map (callback name ->
+        partition label): listed callbacks run against a ``owner/label``
+        sub-entity instead of the owner itself.  Declaring a partition
+        asserts the listed callbacks share no mutable state with the
+        owner's other callbacks — see :class:`repro.net.link.Link`.
+        """
+        owner = getattr(callback, "__self__", callback)
+        key = id(owner)
+        cached = self._entity_names.get(key)
+        if cached is not None:
+            return self._partitioned(owner, callback, cached[1])
+        name = getattr(owner, "name", None)
+        if isinstance(name, str) and name:
+            # A .name can be a *class* attribute shared by every
+            # instance (chaos impairments); suffix repeats so distinct
+            # owners never collapse into one entity.
+            index = self._entity_counts.get(name, 0)
+            self._entity_counts[name] = index + 1
+            if index:
+                name = f"{name}#{index}"
+        else:
+            flow_id = getattr(owner, "flow_id", None)
+            if flow_id is not None:
+                name = f"flow:{flow_id}"
+            else:
+                if owner is callback:
+                    base = getattr(callback, "__qualname__", repr(callback))
+                else:
+                    base = type(owner).__name__
+                index = self._entity_counts.get(base, 0)
+                self._entity_counts[base] = index + 1
+                name = f"{base}#{index}"
+        # Pin the owner: if it were collected, a recycled id() could
+        # alias a new object onto this entity.
+        self._entity_names[key] = (owner, name)
+        return self._partitioned(owner, callback, name)
+
+    @staticmethod
+    def _partitioned(owner: Any, callback: Callable[..., Any],
+                     name: str) -> str:
+        partitions = getattr(owner, "HB_PARTITIONS", None)
+        if partitions:
+            label = partitions.get(getattr(callback, "__name__", ""))
+            if label:
+                return f"{name}/{label}"
+        return name
 
     # ------------------------------------------------------------------
     # Running
@@ -211,6 +344,7 @@ class Simulator:
         fired = 0
         profiler = self.profiler
         stall_limit = self.stall_event_limit
+        prov = self._refresh_provenance()
         if profiler is not None:
             profiler.begin_run()
         try:
@@ -228,23 +362,40 @@ class Simulator:
                 if event is None:  # pragma: no cover - raced cancellation
                     break
                 self._now = event.time
-                if stall_limit is not None:
-                    if event.time == self._stall_time:
-                        self._stall_count += 1
-                        if self._stall_count > stall_limit:
-                            # Lead the dump with the event about to fire:
-                            # it is already popped (so not in the queue
-                            # snapshot), and in a tight zero-delay cycle
-                            # it IS the loop.
-                            raise StallError(
-                                event.time, self._stall_count,
-                                ["firing: "
-                                 + self._queue.render_event(event)]
-                                + self._queue.snapshot(),
-                            )
-                    else:
-                        self._stall_time = event.time
-                        self._stall_count = 1
+                # The same-instant counter doubles as the stall watchdog
+                # and the tie-break exposure accounting: every group of
+                # two or more events at one instant is a point where the
+                # scheduler's tie-break chose an execution order.
+                if event.time == self._stall_time:
+                    self._stall_count += 1
+                    if self._stall_count == 2:
+                        self.tie_break_groups += 1
+                    if self._stall_count > self.tie_break_max:
+                        self.tie_break_max = self._stall_count
+                    if stall_limit is not None and self._stall_count > stall_limit:
+                        # Lead the dump with the event about to fire:
+                        # it is already popped (so not in the queue
+                        # snapshot), and in a tight zero-delay cycle
+                        # it IS the loop.
+                        raise StallError(
+                            event.time, self._stall_count,
+                            ["firing: "
+                             + self._queue.render_event(event)]
+                            + self._queue.snapshot(),
+                        )
+                else:
+                    self._stall_time = event.time
+                    self._stall_count = 1
+                if prov:
+                    self._exec_seq = event.seq
+                    callback = event.callback
+                    self._trace.record(
+                        event.time, EV_SCHED_EXEC,
+                        self._event_entity(callback),
+                        seq=event.seq, parent=event.parent,
+                        callback=getattr(callback, "__qualname__",
+                                         repr(callback)),
+                        prio=event.priority)
                 if profiler is None:
                     event.fire()
                 else:
@@ -264,6 +415,8 @@ class Simulator:
             raise
         finally:
             self._running = False
+            self._exec_seq = None
+            self._publish_tie_breaks()
             if profiler is not None:
                 profiler.end_run()
         if until is not None and self._now < until and not self._stopped:
@@ -287,6 +440,17 @@ class Simulator:
                               self._queue.heap_depth)
         self.events_run += 1
         return True
+
+    def _publish_tie_breaks(self) -> None:
+        """Fold this simulator's tie-break counters into the process-wide
+        totals.  Delta-based so repeated :meth:`run` calls on one
+        simulator (phased experiments) are not double-counted."""
+        groups = self.tie_break_groups
+        if groups != self._tb_published_groups:
+            _TIE_BREAK_STATS["groups"] += groups - self._tb_published_groups
+            self._tb_published_groups = groups
+        if self.tie_break_max > _TIE_BREAK_STATS["max_group"]:
+            _TIE_BREAK_STATS["max_group"] = self.tie_break_max
 
     def stop(self) -> None:
         """Stop the current :meth:`run` after the executing event returns."""

@@ -104,15 +104,23 @@ class TraceRecorder:
         When True, packet-level lineage emission sites (``pkt.*`` hop
         events in links/hosts/receivers) fire; they stay silent
         otherwise so per-packet tracing remains opt-in.
+    provenance:
+        When True, the simulator stamps every scheduled event with its
+        scheduling parent and emits ``sched.exec`` records for each
+        executed event (the happens-before provenance plane consumed by
+        :mod:`repro.hb`).  Off by default — the simulator hot loop pays
+        nothing when this is False.
     """
 
     def __init__(self, enabled: bool = True, kinds: Optional[List[str]] = None,
                  max_records: Optional[int] = None, sink=None,
-                 keep_records: bool = True, lineage: bool = False) -> None:
+                 keep_records: bool = True, lineage: bool = False,
+                 provenance: bool = False) -> None:
         if max_records is not None and max_records <= 0:
             raise ValueError("max_records must be positive (or None)")
         self.enabled = enabled
         self.lineage = lineage
+        self.provenance = provenance
         self._kinds = tuple(kinds) if kinds else None
         self._max_records = max_records
         self._records: Deque[TraceRecord] = deque(maxlen=max_records)

@@ -286,4 +286,5 @@ class TestRegistry:
             "ack-knowledge", "seq-ack-monotonicity", "packet-conservation",
             "pacing-evenness", "ropr-order", "ropr-never-acked",
             "frontier-meet", "rto-sanity", "fct-conservation",
+            "scheduler-nondeterminism",
         }

@@ -50,6 +50,22 @@ class TestSessionWiring:
         run = run_one_flow("halfback", size=30_000)
         assert run.sim.trace.lineage is False
 
+    def test_provenance_flipped_on_and_restored(self):
+        with AuditSession() as session:
+            assert session.trace.provenance is True
+        with Telemetry(profile=False) as hub:
+            assert hub.trace.provenance is False
+            with AuditSession():
+                assert hub.trace.provenance is True
+            assert hub.trace.provenance is False
+
+    def test_audited_run_streams_sched_provenance(self):
+        with AuditSession() as session:
+            run_one_flow("halfback", size=30_000)
+        # The nondeterminism checker had real provenance to chew on.
+        assert session.auditor.events_audited > 0
+        assert session.clean
+
     def test_clean_run_reports_clean(self):
         run = run_audited_flow(segments=20)
         assert run.clean
@@ -108,6 +124,18 @@ class TestFlightRecorder:
         doc = json.loads(
             (tmp_path / "crash-bundle" / "violations.json").read_text())
         assert doc["reason"].startswith("crash: RuntimeError")
+
+    def test_postmortem_names_the_instant_group(self, tmp_path):
+        out = str(tmp_path / "bundle")
+        run = run_audited_flow(
+            segments=60, out_dir=out,
+            fault=lambda sender, **kw: seed_ropr_misorder(sender))
+        assert not run.clean
+        text = (tmp_path / "bundle" / "postmortem.txt").read_text()
+        # Provenance stamps give the dump its tie-break context: the
+        # same-timestamp event group being executed when it fired.
+        assert "same-timestamp event group at the dump instant" in text
+        assert "seq" in text
 
     def test_no_out_dir_means_no_dump(self):
         run = run_audited_flow(

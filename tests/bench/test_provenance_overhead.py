@@ -1,0 +1,87 @@
+"""Provenance overhead gates.
+
+The happens-before observatory's performance promise: provenance
+stamping is dormant unless ``trace.provenance`` is on.  The off path
+adds one cached-boolean check per executed event, so:
+
+* **Off is free** — a run without provenance must stay within 2% of the
+  committed ``BENCH_2.json`` baseline throughput (recorded before the
+  instrumentation existed).  Wall-clock gates are machine-fingerprinted
+  and skipped in CI.
+* **On is advisory** — recording ``sched.exec`` provenance must not
+  change the simulation: the instrumented and dormant flow execute the
+  same events.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.bench.machine import machine_metadata
+from repro.bench.micro import run_micro_benchmark
+from repro.bench.scenarios import run_macro_scenario
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir,
+                             "BENCH_2.json")
+
+#: Metadata keys that must match for a timing comparison to mean anything.
+FINGERPRINT_KEYS = ("python", "implementation", "platform", "machine",
+                    "cpu_count")
+
+#: Allowed slowdown vs the committed baseline (the satellite's 2%).
+MAX_OVERHEAD = 0.02
+
+
+def load_baseline():
+    with open(BASELINE_PATH, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+class TestProvenanceOffOverhead:
+    def test_provenance_off_within_two_percent_of_baseline(self):
+        if os.environ.get("CI"):
+            pytest.skip("wall-clock gate: CI containers are not the "
+                        "baseline machine")
+        baseline = load_baseline()
+        mine = machine_metadata()
+        for key in FINGERPRINT_KEYS:
+            if baseline["machine"].get(key) != mine.get(key):
+                pytest.skip(f"baseline recorded on a different machine "
+                            f"({key}: {baseline['machine'].get(key)!r} != "
+                            f"{mine.get(key)!r})")
+        base = baseline["scenarios"]["fig3_walkthrough"]
+        runs = [
+            run_macro_scenario("fig3_walkthrough", scale=baseline["scale"],
+                               seed=base["seed"], measure_memory=False)
+            for _ in range(3)
+        ]
+        # Same workload or the throughput numbers are incomparable.
+        assert {r["events"] for r in runs} == {base["events"]}, \
+            "fig3_walkthrough workload drifted from the baseline"
+        best = max(r["events_per_sec"] for r in runs)
+        floor = (1.0 - MAX_OVERHEAD) * base["events_per_sec"]
+        assert best >= floor, (
+            f"provenance-off throughput regressed beyond "
+            f"{MAX_OVERHEAD:.0%}: best of 3 = {best:.0f} events/s vs "
+            f"baseline {base['events_per_sec']:.0f} (floor {floor:.0f})")
+
+
+class TestProvenanceMicrobenchmarks:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        off = run_micro_benchmark("sched_provenance_off", repetitions=1,
+                                  warmup=0, n=300, seed=7)
+        on = run_micro_benchmark("sched_provenance_on", repetitions=1,
+                                 warmup=0, n=300, seed=7)
+        return off, on
+
+    def test_instrumented_flow_runs_identical_events(self, pair):
+        off, on = pair
+        # Provenance is advisory: same workload, same seed, same events.
+        assert off["ops"] == on["ops"] > 0
+
+    def test_benchmarks_report_positive_timings(self, pair):
+        for block in pair:
+            assert block["median_ns_per_op"] > 0
+            assert block["min_ns_per_op"] <= block["median_ns_per_op"]

@@ -1,0 +1,171 @@
+"""Scheduler-nondeterminism checker: streaming detection + completeness.
+
+The seeded-fault tests are the checker's reason to exist: an
+order-sensitive pair of callbacks injected into a real simulator MUST
+be flagged, and causally-chained pairs must not be.
+"""
+
+from repro.audit.invariants import default_checkers
+from repro.hb.detect import MAX_GROUP, SchedulerNondeterminismChecker
+from repro.sim.simulator import Simulator
+from repro.sim.trace import TraceRecord, TraceRecorder
+
+
+def exec_record(time, entity, seq, parent=None, callback="cb", prio=0):
+    return TraceRecord(time, "sched.exec", entity,
+                       {"seq": seq, "parent": parent,
+                        "callback": callback, "prio": prio})
+
+
+def sweep(checker, records):
+    out = []
+    for record in records:
+        out.extend(checker.observe(record))
+    out.extend(checker.finalize())
+    return out
+
+
+class TestStreaming:
+    def test_unordered_same_entity_pair_is_flagged(self):
+        violations = sweep(SchedulerNondeterminismChecker(), [
+            exec_record(1.0, "a", seq=0),
+            exec_record(1.0, "a", seq=1),
+        ])
+        assert len(violations) == 1
+        assert violations[0].checker == "scheduler-nondeterminism"
+        assert "no happens-before path" in violations[0].message
+        assert violations[0].seq == 0
+
+    def test_parent_chain_is_clean(self):
+        violations = sweep(SchedulerNondeterminismChecker(), [
+            exec_record(1.0, "a", seq=0),
+            exec_record(1.0, "a", seq=1, parent=0),
+        ])
+        assert violations == []
+
+    def test_different_entities_are_clean(self):
+        violations = sweep(SchedulerNondeterminismChecker(), [
+            exec_record(1.0, "a", seq=0),
+            exec_record(1.0, "b", seq=1),
+        ])
+        assert violations == []
+
+    def test_flush_happens_at_time_change(self):
+        checker = SchedulerNondeterminismChecker()
+        assert checker.observe(exec_record(1.0, "a", seq=0)) == []
+        assert checker.observe(exec_record(1.0, "a", seq=1)) == []
+        # The racy group is reported when the next instant starts.
+        violations = checker.observe(exec_record(2.0, "a", seq=2))
+        assert len(violations) == 1
+        assert checker.finalize() == []
+
+    def test_finalize_flushes_the_last_group(self):
+        checker = SchedulerNondeterminismChecker()
+        checker.observe(exec_record(1.0, "a", seq=0))
+        checker.observe(exec_record(1.0, "a", seq=1))
+        assert len(checker.finalize()) == 1
+
+    def test_msg_edge_orders_the_pair(self):
+        pkt_tx = TraceRecord(1.0, "pkt.tx", "link", {"uid": 7, "flow": 1})
+        pkt_rx = TraceRecord(1.0, "pkt.deliver", "link",
+                             {"uid": 7, "flow": 1})
+        violations = sweep(SchedulerNondeterminismChecker(), [
+            exec_record(1.0, "link", seq=0), pkt_tx,
+            exec_record(1.0, "link", seq=1), pkt_rx,
+        ])
+        assert violations == []
+
+    def test_ack_edge_orders_the_pair(self):
+        deliver = TraceRecord(1.0, "pkt.deliver", "host",
+                              {"uid": 7, "flow": 1})
+        ack_gen = TraceRecord(1.0, "pkt.ack_gen", "host",
+                              {"uid": 9, "flow": 1, "parent": 7})
+        violations = sweep(SchedulerNondeterminismChecker(), [
+            exec_record(1.0, "host", seq=0), deliver,
+            exec_record(1.0, "host", seq=1), ack_gen,
+        ])
+        assert violations == []
+
+    def test_transitive_path_through_other_entity(self):
+        violations = sweep(SchedulerNondeterminismChecker(), [
+            exec_record(1.0, "a", seq=0),
+            exec_record(1.0, "b", seq=1, parent=0),
+            exec_record(1.0, "a", seq=2, parent=1),
+        ])
+        assert violations == []
+
+    def test_singleton_groups_are_never_violations(self):
+        violations = sweep(SchedulerNondeterminismChecker(), [
+            exec_record(1.0, "a", seq=0),
+            exec_record(2.0, "a", seq=1),
+            exec_record(3.0, "a", seq=2),
+        ])
+        assert violations == []
+
+    def test_oversized_group_reports_the_skip(self):
+        records = [exec_record(1.0, f"e{i}", seq=i)
+                   for i in range(MAX_GROUP + 1)]
+        violations = sweep(SchedulerNondeterminismChecker(), records)
+        assert len(violations) == 1
+        assert "not checked" in violations[0].message
+
+    def test_inert_on_provenance_free_stream(self):
+        violations = sweep(SchedulerNondeterminismChecker(), [
+            TraceRecord(1.0, "flow.start", "runner", {"flow": 1}),
+            TraceRecord(2.0, "sender.done", "tcp",
+                        {"flow": 1, "fct": 1.0, "retx": 0}),
+        ])
+        assert violations == []
+
+
+class TestSeededFaults:
+    """End-to-end completeness on a real simulator's provenance stream."""
+
+    def provenance_records(self, build):
+        trace = TraceRecorder(enabled=True, provenance=True)
+        sim = Simulator(trace=trace)
+        build(sim)
+        sim.run()
+        return trace.records("sched.exec")
+
+    def test_order_sensitive_callbacks_are_flagged(self):
+        counter = {"n": 0}
+
+        def bump():
+            counter["n"] += 1
+
+        def build(sim):
+            # Two independent events on one entity (the shared function)
+            # at the same instant: only FIFO decides who goes first.
+            sim.schedule(1.0, bump)
+            sim.schedule(1.0, bump)
+
+        violations = sweep(SchedulerNondeterminismChecker(),
+                           self.provenance_records(build))
+        assert len(violations) == 1
+        assert "tie-break order can change results" in violations[0].message
+
+    def test_causally_chained_callbacks_are_clean(self):
+        def build(sim):
+            state = {"fired": False}
+
+            # Same entity, same instant — but the second firing was
+            # scheduled BY the first, so the parent edge orders them.
+            def bump():
+                if not state["fired"]:
+                    state["fired"] = True
+                    sim.schedule(0.0, bump)
+
+            sim.schedule(1.0, bump)
+
+        records = self.provenance_records(build)
+        assert len(records) == 2
+        assert records[0].source == records[1].source
+        violations = sweep(SchedulerNondeterminismChecker(), records)
+        assert violations == []
+
+
+class TestRegistryIntegration:
+    def test_rides_in_default_checkers(self):
+        names = [type(c).__name__ for c in default_checkers()]
+        assert "SchedulerNondeterminismChecker" in names

@@ -1,0 +1,231 @@
+"""HBGraph construction, queries, race detection, and exporters."""
+
+import json
+
+from repro.hb.graph import HBGraph, build_graph
+from repro.hb.session import ProvenanceSession
+from repro.sim.trace import TraceRecord
+from tests.conftest import run_one_flow
+
+
+def exec_record(time, entity, seq, parent=None, callback="cb", prio=0):
+    return TraceRecord(time, "sched.exec", entity,
+                       {"seq": seq, "parent": parent,
+                        "callback": callback, "prio": prio})
+
+
+def pkt(time, kind, uid, parent=None):
+    detail = {"uid": uid, "flow": 1, "kind": "data", "seq": 0}
+    if parent is not None:
+        detail["parent"] = parent
+    return TraceRecord(time, kind, "link", detail)
+
+
+class TestConstruction:
+    def test_nodes_and_parent_edges(self):
+        graph = build_graph([
+            exec_record(1.0, "a", seq=0),
+            exec_record(2.0, "a", seq=1, parent=0),
+        ])
+        assert len(graph) == 2
+        assert graph.nodes[1].parent == 0
+        assert (0, 1, "sched") in graph.edges
+        assert (0, 1, "po") in graph.edges
+
+    def test_timer_fire_edge_is_kind_timer(self):
+        graph = build_graph([
+            exec_record(1.0, "a", seq=0),
+            exec_record(2.0, "rto:1", seq=1, parent=0,
+                        callback="Timer._fire"),
+        ])
+        assert (0, 1, "timer") in graph.edges
+        assert not any(kind == "sched" for *_, kind in graph.edges)
+
+    def test_msg_edge_links_tx_to_deliver(self):
+        graph = build_graph([
+            exec_record(1.0, "sender", seq=0),
+            pkt(1.0, "pkt.tx", uid=7),
+            exec_record(1.5, "link", seq=1),
+            pkt(1.5, "pkt.deliver", uid=7),
+        ])
+        assert (0, 1, "msg") in graph.edges
+
+    def test_ack_edge_links_delivery_to_ack_gen(self):
+        graph = build_graph([
+            exec_record(1.0, "link", seq=0),
+            pkt(1.0, "pkt.deliver", uid=7),
+            exec_record(1.0, "receiver", seq=1),
+            pkt(1.0, "pkt.ack_gen", uid=9, parent=7),
+        ])
+        assert (0, 1, "ack") in graph.edges
+
+    def test_packet_records_before_any_exec_are_ignored(self):
+        graph = build_graph([
+            pkt(1.0, "pkt.tx", uid=7),
+            exec_record(1.0, "a", seq=0),
+        ])
+        assert len(graph) == 1
+        assert graph.edges == set()
+
+    def test_non_provenance_trace_builds_empty_graph(self):
+        graph = build_graph([
+            TraceRecord(1.0, "flow.start", "runner", {"flow": 1}),
+        ])
+        assert len(graph) == 0
+
+
+class TestQueries:
+    def test_entities_in_first_execution_order(self):
+        graph = build_graph([
+            exec_record(1.0, "b", seq=0),
+            exec_record(2.0, "a", seq=1),
+            exec_record(3.0, "b", seq=2),
+        ])
+        assert graph.entities() == ["b", "a"]
+
+    def test_tie_groups_are_consecutive_same_time_runs(self):
+        graph = build_graph([
+            exec_record(1.0, "a", seq=0),
+            exec_record(1.0, "b", seq=1),
+            exec_record(2.0, "a", seq=2),
+            exec_record(3.0, "a", seq=3),
+            exec_record(3.0, "b", seq=4),
+            exec_record(3.0, "c", seq=5),
+        ])
+        groups = graph.tie_groups()
+        assert [len(g) for g in groups] == [2, 3]
+        assert [n.seq for n in groups[1]] == [3, 4, 5]
+
+    def test_stats_shape(self):
+        graph = build_graph([
+            exec_record(1.0, "a", seq=0),
+            exec_record(1.0, "b", seq=1, parent=0),
+        ])
+        stats = graph.stats()
+        assert stats["nodes"] == 2
+        assert stats["entities"] == 2
+        assert stats["roots"] == 1
+        assert stats["edges"] == {"sched": 1}
+        assert stats["tie_groups"] == 1
+        assert stats["max_tie_group"] == 2
+
+
+class TestRaces:
+    def test_unordered_same_entity_pair_is_a_race(self):
+        graph = build_graph([
+            exec_record(1.0, "a", seq=0),
+            exec_record(1.0, "a", seq=1),
+        ])
+        (race,) = graph.races()
+        assert race["entity"] == "a"
+        assert race["first"] == "a:cb@0"
+        assert race["second"] == "a:cb@1"
+
+    def test_parent_chain_orders_the_pair(self):
+        graph = build_graph([
+            exec_record(1.0, "a", seq=0),
+            exec_record(1.0, "a", seq=1, parent=0),
+        ])
+        assert graph.races() == []
+
+    def test_program_order_does_not_count_as_causal(self):
+        # The only edge between the pair is po — which IS the tie-break
+        # artifact, so it must not mask the race.
+        graph = build_graph([
+            exec_record(1.0, "a", seq=0),
+            exec_record(1.0, "a", seq=1),
+        ])
+        assert (0, 1, "po") in graph.edges
+        assert len(graph.races()) == 1
+
+    def test_transitive_path_through_another_entity(self):
+        graph = build_graph([
+            exec_record(1.0, "a", seq=0),
+            exec_record(1.0, "b", seq=1, parent=0),
+            exec_record(1.0, "a", seq=2, parent=1),
+        ])
+        assert graph.races() == []
+
+    def test_different_entities_never_race(self):
+        graph = build_graph([
+            exec_record(1.0, "a", seq=0),
+            exec_record(1.0, "b", seq=1),
+        ])
+        assert graph.races() == []
+
+    def test_msg_edge_orders_same_entity_pair(self):
+        graph = build_graph([
+            exec_record(1.0, "link", seq=0),
+            pkt(1.0, "pkt.tx", uid=7),
+            exec_record(1.0, "link", seq=1),
+            pkt(1.0, "pkt.deliver", uid=7),
+        ])
+        assert graph.races() == []
+
+    def test_different_timestamps_never_race(self):
+        graph = build_graph([
+            exec_record(1.0, "a", seq=0),
+            exec_record(2.0, "a", seq=1),
+        ])
+        assert graph.races() == []
+
+
+class TestExporters:
+    def graph(self):
+        return build_graph([
+            exec_record(1.0, "a", seq=0),
+            exec_record(1.0, "b", seq=1, parent=0),
+            exec_record(2.0, "a", seq=2, parent=1),
+        ])
+
+    def test_dot_contains_nodes_and_styled_edges(self):
+        dot = self.graph().to_dot()
+        assert dot.startswith("digraph hb {")
+        assert "n0 ->" in dot
+        assert 'style="dashed"' in dot  # po edge styling
+        assert "elided" not in dot
+
+    def test_dot_elides_beyond_cap(self):
+        dot = self.graph().to_dot(max_nodes=2)
+        assert "... 1 more events" in dot
+        # No dangling edge references to elided nodes.
+        assert "n2" not in dot.replace("... 1 more events", "")
+
+    def test_perfetto_document_shape(self):
+        doc = self.graph().to_perfetto()
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        flows = [e for e in doc["traceEvents"] if e["ph"] in ("s", "f")]
+        names = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert len(slices) == 3
+        assert len(flows) == 4  # two sched edges, an s/f pair each (po skipped)
+        assert {e["args"]["name"] for e in names} == {"a", "b"}
+        assert doc["otherData"]["truncated"] is False
+
+    def test_perfetto_truncation_flag(self):
+        doc = self.graph().to_perfetto(max_nodes=1)
+        assert doc["otherData"]["truncated"] is True
+
+    def test_writers_produce_loadable_files(self, tmp_path):
+        graph = self.graph()
+        dot_path = tmp_path / "hb.dot"
+        json_path = tmp_path / "hb.json"
+        graph.write_dot(str(dot_path))
+        graph.write_perfetto(str(json_path))
+        assert dot_path.read_text().startswith("digraph")
+        doc = json.loads(json_path.read_text())
+        assert doc["traceEvents"]
+
+
+class TestRealRun:
+    def test_flow_graph_is_causally_clean(self):
+        with ProvenanceSession() as session:
+            run = run_one_flow("halfback", size=100_000)
+            records = session.records()
+        assert run.record.completed
+        graph = build_graph(records)
+        stats = graph.stats()
+        assert stats["nodes"] > 50
+        assert stats["entities"] >= 2
+        assert stats["edges"].get("sched", 0) > 0
+        assert stats["edges"].get("msg", 0) > 0
+        assert graph.races() == []

@@ -1,0 +1,67 @@
+"""Schedule-perturbation harness: commuting tie groups can't change
+reports.
+
+The property tests are the dynamic half of the happens-before claim:
+if the nondeterminism checker is right that same-timestamp events
+commute, then ANY salted permutation of the tie-break order must
+reproduce the canonical report bit-for-bit.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hb.perturb import (DEFAULT_SALTS, PerturbationResult,
+                              PerturbedRun, fingerprint, perturb,
+                              run_scenario)
+
+QUICK = dict(scale=0.02, seed=17)
+
+
+class TestFingerprint:
+    def test_stable_and_content_sensitive(self):
+        assert fingerprint("report") == fingerprint("report")
+        assert fingerprint("report") != fingerprint("report ")
+
+    def test_unknown_scenario_raises_with_known_names(self):
+        with pytest.raises(KeyError, match="fig3"):
+            run_scenario("nope")
+
+
+class TestResultShape:
+    def result(self, identical=True):
+        fp = fingerprint("base")
+        other = fp if identical else fingerprint("other")
+        return PerturbationResult(
+            scenario="fig3", scale=0.05, seed=17, baseline=fp,
+            runs=[PerturbedRun(salt=1, fingerprint=fp, identical=True),
+                  PerturbedRun(salt=2, fingerprint=other,
+                               identical=identical)])
+
+    def test_identical_requires_every_run(self):
+        assert self.result(identical=True).identical
+        assert not self.result(identical=False).identical
+
+    def test_report_verdict_lines(self):
+        passing = self.result(identical=True).report()
+        assert "PASS" in passing and "salt 2" in passing
+        failing = self.result(identical=False).report()
+        assert "FAIL" in failing and "DIVERGED" in failing
+
+
+class TestHarness:
+    def test_fig3_is_invariant_across_default_salts(self):
+        result = perturb("fig3", salts=DEFAULT_SALTS, **QUICK)
+        assert len(result.runs) == 3
+        assert result.identical, result.report()
+
+    def test_fig6_is_invariant_across_default_salts(self):
+        result = perturb("fig6", salts=DEFAULT_SALTS, **QUICK)
+        assert result.identical, result.report()
+
+    @settings(max_examples=5, deadline=None)
+    @given(salt=st.integers(min_value=1, max_value=2**31 - 1))
+    def test_any_salt_reproduces_fig3(self, salt):
+        """Property: permuting commuting events never changes the
+        fig. 3 report, whatever the salt."""
+        result = perturb("fig3", salts=[salt], **QUICK)
+        assert result.identical, result.report()

@@ -112,6 +112,38 @@ class TestRunManifest:
         assert doc["schema"] == MANIFEST_SCHEMA_ID
         assert doc["config_digest"] == config_digest({"seed": 1})
 
+    def test_scheduler_section_null_by_default(self):
+        doc = RunManifest("x").to_dict()
+        assert doc["scheduler"] is None
+        assert doc["trace_viewer"] is None
+        assert validate_manifest(doc) == []
+
+    def test_record_scheduler_tie_breaks(self):
+        manifest = RunManifest("experiments:fig3")
+        manifest.record_scheduler(tie_break_groups=12, max_tie_group=4)
+        doc = manifest.to_dict()
+        assert doc["scheduler"] == {"tie_break_groups": 12,
+                                    "max_tie_group": 4}
+        assert validate_manifest(doc) == []
+
+    def test_record_trace_viewer_export(self):
+        manifest = RunManifest("experiments:fig3")
+        manifest.record_trace_viewer("trace.json", events=100,
+                                     truncated=True, max_events=100)
+        doc = manifest.to_dict()
+        assert doc["trace_viewer"] == {"path": "trace.json", "events": 100,
+                                       "truncated": True,
+                                       "max_events": 100}
+        assert validate_manifest(doc) == []
+
+    def test_scheduler_section_type_errors_are_caught(self):
+        doc = RunManifest("x").to_dict()
+        doc["scheduler"] = {"tie_break_groups": "many", "max_tie_group": 1}
+        assert any("tie_break_groups" in p for p in validate_manifest(doc))
+        doc = RunManifest("x").to_dict()
+        doc["trace_viewer"] = {"path": "t.json"}  # missing counters
+        assert validate_manifest(doc) != []
+
     def test_fingerprintable_excludes_wall_clock_noise(self):
         manifest = RunManifest("x", args={"seed": 1}, seed=1,
                                argv=["repro", "x"])

@@ -76,6 +76,15 @@ class TestTraceViewerDoc:
 class TestWriteTraceViewer:
     def test_writes_loadable_json(self, tmp_path):
         path = tmp_path / "tv.json"
-        count = write_trace_viewer(str(path), [flow(1)])
+        export = write_trace_viewer(str(path), [flow(1)])
         doc = json.loads(path.read_text())
-        assert len(doc["traceEvents"]) == count > 0
+        assert len(doc["traceEvents"]) == export.events > 0
+        assert export.truncated is False
+        assert export.max_events == 500_000
+
+    def test_reports_truncation(self, tmp_path):
+        path = tmp_path / "tv.json"
+        export = write_trace_viewer(str(path), [flow(i) for i in range(10)],
+                                    max_events=12)
+        assert export.truncated is True
+        assert export.max_events == 12
