@@ -55,12 +55,21 @@ from repro.chaos.profiles import (
 _SWEEP_EXPORTS = ("CellResult", "SweepReport", "run_cell", "run_sweep",
                   "sweep_config")
 
+# The procfault layer (worker kill/hang/raise/slow injection for the
+# harness itself) stays lazy too — the shard fan-out treats "module
+# never imported" as its zero-cost fast path.
+_PROCFAULT_EXPORTS = ("ProcFaultPlan", "parse_procfault")
+
 
 def __getattr__(name):
     if name in _SWEEP_EXPORTS:
         from repro.chaos import sweep as _sweep
 
         return getattr(_sweep, name)
+    if name in _PROCFAULT_EXPORTS:
+        from repro.chaos import procfault as _procfault
+
+        return getattr(_procfault, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -76,12 +85,14 @@ __all__ = [
     "Impairment",
     "LinkFlap",
     "PayloadCorruption",
+    "ProcFaultPlan",
     "Reordering",
     "ReorderingQueue",
     "SweepReport",
     "attach_duplicator",
     "available_profiles",
     "get_profile",
+    "parse_procfault",
     "parse_profile",
     "register_profile",
     "run_cell",

@@ -75,6 +75,34 @@ def main(argv=None) -> int:
                               "(default: run_manifest.json)")
     p_sweep.add_argument("--no-manifest", action="store_true",
                          help="skip writing the run manifest")
+    p_sweep.add_argument("--retries", type=int, default=1, metavar="N",
+                         help="total attempts per cell before it counts "
+                              "as lost (default 1 = no retry; backoff is "
+                              "deterministic)")
+    p_sweep.add_argument("--heartbeat-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="reap (SIGKILL) a cell's worker after this "
+                              "many seconds of heartbeat silence and "
+                              "retry it (default: never)")
+    p_sweep.add_argument("--hedge-after", type=float, default=None,
+                         metavar="SECONDS",
+                         help="duplicate a straggler cell onto an idle "
+                              "worker after this many seconds; first "
+                              "finisher wins (results are bit-identical "
+                              "either way)")
+    p_sweep.add_argument("--quarantine", action="store_true",
+                         help="degrade instead of dying: cells that "
+                              "exhaust their retry budget are reported "
+                              "as MISSING and the sweep completes")
+    p_sweep.add_argument("--procfault", default=None, metavar="SPEC",
+                         help="inject harness process faults, e.g. "
+                              "'kill@1,hang@2/20,raise@3,kill%%10,seed=7' "
+                              "(deterministic; exercises the supervisor)")
+    p_sweep.add_argument("--resume", default=None, metavar="DIR",
+                         help="journal completed cells to DIR/cells.jsonl "
+                              "and replay any already recorded there — an "
+                              "interrupted sweep picks up where it left "
+                              "off, with an identical final fingerprint")
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -87,6 +115,14 @@ def main(argv=None) -> int:
     import contextlib
 
     from repro.chaos.sweep import run_sweep
+    from repro.parallel import (
+        CellJournal,
+        FanoutPolicy,
+        WorkerEnv,
+        fanout_stats,
+        reset_fanout_stats,
+        worker_env,
+    )
 
     manifest = None
     if not args.no_manifest:
@@ -102,47 +138,103 @@ def main(argv=None) -> int:
             "breakdown": args.breakdown,
         })
 
+    policy = FanoutPolicy(
+        max_attempts=max(1, args.retries),
+        heartbeat_timeout=args.heartbeat_timeout,
+        hedge_after=args.hedge_after,
+        quarantine=args.quarantine,
+    )
+    journal = resume_lineage = None
+    if args.resume is not None:
+        journal = CellJournal(args.resume)
+        # Lineage is the journal *being resumed*: digest it before this
+        # run appends to it.
+        resume_lineage = {"journal": journal.path,
+                          "journal_digest": journal.file_digest()}
+
     from repro.sim.simulator import reset_tie_break_stats, tie_break_stats
 
     reset_tie_break_stats()
+    reset_fanout_stats()
     stack = contextlib.ExitStack()
     if args.progress is not None:
         from repro.obs import progress as progress_mod
 
         stack.enter_context(progress_mod.plane(
             out_dir=None if args.progress == "-" else args.progress))
-    with stack:
-        stage = (manifest.stage("sweep") if manifest is not None
-                 else contextlib.nullcontext())
-        with stage:
-            report = run_sweep(
-                protocols=_split(args.protocols),
-                profiles=_split(args.profiles),
-                seed=args.seed,
-                n_flows=args.flows,
-                size=args.size,
-                audit=args.audit,
-                jobs=args.jobs,
-                breakdown=args.breakdown,
-            )
+    if args.procfault is not None:
+        from repro.chaos import procfault as procfault_mod
+
+        plan = procfault_mod.parse_procfault(args.procfault)
+        # Pool workers re-activate from the spec via WorkerEnv; the
+        # ambient activation covers serial (jobs=1) runs in-process.
+        stack.enter_context(procfault_mod.activated(plan))
+        stack.enter_context(worker_env(WorkerEnv(procfault_spec=plan.spec)))
+
+    def finish(status: int, outcome: str = "ok",
+               reason: Optional[str] = None,
+               fingerprint: Optional[str] = None,
+               live: Optional[bool] = None) -> int:
+        if manifest is not None:
+            ties = tie_break_stats()
+            manifest.record_scheduler(ties["groups"], ties["max_group"])
+            manifest.record_supervisor(fanout_stats(),
+                                       resume=resume_lineage)
+            if fingerprint is not None:
+                manifest.set_result_fingerprint(fingerprint, live=live)
+            manifest.set_outcome(outcome, reason)
+            manifest.set_exit_status(status)
+            path = manifest.write(args.manifest)
+            print(f"run manifest: {path}")
+        return status
+
+    try:
+        with stack:
+            stage = (manifest.stage("sweep") if manifest is not None
+                     else contextlib.nullcontext())
+            with stage:
+                report = run_sweep(
+                    protocols=_split(args.protocols),
+                    profiles=_split(args.profiles),
+                    seed=args.seed,
+                    n_flows=args.flows,
+                    size=args.size,
+                    audit=args.audit,
+                    jobs=args.jobs,
+                    breakdown=args.breakdown,
+                    policy=policy,
+                    journal=journal,
+                )
+    except KeyboardInterrupt:
+        print("\ninterrupted — partial results "
+              + (f"journaled to {journal.path}; re-run with --resume "
+                 f"to continue" if journal is not None else "discarded "
+                 "(use --resume DIR to make sweeps resumable)"),
+              file=sys.stderr)
+        return finish(130, outcome="interrupted",
+                      reason="KeyboardInterrupt")
+    except Exception as exc:
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        return finish(1, outcome="error", reason=type(exc).__name__)
     print(report.format_report())
     ties = tie_break_stats()
     print(f"[scheduler tie-breaks: {ties['groups']} same-timestamp "
           f"group(s), max size {ties['max_group']}"
           + (" — in-process sims only" if args.jobs > 1 else "") + "]")
+    stats = fanout_stats()
+    if stats["retries"] or stats["reaped"] or stats["hedges"] \
+            or stats["pool_respawns"] or stats["replayed"]:
+        print(f"[supervisor: {stats['attempts']} attempts, "
+              f"{stats['retries']} retries, {stats['reaped']} reaped, "
+              f"{stats['hedges_won']}/{stats['hedges']} hedges won, "
+              f"{stats['pool_respawns']} pool respawns, "
+              f"{stats['replayed']} cells replayed from journal]")
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
         print(f"json report: {args.json}")
-    status = 0 if report.live else 1
-    if manifest is not None:
-        manifest.record_scheduler(ties["groups"], ties["max_group"])
-        manifest.set_result_fingerprint(report.fingerprint,
-                                        live=report.live)
-        manifest.set_exit_status(status)
-        path = manifest.write(args.manifest)
-        print(f"run manifest: {path}")
-    return status
+    status = 0 if (report.live and report.complete) else 1
+    return finish(status, fingerprint=report.fingerprint, live=report.live)
 
 
 if __name__ == "__main__":  # pragma: no cover

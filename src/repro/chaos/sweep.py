@@ -34,7 +34,7 @@ from repro.experiments.runner import launch_flow
 from repro.net.topology import access_network
 from repro.obs import progress as _progress
 from repro.obs.sketch import QuantileSketch
-from repro.parallel import fanout_map
+from repro.parallel import CellJournal, FanoutPolicy, ShardFailure, fanout_map
 from repro.protocols.registry import ProtocolContext, available_protocols
 from repro.sim.randomness import derive_seed
 from repro.sim.simulator import Simulator
@@ -142,16 +142,31 @@ class CellResult:
 
 @dataclass
 class SweepReport:
-    """All cells of one sweep plus the determinism fingerprint."""
+    """All cells of one sweep plus the determinism fingerprint.
+
+    ``failures`` lists quarantined cells (poison cells that exhausted
+    their supervision retry budget) as structured records naming the
+    protocol/profile coordinates lost — a degraded sweep reports what
+    is missing instead of dying.  The fingerprint hashes *completed*
+    cells only, so a resumed run that fills the holes is byte-identical
+    to an uninterrupted one.
+    """
 
     cells: List[CellResult]
     seed: int
     audited: bool
+    #: Quarantined-cell records: protocol, profile, kind, error, attempts.
+    failures: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def live(self) -> bool:
         """True when every cell upheld the liveness contract."""
         return all(cell.live for cell in self.cells)
+
+    @property
+    def complete(self) -> bool:
+        """True when no cell was lost to quarantine."""
+        return not self.failures
 
     @property
     def fingerprint(self) -> str:
@@ -188,9 +203,11 @@ class SweepReport:
             "seed": self.seed,
             "audited": self.audited,
             "live": self.live,
+            "complete": self.complete,
             "fingerprint": self.fingerprint,
             "fct_sketch": self.merged_fct_sketch().to_dict(),
             "cells": [cell.to_dict() for cell in self.cells],
+            "failures": [dict(f) for f in self.failures],
         }
         merged = self.merged_breakdown()
         if merged is not None:
@@ -236,8 +253,19 @@ class SweepReport:
         if merged_breakdown is not None:
             lines.append(merged_breakdown.render(
                 title="FCT attribution under chaos (time in component)"))
+        if self.failures:
+            lines.append(f"-- MISSING ({len(self.failures)} quarantined "
+                         f"cells) --")
+            for failure in self.failures:
+                lines.append(
+                    f"  LOST {failure['protocol']} x {failure['profile']}: "
+                    f"{failure['kind']} after {failure['attempts']} "
+                    f"attempt(s): {failure['error']}")
+            lines.append("re-run with --resume to fill the missing cells")
         verdict = ("liveness contract held for every cell"
                    if self.live else "LIVENESS CONTRACT BROKEN")
+        if not self.complete:
+            verdict += f" (INCOMPLETE: {len(self.failures)} cells missing)"
         lines.append(verdict)
         lines.append(f"fingerprint: {self.fingerprint}")
         return "\n".join(lines)
@@ -347,6 +375,8 @@ def run_sweep(
     audit: bool = False,
     jobs: int = 1,
     breakdown: bool = False,
+    policy: Optional[FanoutPolicy] = None,
+    journal: Optional[CellJournal] = None,
 ) -> SweepReport:
     """Run the full protocol x profile survival matrix.
 
@@ -357,6 +387,13 @@ def run_sweep(
     cells out over worker processes.  Results merge in the serial cell
     order, so the report (and its fingerprint) is bit-identical to a
     ``jobs=1`` run.
+
+    ``policy`` supervises the fan-out (retries, reaping, hedging,
+    quarantine — see :class:`~repro.parallel.FanoutPolicy`); with
+    quarantine on, poison cells become :attr:`SweepReport.failures`
+    entries instead of aborting the sweep.  ``journal`` makes the sweep
+    resumable: completed cells are recorded durably and replayed on the
+    next run over the same journal directory.
     """
     if protocols is None:
         protocols = available_protocols()
@@ -369,5 +406,20 @@ def run_sweep(
         for profile in resolved
         for protocol in protocols
     ]
-    cells = fanout_map(_run_cell_task, tasks, jobs=jobs)
-    return SweepReport(cells=cells, seed=seed, audited=audit)
+    outcomes = fanout_map(_run_cell_task, tasks, jobs=jobs,
+                          policy=policy, journal=journal)
+    cells: List[CellResult] = []
+    failures: List[Dict[str, object]] = []
+    for task, outcome in zip(tasks, outcomes):
+        if isinstance(outcome, ShardFailure):
+            failures.append({
+                "protocol": task[0],
+                "profile": task[1].spec,
+                "kind": outcome.kind,
+                "error": outcome.error,
+                "attempts": outcome.attempts,
+            })
+        else:
+            cells.append(outcome)
+    return SweepReport(cells=cells, seed=seed, audited=audit,
+                       failures=failures)

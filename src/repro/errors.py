@@ -68,5 +68,40 @@ class ChaosError(ReproError):
     """An invalid chaos impairment or profile specification."""
 
 
+class ProcFaultError(ChaosError):
+    """An injected harness process fault (the ``raise`` fault kind).
+
+    Raised *inside a shard* by the :mod:`repro.chaos.procfault`
+    injector; the shard supervisor treats it like any other worker
+    exception (retry, then quarantine or propagate).
+    """
+
+
+class ParallelError(ReproError):
+    """A failure in the process-parallel shard fan-out."""
+
+
+class WorkerCrashError(ParallelError):
+    """A pool worker died (SIGKILL / hard crash) and the shard ran out
+    of retry budget.  ``shards`` names the cell indices lost."""
+
+    def __init__(self, message: str, shards: "list[int]" = ()) -> None:
+        self.shards = list(shards)
+        super().__init__(message)
+
+
+class ShardHungError(ParallelError):
+    """A shard went heartbeat-silent past its deadline, was reaped, and
+    ran out of retry budget.  ``shards`` names the cell indices lost."""
+
+    def __init__(self, message: str, shards: "list[int]" = ()) -> None:
+        self.shards = list(shards)
+        super().__init__(message)
+
+
+class JournalError(ReproError):
+    """An invalid or unusable cell-result journal."""
+
+
 class ExperimentError(ReproError):
     """A failure while assembling or running an experiment scenario."""

@@ -248,6 +248,26 @@ def main(argv=None) -> int:
                              "(default: run_manifest.json)")
     parser.add_argument("--no-manifest", action="store_true",
                         help="skip writing the run manifest")
+    parser.add_argument("--retries", type=int, default=1, metavar="N",
+                        help="total attempts per sweep cell before the "
+                             "run fails (default 1 = no retry; applies "
+                             "to the --jobs fan-out, with deterministic "
+                             "backoff)")
+    parser.add_argument("--heartbeat-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="reap (SIGKILL) a fan-out worker after this "
+                             "many seconds of heartbeat silence and retry "
+                             "its cell (default: never)")
+    parser.add_argument("--procfault", default=None, metavar="SPEC",
+                        help="inject harness process faults into the "
+                             "fan-out, e.g. 'kill@1,raise@3,seed=7' "
+                             "(deterministic; for exercising the shard "
+                             "supervisor)")
+    parser.add_argument("--resume", default=None, metavar="DIR",
+                        help="journal completed sweep cells to "
+                             "DIR/cells.jsonl and replay any already "
+                             "recorded there; an interrupted run resumes "
+                             "with an identical final report")
     raw_argv = list(sys.argv[1:]) if argv is None else list(argv)
     if raw_argv and raw_argv[0] == "bench":
         # The observatory has its own flag set; hand the rest through.
@@ -345,7 +365,16 @@ def main(argv=None) -> int:
         # its own ring-bounded recorder (same pattern as --audit).
         breakdown_session = stack.enter_context(BreakdownSession(
             keep_spans=args.trace_viewer is not None))
-    if args.telemetry is not None or args.chaos is not None:
+    procfault_plan = None
+    if args.procfault is not None:
+        from repro.chaos import procfault as procfault_mod
+
+        procfault_plan = procfault_mod.parse_procfault(args.procfault)
+        # Ambient activation covers serial (jobs=1) fan-outs in-process;
+        # pool workers re-activate from the spec via WorkerEnv below.
+        stack.enter_context(procfault_mod.activated(procfault_plan))
+    if (args.telemetry is not None or args.chaos is not None
+            or procfault_plan is not None):
         from repro.parallel import WorkerEnv, worker_env
 
         # Declare the sessions pool workers must mirror; a serial run
@@ -354,32 +383,81 @@ def main(argv=None) -> int:
             telemetry_dir=args.telemetry,
             telemetry_format=args.telemetry_format,
             telemetry_kinds=args.telemetry_kinds,
-            chaos_spec=args.chaos)))
+            chaos_spec=args.chaos,
+            procfault_spec=(procfault_plan.spec
+                            if procfault_plan is not None else None))))
     if args.progress is not None:
         from repro.obs import progress as progress_mod
 
         stack.enter_context(progress_mod.plane(
             out_dir=None if args.progress == "-" else args.progress))
 
+    from repro.errors import StallError
+    from repro.parallel import (
+        CellJournal,
+        FanoutPolicy,
+        fanout_stats,
+        journaling,
+        reset_fanout_stats,
+        supervision,
+    )
+
+    # Experiments never quarantine: a figure with holes is not a figure.
+    # Retries and reaping still apply to the --jobs fan-out.
+    stack.enter_context(supervision(FanoutPolicy(
+        max_attempts=max(1, args.retries),
+        heartbeat_timeout=args.heartbeat_timeout,
+    )))
+    resume_lineage = None
+    if args.resume is not None:
+        journal = CellJournal(args.resume)
+        resume_lineage = {"journal": journal.path,
+                          "journal_digest": journal.file_digest()}
+        stack.enter_context(journaling(journal))
+
     from repro.sim.simulator import reset_tie_break_stats, tie_break_stats
 
     # Count tie-break exposure from a clean slate for this invocation.
     reset_tie_break_stats()
+    reset_fanout_stats()
+
+    def write_interrupted(reason: str, status: int) -> int:
+        if manifest is not None:
+            ties = tie_break_stats()
+            manifest.record_scheduler(ties["groups"], ties["max_group"])
+            manifest.record_supervisor(fanout_stats(),
+                                       resume=resume_lineage)
+            manifest.set_outcome("interrupted", reason)
+            manifest.set_exit_status(status)
+            path = manifest.write(args.manifest)
+            print(f"[run manifest: {path} (interrupted)]", file=sys.stderr)
+        return status
+
     digest = hashlib.sha256()
-    with stack:
-        for name in names:
-            description, runner = EXPERIMENTS[name]
-            print(f"== {name}: {description} (scale={args.scale}) ==")
-            started = time.time()
-            stage = (manifest.stage(name) if manifest is not None
-                     else contextlib.nullcontext())
-            with stage:
-                result, formatter = runner(args.scale, args.seed, jobs,
-                                           breakdown)
-                report = formatter(result)
-            digest.update(report.encode("utf-8"))
-            print(report)
-            print(f"[{name} finished in {time.time() - started:.1f}s]\n")
+    try:
+        with stack:
+            for name in names:
+                description, runner = EXPERIMENTS[name]
+                print(f"== {name}: {description} (scale={args.scale}) ==")
+                started = time.time()
+                stage = (manifest.stage(name) if manifest is not None
+                         else contextlib.nullcontext())
+                with stage:
+                    result, formatter = runner(args.scale, args.seed, jobs,
+                                               breakdown)
+                    report = formatter(result)
+                digest.update(report.encode("utf-8"))
+                print(report)
+                print(f"[{name} finished in {time.time() - started:.1f}s]\n")
+    except KeyboardInterrupt:
+        print("\ninterrupted"
+              + (f" — completed cells journaled under {args.resume}; "
+                 f"re-run with --resume to continue"
+                 if args.resume is not None else ""), file=sys.stderr)
+        return write_interrupted("KeyboardInterrupt", 130)
+    except StallError as exc:
+        print(f"simulation stalled: {exc}", file=sys.stderr)
+        return write_interrupted("StallError", 1)
     if breakdown_session is not None:
         print("== breakdown ==")
         agg = breakdown_session.aggregate
@@ -421,8 +499,16 @@ def main(argv=None) -> int:
         print(audit.report())
         if not audit.clean:
             status = 1
+    stats = fanout_stats()
+    if stats["retries"] or stats["reaped"] or stats["pool_respawns"] \
+            or stats["replayed"]:
+        print(f"[supervisor: {stats['attempts']} attempts, "
+              f"{stats['retries']} retries, {stats['reaped']} reaped, "
+              f"{stats['pool_respawns']} pool respawns, "
+              f"{stats['replayed']} cells replayed from journal]")
     if manifest is not None:
         manifest.record_scheduler(ties["groups"], ties["max_group"])
+        manifest.record_supervisor(stats, resume=resume_lineage)
         if hub is not None:
             manifest.record_telemetry(
                 hub.dropped_records,

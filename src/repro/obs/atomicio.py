@@ -1,0 +1,45 @@
+"""Atomic file publication for observability artifacts.
+
+Scrapers tail ``progress.prom`` while the run writes it; a resumed run
+reads ``run_manifest.json`` that a killed run may have been mid-write
+on.  A plain ``open(path, "w")`` exposes both readers to torn output —
+empty files, half a JSON document.  The fix is the classic one: write
+the full payload to a temporary file *in the same directory* (same
+filesystem, so the rename cannot degrade to copy+delete), fsync it,
+then :func:`os.replace` onto the destination.  Readers see either the
+old complete file or the new complete file, never a prefix.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+__all__ = ["atomic_write_text"]
+
+
+def atomic_write_text(path: str, text: str, fsync: bool = True) -> str:
+    """Atomically publish ``text`` at ``path``; returns ``path``.
+
+    ``fsync=False`` skips the durability sync (atomicity against
+    concurrent readers is preserved either way) for high-frequency
+    writers like the progress exporter where a stale-after-power-loss
+    snapshot is acceptable.
+    """
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            if fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:  # pragma: no cover - already renamed/removed
+            pass
+        raise
+    return path

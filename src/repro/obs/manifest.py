@@ -49,7 +49,7 @@ MANIFEST_SCHEMA: Dict[str, Any] = {
     "type": "object",
     "required": ["schema", "command", "argv", "args", "python", "platform",
                  "started_at", "finished_at", "wall_s", "stages",
-                 "peak_rss_kb", "exit_status"],
+                 "peak_rss_kb", "exit_status", "outcome"],
     "properties": {
         "schema": {"const": MANIFEST_SCHEMA_ID},
         "command": {"type": "string"},
@@ -114,6 +114,37 @@ MANIFEST_SCHEMA: Dict[str, Any] = {
             },
         },
         "exit_status": {"type": "integer"},
+        #: How the run ended: "ok", "error", or "interrupted" (the run
+        #: was cut short — KeyboardInterrupt, stall — but the manifest
+        #: was still written so the artifact trail has no holes).
+        "outcome": {"type": "string"},
+        "interrupt_reason": {"type": ["string", "null"]},
+        "supervisor": {
+            "type": ["object", "null"],
+            "required": ["shards", "attempts", "retries", "hedges",
+                         "hedges_won", "reaped", "pool_respawns",
+                         "replayed", "quarantined"],
+            "properties": {
+                "shards": {"type": "integer"},
+                "attempts": {"type": "integer"},
+                "retries": {"type": "integer"},
+                "hedges": {"type": "integer"},
+                "hedges_won": {"type": "integer"},
+                "reaped": {"type": "integer"},
+                "pool_respawns": {"type": "integer"},
+                "replayed": {"type": "integer"},
+                "quarantined": {"type": "array"},
+                "resume": {
+                    "type": ["object", "null"],
+                    "required": ["journal", "journal_digest"],
+                    "properties": {
+                        "journal": {"type": "string"},
+                        "journal_digest": {"type": ["string", "null"]},
+                        "cells_replayed": {"type": "integer"},
+                    },
+                },
+            },
+        },
     },
 }
 
@@ -263,7 +294,10 @@ class RunManifest:
         self.result: Optional[Dict[str, Any]] = None
         self.scheduler: Optional[Dict[str, Any]] = None
         self.trace_viewer: Optional[Dict[str, Any]] = None
+        self.supervisor: Optional[Dict[str, Any]] = None
         self.exit_status = 0
+        self.outcome = "ok"
+        self.interrupt_reason: Optional[str] = None
         self._git = git_revision()
 
     @contextmanager
@@ -319,9 +353,34 @@ class RunManifest:
         """Attach the run's deterministic result fingerprint."""
         self.result = {"fingerprint": fingerprint, **extra}
 
+    def record_supervisor(self, stats: Dict[str, Any],
+                          resume: Optional[Dict[str, Any]] = None) -> None:
+        """Record shard-supervision provenance: attempts, retries,
+        hedges won, reaped workers, pool respawns, quarantined cells —
+        plus resume lineage (the journal and its content digest) when
+        the run replayed a previous run's cells.
+
+        A run that never fanned out (no shards, no resume lineage) has
+        nothing to supervise and keeps the section null, so seed-style
+        in-process runs gain no manifest noise."""
+        if not stats.get("shards") and not stats.get("replayed") \
+                and resume is None:
+            return
+        self.supervisor = dict(stats)
+        if resume is not None:
+            self.supervisor["resume"] = dict(resume)
+
     def set_exit_status(self, status: int) -> None:
         """Record the process exit status the run is about to return."""
         self.exit_status = int(status)
+
+    def set_outcome(self, outcome: str,
+                    reason: Optional[str] = None) -> None:
+        """Record how the run ended: ``ok``, ``error``, or
+        ``interrupted`` (with the interrupting cause as ``reason``)."""
+        self.outcome = str(outcome)
+        if reason is not None:
+            self.interrupt_reason = str(reason)
 
     # ------------------------------------------------------------------
 
@@ -354,7 +413,10 @@ class RunManifest:
             "result": self.result,
             "scheduler": self.scheduler,
             "trace_viewer": self.trace_viewer,
+            "supervisor": self.supervisor,
             "exit_status": self.exit_status,
+            "outcome": self.outcome,
+            "interrupt_reason": self.interrupt_reason,
         }
 
     def write(self, path: str = "run_manifest.json") -> str:
@@ -366,10 +428,13 @@ class RunManifest:
             raise ValueError("invalid manifest: " + "; ".join(problems))
         directory = os.path.dirname(os.path.abspath(path))
         os.makedirs(directory, exist_ok=True)
-        with open(path, "w", encoding="utf-8") as fh:
-            json.dump(doc, fh, indent=2, sort_keys=True)
-            fh.write("\n")
-        return path
+        from repro.obs.atomicio import atomic_write_text
+
+        # Atomic publication: an interrupted-run manifest may be written
+        # from an except handler while a resume tool is already polling
+        # the path; it must never observe half a document.
+        return atomic_write_text(
+            path, json.dumps(doc, indent=2, sort_keys=True) + "\n")
 
     def fingerprintable(self) -> str:
         """Canonical JSON of the *deterministic* manifest subset (no
@@ -377,6 +442,10 @@ class RunManifest:
         may compare across runs."""
         doc = self.to_dict()
         for key in ("started_at", "finished_at", "wall_s", "peak_rss_kb",
-                    "stages", "git", "platform", "python"):
+                    "stages", "git", "platform", "python",
+                    # Supervision is scheduling, not results: how many
+                    # retries a run needed depends on injected faults
+                    # and machine weather, never on what it computed.
+                    "supervisor", "interrupt_reason"):
             doc.pop(key, None)
         return canonical_json(doc)

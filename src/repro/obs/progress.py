@@ -12,9 +12,16 @@ each shard a heartbeat channel and the parent a live, exportable view:
   (the same pattern as the telemetry/chaos contexts).
 * parent side — a :class:`ProgressPlane` aggregates shard states,
   renders a refreshing status line/table to a terminal, and exports the
-  same state as Prometheus text (``progress.prom``, overwritten in
-  place for scraping) plus periodic JSONL snapshots
-  (``progress.jsonl``, appended) for post-hoc inspection of long runs.
+  same state as Prometheus text (``progress.prom``) plus periodic JSONL
+  snapshots (``progress.jsonl``) for post-hoc inspection of long runs.
+  Both are published atomically (temp file + ``os.replace``) so
+  concurrent readers never observe torn output.
+
+The same heartbeats double as the *liveness* signal for the shard
+supervisor (:mod:`repro.parallel.supervisor`): ``start`` events carry
+the worker pid, supervision verdicts surface as ``retry``/``fail``
+events, and a shard whose heartbeats go silent past the policy deadline
+gets reaped and retried.
 
 The plane is wall-clock-driven and advisory by design: it never touches
 simulation state, so enabling it cannot change a result or fingerprint.
@@ -62,25 +69,38 @@ SNAPSHOT_INTERVAL = 5.0
 
 SNAPSHOT_SCHEMA = "repro.obs.progress/1"
 
+#: JSONL snapshots retained in memory (the file is rewritten atomically
+#: per export): first snapshot + this many recent ones ≈ an hour of
+#: history at the default cadence.
+MAX_SNAPSHOTS = 720
+
 
 class ProgressEvent:
-    """One heartbeat from a shard (picklable, queue-friendly)."""
+    """One heartbeat from a shard (picklable, queue-friendly).
+
+    ``pid`` rides on ``start`` events: it is the worker process running
+    the shard, which is the shard supervisor's reaping handle for
+    heartbeat-silent shards.  ``retry`` and ``fail`` are parent-side
+    supervision verdicts (a shard requeued after a failed attempt; a
+    shard quarantined after exhausting its budget).
+    """
 
     __slots__ = ("shard", "kind", "label", "flows_done", "flows_total",
-                 "events", "wall_s", "ts")
+                 "events", "wall_s", "ts", "pid")
 
     def __init__(self, shard: int, kind: str, label: str = "",
                  flows_done: int = 0, flows_total: Optional[int] = None,
                  events: int = 0, wall_s: float = 0.0,
-                 ts: Optional[float] = None) -> None:
+                 ts: Optional[float] = None, pid: int = 0) -> None:
         self.shard = shard
-        self.kind = kind  # "start" | "update" | "done"
+        self.kind = kind  # "start" | "update" | "done" | "retry" | "fail"
         self.label = label
         self.flows_done = flows_done
         self.flows_total = flows_total
         self.events = events
         self.wall_s = wall_s
         self.ts = ts if ts is not None else time.time()
+        self.pid = pid
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"ProgressEvent(shard={self.shard}, kind={self.kind!r}, "
@@ -91,17 +111,19 @@ class ShardState:
     """Parent-side view of one shard's latest heartbeat."""
 
     __slots__ = ("shard", "label", "state", "flows_done", "flows_total",
-                 "events", "wall_s", "updated_at")
+                 "events", "wall_s", "updated_at", "retries", "pid")
 
     def __init__(self, shard: int) -> None:
         self.shard = shard
         self.label = ""
-        self.state = "pending"  # pending | running | done
+        self.state = "pending"  # pending | running | done | failed
         self.flows_done = 0
         self.flows_total: Optional[int] = None
         self.events = 0
         self.wall_s = 0.0
         self.updated_at = 0.0
+        self.retries = 0
+        self.pid = 0
 
     def apply(self, event: ProgressEvent) -> None:
         """Fold one heartbeat in (monotonic per shard)."""
@@ -109,8 +131,17 @@ class ShardState:
             self.label = event.label
         if event.kind == "start":
             self.state = "running"
+            if event.pid:
+                self.pid = event.pid
         elif event.kind == "done":
             self.state = "done"
+        elif event.kind == "retry":
+            # The supervisor requeued this shard: back to waiting, with
+            # the attempt recorded.  A ``start`` follows when it re-runs.
+            self.retries += 1
+            self.state = "pending"
+        elif event.kind == "fail":
+            self.state = "failed"
         elif self.state == "pending":
             self.state = "running"
         self.flows_done = max(self.flows_done, event.flows_done)
@@ -128,6 +159,7 @@ class ShardState:
             "flows_done": self.flows_done,
             "flows_total": self.flows_total,
             "events": self.events,
+            "retries": self.retries,
             "wall_s": round(self.wall_s, 6),
         }
 
@@ -156,11 +188,12 @@ class ShardReporter:
 
     def started(self, label: str = "",
                 flows_total: Optional[int] = None) -> None:
-        """Announce the shard is running."""
+        """Announce the shard is running (stamped with our pid, the
+        supervisor's handle for reaping a later-hung worker)."""
         self._label = label
         self._started = time.perf_counter()
         self._post(ProgressEvent(self.shard, "start", label=label,
-                                 flows_total=flows_total))
+                                 flows_total=flows_total, pid=os.getpid()))
 
     def flow_completed(self, events: Optional[int] = None) -> None:
         """Count one finished flow (the natural ``on_complete`` hook)."""
@@ -237,6 +270,7 @@ class ProgressPlane:
         self._last_render = 0.0
         self._last_snapshot = 0.0
         self._rendered_once = False
+        self._snapshots: List[str] = []
 
     # ------------------------------------------------------------------
     # Event intake
@@ -305,6 +339,8 @@ class ProgressPlane:
             total = self.total_shards or len(states)
         done = sum(1 for s in states if s.state == "done")
         running = sum(1 for s in states if s.state == "running")
+        failed = sum(1 for s in states if s.state == "failed")
+        retries = sum(s.retries for s in states)
         flows = sum(s.flows_done for s in states)
         events = sum(s.events for s in states)
         elapsed = time.perf_counter() - self._started_mono
@@ -314,6 +350,8 @@ class ProgressPlane:
             "shards_total": total,
             "shards_done": done,
             "shards_running": running,
+            "shards_failed": failed,
+            "shard_retries": retries,
             "flows_done": flows,
             "events": events,
             "elapsed_s": elapsed,
@@ -325,8 +363,12 @@ class ProgressPlane:
         """The one-line live status (terminal refresh form)."""
         t = self.totals()
         eta = f"{t['eta_s']:.0f}s" if t["eta_s"] is not None else "?"
+        trouble = ""
+        if t["shards_failed"] or t["shard_retries"]:
+            trouble = (f" [{t['shards_failed']} failed, "
+                       f"{t['shard_retries']} retries]")
         return (f"[obs] shards {t['shards_done']}/{t['shards_total']} "
-                f"({t['shards_running']} running) | "
+                f"({t['shards_running']} running){trouble} | "
                 f"flows {t['flows_done']} | "
                 f"events {t['events']:,} | "
                 f"{t['events_per_s']:,.0f} ev/s | eta {eta}")
@@ -359,6 +401,12 @@ class ProgressPlane:
              "Shards that have finished", t["shards_done"]),
             ("repro_progress_shards_running", "gauge",
              "Shards currently executing", t["shards_running"]),
+            ("repro_progress_shards_failed", "gauge",
+             "Shards quarantined after exhausting their retry budget",
+             t["shards_failed"]),
+            ("repro_progress_shard_retries_total", "counter",
+             "Shard attempts requeued by the supervisor",
+             t["shard_retries"]),
             ("repro_progress_flows_done_total", "counter",
              "Flows completed across all shards", t["flows_done"]),
             ("repro_progress_sim_events_total", "counter",
@@ -429,18 +477,32 @@ class ProgressPlane:
             self.stream = None
 
     def export(self) -> List[str]:
-        """Write ``progress.prom`` + append a ``progress.jsonl`` snapshot;
-        returns the written paths."""
+        """Publish ``progress.prom`` + a new ``progress.jsonl`` snapshot;
+        returns the written paths.
+
+        Both files are published atomically (temp file +
+        ``os.replace``) so a scraper or tail never observes torn
+        output: the JSONL history lives in memory (capped) and the
+        whole file is rewritten per export, which on this run's cadence
+        is a few kilobytes every :data:`SNAPSHOT_INTERVAL` seconds.
+        """
         if self.out_dir is None:
             return []
+        from repro.obs.atomicio import atomic_write_text
+
         os.makedirs(self.out_dir, exist_ok=True)
         prom_path = os.path.join(self.out_dir, "progress.prom")
         jsonl_path = os.path.join(self.out_dir, "progress.jsonl")
-        with open(prom_path, "w", encoding="utf-8") as fh:
-            fh.write(self.prometheus_text())
-        with open(jsonl_path, "a", encoding="utf-8") as fh:
-            fh.write(json.dumps(self.snapshot_doc(), sort_keys=True,
-                                separators=(",", ":")) + "\n")
+        line = json.dumps(self.snapshot_doc(), sort_keys=True,
+                          separators=(",", ":"))
+        self._snapshots.append(line)
+        if len(self._snapshots) > MAX_SNAPSHOTS:
+            # Keep the first snapshot (run start) and the recent tail.
+            self._snapshots = ([self._snapshots[0]]
+                               + self._snapshots[-(MAX_SNAPSHOTS - 1):])
+        atomic_write_text(prom_path, self.prometheus_text(), fsync=False)
+        atomic_write_text(jsonl_path, "\n".join(self._snapshots) + "\n",
+                          fsync=False)
         return [prom_path, jsonl_path]
 
     # ------------------------------------------------------------------

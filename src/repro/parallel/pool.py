@@ -1,0 +1,178 @@
+"""Worker-process plumbing for the shard fan-out.
+
+Everything in this module crosses (or prepares to cross) the process
+boundary: the picklable :class:`WorkerEnv` that pool workers mirror,
+the pool initializer that re-activates parent observability sessions
+inside each worker, and the per-item task wrapper that reports shard
+heartbeats and consults the ambient process-fault injector.
+
+The supervisor (:mod:`repro.parallel.supervisor`) owns scheduling;
+this module owns what runs *inside* a worker.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.obs import progress as _progress
+
+__all__ = ["WorkerEnv", "current_worker_env", "resolve_jobs", "worker_env"]
+
+
+def resolve_jobs(jobs: int, n_items: int) -> int:
+    """Effective worker count: never more workers than items, never < 1."""
+    return max(1, min(jobs, n_items))
+
+
+# ----------------------------------------------------------------------
+# Worker environment propagation
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkerEnv:
+    """Picklable description of the observability sessions every pool
+    worker must re-create (parent context variables don't cross the
+    process boundary)."""
+
+    #: Telemetry export directory (per-worker files are shard-suffixed).
+    telemetry_dir: Optional[str] = None
+    telemetry_format: str = "jsonl"
+    telemetry_kinds: Optional[str] = None
+    #: ``PROFILE[:seed]`` chaos spec — deterministic, so re-parsing in
+    #: the worker reproduces the parent's profile exactly.
+    chaos_spec: Optional[str] = None
+    #: Process-fault injection spec (``kill@2,hang@5/20`` ...) —
+    #: deterministic schedule, re-parsed per worker like the chaos spec.
+    procfault_spec: Optional[str] = None
+
+    @property
+    def empty(self) -> bool:
+        return (self.telemetry_dir is None and self.chaos_spec is None
+                and self.procfault_spec is None)
+
+
+_active_env: Optional[WorkerEnv] = None
+
+
+def current_worker_env() -> Optional[WorkerEnv]:
+    """The ambient worker environment, or None."""
+    return _active_env
+
+
+@contextmanager
+def worker_env(env: Optional[WorkerEnv]) -> Iterator[Optional[WorkerEnv]]:
+    """Declare the environment pool workers must mirror for a block."""
+    global _active_env
+    previous = _active_env
+    _active_env = env
+    try:
+        yield env
+    finally:
+        _active_env = previous
+
+
+# Worker-process globals, set once per worker by _worker_init.
+_worker_queue = None
+_worker_hub = None
+
+
+def _worker_init(env: Optional[WorkerEnv], counter, queue) -> None:
+    """Pool initializer: runs once in each worker process."""
+    global _worker_queue, _worker_hub
+    _worker_queue = queue
+    if env is None or env.empty:
+        return
+    with counter.get_lock():
+        shard = counter.value
+        counter.value += 1
+    if env.telemetry_dir is not None:
+        from multiprocessing.util import Finalize
+
+        from repro import telemetry
+
+        hub = telemetry.Telemetry(
+            out_dir=env.telemetry_dir, trace_format=env.telemetry_format,
+            kinds=env.telemetry_kinds, shard=shard)
+        telemetry.activate(hub)
+        _worker_hub = hub
+        # Pool workers exit via multiprocessing's bootstrap (atexit
+        # handlers never run there); Finalize hooks do, so the sink is
+        # flushed and metrics-shard<N>.json written on clean shutdown.
+        Finalize(hub, hub.close, exitpriority=10)
+    if env.chaos_spec is not None:
+        from repro.chaos import context as _chaos_context
+        from repro.chaos.profiles import parse_profile
+
+        _chaos_context.activate(parse_profile(env.chaos_spec))
+    if env.procfault_spec is not None:
+        from repro.chaos import procfault as _procfault
+
+        _procfault.activate(_procfault.parse_procfault(env.procfault_spec))
+
+
+def _inject_procfault(shard: int, attempt: int) -> None:
+    """Fire the ambient process-fault plan for ``(shard, attempt)``.
+
+    Zero-cost when :mod:`repro.chaos.procfault` was never imported —
+    the common case is one dict lookup, no module import.
+    """
+    mod = sys.modules.get("repro.chaos.procfault")
+    if mod is None:
+        return
+    plan = mod.current_plan()
+    if plan is not None:
+        plan.inject(shard, attempt)
+
+
+def _item_label(item) -> str:
+    """A short human label for the shard table (best effort)."""
+    if isinstance(item, tuple):
+        parts = [str(part) for part in item if isinstance(part, (str, int))]
+        label = ":".join(parts[:3])
+    else:
+        label = str(item)
+    return label[:48]
+
+
+def _pool_task(payload):
+    """Picklable per-item wrapper running inside a pool worker.
+
+    The shard's ``start`` heartbeat (carrying this worker's pid — the
+    supervisor's reaping handle) is posted *before* the fault injector
+    runs, so a hang fault is a started-then-silent shard, exactly the
+    failure the heartbeat deadline exists to catch.
+    """
+    worker, index, item, attempt = payload
+    if _worker_queue is not None:
+        reporter = _progress.ShardReporter(index, _worker_queue.put)
+        reporter.started(label=_item_label(item))
+        _inject_procfault(index, attempt)
+        with _progress.reporting(reporter):
+            result = worker(item)
+        reporter.done()
+    else:
+        _inject_procfault(index, attempt)
+        result = worker(item)
+    if _worker_hub is not None:
+        # Keep the shard trace file durable even if the pool is torn
+        # down abruptly; per-item flushes are noise next to a cell.
+        _worker_hub.flush()
+    return result
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe for a worker pid."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - not our child
+        return True
+    return True

@@ -1,0 +1,603 @@
+"""The shard supervisor: fault-tolerant scheduling over a process pool.
+
+``pool.map`` dies with its first casualty: one crashed worker, one
+poison cell, or one hung shard aborts the whole fan-out with nothing
+salvaged.  The supervisor replaces it with per-shard control:
+
+* **bounded deterministic retries** — a failed attempt requeues with
+  exponential backoff (no jitter: retry timing never feeds results);
+* **BrokenProcessPool recovery** — a killed worker breaks the whole
+  executor, so the supervisor respawns the pool and requeues only the
+  in-flight cells, charging the attempt to shards whose worker died;
+* **hung-shard reaping** — with a heartbeat deadline set, a shard that
+  has gone heartbeat-silent past the deadline has its worker SIGKILLed
+  (the recovery-timer idea from T-RACKs, applied to the harness) and
+  re-runs under the retry budget;
+* **hedged execution** — with a hedge threshold set, a straggler shard
+  is duplicated onto an idle worker and the first finisher wins
+  (RepFlow's replicate-and-take-first, applied to cells; results are
+  bit-identical because cells are deterministic functions of their
+  seeds);
+* **quarantine** — a shard that exhausts its budget becomes a
+  structured :class:`ShardFailure` in its result slot instead of an
+  exception, so a sweep degrades to a report that names exactly which
+  cells are missing.
+
+Everything is policy-gated: the default :class:`FanoutPolicy` (one
+attempt, no deadline, no hedging, no quarantine) reproduces the old
+``pool.map`` semantics — first failure propagates.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ShardHungError, WorkerCrashError
+from repro.obs import progress as _progress
+from repro.parallel.pool import (
+    WorkerEnv,
+    _inject_procfault,
+    _item_label,
+    _pid_alive,
+    _pool_task,
+    _worker_init,
+)
+
+__all__ = ["FanoutPolicy", "ShardFailure", "ShardSupervisor",
+           "SupervisorStats", "run_serial"]
+
+
+@dataclass(frozen=True)
+class FanoutPolicy:
+    """Supervision knobs for one fan-out.
+
+    The defaults are the legacy semantics: one attempt per shard, no
+    deadline, no hedging, failures propagate.  Every field is
+    deterministic by construction — backoff has no jitter, and retry
+    schedules never touch cell results (cells are pure functions of
+    their seeds, so *when* a cell runs cannot change *what* it
+    returns).
+    """
+
+    #: Total attempts allowed per shard (1 = no retry).
+    max_attempts: int = 1
+    #: First-retry backoff in seconds; attempt ``n`` waits
+    #: ``backoff_base * 2**(n-1)``, capped at :attr:`backoff_cap`.
+    backoff_base: float = 0.1
+    backoff_cap: float = 5.0
+    #: Reap a started shard after this many seconds of heartbeat
+    #: silence (None = never reap).  Measured from the last heartbeat,
+    #: not the submission — a shard that keeps completing flows keeps
+    #: itself alive.
+    heartbeat_timeout: Optional[float] = None
+    #: Duplicate a still-running shard onto an idle worker after this
+    #: many seconds (None = never hedge); first finisher wins.
+    hedge_after: Optional[float] = None
+    #: Convert a shard that exhausts its budget into a
+    #: :class:`ShardFailure` result instead of raising.
+    quarantine: bool = False
+    #: Supervisor wake-up interval (scheduling granularity), seconds.
+    check_interval: float = 0.05
+
+    def backoff(self, failures: int) -> float:
+        """Deterministic backoff before retry number ``failures``."""
+        if failures <= 0:
+            return 0.0
+        return min(self.backoff_cap,
+                   self.backoff_base * (2.0 ** (failures - 1)))
+
+
+@dataclass
+class ShardFailure:
+    """A quarantined shard: the structured tombstone left in the result
+    slot when a cell exhausted its retry budget."""
+
+    index: int
+    label: str
+    #: ``exception`` (worker raised), ``crash`` (worker process died),
+    #: or ``hang`` (heartbeat-silent past the deadline, reaped).
+    kind: str
+    error: str
+    attempts: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "label": self.label,
+            "kind": self.kind,
+            "error": self.error,
+            "attempts": self.attempts,
+        }
+
+    def __str__(self) -> str:
+        return (f"shard {self.index} [{self.label}] {self.kind} after "
+                f"{self.attempts} attempt(s): {self.error}")
+
+
+@dataclass
+class SupervisorStats:
+    """Per-fan-out supervision accounting (merged into the run-level
+    accumulator by ``fanout_map``; recorded in run manifests)."""
+
+    shards: int = 0
+    #: Task submissions, including retries and hedges.
+    attempts: int = 0
+    retries: int = 0
+    hedges: int = 0
+    hedges_won: int = 0
+    #: Hung workers SIGKILLed by the heartbeat deadline.
+    reaped: int = 0
+    pool_respawns: int = 0
+    #: Journal-replayed shards (skipped entirely).
+    replayed: int = 0
+    quarantined: List[Dict[str, Any]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "shards": self.shards,
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "hedges": self.hedges,
+            "hedges_won": self.hedges_won,
+            "reaped": self.reaped,
+            "pool_respawns": self.pool_respawns,
+            "replayed": self.replayed,
+            "quarantined": [dict(q) for q in self.quarantined],
+        }
+
+    def merge(self, other: "SupervisorStats") -> None:
+        self.shards += other.shards
+        self.attempts += other.attempts
+        self.retries += other.retries
+        self.hedges += other.hedges
+        self.hedges_won += other.hedges_won
+        self.reaped += other.reaped
+        self.pool_respawns += other.pool_respawns
+        self.replayed += other.replayed
+        self.quarantined.extend(other.quarantined)
+
+
+class _Task:
+    """Parent-side state for one shard."""
+
+    __slots__ = ("index", "item", "label", "submissions", "failures",
+                 "next_eligible", "submitted_at", "last_beat", "pid",
+                 "started", "reap_pending", "uncharged_breaks", "hedged",
+                 "inflight")
+
+    def __init__(self, index: int, item: Any) -> None:
+        self.index = index
+        self.item = item
+        self.label = _item_label(item)
+        self.submissions = 0        # attempt numbers handed to workers
+        self.failures = 0           # consumed retry budget
+        self.next_eligible = 0.0    # backoff gate (perf_counter clock)
+        self.submitted_at = 0.0
+        self.last_beat = 0.0
+        self.pid = 0
+        self.started = False        # start heartbeat seen this attempt
+        self.reap_pending = False   # we SIGKILLed its worker
+        self.uncharged_breaks = 0   # pool breaks survived without charge
+        self.hedged = False
+        self.inflight: set = set()  # outstanding futures
+
+
+def _fail_event(index: int, label: str) -> "_progress.ProgressEvent":
+    return _progress.ProgressEvent(index, "fail", label=label)
+
+
+def _retry_event(index: int, label: str) -> "_progress.ProgressEvent":
+    return _progress.ProgressEvent(index, "retry", label=label)
+
+
+class ShardSupervisor:
+    """Supervised execution of ``worker`` over ``items`` on a process
+    pool; see the module docstring for the failure model.
+
+    ``on_result(index, value)`` fires in the parent as each shard
+    completes (the journal's crash-safe append hook).  ``results`` may
+    be pre-populated with journal-replayed values; those shards are
+    never scheduled.
+    """
+
+    def __init__(
+        self,
+        worker: Callable[[Any], Any],
+        items: Sequence[Any],
+        workers: int,
+        policy: FanoutPolicy,
+        env: Optional[WorkerEnv] = None,
+        plane: Optional["_progress.ProgressPlane"] = None,
+        on_result: Optional[Callable[[int, Any], None]] = None,
+        results: Optional[Dict[int, Any]] = None,
+    ) -> None:
+        self.worker = worker
+        self.items = list(items)
+        self.workers = workers
+        self.policy = policy
+        self.env = env
+        self.plane = plane
+        self.on_result = on_result
+        self.results: Dict[int, Any] = dict(results or {})
+        self.stats = SupervisorStats(shards=len(self.items))
+        self.tasks: Dict[int, _Task] = {
+            i: _Task(i, item) for i, item in enumerate(self.items)
+            if i not in self.results
+        }
+        self._pending: List[_Task] = sorted(self.tasks.values(),
+                                            key=lambda t: t.index)
+        self._inflight: Dict[Any, tuple] = {}  # future -> (task, is_hedge)
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._counter = None
+        self._queue = None
+        self._pump: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def run(self) -> List[Any]:
+        """Execute every shard; returns results in item order.
+
+        Raises the shard's terminal error (worker exception,
+        :class:`~repro.errors.WorkerCrashError`, or
+        :class:`~repro.errors.ShardHungError`) unless the policy
+        quarantines, in which case the failed slots hold
+        :class:`ShardFailure` records.
+        """
+        import multiprocessing
+
+        self._counter = multiprocessing.Value("i", 0)
+        self._queue = multiprocessing.Queue()
+        self._pump = threading.Thread(target=self._pump_loop,
+                                      name="shard-supervisor-pump",
+                                      daemon=True)
+        self._pump.start()
+        try:
+            self._spawn_pool()
+            self._loop()
+        finally:
+            self._shutdown()
+        return [self.results[i] for i in range(len(self.items))]
+
+    def _spawn_pool(self) -> None:
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_worker_init,
+            initargs=(self.env, self._counter, self._queue))
+
+    def _shutdown(self) -> None:
+        self._stop.set()
+        if self._pool is not None:
+            # Hedge losers may still be mid-cell; don't wait for them.
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        if self._queue is not None:
+            try:
+                self._queue.put_nowait(None)
+            except (ValueError, OSError):  # pragma: no cover - closed
+                pass
+        if self._pump is not None:
+            self._pump.join(timeout=2.0)
+            self._pump = None
+        if self._queue is not None:
+            self._queue.close()
+            self._queue = None
+
+    # ------------------------------------------------------------------
+    # Heartbeat intake (pump thread)
+    # ------------------------------------------------------------------
+
+    def _pump_loop(self) -> None:
+        import queue as _queue_mod
+
+        while not self._stop.is_set():
+            try:
+                event = self._queue.get(timeout=0.05)
+            except _queue_mod.Empty:
+                continue
+            except (EOFError, OSError):  # pragma: no cover - closed
+                return
+            if event is None:
+                return
+            self._on_event(event)
+
+    def _on_event(self, event) -> None:
+        with self._lock:
+            task = self.tasks.get(event.shard)
+            if task is not None:
+                task.last_beat = time.perf_counter()
+                if event.kind == "start":
+                    task.started = True
+                    pid = getattr(event, "pid", 0)
+                    if pid:
+                        task.pid = pid
+        if self.plane is not None:
+            self.plane.apply(event)
+
+    def _drain_heartbeats(self, budget: float = 0.25) -> None:
+        """Give the pump a moment to absorb straggler events (used
+        before pool-break triage reads ``started``/``pid``)."""
+        deadline = time.perf_counter() + budget
+        while time.perf_counter() < deadline:
+            if self._queue.empty():
+                break
+            time.sleep(0.01)
+
+    # ------------------------------------------------------------------
+    # Scheduling loop
+    # ------------------------------------------------------------------
+
+    def _loop(self) -> None:
+        policy = self.policy
+        total = len(self.items)
+        while len(self.results) < total:
+            now = time.perf_counter()
+            self._submit_eligible(now)
+            if not self._inflight:
+                if not self._pending:  # pragma: no cover - invariant
+                    raise RuntimeError("supervisor: no work but not done")
+                soonest = min(t.next_eligible for t in self._pending)
+                time.sleep(max(0.0, min(policy.check_interval,
+                                        soonest - now)) or 0.005)
+                continue
+            done, _ = wait(list(self._inflight), timeout=policy.check_interval,
+                           return_when=FIRST_COMPLETED)
+            broken: List[_Task] = []
+            pool_broke = False
+            for future in done:
+                task, is_hedge = self._inflight.pop(future)
+                task.inflight.discard(future)
+                if task.index in self.results:
+                    continue  # hedge loser / late duplicate
+                try:
+                    value = future.result()
+                except BrokenProcessPool:
+                    pool_broke = True
+                    broken.append(task)
+                except BaseException as exc:  # worker raised, pickled over
+                    self._attempt_failed(task, "exception", exc,
+                                         time.perf_counter())
+                else:
+                    self._record_result(task, value, is_hedge)
+            if pool_broke:
+                self._recover_pool(broken)
+                continue
+            now = time.perf_counter()
+            self._reap_hung(now)
+            self._hedge_stragglers(now)
+
+    def _submit_eligible(self, now: float) -> None:
+        still_waiting: List[_Task] = []
+        for task in self._pending:
+            if task.index in self.results:
+                continue
+            if task.next_eligible > now:
+                still_waiting.append(task)
+                continue
+            self._submit(task)
+        self._pending = still_waiting
+
+    def _submit(self, task: _Task, hedge: bool = False) -> None:
+        attempt = task.submissions
+        task.submissions += 1
+        self.stats.attempts += 1
+        if not hedge:
+            task.started = False
+            task.submitted_at = time.perf_counter()
+            task.last_beat = 0.0
+        payload = (self.worker, task.index, task.item, attempt)
+        future = self._pool.submit(_pool_task, payload)
+        task.inflight.add(future)
+        self._inflight[future] = (task, hedge)
+
+    def _record_result(self, task: _Task, value: Any, is_hedge: bool) -> None:
+        self.results[task.index] = value
+        if is_hedge:
+            self.stats.hedges_won += 1
+        if self.on_result is not None:
+            self.on_result(task.index, value)
+
+    # ------------------------------------------------------------------
+    # Failure handling
+    # ------------------------------------------------------------------
+
+    def _attempt_failed(self, task: _Task, kind: str, error: Any,
+                        now: float) -> None:
+        if task.inflight:
+            # A duplicate of this shard is still running; it may yet
+            # win.  The failed attempt is only charged when the shard
+            # has no other iron in the fire.
+            return
+        task.failures += 1
+        if task.failures >= self.policy.max_attempts:
+            self._finalize_failure(task, kind, error)
+            return
+        self.stats.retries += 1
+        task.next_eligible = now + self.policy.backoff(task.failures)
+        task.reap_pending = False
+        task.hedged = False
+        self._pending.append(task)
+        if self.plane is not None:
+            self.plane.apply(_retry_event(task.index, task.label))
+
+    def _finalize_failure(self, task: _Task, kind: str, error: Any) -> None:
+        failure = ShardFailure(task.index, task.label, kind, str(error),
+                               task.failures)
+        if self.policy.quarantine:
+            self.stats.quarantined.append(failure.to_dict())
+            # Deliberately NOT routed through on_result: the journal
+            # only ever holds real cell results, so a resumed run
+            # re-attempts quarantined cells instead of replaying their
+            # tombstones.
+            self.results[task.index] = failure
+            if self.plane is not None:
+                self.plane.apply(_fail_event(task.index, task.label))
+            return
+        if kind == "crash":
+            raise WorkerCrashError(str(failure), shards=[task.index])
+        if kind == "hang":
+            raise ShardHungError(str(failure), shards=[task.index])
+        if isinstance(error, BaseException):
+            raise error
+        raise WorkerCrashError(str(failure),
+                               shards=[task.index])  # pragma: no cover
+
+    def _record_result_guard(self) -> None:  # pragma: no cover - debug aid
+        pass
+
+    def _recover_pool(self, broken: List[_Task]) -> None:
+        """A worker died and took the executor with it: respawn, then
+        triage every in-flight shard — charge the attempt to shards
+        whose worker actually ran (or that we reaped), requeue the
+        merely-queued ones for free."""
+        self.stats.pool_respawns += 1
+        affected = {id(t): t for t in broken}
+        for future, (task, _) in list(self._inflight.items()):
+            affected[id(task)] = task
+        self._inflight.clear()
+        try:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - defensive
+            pass
+        self._drain_heartbeats()
+        self._spawn_pool()
+        now = time.perf_counter()
+        for task in sorted(affected.values(), key=lambda t: t.index):
+            task.inflight.clear()
+            if task.index in self.results:
+                continue
+            if task.reap_pending:
+                timeout = self.policy.heartbeat_timeout
+                task.reap_pending = False
+                self._attempt_failed(
+                    task, "hang",
+                    f"heartbeat-silent for more than {timeout:g}s; "
+                    f"worker pid {task.pid} reaped", now)
+            elif (task.started and not _pid_alive(task.pid)) \
+                    or task.uncharged_breaks >= 2:
+                self._attempt_failed(
+                    task, "crash",
+                    "worker process died (BrokenProcessPool)", now)
+            elif task.started:
+                # Its worker survived the pool break (an innocent
+                # bystander); requeue without charging the budget, but
+                # remember the free pass so a lost start event cannot
+                # requeue a crashing shard forever.
+                task.uncharged_breaks += 1
+                task.next_eligible = now
+                self._pending.append(task)
+            else:
+                # Never started: it was queued behind the casualty.
+                task.uncharged_breaks += 1
+                task.next_eligible = now
+                self._pending.append(task)
+
+    # ------------------------------------------------------------------
+    # Liveness and hedging
+    # ------------------------------------------------------------------
+
+    def _reap_hung(self, now: float) -> None:
+        timeout = self.policy.heartbeat_timeout
+        if timeout is None:
+            return
+        for task in self.tasks.values():
+            if not task.inflight or task.reap_pending or not task.started:
+                continue
+            beat = task.last_beat or task.submitted_at
+            if now - beat <= timeout or not task.pid:
+                continue
+            task.reap_pending = True
+            self.stats.reaped += 1
+            try:
+                os.kill(task.pid, signal.SIGKILL)
+            except (ProcessLookupError, PermissionError):
+                task.reap_pending = False  # already gone / not ours
+
+    def _hedge_stragglers(self, now: float) -> None:
+        threshold = self.policy.hedge_after
+        if threshold is None:
+            return
+        for task in sorted(self.tasks.values(), key=lambda t: t.index):
+            if len(self._inflight) >= self.workers:
+                return  # no idle workers to hedge onto
+            if (not task.inflight or task.hedged or task.reap_pending
+                    or task.index in self.results):
+                continue
+            if now - task.submitted_at <= threshold:
+                continue
+            task.hedged = True
+            self.stats.hedges += 1
+            self._submit(task, hedge=True)
+
+
+# ----------------------------------------------------------------------
+# Serial supervision (jobs <= 1)
+# ----------------------------------------------------------------------
+
+
+def run_serial(
+    worker: Callable[[Any], Any],
+    items: Sequence[Any],
+    policy: FanoutPolicy,
+    plane: Optional["_progress.ProgressPlane"] = None,
+    on_result: Optional[Callable[[int, Any], None]] = None,
+    results: Optional[Dict[int, Any]] = None,
+    stats: Optional[SupervisorStats] = None,
+) -> List[Any]:
+    """The in-process twin of :class:`ShardSupervisor`: same retry /
+    quarantine semantics, no pool (so no reaping or hedging — a hang
+    here hangs the caller, which is what serial means)."""
+    items = list(items)
+    results = dict(results or {})
+    if stats is None:
+        stats = SupervisorStats(shards=len(items))
+    for index, item in enumerate(items):
+        if index in results:
+            continue
+        label = _item_label(item)
+        failures = 0
+        while True:
+            stats.attempts += 1
+            try:
+                if plane is not None:
+                    reporter = _progress.ShardReporter(index, plane.apply)
+                    reporter.started(label=label)
+                    _inject_procfault(index, failures)
+                    with _progress.reporting(reporter):
+                        value = worker(item)
+                    reporter.done()
+                else:
+                    _inject_procfault(index, failures)
+                    value = worker(item)
+            except Exception as exc:
+                failures += 1
+                if failures >= policy.max_attempts:
+                    if not policy.quarantine:
+                        raise
+                    failure = ShardFailure(index, label, "exception",
+                                           str(exc), failures)
+                    stats.quarantined.append(failure.to_dict())
+                    results[index] = failure
+                    if plane is not None:
+                        plane.apply(_fail_event(index, label))
+                    break
+                stats.retries += 1
+                if plane is not None:
+                    plane.apply(_retry_event(index, label))
+                time.sleep(policy.backoff(failures))
+                continue
+            results[index] = value
+            if on_result is not None:
+                on_result(index, value)
+            break
+    return [results[i] for i in range(len(items))]

@@ -144,6 +144,59 @@ class TestRunManifest:
         doc["trace_viewer"] = {"path": "t.json"}  # missing counters
         assert validate_manifest(doc) != []
 
+    def test_outcome_defaults_ok_and_records_interrupt(self):
+        doc = RunManifest("x").to_dict()
+        assert doc["outcome"] == "ok"
+        assert doc["interrupt_reason"] is None
+        manifest = RunManifest("x")
+        manifest.set_outcome("interrupted", "KeyboardInterrupt")
+        doc = manifest.to_dict()
+        assert doc["outcome"] == "interrupted"
+        assert doc["interrupt_reason"] == "KeyboardInterrupt"
+        assert validate_manifest(doc) == []
+
+    def test_supervisor_section_null_by_default(self):
+        doc = RunManifest("x").to_dict()
+        assert doc["supervisor"] is None
+        assert validate_manifest(doc) == []
+
+    def test_record_supervisor_skips_runs_that_never_fanned_out(self):
+        manifest = RunManifest("experiments:fig3")
+        manifest.record_supervisor(
+            {"shards": 0, "attempts": 0, "retries": 0, "hedges": 0,
+             "hedges_won": 0, "reaped": 0, "pool_respawns": 0,
+             "replayed": 0, "quarantined": []})
+        assert manifest.to_dict()["supervisor"] is None
+
+    def test_record_supervisor_with_resume_lineage(self):
+        manifest = RunManifest("chaos:sweep")
+        stats = {"shards": 4, "attempts": 6, "retries": 2, "hedges": 1,
+                 "hedges_won": 1, "reaped": 1, "pool_respawns": 1,
+                 "replayed": 0,
+                 "quarantined": [{"index": 1, "label": "tcp",
+                                  "kind": "crash", "error": "x",
+                                  "attempts": 2}]}
+        manifest.record_supervisor(
+            stats, resume={"journal": "j/cells.jsonl",
+                           "journal_digest": "ab" * 32})
+        doc = manifest.to_dict()
+        assert validate_manifest(doc) == []
+        assert doc["supervisor"]["retries"] == 2
+        assert doc["supervisor"]["resume"]["journal"] == "j/cells.jsonl"
+
+    def test_supervisor_section_type_errors_are_caught(self):
+        doc = RunManifest("x").to_dict()
+        doc["supervisor"] = {"shards": 1}  # missing counters
+        assert validate_manifest(doc) != []
+
+    def test_write_is_atomic_no_temp_residue(self, tmp_path):
+        manifest = RunManifest("x")
+        path = tmp_path / "run_manifest.json"
+        manifest.write(str(path))
+        manifest.write(str(path))  # overwrite in place
+        assert json.loads(path.read_text())["schema"] == MANIFEST_SCHEMA_ID
+        assert [p.name for p in tmp_path.iterdir()] == ["run_manifest.json"]
+
     def test_fingerprintable_excludes_wall_clock_noise(self):
         manifest = RunManifest("x", args={"seed": 1}, seed=1,
                                argv=["repro", "x"])

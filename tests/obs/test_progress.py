@@ -81,6 +81,31 @@ class TestShardState:
         assert state.state == "done"
         assert state.label == "cell"
 
+    def test_start_event_stamps_worker_pid(self):
+        state = ShardState(1)
+        state.apply(ProgressEvent(1, "start", pid=4242))
+        assert state.pid == 4242
+        # Later pid-less heartbeats keep the reaping handle.
+        state.apply(ProgressEvent(1, "update", flows_done=1))
+        assert state.pid == 4242
+
+    def test_retry_event_requeues_and_counts(self):
+        state = ShardState(1)
+        state.apply(ProgressEvent(1, "start", label="cell"))
+        state.apply(ProgressEvent(1, "retry"))
+        assert state.state == "pending"
+        assert state.retries == 1
+        # The re-run starts like any other attempt.
+        state.apply(ProgressEvent(1, "start"))
+        assert state.state == "running"
+        assert state.to_dict()["retries"] == 1
+
+    def test_fail_event_marks_the_shard_failed(self):
+        state = ShardState(1)
+        state.apply(ProgressEvent(1, "start"))
+        state.apply(ProgressEvent(1, "fail"))
+        assert state.state == "failed"
+
 
 class TestProgressPlane:
     def _plane(self, **kwargs):
@@ -112,6 +137,24 @@ class TestProgressPlane:
         assert "shard 0" in table
         assert "tcp x blackhole" in table
 
+    def test_supervision_totals_and_trouble_banner(self):
+        p = self._plane()
+        p.begin(3)
+        p.apply(ProgressEvent(0, "start"))
+        p.apply(ProgressEvent(0, "retry"))
+        p.apply(ProgressEvent(1, "start"))
+        p.apply(ProgressEvent(1, "fail"))
+        t = p.totals()
+        assert t["shards_failed"] == 1
+        assert t["shard_retries"] == 1
+        assert "[1 failed, 1 retries]" in p.render_line()
+
+    def test_clean_run_has_no_trouble_banner(self):
+        p = self._plane()
+        p.begin(1)
+        p.apply(ProgressEvent(0, "done", flows_done=1))
+        assert "failed" not in p.render_line()
+
     def test_prometheus_text_shape(self):
         p = self._plane()
         p.begin(2)
@@ -122,6 +165,17 @@ class TestProgressPlane:
         assert "repro_progress_flows_done_total 3" in text
         assert "repro_progress_sim_events_total 42" in text
         assert text.endswith("\n")
+
+    def test_prometheus_exports_supervision_metrics(self):
+        p = self._plane()
+        p.begin(2)
+        p.apply(ProgressEvent(0, "retry"))
+        p.apply(ProgressEvent(1, "fail"))
+        text = p.prometheus_text()
+        assert "# TYPE repro_progress_shards_failed gauge" in text
+        assert "repro_progress_shards_failed 1" in text
+        assert "# TYPE repro_progress_shard_retries_total counter" in text
+        assert "repro_progress_shard_retries_total 1" in text
 
     def test_export_writes_prom_and_jsonl(self, tmp_path):
         p = self._plane(out_dir=str(tmp_path))
@@ -139,6 +193,35 @@ class TestProgressPlane:
         assert doc["schema"] == SNAPSHOT_SCHEMA
         assert doc["totals"]["flows_done"] == 1
         assert doc["shards"][0]["state"] == "done"
+
+    def test_export_is_atomic_no_temp_residue(self, tmp_path):
+        # Publication goes through temp + os.replace: after any number
+        # of exports the directory holds exactly the two published
+        # files, every jsonl line parses, and each export adds one.
+        p = self._plane(out_dir=str(tmp_path))
+        p.begin(1)
+        p.apply(ProgressEvent(0, "done", flows_done=1))
+        base = len(p._snapshots)
+        for expected in (base + 1, base + 2, base + 3):
+            p.export()
+            names = sorted(f.name for f in tmp_path.iterdir())
+            assert names == ["progress.jsonl", "progress.prom"]
+            lines = (tmp_path / "progress.jsonl").read_text().splitlines()
+            assert len(lines) == expected
+            assert all(json.loads(line)["schema"] == SNAPSHOT_SCHEMA
+                       for line in lines)
+
+    def test_snapshot_history_is_capped(self, tmp_path):
+        from repro.obs import progress as progress_mod
+
+        p = self._plane(out_dir=str(tmp_path))
+        p.begin(1)
+        p.apply(ProgressEvent(0, "done", flows_done=1))
+        for _ in range(progress_mod.MAX_SNAPSHOTS + 5):
+            p._snapshots.append(p._snapshots[-1] if p._snapshots else "{}")
+        p.export()
+        lines = (tmp_path / "progress.jsonl").read_text().splitlines()
+        assert len(lines) == progress_mod.MAX_SNAPSHOTS
 
     def test_non_tty_stream_gets_full_lines(self):
         stream = io.StringIO()

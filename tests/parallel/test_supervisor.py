@@ -1,0 +1,200 @@
+"""Shard supervisor failure paths: crash, hang, retry, quarantine.
+
+Faults are injected with the deterministic ``repro.chaos.procfault``
+plans (worker kill -9, silent hang, raise) exactly as a ``--procfault``
+CLI run would, so these tests exercise the same recovery machinery end
+to end: BrokenProcessPool respawn, heartbeat-deadline reaping,
+deterministic retry budgets, and structured ShardFailure quarantine.
+"""
+
+import pytest
+
+from repro.errors import ProcFaultError, WorkerCrashError
+from repro.parallel import (
+    FanoutPolicy,
+    ShardFailure,
+    WorkerEnv,
+    fanout_map,
+    fanout_stats,
+    reset_fanout_stats,
+    supervision,
+    worker_env,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    if x == 3:
+        raise ValueError("boom")
+    return x
+
+
+def _pool_env(spec):
+    """Worker environment that activates a procfault plan in each pool
+    worker (the same wiring --procfault uses)."""
+    return worker_env(WorkerEnv(procfault_spec=spec))
+
+
+@pytest.fixture(autouse=True)
+def _fresh_stats():
+    reset_fanout_stats()
+    yield
+
+
+class TestLegacySemantics:
+    def test_default_policy_propagates_worker_exception(self):
+        with pytest.raises(ValueError):
+            fanout_map(_boom, [1, 2, 3, 4], jobs=2)
+
+    def test_exhausted_retries_still_propagate(self):
+        policy = FanoutPolicy(max_attempts=2, backoff_base=0.01)
+        with pytest.raises(ValueError):
+            fanout_map(_boom, [1, 2, 3, 4], jobs=2, policy=policy)
+        assert fanout_stats()["retries"] >= 1
+
+
+class TestRetryThenSucceed:
+    def test_pool_injected_raise_retries_and_succeeds(self):
+        # raise@1 fires on shard 1's first attempt only; the retry runs
+        # with attempt=1 and proceeds — deterministic recovery.
+        policy = FanoutPolicy(max_attempts=2, backoff_base=0.01)
+        with _pool_env("raise@1"):
+            results = fanout_map(_square, [0, 1, 2, 3], jobs=2,
+                                 policy=policy)
+        assert results == [0, 1, 4, 9]
+        stats = fanout_stats()
+        assert stats["retries"] == 1
+        assert stats["attempts"] == 5
+        assert stats["quarantined"] == []
+
+    def test_serial_injected_raise_retries_and_succeeds(self):
+        from repro.chaos import procfault
+
+        policy = FanoutPolicy(max_attempts=3, backoff_base=0.01)
+        plan = procfault.parse_procfault("raise@2,raise@2.1")
+        with procfault.activated(plan):
+            results = fanout_map(_square, [0, 1, 2], jobs=1, policy=policy)
+        assert results == [0, 1, 4]
+        assert fanout_stats()["retries"] == 2
+
+    def test_serial_exhausted_budget_raises(self):
+        from repro.chaos import procfault
+
+        policy = FanoutPolicy(max_attempts=2, backoff_base=0.01)
+        plan = procfault.parse_procfault("raise@0,raise@0.1")
+        with procfault.activated(plan):
+            with pytest.raises(ProcFaultError):
+                fanout_map(_square, [0, 1], jobs=1, policy=policy)
+
+
+class TestWorkerKill:
+    def test_sigkill_breaks_pool_and_run_recovers(self):
+        # kill@1 SIGKILLs the worker running shard 1 (attempt 0): the
+        # executor breaks, the supervisor respawns it and requeues the
+        # in-flight cells; the re-run (attempt 1) passes the fault.
+        policy = FanoutPolicy(max_attempts=2, backoff_base=0.01)
+        with _pool_env("kill@1"):
+            results = fanout_map(_square, [0, 1, 2, 3], jobs=2,
+                                 policy=policy)
+        assert results == [0, 1, 4, 9]
+        assert fanout_stats()["pool_respawns"] >= 1
+
+    def test_repeated_kills_exhaust_budget(self):
+        # Shard 1's worker dies on every attempt; after the free
+        # pool-break passes are used up the attempts are charged and
+        # the supervisor gives up with a structured crash error.
+        policy = FanoutPolicy(max_attempts=1, backoff_base=0.01)
+        spec = ",".join(f"kill@1.{a}" if a else "kill@1" for a in range(6))
+        with _pool_env(spec):
+            with pytest.raises(WorkerCrashError) as excinfo:
+                fanout_map(_square, [0, 1, 2], jobs=2, policy=policy)
+        assert 1 in excinfo.value.shards
+
+    def test_kill_quarantines_instead_of_raising(self):
+        policy = FanoutPolicy(max_attempts=1, backoff_base=0.01,
+                              quarantine=True)
+        spec = ",".join(f"kill@1.{a}" if a else "kill@1" for a in range(6))
+        with _pool_env(spec):
+            results = fanout_map(_square, [0, 1, 2], jobs=2, policy=policy)
+        assert results[0] == 0 and results[2] == 4
+        failure = results[1]
+        assert isinstance(failure, ShardFailure)
+        assert failure.kind == "crash"
+        assert fanout_stats()["quarantined"] == [failure.to_dict()]
+
+
+class TestHeartbeatReaping:
+    def test_silent_hang_is_reaped_and_retried(self):
+        # hang@1/60 sends shard 1 heartbeat-silent for a minute; the
+        # 1s deadline reaps its worker long before that and the retry
+        # (attempt 1) passes the fault.
+        policy = FanoutPolicy(max_attempts=2, backoff_base=0.01,
+                              heartbeat_timeout=1.0)
+        with _pool_env("hang@1/60"):
+            results = fanout_map(_square, [0, 1, 2, 3], jobs=2,
+                                 policy=policy)
+        assert results == [0, 1, 4, 9]
+        assert fanout_stats()["reaped"] >= 1
+
+    def test_hang_quarantines_with_hang_kind(self):
+        policy = FanoutPolicy(max_attempts=1, backoff_base=0.01,
+                              heartbeat_timeout=1.0, quarantine=True)
+        with _pool_env("hang@1/60"):
+            results = fanout_map(_square, [0, 1, 2], jobs=2, policy=policy)
+        failure = results[1]
+        assert isinstance(failure, ShardFailure)
+        assert failure.kind == "hang"
+        assert results[0] == 0 and results[2] == 4
+
+
+class TestQuarantine:
+    def test_poison_cell_leaves_structured_failure(self):
+        policy = FanoutPolicy(max_attempts=2, backoff_base=0.01,
+                              quarantine=True)
+        with _pool_env("raise@1,raise@1.1"):
+            results = fanout_map(_square, [0, 1, 2, 3], jobs=2,
+                                 policy=policy)
+        failure = results[1]
+        assert isinstance(failure, ShardFailure)
+        assert failure.kind == "exception"
+        assert failure.attempts == 2
+        assert "injected fault" in failure.error
+        assert [results[0], results[2], results[3]] == [0, 4, 9]
+
+    def test_serial_quarantine_matches_pool_shape(self):
+        policy = FanoutPolicy(max_attempts=1, quarantine=True)
+        results = fanout_map(_boom, [1, 2, 3, 4], jobs=1, policy=policy)
+        assert results[:2] == [1, 2] and results[3] == 4
+        assert isinstance(results[2], ShardFailure)
+        assert results[2].kind == "exception"
+        assert "boom" in results[2].error
+
+
+class TestHedging:
+    def test_straggler_is_hedged_and_first_finisher_wins(self):
+        # slow@1/5 delays shard 1's first attempt; after 0.4s the
+        # supervisor hedges a duplicate (attempt 1, no fault) onto an
+        # idle worker, which wins immediately.  (Kept to seconds: the
+        # losing worker finishes its sleep before interpreter exit.)
+        policy = FanoutPolicy(max_attempts=1, hedge_after=0.4,
+                              check_interval=0.02)
+        with _pool_env("slow@1/5"):
+            results = fanout_map(_square, [0, 1], jobs=2, policy=policy)
+        assert results == [0, 1]
+        stats = fanout_stats()
+        assert stats["hedges"] == 1
+        assert stats["hedges_won"] == 1
+
+
+class TestAmbientSupervision:
+    def test_supervision_context_applies_policy(self):
+        with supervision(FanoutPolicy(max_attempts=2, backoff_base=0.01,
+                                      quarantine=True)):
+            results = fanout_map(_boom, [1, 2, 3, 4], jobs=2)
+        assert isinstance(results[2], ShardFailure)
+        stats = fanout_stats()
+        assert stats["retries"] == 1
+        assert stats["shards"] == 4
