@@ -95,10 +95,12 @@ def _build_parser() -> argparse.ArgumentParser:
                              "benchmark slowed by more than PCT percent "
                              "(omit for warn-only)")
     parser.add_argument("--strict-compare", action="store_true",
-                        help="with --compare: fail (exit 1) on metadata "
-                             "mismatches — machine fingerprint, python "
-                             "version, or workload scale — instead of "
-                             "just warning")
+                        help="with --compare: fail (exit 1) on hard "
+                             "metadata mismatches — machine fingerprint, "
+                             "python version/implementation, or workload "
+                             "scale — instead of just warning (benign "
+                             "drift like cpu_count or a platform "
+                             "patchlevel stays warn-only)")
     parser.add_argument("--label", default=None,
                         help="free-form label stored in the document "
                              "(e.g. a commit id)")

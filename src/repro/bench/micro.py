@@ -153,6 +153,36 @@ def _sender_ack_processing(n: int, seed: int) -> Tuple[float, int]:
     return time.perf_counter() - started, segments
 
 
+def _scoreboard_array_ack(n: int, seed: int) -> Tuple[float, int]:
+    """Array-backed scoreboard bookkeeping in isolation.
+
+    Drives :class:`~repro.transport.sacks.SendScoreboard` directly —
+    ``mark_sent`` stamping the send-time column, then one cumulative
+    ACK per segment (every fourth carrying a small SACK block) stamping
+    the ack-time column — so the struct-of-arrays state machine is
+    timed without any sender/window logic around it.  Ops = sends plus
+    ACKs applied.
+    """
+    from repro.transport.sacks import SendScoreboard
+
+    scoreboard = SendScoreboard(n)
+    tick = 1e-4
+    started = time.perf_counter()
+    for seq in range(n):
+        scoreboard.mark_sent(seq, time=seq * tick)
+    for cum in range(1, n + 1):
+        if cum % 4 == 0 and cum + 2 <= n:
+            scoreboard.on_ack(cum, ((cum + 1, cum + 2),),
+                              now=(n + cum) * tick)
+        else:
+            scoreboard.on_ack(cum, now=(n + cum) * tick)
+    elapsed = time.perf_counter() - started
+    if scoreboard.cum_ack != n:  # pragma: no cover - sanity guard
+        raise RuntimeError(f"scoreboard benchmark did not complete: "
+                           f"cum_ack {scoreboard.cum_ack}/{n}")
+    return elapsed, 2 * n
+
+
 class _SinkNode:
     """Minimal delivery target for the link benchmark (counts packets)."""
 
@@ -165,36 +195,63 @@ class _SinkNode:
         self.received += 1
 
 
-def _link_deliver(n: int, seed: int) -> Tuple[float, int]:
-    """Full link datapath: admit, serialize, propagate, deliver.
-
-    ``Link._deliver`` is the hottest callback in macro runs (every
-    packet pays the chain once per hop), so this drives ``n`` packets
-    through one fast link into a sink endpoint and times the whole
-    drain — covering ``_admit``, ``_start_transmission``,
-    ``_finish_transmission``, ``_deliver`` and the events they
-    schedule.  Ops = packets delivered.
-    """
-    from repro.net.link import Link
+def _link_drain(n: int, seed: int, batched: bool) -> Tuple[float, int]:
+    """Drive ``n`` packets through one fast link into a sink endpoint
+    and time the whole drain; ops = packets delivered."""
+    from repro.net.link import Link, batching_enabled, set_batching
     from repro.net.packet import Packet, PacketType
     from repro.sim.simulator import Simulator
     from repro.units import gbps, us
 
-    sim = Simulator(seed=seed)
-    sink = _SinkNode()
-    link = Link(sim, "bench->sink", sink, rate=gbps(10), delay=us(10))
-    packets = [Packet(src="bench", dst="sink", flow_id=1,
-                      kind=PacketType.DATA, size=1500, seq=i)
-               for i in range(n)]
-    started = time.perf_counter()
-    for packet in packets:
-        link.send(packet)
-    sim.run()
-    elapsed = time.perf_counter() - started
+    previous = batching_enabled()
+    set_batching(batched)
+    try:
+        sim = Simulator(seed=seed)
+        sink = _SinkNode()
+        link = Link(sim, "bench->sink", sink, rate=gbps(10), delay=us(10))
+        packets = [Packet(src="bench", dst="sink", flow_id=1,
+                          kind=PacketType.DATA, size=1500, seq=i)
+                   for i in range(n)]
+        started = time.perf_counter()
+        for packet in packets:
+            link.send(packet)
+        sim.run()
+        elapsed = time.perf_counter() - started
+    finally:
+        set_batching(previous)
     if sink.received != n:  # pragma: no cover - sanity guard
         raise RuntimeError(f"link benchmark lost packets: "
                            f"{sink.received}/{n} delivered")
     return elapsed, n
+
+
+def _link_deliver(n: int, seed: int) -> Tuple[float, int]:
+    """Per-packet link datapath: admit, serialize, propagate, deliver.
+
+    ``Link._deliver`` is the hottest callback in macro runs (every
+    packet pays the chain once per hop), so this drives ``n`` packets
+    through one fast link into a sink endpoint and times the whole
+    drain — covering ``_admit``, the per-packet serialization events,
+    ``_deliver`` and the events they schedule.  Train batching is
+    disabled for the duration, so this stays the *per-packet reference
+    cost* (directly comparable across trajectory files; the batched
+    plan is measured by ``link_deliver_train``).  Ops = packets
+    delivered.
+    """
+    return _link_drain(n, seed, batched=False)
+
+
+def _link_deliver_train(n: int, seed: int) -> Tuple[float, int]:
+    """Batched link datapath: one train plan per back-to-back run.
+
+    Identical workload to ``link_deliver``, but with packet-train
+    batching on: ``Link._start_train`` pops the whole backlog, computes
+    every serialization/delivery instant analytically, and schedules
+    only the delivery events.  ``link_deliver / link_deliver_train`` is
+    therefore the datapath batching speedup per delivered packet.
+    Ops = packets delivered.
+    """
+    return _link_drain(n, seed, batched=True)
 
 
 def _trace_sink_serialization(n: int, seed: int) -> Tuple[float, int]:
@@ -217,6 +274,15 @@ def _trace_sink_serialization(n: int, seed: int) -> Tuple[float, int]:
         sink.close()
         elapsed = time.perf_counter() - started
     return elapsed, n
+
+
+def _logical_events(sim) -> int:
+    """Logical event count of a finished run: events the loop fired plus
+    events the batched link datapath absorbed into train plans
+    (:mod:`repro.net.link`).  Equal to the unbatched run's ``events_run``
+    exactly, so paired micros (audit on/off, chaos on/off, ...) report
+    comparable per-event costs even when only one side batches."""
+    return sim.events_run + sim.events_absorbed
 
 
 def _halfback_flow(n: int, seed: int, audited: bool) -> Tuple[float, int]:
@@ -256,7 +322,7 @@ def _halfback_flow(n: int, seed: int, audited: bool) -> Tuple[float, int]:
         started = time.perf_counter()
         sim.run(until=300.0)
         elapsed = time.perf_counter() - started
-    return elapsed, sim.events_run
+    return elapsed, _logical_events(sim)
 
 
 def _flow_audit_off(n: int, seed: int) -> Tuple[float, int]:
@@ -302,7 +368,7 @@ def _halfback_flow_provenance(n: int, seed: int,
     started = time.perf_counter()
     sim.run(until=300.0)
     elapsed = time.perf_counter() - started
-    return elapsed, sim.events_run
+    return elapsed, _logical_events(sim)
 
 
 def _sched_provenance_off(n: int, seed: int) -> Tuple[float, int]:
@@ -344,7 +410,7 @@ def _halfback_flow_chaos(n: int, seed: int,
     sender.start()
     started = time.perf_counter()
     sim.run(until=300.0)
-    return time.perf_counter() - started, sim.events_run
+    return time.perf_counter() - started, _logical_events(sim)
 
 
 def _flow_chaos_off(n: int, seed: int) -> Tuple[float, int]:
@@ -432,7 +498,7 @@ def _halfback_flow_obs(n: int, seed: int, observed: bool) -> Tuple[float, int]:
         if observed:
             StreamingFlowAggregator().observe_all(runner.drain_records())
         elapsed = time.perf_counter() - started
-    return elapsed, sim.events_run
+    return elapsed, _logical_events(sim)
 
 
 def _flow_obs_off(n: int, seed: int) -> Tuple[float, int]:
@@ -479,7 +545,7 @@ def _halfback_flow_breakdown(n: int, seed: int,
         elapsed = time.perf_counter() - started
     if observed and not session.aggregate.flows:  # pragma: no cover
         raise RuntimeError("breakdown benchmark observed no flows")
-    return elapsed, sim.events_run
+    return elapsed, _logical_events(sim)
 
 
 def _flow_breakdown_off(n: int, seed: int) -> Tuple[float, int]:
@@ -507,9 +573,18 @@ MICRO_BENCHMARKS: Dict[str, MicroBenchmark] = {
         MicroBenchmark("sender_ack_processing",
                        "TCP sender per-ACK bookkeeping + window send",
                        _sender_ack_processing, default_n=4_000),
+        MicroBenchmark("scoreboard_array_ack",
+                       "array-backed SendScoreboard mark_sent + on_ack "
+                       "(struct-of-arrays columns, no sender around it)",
+                       _scoreboard_array_ack, default_n=20_000),
         MicroBenchmark("link_deliver",
-                       "full link datapath: admit, serialize, deliver",
+                       "per-packet link datapath: admit, serialize, "
+                       "deliver (train batching disabled)",
                        _link_deliver, default_n=20_000),
+        MicroBenchmark("link_deliver_train",
+                       "batched link datapath: one train plan per "
+                       "back-to-back run (same workload as link_deliver)",
+                       _link_deliver_train, default_n=20_000),
         MicroBenchmark("trace_sink_serialization",
                        "JSONL trace-sink write of schema-shaped records",
                        _trace_sink_serialization, default_n=20_000),

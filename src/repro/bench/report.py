@@ -14,6 +14,8 @@ because it means the *benchmark* changed, not the code speed.
 from __future__ import annotations
 
 import json
+import math
+import re
 import time
 from typing import Dict, List, Optional
 
@@ -26,6 +28,7 @@ __all__ = [
     "compare_reports",
     "load_report",
     "metadata_mismatches",
+    "metadata_warnings",
     "render_comparison",
     "validate_profile",
     "validate_report",
@@ -191,25 +194,52 @@ def _pct(old: float, new: float) -> Optional[float]:
 
 
 #: Machine-metadata keys forming the host fingerprint: two timings are
-#: only directly comparable when all of these match.
-MACHINE_FINGERPRINT_KEYS = ("platform", "machine", "processor", "cpu_count")
+#: only directly comparable when all of these match.  A mismatch here
+#: means different hardware or OS — a *hard* strict-compare failure.
+#: (``platform`` is compared with the kernel patchlevel stripped; a
+#: patchlevel-only drift is routine on auto-updating CI hosts and is
+#: warn-only, see :func:`metadata_warnings`.)
+MACHINE_FINGERPRINT_KEYS = ("platform", "machine", "processor")
+
+#: Machine-metadata keys that drift without changing the speed class of
+#: the host (container CPU quotas resize; kernels take point releases).
+#: Mismatches here are *warn-only*: annotated, never failing the
+#: strict gate.
+MACHINE_WARN_KEYS = ("cpu_count",)
+
+#: ``1.2.3`` -> ``1.2``: normalizes version tokens inside a platform
+#: string so kernel patch releases compare equal.
+_PATCHLEVEL = re.compile(r"(\d+\.\d+)(?:\.\d+)+")
+
+
+def _strip_patchlevel(value: object) -> object:
+    """Platform string with version tokens truncated to major.minor."""
+    if not isinstance(value, str):
+        return value
+    return _PATCHLEVEL.sub(r"\1", value)
 
 
 def metadata_mismatches(old: dict, new: dict) -> List[str]:
-    """Environment differences that make ``old`` vs ``new`` timings
-    apples-to-oranges: machine fingerprint, interpreter, workload scale.
+    """*Hard* environment differences that make ``old`` vs ``new``
+    timings apples-to-oranges: machine fingerprint (different hardware
+    or OS beyond a kernel patchlevel), interpreter (python version or
+    implementation), workload scale.
 
     Each is a human-readable warning; with ``strict`` comparisons any
-    mismatch fails the gate outright instead of merely annotating it.
+    of these fails the gate outright instead of merely annotating it.
+    Benign drift (CPU quota, kernel patch release) is reported by
+    :func:`metadata_warnings` instead and never fails the gate.
     """
     mismatches: List[str] = []
     old_m = old.get("machine") or {}
     new_m = new.get("machine") or {}
-    old_fp = {k: old_m.get(k) for k in MACHINE_FINGERPRINT_KEYS}
-    new_fp = {k: new_m.get(k) for k in MACHINE_FINGERPRINT_KEYS}
+    old_fp = {k: _strip_patchlevel(old_m.get(k))
+              for k in MACHINE_FINGERPRINT_KEYS}
+    new_fp = {k: _strip_patchlevel(new_m.get(k))
+              for k in MACHINE_FINGERPRINT_KEYS}
     if old_fp != new_fp:
         changed = ", ".join(
-            f"{k} {old_fp[k]!r} vs {new_fp[k]!r}"
+            f"{k} {old_m.get(k)!r} vs {new_m.get(k)!r}"
             for k in MACHINE_FINGERPRINT_KEYS if old_fp[k] != new_fp[k])
         mismatches.append(f"machine fingerprints (platform) differ "
                           f"({changed}); timings are not directly "
@@ -227,22 +257,49 @@ def metadata_mismatches(old: dict, new: dict) -> List[str]:
     return mismatches
 
 
+def metadata_warnings(old: dict, new: dict) -> List[str]:
+    """*Warn-only* environment drift: annotated in the comparison but
+    never failing the strict gate — CPU-count changes (container
+    quotas) and platform strings differing only in a version
+    patchlevel (kernel point releases)."""
+    warnings: List[str] = []
+    old_m = old.get("machine") or {}
+    new_m = new.get("machine") or {}
+    for key in MACHINE_WARN_KEYS:
+        if old_m.get(key) != new_m.get(key):
+            warnings.append(f"{key} differs ({old_m.get(key)!r} vs "
+                            f"{new_m.get(key)!r}); warn-only, not a "
+                            "strict-compare failure")
+    old_plat, new_plat = old_m.get("platform"), new_m.get("platform")
+    if (old_plat != new_plat
+            and _strip_patchlevel(old_plat) == _strip_patchlevel(new_plat)):
+        warnings.append(f"platform patchlevels differ ({old_plat!r} vs "
+                        f"{new_plat!r}); warn-only, not a strict-compare "
+                        "failure")
+    return warnings
+
+
 def compare_reports(old: dict, new: dict,
                     fail_threshold: Optional[float] = None,
                     strict: bool = False) -> dict:
     """Per-scenario deltas between two bench documents.
 
-    Returns ``{"rows", "notes", "mismatches", "regressions", "failed"}``:
-    rows feed :func:`render_comparison`; ``regressions`` lists rows whose
-    slowdown exceeds ``fail_threshold`` percent; ``mismatches`` lists
-    environment differences (machine fingerprint, python version, scale)
-    that make the two documents apples-to-oranges; ``failed`` is True
-    when a threshold was given and a comparable row exceeded it, or —
-    with ``strict`` — when any metadata mismatch exists.
+    Returns ``{"rows", "notes", "mismatches", "warnings", "regressions",
+    "geomean", "failed"}``: rows feed :func:`render_comparison`;
+    ``regressions`` lists rows whose slowdown exceeds ``fail_threshold``
+    percent; ``mismatches`` lists *hard* environment differences
+    (machine fingerprint, python version, scale) that make the two
+    documents apples-to-oranges, while ``warnings`` lists benign drift
+    (cpu_count, platform patchlevel) that never fails the gate;
+    ``geomean`` summarizes the old/new speedup across comparable rows
+    (macro wall-clock and micro ns/op alike); ``failed`` is True when a
+    threshold was given and a comparable row exceeded it, or — with
+    ``strict`` — when any *hard* metadata mismatch exists.
     """
     rows: List[dict] = []
     mismatches = metadata_mismatches(old, new)
-    notes: List[str] = list(mismatches)
+    warnings = metadata_warnings(old, new)
+    notes: List[str] = list(mismatches) + list(warnings)
 
     old_scen = old.get("scenarios") or {}
     new_scen = new.get("scenarios") or {}
@@ -304,10 +361,42 @@ def compare_reports(old: dict, new: dict,
         "rows": rows,
         "notes": notes,
         "mismatches": mismatches,
+        "warnings": warnings,
         "regressions": regressions,
+        "geomean": _geomean_speedups(rows),
         "failed": bool(regressions) or (strict and bool(mismatches)),
         "fail_threshold": fail_threshold,
         "strict": strict,
+    }
+
+
+def _geomean_speedups(rows: List[dict]) -> dict:
+    """Geometric-mean old/new speedup over the comparable rows.
+
+    Both row metrics are time-per-something (macro wall seconds, micro
+    median ns/op), so ``old / new`` is a speedup factor on either kind
+    and the geometric mean composes them fairly.  Returns ``{"overall",
+    "count", "by_kind": {kind: {"speedup", "count"}}}`` with None
+    speedups when no row of that kind is comparable.
+    """
+    logs: List[float] = []
+    by_kind: Dict[str, List[float]] = {"macro": [], "micro": []}
+    for row in rows:
+        if not row["comparable"]:
+            continue
+        old_v, new_v = row["old"], row["new"]
+        if not old_v or not new_v:
+            continue
+        ratio = math.log(old_v / new_v)
+        logs.append(ratio)
+        by_kind.setdefault(row["kind"], []).append(ratio)
+    def _fold(values: List[float]) -> Optional[float]:
+        return math.exp(sum(values) / len(values)) if values else None
+    return {
+        "overall": _fold(logs),
+        "count": len(logs),
+        "by_kind": {kind: {"speedup": _fold(values), "count": len(values)}
+                    for kind, values in by_kind.items()},
     }
 
 
@@ -336,6 +425,18 @@ def render_comparison(result: dict) -> str:
                          "regression gate)")
     for note in result["notes"]:
         lines.append(f"note: {note}")
+    geomean = result.get("geomean") or {}
+    if geomean.get("overall") is not None:
+        parts = []
+        for kind in ("macro", "micro"):
+            block = (geomean.get("by_kind") or {}).get(kind) or {}
+            if block.get("speedup") is not None:
+                parts.append(f"{kind} {block['speedup']:.2f}x "
+                             f"over {block['count']}")
+        detail = f" ({', '.join(parts)})" if parts else ""
+        lines.append(f"geometric-mean speedup: {geomean['overall']:.2f}x "
+                     f"across {geomean['count']} comparable "
+                     f"benchmark(s){detail}")
     threshold = result.get("fail_threshold")
     if result.get("strict") and result.get("mismatches"):
         lines.append(f"STRICT COMPARE: {len(result['mismatches'])} metadata "

@@ -314,8 +314,12 @@ def run_cell(
         except StallError as exc:
             result.stalled = True
             result.stall_dump = list(exc.pending)
-        result.events = sim.events_run
-        _progress.heartbeat(events=sim.events_run)
+        # Logical event count (fired + absorbed by the batched link
+        # datapath) — invariant under train batching, so the cell
+        # fingerprint matches runs where tracing/auditing forces the
+        # per-packet path.
+        result.events = sim.events_run + sim.events_absorbed
+        _progress.heartbeat(events=result.events)
         fct_sum = 0.0
         for record in records:
             if record.completed:

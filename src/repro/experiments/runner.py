@@ -79,8 +79,9 @@ def launch_flow(
         if breakdown is not None:
             record.extra["breakdown"] = breakdown
         # Advisory heartbeat for the live progress plane (no-op without
-        # one); simulator event counts ride along for throughput/ETA.
-        _progress.flow_completed(events=sim.events_run)
+        # one); logical event counts (fired + batching-absorbed) ride
+        # along for throughput/ETA.
+        _progress.flow_completed(events=sim.events_run + sim.events_absorbed)
         if on_complete is not None:
             on_complete(record)
 

@@ -1,0 +1,76 @@
+"""The zero-overhead build switch (``HALFBACK_FAST=1`` / ``--fast``).
+
+Hot datapath functions — link delivery, queue admission, the sender's
+per-ACK handler — carry observability hooks: lineage-trace guards,
+telemetry instruments, protocol hook dispatch.  Each is a single falsy
+check when the corresponding subsystem is off, but on runs firing tens
+of millions of events even falsy checks add up.  The *fast build*
+removes them entirely: when :func:`enabled` is true at construction
+time, :class:`~repro.net.link.Link`, :class:`~repro.net.queue.DropTailQueue`
+and :class:`~repro.transport.sender.SenderBase` bind hook-free variants
+of those functions onto the instance, so the per-event cost of the
+hooks is zero — not "cheap", absent.
+
+Because the hooks are *gone*, a fast build cannot observe per-packet
+state mid-run.  The CLI therefore refuses ``--fast`` in combination
+with ``--telemetry``, ``--audit``, ``--chaos``, ``--breakdown`` or
+``--trace-viewer`` (see :func:`incompatible_flag`); programmatic users
+enabling the switch mid-process must do so *before* constructing
+simulators, since already-built objects keep whatever variants they
+bound.
+
+The switch changes dispatch, never arithmetic: a fast run's report
+fingerprints are byte-identical to a default run's (the CI bench-smoke
+job diffs them on every push).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Sequence
+
+__all__ = ["enabled", "enable", "disable", "incompatible_flag",
+           "INCOMPATIBLE_FLAGS"]
+
+_ENABLED = os.environ.get("HALFBACK_FAST", "") == "1"
+
+#: CLI flags whose subsystems need the hooks the fast build removes.
+INCOMPATIBLE_FLAGS = ("--telemetry", "--audit", "--chaos", "--breakdown",
+                      "--trace-viewer")
+
+
+def enabled() -> bool:
+    """True when the zero-overhead build is active (consulted by the
+    datapath classes at construction time)."""
+    return _ENABLED
+
+
+def enable() -> None:
+    """Activate the fast build for objects constructed from now on."""
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable() -> None:
+    """Deactivate the fast build (tests / interactive use)."""
+    global _ENABLED
+    _ENABLED = False
+
+
+def incompatible_flag(flags: Sequence[str]) -> Optional[str]:
+    """First member of ``flags`` the fast build cannot honor, or None.
+
+    Callers pass the observability flags the user actually set; the
+    returned flag should be reported with :func:`refusal_message`.
+    """
+    for flag in flags:
+        if flag in INCOMPATIBLE_FLAGS:
+            return flag
+    return None
+
+
+def refusal_message(flag: str) -> str:
+    """The error text for an impossible ``--fast`` + ``flag`` combination."""
+    return (f"--fast builds hook-free datapaths at construction time and "
+            f"cannot observe per-packet state, so it cannot honor {flag}; "
+            f"drop {flag} or run without --fast")

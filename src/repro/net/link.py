@@ -14,13 +14,61 @@ chaos-off runs pay one falsy test per packet.
 
 Full-duplex connectivity is built from two links; see
 :meth:`repro.net.topology.Topology.connect`.
+
+Batched packet-train datapath
+-----------------------------
+The unbatched execution spends two scheduler events per packet per hop
+(``finish_transmission`` + ``deliver``), which BENCH_2 profiling shows
+is ~96 % of all events on the figure macros.  When nothing needs
+per-packet control, the link instead *plans* the whole back-to-back run
+at serialization start: per-packet start/finish/delivery timestamps are
+computed analytically (the same chained float additions the per-packet
+events would have performed, so timestamps are bit-identical), one
+delivery event is pushed per surviving packet, and a single lazily
+scheduled restart continues the train when more packets queue behind a
+busy serializer.
+
+Two mechanisms compose:
+
+* **Train planning** replaces every ``finish_transmission`` event with
+  arithmetic.  Queue-occupancy decisions stay byte-identical through
+  ``DropTailQueue.pending_bytes``: planned packets whose serialization
+  start is still in the future are re-counted as queued, which is
+  exactly when the unbatched execution would still hold them.
+* **Cut-through chaining** extends a plan across downstream links that
+  a topology builder marked ``cut_through`` (links with a single
+  structural feeder, e.g. the access-network last-mile edges).  When
+  such a link is provably idle at the packet's arrival instant, its
+  serialization is planned in the same pass and no event fires at the
+  intermediate router at all.  A real admission racing an outstanding
+  plan would break FIFO order, so marked links keep a high-water mark
+  of planned arrivals and refuse (loudly) if an admission arrives
+  before it — unreachable when the mark is applied to genuinely
+  sole-feeder links.
+
+The **fallback predicate** is a cached boolean (``self._fast``),
+recomputed whenever observability state changes: any of tracing
+(lineage/provenance), an attached impairment, a non-drop-tail queue
+discipline, or a sampling monitor on the link or its queue forces the
+per-packet path, which remains byte-for-byte the pre-batching code.
+Bernoulli loss *is* batchable: draws come from the link's private RNG
+stream in serialization order either way.
+
+``events_absorbed`` accounting keeps benchmarks honest: every event the
+plan eliminated increments :attr:`Simulator.events_absorbed` (and the
+``scheduler.events_absorbed`` counter), every extra restart event
+decrements it, so ``events_run + events_absorbed`` equals the event
+count of the equivalent unbatched run exactly.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from collections import deque
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
 
-from repro.errors import ConfigurationError
+from repro import fastpath
+from repro.errors import ConfigurationError, SimulationError, TopologyError
 from repro.net.packet import Packet
 from repro.net.queue import DropTailQueue
 from repro.telemetry.schema import (
@@ -28,7 +76,38 @@ from repro.telemetry.schema import (
     EV_PKT_ENQUEUE, EV_PKT_TX, EV_QUEUE_DROP,
 )
 
-__all__ = ["Link", "LinkStats"]
+__all__ = ["Link", "LinkStats", "batching_enabled", "set_batching",
+           "batching_disabled"]
+
+#: Process-wide batching master switch.  The equivalence suite flips it
+#: off to produce the per-packet reference execution; links cache it at
+#: predicate-refresh time, so flip it before building a topology.
+_BATCHING = True
+
+
+def batching_enabled() -> bool:
+    """True when links may use the batched packet-train datapath."""
+    return _BATCHING
+
+
+def set_batching(on: bool) -> None:
+    """Globally enable/disable train batching (affects links built or
+    refreshed afterwards)."""
+    global _BATCHING
+    _BATCHING = bool(on)
+
+
+@contextmanager
+def batching_disabled() -> Iterator[None]:
+    """Run the per-packet reference datapath inside the context (the
+    fingerprint-equivalence suite's unbatched arm)."""
+    global _BATCHING
+    previous = _BATCHING
+    _BATCHING = False
+    try:
+        yield
+    finally:
+        _BATCHING = previous
 
 
 class LinkStats:
@@ -103,12 +182,44 @@ class Link:
         self.dst = dst
         self.rate = rate
         self.delay = delay
-        self.queue = queue if queue is not None else DropTailQueue(1 << 30)
+        self._queue = queue if queue is not None else DropTailQueue(1 << 30)
         self.loss_rate = loss_rate
         self._loss_rng = sim.streams.get(f"link-loss:{name}") if loss_rate else None
         self._busy = False
         self._impairments: List = []
         self.stats = LinkStats()
+        # --- batched-datapath state -----------------------------------
+        #: Absolute time the serializer frees under the batched plan.
+        self._busy_until = 0.0
+        #: True while a train-restart event is pending at _busy_until.
+        self._restart_pending = False
+        #: ``(start_time, size, dq_push)`` of train-planned packets still
+        #: logically occupying the queue — mirrored into
+        #: ``queue.pending_bytes``.  ``dq_push`` is the push time of the
+        #: unbatched dequeue event (the previous packet's serialization
+        #: start; the planning event's own ``lpush`` for the train head),
+        #: used by :meth:`_prune_pending` to resolve same-instant
+        #: dequeue-vs-observer ties exactly as the per-packet run would.
+        self._pending = deque()
+        #: Serialization start of the last train-planned packet — the
+        #: push time of the unbatched ``_finish_transmission`` event that
+        #: would start the next run, back-dated onto restart events.
+        self._last_start = 0.0
+        #: Marked by topology builders asserting this link has a single
+        #: structural feeder, enabling cut-through planning into it.
+        self.cut_through = False
+        #: Real admissions planned analytically but not yet delivered
+        #: toward this link (racing-admission bookkeeping for cut-through
+        #: eligibility).
+        self._inbound_pending = 0
+        #: High-water mark of cut-through arrival times planned into this
+        #: link; a real admission before it would break FIFO order.
+        self._cut_last_arrival = 0.0
+        #: True once a sampling monitor reads this link's counters
+        #: mid-run (exact sample timing needs per-packet events).
+        self.monitored = False
+        self._fast = False
+        self._queue._owner = self
         # Cached recorder (rebound by the simulator when sim.trace is
         # reassigned): the per-packet lineage guard below is a single
         # attribute check when tracing is off.
@@ -125,18 +236,83 @@ class Link:
         self._m_queue_drop_bytes = metrics.counter("queue.drop_bytes")
         self._m_chaos_drops = metrics.counter("chaos.drops")
         self._m_chaos_corrupt = metrics.counter("chaos.corrupted")
+        self._m_absorbed = metrics.counter("scheduler.events_absorbed")
+        if fastpath.enabled():
+            # Zero-overhead build: bind the hook-free delivery variant
+            # (no lineage-trace guard, no telemetry instrument call) for
+            # the lifetime of this link.  The CLI refuses --fast together
+            # with every flag that would need those hooks.
+            self._deliver = self._deliver_nohook
+        self.refresh_fast_path()
 
     # ------------------------------------------------------------------
 
     def _rebind_trace(self, recorder) -> None:
         self._trace = recorder
+        self.refresh_fast_path()
+
+    def refresh_fast_path(self) -> None:
+        """Re-evaluate the cached batched-datapath predicate.
+
+        Called whenever observability state changes (trace rebind,
+        impairment attach/detach, monitor attachment).  Anything needing
+        per-packet control — lineage/provenance tracing, chaos
+        impairments, an AQM queue discipline, or a sampling monitor on
+        the link or its queue — forces the per-packet reference path.
+
+        A tie-break permutation salt also forces it: the perturbation
+        harness scrambles same-instant order by per-event identity
+        (``seq``), and a train plan absorbs events — changing the very
+        identities the salt permutes — so a salted run must execute the
+        per-packet reference schedule for batched-on/off runs to stay
+        byte-identical.
+        """
+        self._fast = (
+            _BATCHING
+            and self.sim.tiebreak_salt is None
+            and not self._trace.enabled
+            and not self._impairments
+            and not self.monitored
+            and type(self.queue) is DropTailQueue
+            and not self.queue.monitored
+        )
+        # Bind the admission path directly as this link's ``send``: one
+        # call layer less per offered packet on the hottest edges.  The
+        # class-level send (restored when the predicate flips off) is
+        # the one that walks the impairment clone pipeline — impairments
+        # force the predicate off, so the binding never skips it.
+        if self._fast:
+            self.send = self._admit_fast
+        else:
+            self.__dict__.pop("send", None)
+
+    def mark_monitored(self) -> None:
+        """Record that a sampler reads this link's counters mid-run
+        (disables the batched fast path so sample timing stays exact)."""
+        self.monitored = True
+        self.refresh_fast_path()
+
+    @property
+    def queue(self) -> DropTailQueue:
+        """The egress queue discipline."""
+        return self._queue
+
+    @queue.setter
+    def queue(self, queue: DropTailQueue) -> None:
+        # Post-construction swaps (tests / sensitivity studies replacing
+        # the discipline, e.g. with CoDel) must re-evaluate the cached
+        # batching predicate, or a stale fast path would bypass the new
+        # discipline's dequeue-time logic.
+        self._queue = queue
+        queue._owner = self
+        self.refresh_fast_path()
 
     # ------------------------------------------------------------------
 
     @property
     def busy(self) -> bool:
         """True while a packet is being serialized."""
-        return self._busy
+        return self._busy or self.sim.now < self._busy_until
 
     def set_loss(self, loss_rate: float) -> None:
         """Install (or change) this link's random in-flight loss rate."""
@@ -160,6 +336,7 @@ class Link:
         """Install ``impairment`` on this link (bound, then appended)."""
         impairment.bind(self)
         self._impairments.append(impairment)
+        self.refresh_fast_path()
 
     def detach_impairment(self, impairment) -> None:
         """Remove one attached impairment (unbinding where supported)."""
@@ -168,6 +345,7 @@ class Link:
             unbind = getattr(impairment, "unbind", None)
             if unbind is not None:
                 unbind()
+            self.refresh_fast_path()
 
     def detach_impairments(self) -> None:
         """Remove every impairment (unbinding timers where supported)."""
@@ -176,6 +354,7 @@ class Link:
             if unbind is not None:
                 unbind()
         self._impairments.clear()
+        self.refresh_fast_path()
 
     # ------------------------------------------------------------------
 
@@ -190,6 +369,9 @@ class Link:
         duplication); clones are admitted directly so a clone is never
         itself re-judged into further clones.
         """
+        if self._fast:
+            self._admit_fast(packet)
+            return
         if self._impairments:
             trace = self._trace
             for impairment in self._impairments:
@@ -222,6 +404,313 @@ class Link:
                          **packet.lineage_detail())
         if not self._busy:
             self._start_transmission()
+
+    # ------------------------------------------------------------------
+    # Batched packet-train datapath (see module docstring)
+    # ------------------------------------------------------------------
+
+    def _prune_pending(self, now: float, lpush: float) -> None:
+        """Release pending-bytes compensation for planned packets the
+        unbatched execution would have dequeued by this point.
+
+        A planned packet leaves the unbatched queue inside the event
+        that starts its serialization, pushed at the *previous* packet's
+        start (stored per entry as ``dq_push``).  An observer at the
+        same instant sees the dequeue iff that event executes first —
+        i.e. iff its push time is at most the observer's own logical
+        push time (``lpush``); entries whose start has strictly passed
+        are always released.  Ties in push time release (dequeue-first),
+        the one approximation in the emulation — reachable only when
+        two pushes coincide to the exact float instant.
+        """
+        pending = self._pending
+        queue = self.queue
+        released = queue.pending_bytes
+        while pending:
+            start, size, dq_push = pending[0]
+            if start > now or (start == now and dq_push > lpush):
+                break
+            pending.popleft()
+            released -= size
+        queue.pending_bytes = released
+
+    def _admit_fast(self, packet: Packet) -> None:
+        sim = self.sim
+        now = sim._now
+        if now < self._cut_last_arrival:
+            raise SimulationError(
+                f"link {self.name!r}: admission at t={now:.9f} races a "
+                f"cut-through plan arriving at t={self._cut_last_arrival:.9f}; "
+                f"this link is marked cut_through but has more than one "
+                f"feeder — remove the mark in the topology builder"
+            )
+        if self._pending:
+            self._prune_pending(now, sim.exec_lpush)
+        queue = self._queue
+        if (not queue._packets and not self._restart_pending
+                and now >= self._busy_until):
+            # Idle admission — the overwhelmingly common case on edge
+            # links — plans the packet as a train of one without the
+            # enqueue/drain round-trip.  The queue counters below are
+            # exactly what enqueue-then-drain would have recorded.
+            size = packet.size
+            occupancy = queue.pending_bytes + size
+            qstats = queue.stats
+            if occupancy > queue.capacity_bytes:
+                qstats.dropped += 1
+                qstats.bytes_dropped += size
+                sim.note_drop(packet.flow_id)
+                self._m_queue_drops.inc()
+                self._m_queue_drop_bytes.inc(size)
+                self._trace.record(
+                    now, EV_QUEUE_DROP, self.name,
+                    packet=packet.describe(), uid=packet.uid,
+                )
+                return
+            qstats.enqueued += 1
+            qstats.bytes_enqueued += size
+            if occupancy > qstats.peak_bytes:
+                qstats.peak_bytes = occupancy
+            qstats.dequeued += 1
+            # Inline train-of-one plan: the same arithmetic and the same
+            # counter/RNG order as _start_train, minus its loop setup.
+            finish = now + size / self.rate
+            self._pending.append((now, size, sim.exec_lpush))
+            queue.pending_bytes += size
+            stats = self.stats
+            stats.packets_sent += 1
+            stats.bytes_sent += size
+            self._m_tx_packets.inc()
+            self._m_tx_bytes.inc(size)
+            self._busy_until = finish
+            self._last_start = now
+            absorbed = 1  # the finish_transmission event this replaces
+            loss_rng = self._loss_rng
+            if loss_rng is not None and loss_rng.random() < self.loss_rate:
+                stats.packets_lost_inflight += 1
+                self._m_inflight_loss.inc()
+                sim.note_drop(packet.flow_id)
+            else:
+                absorbed += self._plan_delivery(packet, size,
+                                                finish + self.delay, finish)
+            sim.events_absorbed += absorbed
+            self._m_absorbed.inc(absorbed)
+            return
+        if not queue.enqueue(packet):
+            sim.note_drop(packet.flow_id)
+            self._m_queue_drops.inc()
+            self._m_queue_drop_bytes.inc(packet.size)
+            self._trace.record(
+                now, EV_QUEUE_DROP, self.name,
+                packet=packet.describe(), uid=packet.uid,
+            )
+            return
+        if self._restart_pending:
+            return
+        if now >= self._busy_until:
+            self._start_train()
+        else:
+            # Lazy continuation: one event at the instant the unbatched
+            # execution's finish_transmission would have started this
+            # packet.  It is an *extra* event the unbatched run does not
+            # fire, so it counts against the absorbed total.
+            self._restart_pending = True
+            sim.events_absorbed -= 1
+            self._m_absorbed.inc(-1)
+            # Back-date to the instant the unbatched finish(last) event
+            # was pushed (the last planned packet's start), so same-
+            # instant races against queued arrivals order identically.
+            sim.schedule_fast(self._busy_until, self._train_restart,
+                              lpush=self._last_start)
+
+    def _train_restart(self) -> None:
+        self._restart_pending = False
+        sim = self.sim
+        self._prune_pending(sim._now, sim.exec_lpush)
+        if self.queue._packets:
+            self._start_train()
+
+    def _start_train(self, packets=None) -> None:
+        """Plan the whole queued run analytically (serializer is idle).
+
+        Timestamps reproduce the unbatched execution's float arithmetic
+        exactly: ``start_0 = now``, ``finish_i = start_i + size_i/rate``,
+        ``start_{i+1} = finish_i``, ``delivery_i = finish_i + delay`` —
+        the same chained additions the per-packet events perform.
+
+        ``packets`` short-circuits the queue drain for the idle-admission
+        path in :meth:`_admit_fast`, which has already performed the
+        enqueue-equivalent byte accounting for its single packet.
+        """
+        sim = self.sim
+        now = sim._now
+        queue = self._queue
+        rate = self.rate
+        delay = self.delay
+        loss_rng = self._loss_rng
+        loss_rate = self.loss_rate
+        stats = self.stats
+        pending = self._pending
+        pend_bytes = queue.pending_bytes
+        if packets is None:
+            packets = queue.drain()
+        count = 0
+        sent_bytes = 0
+        absorbed = 0
+        t = now
+        # Push time of the unbatched event that dequeues the *next*
+        # packet: the planning event itself for the train head, then
+        # each packet's serialization start for its successor.
+        dq_push = sim.exec_lpush
+        for p in packets:
+            size = p.size
+            finish = t + size / rate
+            # Every planned packet (head included) logically occupies
+            # the queue until its dequeue event would have run; same-
+            # instant observers resolve against dq_push in the prune.
+            pending.append((t, size, dq_push))
+            pend_bytes += size
+            dq_push = t
+            count += 1
+            sent_bytes += size
+            # The finish_transmission event this plan replaces.
+            absorbed += 1
+            if loss_rng is not None and loss_rng.random() < loss_rate:
+                stats.packets_lost_inflight += 1
+                self._m_inflight_loss.inc()
+                sim.note_drop(p.flow_id)
+                t = finish
+                continue
+            absorbed += self._plan_delivery(p, size, finish + delay, finish)
+            t = finish
+        self._busy_until = t
+        self._last_start = dq_push
+        queue.pending_bytes = pend_bytes
+        stats.packets_sent += count
+        stats.bytes_sent += sent_bytes
+        self._m_tx_packets.inc(count)
+        self._m_tx_bytes.inc(sent_bytes)
+        sim.events_absorbed += absorbed
+        self._m_absorbed.inc(absorbed)
+
+    def _plan_delivery(self, p: Packet, size: int, arrival: float,
+                       push_t: float) -> int:
+        """Schedule the delivery of one train-planned packet — possibly
+        cutting through marked downstream links — and return the number
+        of downstream events the chain absorbed (two per virtual hop).
+
+        ``arrival`` is the packet's arrival at the current hop's
+        destination; ``push_t`` is where the unbatched execution pushes
+        the delivery event (this link's serialization finish, updated per
+        virtual hop).
+        """
+        sim = self.sim
+        schedule_fast = sim.schedule_fast
+        absorbed = 0
+        cur = self
+        hop_dst = self.dst
+        while True:
+            if not getattr(hop_dst, "FORWARDS", False):
+                schedule_fast(arrival, cur._deliver, p, lpush=push_t)
+                break
+            nxt = hop_dst.routes.get(p.dst)
+            if nxt is None:
+                schedule_fast(arrival, cur._deliver, p, lpush=push_t)
+                break
+            if not (nxt.cut_through and nxt._fast):
+                # Delivery into a router whose next hop cannot be
+                # planned (e.g. the shared bottleneck): fuse the
+                # forwarding dispatch into the delivery callback.
+                schedule_fast(arrival, cur._deliver_forward, p, nxt,
+                              lpush=push_t)
+                break
+            queue2 = nxt.queue
+            if (nxt._inbound_pending or queue2._packets
+                    or nxt._restart_pending
+                    or arrival < nxt._busy_until
+                    or size > queue2.capacity_bytes):
+                # Not provably idle at the arrival instant: deliver
+                # normally, but account the in-flight admission so
+                # nxt's own cut decisions stay sound.
+                nxt._inbound_pending += 1
+                schedule_fast(arrival, cur._deliver_tracked, p, nxt,
+                              lpush=push_t)
+                break
+            # Virtual hop: the unbatched run's deliver -> forward ->
+            # enqueue -> start -> finish collapses into arithmetic.
+            p.hops += 1
+            if p.hops > 64:
+                raise TopologyError(
+                    f"routing loop detected for {p.describe()}")
+            cur.stats.packets_delivered += 1
+            cur.stats.bytes_delivered += size
+            cur._m_delivered_bytes.inc(size)
+            qstats = queue2.stats
+            qstats.enqueued += 1
+            qstats.bytes_enqueued += size
+            qstats.dequeued += 1
+            if size > qstats.peak_bytes:
+                qstats.peak_bytes = size
+            nxt._cut_last_arrival = arrival
+            finish2 = arrival + size / nxt.rate
+            nxt._busy_until = finish2
+            nxt._last_start = arrival
+            push_t = finish2
+            nstats = nxt.stats
+            nstats.packets_sent += 1
+            nstats.bytes_sent += size
+            nxt._m_tx_packets.inc()
+            nxt._m_tx_bytes.inc(size)
+            # cur's deliver event + nxt's finish event, both absorbed.
+            absorbed += 2
+            rng2 = nxt._loss_rng
+            if rng2 is not None and rng2.random() < nxt.loss_rate:
+                nstats.packets_lost_inflight += 1
+                nxt._m_inflight_loss.inc()
+                sim.note_drop(p.flow_id)
+                break
+            arrival = finish2 + nxt.delay
+            cur = nxt
+            hop_dst = nxt.dst
+        return absorbed
+
+    def _deliver_forward(self, packet: Packet, next_link: "Link") -> None:
+        """Delivery into a forwarding node, fused with the forward step.
+
+        Behaviourally identical to ``_deliver`` followed by
+        ``Router.receive`` -> ``forward``: the routing-table lookup was
+        done at plan time (routes are static after topology build), and
+        ``next_link.send`` re-dispatches at fire time so a link whose
+        fast-path predicate flipped since planning still takes its
+        current datapath.  Scheduled only from train plans, so lineage
+        tracing is off at plan time; the guard stays for a recorder
+        enabled mid-flight.
+        """
+        size = packet.size
+        stats = self.stats
+        stats.packets_delivered += 1
+        stats.bytes_delivered += size
+        self._m_delivered_bytes.inc(size)
+        trace = self._trace
+        if trace.lineage:
+            if packet.corrupted:
+                trace.record(self.sim.now, EV_PKT_DELIVER, self.name,
+                             dst=self.dst.name, corrupted=True,
+                             **packet.lineage_detail())
+            else:
+                trace.record(self.sim.now, EV_PKT_DELIVER, self.name,
+                             dst=self.dst.name, **packet.lineage_detail())
+        packet.hops += 1
+        if packet.hops > 64:
+            raise TopologyError(f"routing loop detected for {packet.describe()}")
+        next_link.send(packet)
+
+    def _deliver_tracked(self, packet: Packet, next_link: "Link") -> None:
+        """Delivery into a router whose marked next hop could not be cut
+        through: release the racing-admission reservation, then deliver
+        (fused with the forward step, exactly like ``_deliver_forward``)."""
+        next_link._inbound_pending -= 1
+        self._deliver_forward(packet, next_link)
 
     # ------------------------------------------------------------------
 
@@ -312,6 +801,14 @@ class Link:
             else:
                 trace.record(self.sim.now, EV_PKT_DELIVER, self.name,
                              dst=self.dst.name, **packet.lineage_detail())
+        self.dst.receive(packet)
+
+    def _deliver_nohook(self, packet: Packet) -> None:
+        """:meth:`_deliver` for the zero-overhead build (fastpath): the
+        lineage guard and the telemetry instrument — both no-ops in any
+        configuration --fast accepts — are omitted rather than tested."""
+        self.stats.packets_delivered += 1
+        self.stats.bytes_delivered += packet.size
         self.dst.receive(packet)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

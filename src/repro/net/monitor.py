@@ -102,6 +102,9 @@ class LinkUtilizationMonitor(PeriodicMonitor):
         self.samples: List[UtilizationSample] = []
         self._last_bytes = link.stats.bytes_delivered
         self._m_utilization = sim.metrics.histogram("monitor.link_utilization")
+        # Mid-run samples need exact delivery-counter timing, so the
+        # watched link keeps per-packet events (no train batching).
+        link.mark_monitored()
         super().__init__(sim, period, horizon=horizon)
 
     def _sample(self) -> None:
@@ -130,6 +133,11 @@ class QueueDepthMonitor(PeriodicMonitor):
         self.times: List[float] = []
         self.depths: List[int] = []
         self._m_depth = sim.metrics.histogram("monitor.queue_depth")
+        # Mid-run occupancy samples need exact dequeue timing, so the
+        # owning link keeps per-packet events (no train batching).
+        mark = getattr(queue, "mark_monitored", None)
+        if mark is not None:
+            mark()
         super().__init__(sim, period, horizon=horizon)
 
     def _sample(self) -> None:

@@ -28,6 +28,11 @@ class Endpoint(Protocol):
 class Node:
     """Base node: owns a next-hop table of destination host -> link."""
 
+    #: True for transit nodes that forward every received packet; the
+    #: batched link datapath keys cut-through planning on this (a
+    #: delivery to a non-forwarding node always terminates the chain).
+    FORWARDS = False
+
     def __init__(self, sim, name: str) -> None:
         self.sim = sim
         self.name = name
@@ -56,6 +61,8 @@ class Node:
 
 class Router(Node):
     """A store-and-forward router: every received packet is forwarded."""
+
+    FORWARDS = True
 
     def receive(self, packet: Packet) -> None:
         if packet.dst == self.name:

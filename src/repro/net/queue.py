@@ -10,8 +10,9 @@ sensitivity studies.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from typing import Deque, List, Optional
 
+from repro import fastpath
 from repro.errors import ConfigurationError
 from repro.net.packet import Packet
 
@@ -43,6 +44,15 @@ class DropTailQueue:
 
     A packet is dropped iff admitting it would push the queued byte count
     above ``capacity_bytes``.
+
+    ``pending_bytes`` is the batched datapath's occupancy compensation
+    (see :mod:`repro.net.link`): bytes of packets a packet-train plan
+    already popped whose serialization *start* is still in the future.
+    The unbatched execution dequeues a packet when its serialization
+    starts, so such packets would still be queued at the current instant;
+    counting them keeps admit/drop decisions and ``bytes_queued``
+    byte-identical to the per-packet execution.  It is zero whenever the
+    owning link runs the per-packet path.
     """
 
     def __init__(self, capacity_bytes: int) -> None:
@@ -51,21 +61,50 @@ class DropTailQueue:
         self.capacity_bytes = capacity_bytes
         self._packets: Deque[Packet] = deque()
         self._bytes = 0
+        self.pending_bytes = 0
+        #: True once a sampling monitor watches this queue's occupancy
+        #: (set via :meth:`mark_monitored`); the owning link then keeps
+        #: per-packet events so mid-run samples see exact timing.
+        self.monitored = False
+        #: Owning link, set by :class:`~repro.net.link.Link` so monitor
+        #: attachment can invalidate the link's cached fast-path
+        #: predicate.
+        self._owner = None
         self.stats = QueueStats()
+        if fastpath.enabled() and type(self) is DropTailQueue:
+            # Zero-overhead build: bind the variant with the drop-tail
+            # admission test inlined (no virtual admit() dispatch).
+            # Exact-type check: AQM subclasses override admit() with
+            # dequeue-time state and must keep the dispatching path.
+            self.enqueue = self._enqueue_nohook
 
     # ------------------------------------------------------------------
 
+    def mark_monitored(self) -> None:
+        """Record that a sampler reads this queue mid-run (disables the
+        owning link's batched fast path so sample timing stays exact)."""
+        self.monitored = True
+        owner = self._owner
+        if owner is not None:
+            owner.refresh_fast_path()
+
     @property
     def bytes_queued(self) -> int:
-        """Bytes currently waiting in the queue."""
-        return self._bytes
+        """Bytes currently waiting in the queue.
+
+        Includes train-planned packets whose serialization has not yet
+        started (``pending_bytes``) — the occupancy an unbatched
+        execution would report at this instant.
+        """
+        return self._bytes + self.pending_bytes
 
     def __len__(self) -> int:
         return len(self._packets)
 
     def admit(self, packet: Packet) -> bool:
         """Hook deciding whether to admit ``packet``; drop-tail policy."""
-        return self._bytes + packet.size <= self.capacity_bytes
+        return (self._bytes + self.pending_bytes + packet.size
+                <= self.capacity_bytes)
 
     def enqueue(self, packet: Packet) -> bool:
         """Try to queue ``packet``.  Returns False (and counts a drop) on
@@ -78,8 +117,29 @@ class DropTailQueue:
         self._bytes += packet.size
         self.stats.enqueued += 1
         self.stats.bytes_enqueued += packet.size
-        if self._bytes > self.stats.peak_bytes:
-            self.stats.peak_bytes = self._bytes
+        occupancy = self._bytes + self.pending_bytes
+        if occupancy > self.stats.peak_bytes:
+            self.stats.peak_bytes = occupancy
+        return True
+
+    def _enqueue_nohook(self, packet: Packet) -> bool:
+        """:meth:`enqueue` for the zero-overhead build (fastpath): the
+        drop-tail :meth:`admit` test is inlined, eliminating the virtual
+        dispatch per offered packet.  Behavior-identical to the
+        dispatching path for exactly-``DropTailQueue`` instances."""
+        size = packet.size
+        stats = self.stats
+        occupancy = self._bytes + self.pending_bytes + size
+        if occupancy > self.capacity_bytes:
+            stats.dropped += 1
+            stats.bytes_dropped += size
+            return False
+        self._packets.append(packet)
+        self._bytes += size
+        stats.enqueued += 1
+        stats.bytes_enqueued += size
+        if occupancy > stats.peak_bytes:
+            stats.peak_bytes = occupancy
         return True
 
     def dequeue(self) -> Optional[Packet]:
@@ -90,6 +150,19 @@ class DropTailQueue:
         self._bytes -= packet.size
         self.stats.dequeued += 1
         return packet
+
+    def drain(self) -> List[Packet]:
+        """Remove and return every queued packet (train planning).
+
+        The caller owns the byte accounting from here: packets whose
+        serialization start lies in the future must be re-counted via
+        ``pending_bytes``.
+        """
+        packets = list(self._packets)
+        self._packets.clear()
+        self.stats.dequeued += len(packets)
+        self._bytes = 0
+        return packets
 
 
 class REDQueue(DropTailQueue):

@@ -207,10 +207,17 @@ def access_network(
     for i in range(n_pairs):
         sender = topo.add_host(f"s{i}")
         receiver = topo.add_host(f"d{i}")
-        topo.connect(sender.name, r1.name, edge_rate, edge_delay,
-                     loss_rate=edge_loss)
-        topo.connect(r2.name, receiver.name, edge_rate, edge_delay,
-                     loss_rate=edge_loss)
+        _, to_sender = topo.connect(sender.name, r1.name, edge_rate,
+                                    edge_delay, loss_rate=edge_loss)
+        to_receiver, _ = topo.connect(r2.name, receiver.name, edge_rate,
+                                      edge_delay, loss_rate=edge_loss)
+        # Last-mile edges have a single structural feeder (the adjacent
+        # bottleneck): data toward d_i only ever arrives at r2 over
+        # r1->r2, and ACKs toward s_i only arrive at r1 over r2->r1, so
+        # the batched datapath may plan cut-through deliveries across
+        # them (see repro.net.link).
+        to_receiver.cut_through = True
+        to_sender.cut_through = True
         senders.append(sender)
         receivers.append(receiver)
 
@@ -218,6 +225,13 @@ def access_network(
         r1.name, r2.name, bottleneck_rate, bottleneck_delay,
         queue_bytes=buffer_bytes,
     )
+    if n_pairs == 1:
+        # With one pair each bottleneck direction is also sole-feeder
+        # (only s0's edge feeds r1->r2, only d0's edge feeds r2->r1) —
+        # the PlanetLab per-path topologies hit this shape ~2.6K times
+        # per figure run.
+        forward.cut_through = True
+        backward.cut_through = True
     topo.compute_routes()
     network = AccessNetwork(
         topology=topo,

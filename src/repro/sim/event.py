@@ -1,10 +1,21 @@
 """Simulation events.
 
 An :class:`Event` is a callback bound to a point in simulated time.  Events
-are ordered by ``(time, priority, sequence)``: the sequence number is a
-monotonically increasing tiebreaker so that two events scheduled for the
-same instant run in the order they were scheduled (FIFO), which keeps
+are ordered by ``(time, priority, lpush, sequence)``: the sequence number
+is a monotonically increasing tiebreaker so that two events scheduled for
+the same instant run in the order they were scheduled (FIFO), which keeps
 packet-level simulations deterministic.
+
+``lpush`` is the *logical push time* — the simulated instant at which
+the per-packet (unbatched) execution would have scheduled this event.
+The simulator stamps it with ``now`` at scheduling time, which makes it
+redundant with ``seq`` (both are monotone in push order) and leaves
+ordinary schedules byte-identical to the historical ``(time, priority,
+seq)`` order.  The batched link datapath (:mod:`repro.net.link`)
+schedules delivery events *ahead of time* and back-dates ``lpush`` to
+the analytic unbatched push instant, so same-timestamp collisions
+between train-planned deliveries and ordinary events resolve exactly as
+the per-packet execution would have resolved them.
 
 Cancellation is *lazy*: cancelling marks the event dead and the scheduler
 discards it when popped.  This keeps cancellation O(1), which matters for
@@ -28,8 +39,8 @@ class Event:
     :meth:`repro.sim.simulator.Simulator.schedule`.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled",
-                 "parent")
+    __slots__ = ("time", "priority", "lpush", "seq", "callback", "args",
+                 "cancelled", "parent")
 
     def __init__(
         self,
@@ -40,6 +51,9 @@ class Event:
     ) -> None:
         self.time = time
         self.priority = priority
+        #: Logical push time (see module docstring); the simulator stamps
+        #: the scheduling instant, the batched datapath back-dates it.
+        self.lpush = 0.0
         self.seq = next(_sequence)
         self.callback: Optional[Callable[..., Any]] = callback
         self.args = args
@@ -68,7 +82,7 @@ class Event:
     # Ordering ------------------------------------------------------------
 
     def sort_key(self) -> tuple:
-        return (self.time, self.priority, self.seq)
+        return (self.time, self.priority, self.lpush, self.seq)
 
     def __lt__(self, other: "Event") -> bool:
         return self.sort_key() < other.sort_key()

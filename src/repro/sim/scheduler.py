@@ -4,13 +4,17 @@ A thin wrapper around :mod:`heapq` that understands lazily-cancelled
 events.  Separated from :class:`~repro.sim.simulator.Simulator` so the
 queue can be unit- and property-tested in isolation.
 
-The heap stores ``(time, priority, seq, event)`` tuples rather than the
-:class:`~repro.sim.event.Event` objects themselves.  The ``seq``
-tiebreaker is unique, so sift comparisons always resolve within the
-first three scalar slots and never fall through to the event — every
-comparison is a C-level tuple compare instead of a Python-level
-``Event.__lt__`` call, which is where timer-heavy workloads spend most
-of their scheduler time.
+The heap stores ``(time, priority, lpush, seq, event)`` tuples rather
+than the :class:`~repro.sim.event.Event` objects themselves.  The
+``seq`` tiebreaker is unique, so sift comparisons always resolve within
+the scalar slots and never fall through to the event — every comparison
+is a C-level tuple compare instead of a Python-level ``Event.__lt__``
+call, which is where timer-heavy workloads spend most of their
+scheduler time.  ``lpush`` (logical push time — see
+:mod:`repro.sim.event`) equals the scheduling instant for ordinary
+events, where it is redundant with ``seq``; the batched link datapath
+back-dates it on train-planned deliveries so same-timestamp collisions
+order exactly as the per-packet execution would have ordered them.
 
 A seeded **tie-break permutation** mode backs the schedule-perturbation
 harness (:mod:`repro.hb.perturb`): :class:`PermutedEventScheduler`
@@ -58,11 +62,11 @@ DEFAULT_COMPACT_FRACTION = 0.5
 #: StallError carrying full-payload packets stays readable.
 MAX_ARG_REPR = 120
 
-#: Heap entry layout: ``(time, priority, seq, event)``; the permuted
-#: scheduler stores ``(time, priority, mixed, seq, event)``.  The event
-#: is always the *last* slot, and every slot before it is a scalar, so
-#: sift comparisons never fall through to ``Event.__lt__``.
-_Entry = Tuple[float, int, int, Event]
+#: Heap entry layout: ``(time, priority, lpush, seq, event)``; the
+#: permuted scheduler stores ``(time, priority, mixed, seq, event)``.
+#: The event is always the *last* slot, and every slot before it is a
+#: scalar, so sift comparisons never fall through to ``Event.__lt__``.
+_Entry = Tuple[float, int, float, int, Event]
 
 
 # ----------------------------------------------------------------------
@@ -105,7 +109,7 @@ def _mix(seq: int, salt: int) -> int:
 
 
 class EventScheduler:
-    """A min-heap of events ordered by (time, priority, seq).
+    """A min-heap of events ordered by (time, priority, lpush, seq).
 
     Parameters
     ----------
@@ -133,7 +137,8 @@ class EventScheduler:
     def push(self, event: Event) -> None:
         """Insert an event into the queue."""
         heapq.heappush(
-            self._heap, (event.time, event.priority, event.seq, event)
+            self._heap,
+            (event.time, event.priority, event.lpush, event.seq, event),
         )
         self._live += 1
 
@@ -275,7 +280,10 @@ class PermutedEventScheduler(EventScheduler):
     Heap entries are ``(time, priority, mixed, seq, event)`` — ``seq``
     stays as a final scalar tie-break so comparisons never reach the
     event even in the astronomically unlikely case of a mixed-key
-    collision.
+    collision.  ``lpush`` is deliberately *not* part of the key: the
+    whole point of a perturbed run is to scramble same-timestamp order,
+    and restricting the scramble to equal-``lpush`` groups would weaken
+    the harness.
     """
 
     def __init__(self, salt: int,

@@ -11,19 +11,66 @@ Two sides:
 
 Both are pure data structures with no simulator dependency, so they are
 property-tested heavily (see ``tests/transport/test_sacks.py``).
+
+Per-segment scalar state (send times, ACK times, retransmit counts,
+SACK marks) lives in struct-of-arrays storage: flat typed arrays
+indexed by sequence number instead of per-segment Python objects or
+lists of boxed floats.  The default backend is the stdlib :mod:`array`
+module (8 bytes per slot, no per-element object header); setting
+``HALFBACK_NUMPY=1`` in the environment switches allocation to numpy
+when it is importable, which lets analysis code view the columns
+zero-copy.  Both backends store IEEE doubles / 64-bit ints, so the
+arithmetic — and therefore every fingerprinted outcome — is identical.
 """
 
 from __future__ import annotations
 
+import os
+from array import array
 from enum import IntEnum
 from heapq import heapify, heappop, heappush
 from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import TransportError
 
-__all__ = ["SegmentState", "SendScoreboard", "ReceiveTracker", "IntervalSet"]
+__all__ = ["SegmentState", "SendScoreboard", "ReceiveTracker", "IntervalSet",
+           "array_backend"]
 
 Range = Tuple[int, int]  # half-open [start, end)
+
+_np = None
+if os.environ.get("HALFBACK_NUMPY") == "1":
+    # Import only on opt-in: pulling numpy in costs ~100 ms of process
+    # startup, which dominates short CLI runs that never touch it.
+    try:  # pragma: no cover - availability depends on the environment
+        import numpy as _np
+    except ImportError:  # pragma: no cover
+        _np = None
+
+#: Active struct-of-arrays backend: ``"numpy"`` only when numpy is both
+#: importable and opted into via ``HALFBACK_NUMPY=1``.
+_USE_NUMPY = _np is not None
+
+
+def array_backend() -> str:
+    """Name of the per-segment column storage backend in use."""
+    return "numpy" if _USE_NUMPY else "array"
+
+
+def _float_column(n: int, fill: float = 0.0) -> "Sequence[float]":
+    """An n-slot column of IEEE doubles, initialized to ``fill``."""
+    if _USE_NUMPY:
+        return _np.full(n, fill, dtype=_np.float64)
+    if fill == 0.0:
+        return array("d", bytes(8 * n))
+    return array("d", [fill]) * n
+
+
+def _int_column(n: int) -> "Sequence[int]":
+    """A zeroed n-slot column of signed 64-bit ints."""
+    if _USE_NUMPY:
+        return _np.zeros(n, dtype=_np.int64)
+    return array("q", bytes(8 * n))
 
 
 class SegmentState(IntEnum):
@@ -144,15 +191,21 @@ class SendScoreboard:
         self.highest_sacked = -1
         self.acked_count = 0
         self._pipe = 0
+        # --- struct-of-arrays per-segment columns (see module docstring)
         # SACK frontier observed when each segment was last (re)sent.
         # Loss inference demands DUPTHRESH segments SACKed *beyond* this
         # mark, so a retransmission is not instantly re-declared lost on
         # stale evidence (the RFC 6675 retransmission-tracking rule; see
         # detect_lost).
-        self._sack_mark = [0] * n_segments
+        self._sack_mark = _int_column(n_segments)
         # Simulated time of each segment's last (re)transmission, for
         # the round-based naive re-marking rule (see detect_lost).
-        self._sent_time = [0.0] * n_segments
+        self._sent_time = _float_column(n_segments)
+        # Simulated time each segment was first acknowledged; -1 until
+        # then (valid simulated times are non-negative).
+        self._ack_time = _float_column(n_segments, fill=-1.0)
+        # Retransmissions per segment (first transmission not counted).
+        self._rtx_count = _int_column(n_segments)
         # 1 for every segment not yet ACKED.  ``bytearray.find(1, ...)``
         # skips arbitrarily long acked runs at memchr speed, which is
         # what makes re-announced SACK ranges and the cum-ack advance
@@ -241,6 +294,32 @@ class SendScoreboard:
         return [i for i in range(self.cum_ack, self.n_segments)
                 if self._state[i] != SegmentState.ACKED]
 
+    def send_time(self, seq: int) -> float:
+        """Simulated time of ``seq``'s last (re)transmission (0.0 if
+        never sent)."""
+        return float(self._sent_time[seq])
+
+    def ack_time(self, seq: int) -> Optional[float]:
+        """Simulated time ``seq`` was first acknowledged, or None."""
+        when = self._ack_time[seq]
+        return float(when) if when >= 0.0 else None
+
+    def retransmit_count(self, seq: int) -> int:
+        """Retransmissions of ``seq`` (first transmission not counted)."""
+        return int(self._rtx_count[seq])
+
+    def rtt_sample(self, seq: int) -> Optional[float]:
+        """ACK time minus send time for ``seq``, or None.
+
+        Karn's rule: a retransmitted segment's sample is ambiguous (the
+        ACK may answer either transmission), so only never-retransmitted
+        acknowledged segments yield one.
+        """
+        when = self._ack_time[seq]
+        if when < 0.0 or self._rtx_count[seq]:
+            return None
+        return float(when - self._sent_time[seq])
+
     # -- transitions ----------------------------------------------------
 
     def mark_sent(self, seq: int, time: float = 0.0) -> None:
@@ -253,6 +332,9 @@ class SendScoreboard:
             return
         if state != _SENT:
             self._pipe += 1
+        if state != _UNSENT:
+            # SENT or LOST: this is a retransmission.
+            self._rtx_count[seq] += 1
         self._state[seq] = _SENT
         mark = self.highest_sacked
         if seq > mark:
@@ -263,7 +345,7 @@ class SendScoreboard:
         if seq > self.highest_sent:
             self.highest_sent = seq
 
-    def _mark_acked(self, seq: int) -> bool:
+    def _mark_acked(self, seq: int, now: float) -> bool:
         state = self._state[seq]
         if state == _ACKED:
             return False
@@ -271,11 +353,15 @@ class SendScoreboard:
             self._pipe -= 1
         self._state[seq] = _ACKED
         self._unacked[seq] = 0
+        self._ack_time[seq] = now
         self.acked_count += 1
         return True
 
-    def on_ack(self, cum: int, sack: Sequence[Range] = ()) -> List[int]:
-        """Apply one ACK.  ``cum`` is the next-expected segment index.
+    def on_ack(self, cum: int, sack: Sequence[Range] = (),
+               now: float = 0.0) -> List[int]:
+        """Apply one ACK.  ``cum`` is the next-expected segment index;
+        ``now`` (the simulated arrival instant) is stamped into the
+        ACK-time column for every newly-acknowledged segment.
 
         Returns the segments newly acknowledged by this ACK, ascending.
 
@@ -290,7 +376,7 @@ class SendScoreboard:
         find_unacked = self._unacked.find
         seq = find_unacked(1, self.cum_ack, cum)
         while seq != -1:
-            self._mark_acked(seq)
+            self._mark_acked(seq, now)
             newly.append(seq)
             seq = find_unacked(1, seq + 1, cum)
         if cum > self.cum_ack:
@@ -300,7 +386,7 @@ class SendScoreboard:
                 raise TransportError(f"bad SACK range ({start}, {end})")
             seq = find_unacked(1, start, end)
             while seq != -1:
-                self._mark_acked(seq)
+                self._mark_acked(seq, now)
                 newly.append(seq)
                 seq = find_unacked(1, seq + 1, end)
             if end - 1 > self.highest_sacked:
@@ -415,20 +501,26 @@ class ReceiveTracker:
             raise TransportError("tracker needs at least one segment")
         self.n_segments = n_segments
         self._received = bytearray(n_segments)
+        # First-arrival time per segment; -1 until it arrives (see the
+        # struct-of-arrays note in the module docstring).
+        self._arrival_time = _float_column(n_segments, fill=-1.0)
         self._out_of_order = IntervalSet()
         self.cum = 0  # next expected segment
         self.count = 0
         self.duplicates = 0
         self._last_new: Optional[int] = None
 
-    def add(self, seq: int) -> bool:
-        """Record arrival of segment ``seq``; False for duplicates."""
+    def add(self, seq: int, now: float = 0.0) -> bool:
+        """Record arrival of segment ``seq`` at simulated time ``now``;
+        False for duplicates (their timestamps are not recorded — the
+        column holds first arrivals, matching FCT semantics)."""
         if not 0 <= seq < self.n_segments:
             raise TransportError(f"segment {seq} out of range")
         if self._received[seq]:
             self.duplicates += 1
             return False
         self._received[seq] = 1
+        self._arrival_time[seq] = now
         self.count += 1
         self._last_new = seq
         if seq == self.cum:
@@ -443,6 +535,11 @@ class ReceiveTracker:
     def complete(self) -> bool:
         """True once every segment has arrived."""
         return self.count == self.n_segments
+
+    def arrival_time(self, seq: int) -> Optional[float]:
+        """Simulated time ``seq`` first arrived, or None."""
+        when = self._arrival_time[seq]
+        return float(when) if when >= 0.0 else None
 
     def missing(self) -> List[int]:
         """Segments not yet received, ascending."""

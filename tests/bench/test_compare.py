@@ -134,6 +134,74 @@ class TestCompareReports:
         assert result["failed"]
         assert any("scales differ" in m for m in result["mismatches"])
 
+    def test_strict_passes_on_cpu_count_drift(self):
+        old = synthetic_report()
+        new = synthetic_report()
+        old["machine"]["cpu_count"] = 8
+        new["machine"]["cpu_count"] = 16
+        result = compare_reports(old, new, strict=True)
+        assert not result["failed"]
+        assert result["mismatches"] == []
+        assert any("cpu_count" in w for w in result["warnings"])
+        assert any("warn-only" in note for note in result["notes"])
+
+    def test_strict_passes_on_platform_patchlevel_drift(self):
+        old = synthetic_report(platform="Linux-6.18.5-generic-x86_64")
+        new = synthetic_report(platform="Linux-6.18.9-generic-x86_64")
+        result = compare_reports(old, new, strict=True)
+        assert not result["failed"]
+        assert result["mismatches"] == []
+        assert any("patchlevel" in w for w in result["warnings"])
+
+    def test_strict_fails_on_platform_beyond_patchlevel(self):
+        old = synthetic_report(platform="Linux-6.18.5-generic-x86_64")
+        new = synthetic_report(platform="Darwin-23.1.0-arm64")
+        result = compare_reports(old, new, strict=True)
+        assert result["failed"]
+        assert any("fingerprints" in m for m in result["mismatches"])
+
+    def test_strict_fails_on_machine_arch_mismatch(self):
+        old = synthetic_report()
+        new = synthetic_report()
+        old["machine"]["machine"] = "x86_64"
+        new["machine"]["machine"] = "aarch64"
+        result = compare_reports(old, new, strict=True)
+        assert result["failed"]
+        assert any("x86_64" in m for m in result["mismatches"])
+
+    def test_geomean_speedup_summary(self):
+        # Macro 2x faster, micro 8x faster -> geomean sqrt(16) = 4x.
+        old = synthetic_report(wall=2.0, median_ns=400.0)
+        new = synthetic_report(wall=1.0, median_ns=50.0)
+        result = compare_reports(old, new)
+        geomean = result["geomean"]
+        assert geomean["count"] == 2
+        assert geomean["overall"] == pytest.approx(4.0)
+        assert geomean["by_kind"]["macro"]["speedup"] == pytest.approx(2.0)
+        assert geomean["by_kind"]["micro"]["speedup"] == pytest.approx(8.0)
+        rendered = render_comparison(result)
+        assert ("geometric-mean speedup: 4.00x across 2 comparable "
+                "benchmark(s) (macro 2.00x over 1, micro 8.00x over 1)"
+                in rendered)
+
+    def test_geomean_excludes_drifted_workloads(self):
+        old = synthetic_report(wall=2.0, events=1000)
+        new = synthetic_report(wall=1.0, events=2000)  # macro drifted
+        result = compare_reports(old, new)
+        geomean = result["geomean"]
+        assert geomean["by_kind"]["macro"]["speedup"] is None
+        assert geomean["by_kind"]["macro"]["count"] == 0
+        assert geomean["count"] == 1  # micro row only
+
+    def test_geomean_line_absent_when_nothing_comparable(self):
+        old = synthetic_report(events=1000)
+        new = synthetic_report(events=2000)
+        old["micro"] = {}
+        new["micro"] = {}
+        result = compare_reports(old, new)
+        assert result["geomean"]["overall"] is None
+        assert "geometric-mean" not in render_comparison(result)
+
     def test_render_mentions_regressions(self):
         result = compare_reports(synthetic_report(wall=1.0),
                                  synthetic_report(wall=2.0),
@@ -185,6 +253,15 @@ class TestCliGate:
                            "--strict-compare"])
         assert code == 1
         assert "STRICT COMPARE" in capsys.readouterr().out
+
+    def test_compare_prints_geomean_summary_line(self, tmp_path, capsys):
+        old = self.write(tmp_path, "old.json",
+                         synthetic_report(wall=2.0, median_ns=200.0))
+        new = self.write(tmp_path, "new.json",
+                         synthetic_report(wall=1.0, median_ns=100.0))
+        assert bench_main(["--compare", old, "--current", new]) == 0
+        out = capsys.readouterr().out
+        assert "geometric-mean speedup: 2.00x" in out
 
     def test_strict_compare_requires_compare_flag(self, capsys):
         with pytest.raises(SystemExit):

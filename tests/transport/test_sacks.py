@@ -263,26 +263,32 @@ class _ModelScoreboard:
         self.highest_sacked = -1
         self.sack_mark = [0] * n_segments
         self.sent_time = [0.0] * n_segments
+        self.ack_time = [None] * n_segments
+        self.rtx_count = [0] * n_segments
 
     def mark_sent(self, seq, time=0.0):
         if self.state[seq] == SegmentState.ACKED:
             return
+        if self.state[seq] != SegmentState.UNSENT:
+            self.rtx_count[seq] += 1
         self.state[seq] = SegmentState.SENT
         self.sack_mark[seq] = max(seq, self.highest_sacked)
         self.sent_time[seq] = time
         self.highest_sent = max(self.highest_sent, seq)
 
-    def on_ack(self, cum, sack=()):
+    def on_ack(self, cum, sack=(), now=0.0):
         newly = []
         for seq in range(self.cum_ack, cum):
             if self.state[seq] != SegmentState.ACKED:
                 self.state[seq] = SegmentState.ACKED
+                self.ack_time[seq] = now
                 newly.append(seq)
         self.cum_ack = max(self.cum_ack, cum)
         for start, end in sack:
             for seq in range(start, end):
                 if self.state[seq] != SegmentState.ACKED:
                     self.state[seq] = SegmentState.ACKED
+                    self.ack_time[seq] = now
                     newly.append(seq)
             self.highest_sacked = max(self.highest_sacked, end - 1)
         while (self.cum_ack < self.n
@@ -337,6 +343,12 @@ class _ModelScoreboard:
         return [i for i, s in enumerate(self.state)
                 if s == SegmentState.LOST]
 
+    def rtt_sample(self, seq):
+        # Karn's rule: retransmitted segments yield no sample.
+        if self.ack_time[seq] is None or self.rtx_count[seq]:
+            return None
+        return self.ack_time[seq] - self.sent_time[seq]
+
 
 class TestScoreboardModelEquivalence:
     @settings(max_examples=80)
@@ -378,8 +390,8 @@ class TestScoreboardModelEquivalence:
                     end = data.draw(st.integers(min_value=start + 1,
                                                 max_value=n))
                     sack = ((start, end),)
-                assert sb.on_ack(cum, sack=sack) == \
-                    model.on_ack(cum, sack=sack)
+                assert sb.on_ack(cum, sack=sack, now=clock) == \
+                    model.on_ack(cum, sack=sack, now=clock)
             elif action == "detect":
                 assert sb.detect_lost() == model.detect_lost()
             elif action == "detect_naive":
@@ -401,6 +413,14 @@ class TestScoreboardModelEquivalence:
             assert sb.first_lost() == (model.lost_segments() or [None])[0]
             assert sb.all_acked == all(s == SegmentState.ACKED
                                        for s in model.state)
+            # Struct-of-arrays columns (send/ack times, retransmit
+            # counts) in lockstep with the boxed reference model.
+            assert [sb.send_time(i) for i in range(n)] == model.sent_time
+            assert [sb.ack_time(i) for i in range(n)] == model.ack_time
+            assert ([sb.retransmit_count(i) for i in range(n)]
+                    == model.rtx_count)
+            assert ([sb.rtt_sample(i) for i in range(n)]
+                    == [model.rtt_sample(i) for i in range(n)])
 
 
 class TestReceiveTracker:
